@@ -1,0 +1,18 @@
+"""Benchmark: Ablation: grouping strategies.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_ablation_grouping(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_grouping", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

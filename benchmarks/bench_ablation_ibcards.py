@@ -1,0 +1,18 @@
+"""Benchmark: Ablation: InfiniBand card count.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_ablation_ibcards(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_ibcards", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: the full reproduction certificate (every prose claim)."""
+
+from repro.core.claims import format_claims, verify_claims
+
+
+def test_claims(benchmark):
+    results = benchmark.pedantic(verify_claims, iterations=1, rounds=1)
+    print()
+    print(format_claims(results))
+    assert all(r.passed for r in results)

@@ -1,0 +1,19 @@
+"""Benchmark: extension — NPB-MZ Class F on the full Columbia.
+
+Regenerates the experiment and prints the rows; the benchmark measures
+the end-to-end harness time (fast mode: the full-machine sweep packs
+16384 zones into thousands of bins repeatedly).
+"""
+
+from repro.core import run_experiment
+
+
+def test_ext_class_f(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_class_f", fast=True),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

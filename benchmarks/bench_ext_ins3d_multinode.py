@@ -1,0 +1,18 @@
+"""Benchmark: extension — the multinode INS3D the paper planned (S5).
+
+Regenerates the experiment and prints the rows; the benchmark measures
+the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_ext_ins3d_multinode(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_ins3d_multinode", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

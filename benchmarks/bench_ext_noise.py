@@ -1,0 +1,14 @@
+"""Benchmark: extension — OS-noise amplification of synchronized steps."""
+
+from repro.core import run_experiment
+
+
+def test_ext_noise(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_noise", fast=True),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 10: multinode b_eff (fast sweep; full sweep takes minutes of DES).
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_fig10(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", fast=True),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

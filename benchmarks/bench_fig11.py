@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 11: NPB-MZ Class E under three networks.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 5: b_eff per node type.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 9: process x thread combinations.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_fig9(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

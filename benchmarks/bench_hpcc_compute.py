@@ -1,0 +1,18 @@
+"""Benchmark: S4.1.1: DGEMM + STREAM per node type.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_sec411_compute(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec411_compute", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

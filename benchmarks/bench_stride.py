@@ -1,0 +1,18 @@
+"""Benchmark: S4.2: CPU stride.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_sec42_stride(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec42_stride", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

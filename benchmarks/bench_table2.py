@@ -1,0 +1,18 @@
+"""Benchmark: Table 2: INS3D groups x threads.
+
+Regenerates the experiment and prints the rows/series the paper
+reports; the benchmark measures the end-to-end harness time.
+"""
+
+from repro.core import run_experiment
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", fast=False),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Molecular dynamics: real simulation + the Table 5 scaling study.
+
+Run:  python examples/md_weak_scaling.py
+
+First actually runs the Lennard-Jones MD code (Velocity Verlet, fcc
+start, cell lists) at a laptop-scale size and verifies its physics,
+then projects the paper's weak-scaling study (64,000 atoms per CPU up
+to 2040 CPUs) with the timing model.
+"""
+
+import numpy as np
+
+from repro.apps.md import MDSimulation, MDScalingModel
+from repro.apps.md.domain import decomposed_forces
+from repro.apps.md.forces import lj_forces_naive
+
+
+def main() -> None:
+    # -- real execution ---------------------------------------------------------
+    print("Real MD run: 500 atoms, NVE ensemble, 200 steps")
+    sim = MDSimulation(cells=5, temperature=0.72, dt=0.004, seed=11)
+    state = sim.step(200)
+    print(f"  atoms:            {state.n_atoms}")
+    print(f"  temperature:      {state.temperature:.3f} (reduced)")
+    print(f"  total energy:     {state.total_energy:.3f}")
+    print(f"  energy drift:     {sim.energy_drift():.2e} (NVE conservation)")
+    print(f"  net momentum:     {np.abs(state.momentum).max():.2e}")
+    print()
+
+    # -- spatial decomposition check ----------------------------------------------
+    print("Spatial decomposition (the paper's parallelization, §3.3):")
+    f_global, _ = lj_forces_naive(state.positions, state.box, sim.rcut)
+    f_dec = decomposed_forces(state.positions, state.box, (2, 2, 2), sim.rcut)
+    err = np.abs(f_dec - f_global).max()
+    print(f"  2x2x2 domain forces vs global forces: max diff {err:.2e}")
+    print()
+
+    # -- Table 5 ---------------------------------------------------------------------
+    print("Weak scaling projection (Table 5: 64,000 atoms/CPU, 100 steps):")
+    model = MDScalingModel()
+    print(f"{'CPUs':>6} {'atoms':>12} {'s/step':>8} {'efficiency':>11}")
+    for row in model.table5():
+        print(
+            f"{row['processors']:>6} {row['particles']:>12,} "
+            f"{row['time_per_step']:>8.3f} {row['efficiency']:>11.3f}"
+        )
+    print()
+    print("Communication is a one-cutoff ghost shell with 26 neighbor")
+    print("boxes — 'entirely local' (§3.3) — which is why scaling stays")
+    print("almost perfect to 2040 CPUs (§4.6.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A performance analyst's session: traces, charts and the certificate.
+
+Run:  python examples/performance_analyst.py
+
+Demonstrates the tooling around the models — the things you would
+reach for when *using* this library rather than reproducing the paper:
+
+1. trace a simulated MPI job and read its communication statistics;
+2. chart a figure as ASCII;
+3. run a slice of the reproduction certificate.
+"""
+
+import numpy as np
+
+from repro.core import run_experiment
+from repro.core.claims import format_claims, verify_claims
+from repro.core.series import chart_experiment
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.mpi import run_mpi
+from repro.mpi.collectives import allreduce, alltoall
+from repro.sim.trace import MessageTrace
+
+
+def main() -> None:
+    # -- 1. trace a job ---------------------------------------------------------
+    print("1. Tracing a 32-rank job (one all-to-all + one allreduce):")
+    placement = Placement(single_node(NodeType.BX2B), n_ranks=32)
+    trace = MessageTrace()
+
+    def program(comm):
+        yield comm.compute(1e-5)
+        yield from alltoall(comm, 8192)
+        total = yield from allreduce(comm, 8, float(comm.rank))
+        return total
+
+    job = run_mpi(placement, program, trace=trace)
+    print(f"   {trace.summary()}")
+    print(f"   simulated wall-clock: {job.elapsed * 1e6:.1f} us")
+    print(f"   size histogram: {trace.size_histogram()}")
+    matrix = trace.traffic_matrix(32)
+    print(f"   traffic matrix: {matrix.sum():.0f} bytes total, "
+          f"row sums uniform: {np.allclose(matrix.sum(1), matrix.sum(1)[0])}")
+    print()
+
+    # -- 2. chart a figure --------------------------------------------------------
+    print("2. Fig. 6's FT panel as ASCII (BX2's bandwidth advantage):")
+    fig6 = run_experiment("fig6")
+    print(chart_experiment(
+        fig6, x="cpus", y="gflops_per_cpu", series_by="node_type",
+        benchmark="ft", paradigm="mpi", width=56, height=12,
+    ))
+    print()
+
+    # -- 3. the certificate ----------------------------------------------------------
+    print("3. A slice of the reproduction certificate:")
+    results = verify_claims(
+        ["ft_bandwidth", "cache_jump", "overflow_3x", "md_scaling"]
+    )
+    print(format_claims(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Turbopump simulation campaign planning with INS3D.
+
+Run:  python examples/turbopump_campaign.py
+
+The paper's motivating problem (§1, §3.4): unsteady flow through a
+full-scale low-pressure rocket turbopump for the Crew Exploration
+Vehicle program — 66M grid points, 267 blocks, 720 physical time steps
+per inducer rotation.
+
+This example uses the INS3D model to answer the planning question a
+NASA engineer would actually ask: *which MLP group x thread layout
+finishes one inducer rotation fastest on one BX2b node*, given that
+adding groups speeds up each step but can deteriorate convergence
+(§4.1.3) while threads never do.
+"""
+
+from repro.apps.ins3d import INS3DModel
+from repro.machine.node import NodeType
+
+
+def main() -> None:
+    model = INS3DModel(node_type=NodeType.BX2B)
+    steps = 720  # one inducer rotation
+
+    print("INS3D turbopump: one inducer rotation (720 steps) on a BX2b node")
+    print(f"Grid: {model.system.total_points / 1e6:.0f}M points in "
+          f"{model.system.n_blocks} blocks")
+    print()
+    print(f"{'layout':>10} {'CPUs':>5} {'s/step':>8} {'conv.':>6} "
+          f"{'rotation':>10} {'speedup':>8}")
+
+    baseline = None
+    best = None
+    for groups in (36, 48, 72, 96, 128):
+        for threads in (1, 2, 4, 8):
+            if groups * threads > 508:  # leave the boot cpuset alone
+                continue
+            step = model.step_time(groups, threads)
+            conv = model.convergence_factor(groups)
+            rotation_hours = model.time_to_solution(groups, threads, steps) / 3600.0
+            if baseline is None:
+                baseline = rotation_hours
+            row = (groups, threads, step, conv, rotation_hours)
+            if best is None or rotation_hours < best[4]:
+                best = row
+            print(
+                f"{groups:>6}x{threads:<3} {groups * threads:>5} "
+                f"{step:>8.1f} {conv:>6.2f} {rotation_hours:>9.1f}h "
+                f"{baseline / rotation_hours:>7.2f}x"
+            )
+
+    groups, threads, step, conv, hours = best
+    print()
+    print(f"Best layout: {groups}x{threads} ({groups * threads} CPUs) — "
+          f"{hours:.1f} hours per rotation.")
+    print("Note the tension the paper describes: beyond ~8 threads the")
+    print("OpenMP scaling decays, and aggressive grouping buys faster")
+    print("steps at the cost of more of them (convergence factor > 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+``pip install -e .`` (PEP 517 editable) cannot build. ``python
+setup.py develop`` installs the package in editable mode from
+pyproject.toml metadata without needing wheel.
+"""
+
+from setuptools import setup
+
+setup()

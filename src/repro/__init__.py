@@ -1,0 +1,45 @@
+"""repro — reproduction of "An Application-Based Performance
+Characterization of the Columbia Supercluster" (SC 2005).
+
+The package provides:
+
+* :mod:`repro.machine` — models of Columbia's hardware (Altix 3700 /
+  BX2a / BX2b nodes, NUMAlink3/4, InfiniBand, pinning, compilers);
+* :mod:`repro.sim`, :mod:`repro.mpi`, :mod:`repro.openmp`,
+  :mod:`repro.mlp`, :mod:`repro.shmem` — the simulation substrate and
+  programming paradigms;
+* :mod:`repro.hpcc`, :mod:`repro.npb`, :mod:`repro.apps` — the
+  workloads: HPC Challenge microbenchmarks, NAS Parallel Benchmarks
+  (incl. multi-zone), molecular dynamics, INS3D and OVERFLOW-D;
+* :mod:`repro.core` — the characterization harness reproducing every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import run_experiment
+    result = run_experiment("table2")
+    print(result.format())
+"""
+
+__version__ = "1.0.0"
+
+from repro.machine import (
+    Cluster,
+    NodeType,
+    Placement,
+    PinningMode,
+    columbia,
+    multinode,
+)
+from repro.machine.cluster import single_node
+
+__all__ = [
+    "Cluster",
+    "NodeType",
+    "Placement",
+    "PinningMode",
+    "columbia",
+    "multinode",
+    "single_node",
+    "__version__",
+]

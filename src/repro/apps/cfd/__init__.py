@@ -1,0 +1,23 @@
+"""CFD numerics used by the paper's applications.
+
+* :mod:`repro.apps.cfd.artificial_compressibility` — INS3D's method
+  (§3.4): incompressible Navier-Stokes closed with a pseudo-time
+  pressure derivative, iterated to a divergence-free velocity field;
+* :mod:`repro.apps.cfd.linerelax` — the Gauss-Seidel line-relaxation
+  solver INS3D uses for its matrix equation;
+* :mod:`repro.apps.cfd.lusgs` — the LU-SGS solver OVERFLOW-D uses,
+  re-implemented with the wavefront ("pipeline") ordering that made it
+  efficient on Columbia's cache-based superscalar CPUs (§3.5).
+"""
+
+from repro.apps.cfd.artificial_compressibility import ACSolver, ACResult
+from repro.apps.cfd.linerelax import line_relax_poisson
+from repro.apps.cfd.lusgs import lusgs_solve, hyperplane_ordering
+
+__all__ = [
+    "ACSolver",
+    "ACResult",
+    "line_relax_poisson",
+    "lusgs_solve",
+    "hyperplane_ordering",
+]

@@ -1,0 +1,146 @@
+"""Artificial-compressibility incompressible Navier-Stokes (INS3D).
+
+Paper §3.4: "the incompressible formulation does not explicitly yield
+the pressure field from an equation of state ... an artificial
+compressibility method ... introduces a time-derivative of the
+pressure term into the continuity equation", turning the
+elliptic-parabolic system hyperbolic-parabolic; "the equations are
+iterated to convergence in pseudo-time for each physical time step
+until the divergence of the velocity field has been reduced below a
+specified tolerance value", typically taking 10-30 sub-iterations.
+
+This is a real 2D implementation of exactly that scheme on a periodic
+domain (vectorized central differences, forward-Euler pseudo-time).
+The verification invariant is the paper's own criterion: the velocity
+divergence falls below tolerance within a few dozen sub-iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, VerificationError
+from repro.sim.rng import make_rng
+
+__all__ = ["ACSolver", "ACResult"]
+
+
+def _ddx(f: np.ndarray, h: float) -> np.ndarray:
+    return (np.roll(f, -1, 0) - np.roll(f, 1, 0)) / (2 * h)
+
+
+def _ddy(f: np.ndarray, h: float) -> np.ndarray:
+    return (np.roll(f, -1, 1) - np.roll(f, 1, 1)) / (2 * h)
+
+
+def _lap(f: np.ndarray, h: float) -> np.ndarray:
+    return (
+        np.roll(f, 1, 0) + np.roll(f, -1, 0)
+        + np.roll(f, 1, 1) + np.roll(f, -1, 1)
+        - 4 * f
+    ) / (h * h)
+
+
+@dataclass(frozen=True)
+class ACResult:
+    """Outcome of the pseudo-time sub-iteration loop."""
+
+    sub_iterations: int
+    divergence_history: tuple[float, ...]
+    converged: bool
+
+    @property
+    def final_divergence(self) -> float:
+        return self.divergence_history[-1]
+
+
+class ACSolver:
+    """2D incompressible Navier-Stokes via artificial compressibility.
+
+    Parameters
+    ----------
+    n:
+        Grid points per side (periodic square).
+    beta:
+        The artificial compressibility parameter (the paper notes the
+        sub-iteration count depends on it).
+    viscosity:
+        Kinematic viscosity.
+    """
+
+    def __init__(self, n: int = 32, beta: float = 1.0, viscosity: float = 0.05,
+                 seed: int | None = None) -> None:
+        if n < 8:
+            raise ConfigurationError(f"grid too small: {n}")
+        if beta <= 0 or viscosity < 0:
+            raise ConfigurationError("beta must be > 0, viscosity >= 0")
+        self.n = n
+        self.h = 1.0 / n
+        self.beta = beta
+        self.viscosity = viscosity
+        rng = make_rng(seed)
+        # Smooth random initial velocity (not divergence-free) and
+        # zero pressure.
+        k = rng.standard_normal((2, 4, 4))
+        x = np.arange(n) * self.h
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        self.u = sum(
+            k[0, a, b] * np.sin(2 * np.pi * ((a + 1) * X + (b + 1) * Y))
+            for a in range(4) for b in range(4)
+        ) * 0.05
+        self.v = sum(
+            k[1, a, b] * np.cos(2 * np.pi * ((a + 1) * X + (b + 1) * Y))
+            for a in range(4) for b in range(4)
+        ) * 0.05
+        self.p = np.zeros_like(self.u)
+
+    # -- physics -------------------------------------------------------------
+
+    def divergence(self) -> np.ndarray:
+        return _ddx(self.u, self.h) + _ddy(self.v, self.h)
+
+    def divergence_norm(self) -> float:
+        d = self.divergence()
+        return float(np.sqrt(np.mean(d * d)))
+
+    def _pseudo_step(self, dtau: float) -> None:
+        u, v, p, h, nu = self.u, self.v, self.p, self.h, self.viscosity
+        conv_u = u * _ddx(u, h) + v * _ddy(u, h)
+        conv_v = u * _ddx(v, h) + v * _ddy(v, h)
+        du = -conv_u - _ddx(p, h) + nu * _lap(u, h)
+        dv = -conv_v - _ddy(p, h) + nu * _lap(v, h)
+        # Artificial compressibility: dp/dtau = -beta * div(u).
+        dp = -self.beta * self.divergence()
+        self.u = u + dtau * du
+        self.v = v + dtau * dv
+        self.p = p + dtau * dp
+
+    def subiterate(self, tolerance: float = 1e-4, max_sub: int = 400,
+                   dtau: float | None = None) -> ACResult:
+        """Drive the divergence below ``tolerance`` in pseudo-time.
+
+        Raises :class:`VerificationError` if the loop fails to converge
+        within ``max_sub`` sub-iterations — the INS3D convergence
+        criterion (paper: typically 10 to 30 sub-iterations per
+        physical time step at production tolerances).
+        """
+        if dtau is None:
+            # Stability: the acoustic CFL bound and the explicit
+            # viscous bound, whichever is tighter.
+            wave = np.sqrt(self.beta) + 1.0
+            dtau = 0.3 * self.h / wave
+            if self.viscosity > 0:
+                dtau = min(dtau, 0.2 * self.h * self.h / self.viscosity)
+        history = [self.divergence_norm()]
+        for it in range(1, max_sub + 1):
+            self._pseudo_step(dtau)
+            history.append(self.divergence_norm())
+            if history[-1] < tolerance:
+                return ACResult(it, tuple(history), True)
+            if not np.isfinite(history[-1]):
+                raise VerificationError(
+                    f"artificial-compressibility iteration diverged at {it}"
+                )
+        return ACResult(max_sub, tuple(history), False)

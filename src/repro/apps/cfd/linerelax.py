@@ -1,0 +1,94 @@
+"""Gauss-Seidel line relaxation (INS3D's matrix solver).
+
+Paper §3.4: "The matrix equation is solved iteratively by using a
+non-factored Gauss-Seidel type line-relaxation scheme, which maintains
+stability and allows a large pseudo-time step to be taken."
+
+Implemented for the model 2D Poisson problem: each relaxation sweep
+solves a tridiagonal system along every x-line (direct Thomas solve,
+vectorized over lines with ``scipy.linalg.solve_banded``), using the
+latest values of the neighboring lines Gauss-Seidel style, then does
+the same along y-lines.  Verified against a direct sparse solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_relax_poisson"]
+
+
+def _sweep_lines(u: np.ndarray, f: np.ndarray, h2: float, axis: int) -> np.ndarray:
+    """One Gauss-Seidel pass of line solves along ``axis``.
+
+    Dirichlet zero boundaries; the tridiagonal system per line is
+    ``(u[i-1] - 4u[i] + u[i+1])/h2 = f - (cross-line neighbors)/h2``.
+    """
+    if axis == 1:
+        return _sweep_lines(u.T, f.T, h2, 0).T
+    n, m = u.shape
+    # Tridiagonal bands for one line of length m (interior points).
+    ab = np.zeros((3, m))
+    ab[0, 1:] = 1.0
+    ab[1, :] = -4.0
+    ab[2, :-1] = 1.0
+    out = u.copy()
+    for i in range(n):
+        above = out[i - 1] if i > 0 else np.zeros(m)
+        below = u[i + 1] if i + 1 < n else np.zeros(m)
+        rhs = f[i] * h2 - above - below
+        out[i] = solve_banded((1, 1), ab, rhs)
+    return out
+
+
+def line_relax_poisson(
+    f: np.ndarray,
+    sweeps: int = 50,
+    h: float | None = None,
+    u0: np.ndarray | None = None,
+) -> tuple[np.ndarray, list[float]]:
+    """Solve ``laplacian(u) = f`` (Dirichlet 0) by line relaxation.
+
+    ``u0`` warm-starts the iteration (the overset outer loop resumes
+    from the previous composite state).  Returns the iterate and the
+    residual-norm history (one entry per sweep pair), which must
+    decrease monotonically — the tested invariant — and converge to
+    the direct solution.
+    """
+    if f.ndim != 2:
+        raise ConfigurationError(f"need a 2D right-hand side, got {f.shape}")
+    if sweeps < 1:
+        raise ConfigurationError(f"sweeps must be >= 1: {sweeps}")
+    n, m = f.shape
+    h = h if h is not None else 1.0 / (n + 1)
+    h2 = h * h
+    if u0 is not None:
+        if u0.shape != f.shape:
+            raise ConfigurationError(
+                f"u0 shape {u0.shape} does not match f {f.shape}"
+            )
+        u = u0.copy()
+    else:
+        u = np.zeros_like(f)
+    history = []
+    for _ in range(sweeps):
+        u = _sweep_lines(u, f, h2, axis=0)
+        u = _sweep_lines(u, f, h2, axis=1)
+        history.append(_residual_norm(u, f, h2))
+    return u, history
+
+
+def _residual_norm(u: np.ndarray, f: np.ndarray, h2: float) -> float:
+    n, m = u.shape
+    padded = np.zeros((n + 2, m + 2))
+    padded[1:-1, 1:-1] = u
+    lap = (
+        padded[:-2, 1:-1] + padded[2:, 1:-1]
+        + padded[1:-1, :-2] + padded[1:-1, 2:]
+        - 4 * u
+    ) / h2
+    r = f - lap
+    return float(np.sqrt(np.mean(r * r)))

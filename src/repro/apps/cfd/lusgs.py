@@ -1,0 +1,129 @@
+"""LU-SGS with wavefront ("pipeline") ordering (OVERFLOW-D's solver).
+
+Paper §3.5: "The linear solver of the application, called LU-SGS, was
+reimplemented using a pipeline algorithm to enhance efficiency which
+is dictated by the type of data dependencies inherent in the solution
+algorithm."  (OVERFLOW-D was designed for vector machines; Columbia's
+cache-based superscalar Itanium2 needed the wavefront restructuring.)
+
+LU-SGS approximately factors ``A = D + L + U`` (7-point stencil) as
+``(D + L) D^-1 (D + U)`` and solves by a forward then backward sweep.
+The data dependency of each sweep follows the grid diagonals: all
+cells on a hyperplane ``i + j + k = const`` are independent — the
+pipeline ordering vectorizes over those hyperplanes, which is exactly
+what we do with precomputed index lists.
+
+Verified by tests: the preconditioned Richardson iteration built on
+these sweeps converges to the direct sparse solution.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["hyperplane_ordering", "lusgs_sweep", "lusgs_solve"]
+
+
+@lru_cache(maxsize=32)
+def hyperplane_ordering(shape: tuple[int, int, int]) -> tuple[tuple[np.ndarray, ...], ...]:
+    """Index arrays of each wavefront ``i + j + k = s``.
+
+    Returns a tuple over ``s`` of ``(ii, jj, kk)`` arrays; cells within
+    one wavefront have no mutual dependency in an LU-SGS sweep, so the
+    solver updates each wavefront as one vector operation.
+    """
+    nx, ny, nz = shape
+    if min(nx, ny, nz) < 1:
+        raise ConfigurationError(f"bad grid shape {shape}")
+    i, j, k = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    s = (i + j + k).ravel()
+    order = np.argsort(s, kind="stable")
+    flat_i, flat_j, flat_k = i.ravel()[order], j.ravel()[order], k.ravel()[order]
+    s_sorted = s[order]
+    planes = []
+    for value in range(nx + ny + nz - 2):
+        sel = slice(
+            np.searchsorted(s_sorted, value),
+            np.searchsorted(s_sorted, value + 1),
+        )
+        planes.append((flat_i[sel], flat_j[sel], flat_k[sel]))
+    return tuple(planes)
+
+
+def lusgs_sweep(
+    rhs: np.ndarray, diag: float, off: float, forward: bool
+) -> np.ndarray:
+    """One triangular solve of LU-SGS over the wavefronts.
+
+    Solves ``(D + L) x = rhs`` (forward) or ``(D + U) x = rhs``
+    (backward) for the 7-point stencil with constant coefficients:
+    diagonal ``diag``, off-diagonals ``off`` toward lower (forward) or
+    higher (backward) indices.
+    """
+    if rhs.ndim != 3:
+        raise ConfigurationError(f"need a 3D array, got shape {rhs.shape}")
+    if diag == 0:
+        raise ConfigurationError("zero diagonal in LU-SGS sweep")
+    x = np.zeros_like(rhs)
+    planes = hyperplane_ordering(rhs.shape)
+    ordered = planes if forward else tuple(reversed(planes))
+    step = -1 if forward else 1
+    for ii, jj, kk in ordered:
+        acc = rhs[ii, jj, kk].copy()
+        for axis, (di, dj, dk) in enumerate(((step, 0, 0), (0, step, 0), (0, 0, step))):
+            ni, nj, nk = ii + di, jj + dj, kk + dk
+            valid = (
+                (ni >= 0) & (ni < rhs.shape[0])
+                & (nj >= 0) & (nj < rhs.shape[1])
+                & (nk >= 0) & (nk < rhs.shape[2])
+            )
+            acc[valid] -= off * x[ni[valid], nj[valid], nk[valid]]
+        x[ii, jj, kk] = acc / diag
+    return x
+
+
+def lusgs_solve(
+    b: np.ndarray,
+    diag: float = 6.5,
+    off: float = -1.0,
+    iterations: int = 30,
+) -> tuple[np.ndarray, list[float]]:
+    """Solve ``A u = b`` for the 7-point operator
+    ``A = diag*I + off*(sum of 6 neighbor shifts)`` (Dirichlet) by
+    LU-SGS-preconditioned Richardson iteration.
+
+    Returns the iterate and residual-norm history.
+    """
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1: {iterations}")
+    u = np.zeros_like(b)
+    history = []
+    for _ in range(iterations):
+        r = b - _apply(u, diag, off)
+        # M^-1 r with M = (D+L) D^-1 (D+U): forward sweep, scale, back sweep.
+        y = lusgs_sweep(r, diag, off, forward=True)
+        z = lusgs_sweep(y * diag, diag, off, forward=False)
+        u = u + z
+        res = float(np.sqrt(np.mean((b - _apply(u, diag, off)) ** 2)))
+        history.append(res)
+    return u, history
+
+
+def _apply(u: np.ndarray, diag: float, off: float) -> np.ndarray:
+    """Apply the 7-point operator with zero (Dirichlet) boundaries."""
+    out = diag * u
+    for axis in range(3):
+        for shift in (1, -1):
+            rolled = np.roll(u, shift, axis)
+            # Zero the wrapped-around plane.
+            idx = [slice(None)] * 3
+            idx[axis] = 0 if shift == 1 else -1
+            rolled[tuple(idx)] = 0.0
+            out = out + off * rolled
+    return out

@@ -1,0 +1,148 @@
+"""Multinode INS3D — the paper's §5 future work, built out.
+
+"For the final version of this paper ... we want to complete the
+multinode version of INS3D to use it for testing."  The single-node
+INS3D runs MLP (forked groups + shared arena); crossing node
+boundaries needs a hybrid: MLP groups inside each node, MPI between
+nodes for the overset boundary archive (the arena cannot span boxes —
+and over InfiniBand only MPI is available at all, §2).
+
+The model composes the calibrated single-node INS3D pieces with the
+machine's inter-node fabric:
+
+* zones are first partitioned across nodes (one bin-packing level),
+  then across each node's MLP groups (a second level);
+* per step, the cross-node share of the overset boundary archive
+  moves over NUMAlink4 or InfiniBand instead of the shared arena.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.apps.ins3d import (
+    MLP_OVERHEAD,
+    OMP_PARALLEL_FRACTION,
+    SERIAL_STEP_SECONDS,
+)
+from repro.apps.overset.grids import OversetSystem, turbopump_system
+from repro.apps.overset.grouping import group_blocks
+from repro.errors import CommunicationError, ConfigurationError
+from repro.machine.cluster import Cluster, multinode
+from repro.machine.node import NodeType
+
+__all__ = ["INS3DMultinodeModel"]
+
+#: Boundary-archive bytes per zone surface point per step (all flow
+#: variables, both directions of the interpolation update).
+BOUNDARY_BYTES_PER_POINT = 2 * 5 * 8
+
+#: Effective fraction of fabric bandwidth the archive exchange
+#: sustains (pack/unpack of interpolation fringes).
+EXCHANGE_EFF = 0.35
+
+
+@dataclass
+class INS3DMultinodeModel:
+    """Per-step timing of INS3D across NUMAlink4/InfiniBand nodes."""
+
+    cluster: Cluster = field(default_factory=lambda: multinode(4, fabric="numalink4"))
+    system: OversetSystem = field(default_factory=turbopump_system)
+
+    def __post_init__(self) -> None:
+        for node in self.cluster.nodes:
+            if node.node_type is not NodeType.BX2B:
+                raise ConfigurationError(
+                    "the multinode INS3D study targets the BX2b capability "
+                    "subsystem (paper §2)"
+                )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.cluster.nodes)
+
+    def _check_fabric(self, groups_per_node: int) -> None:
+        if self.n_nodes > 1 and self.cluster.fabric == "infiniband":
+            # MPI-over-IB is fine; but each group is one MPI process,
+            # so the §2 connection limit applies to groups.
+            self.cluster.infiniband.check_pure_mpi(self.n_nodes, groups_per_node)
+
+    def step_time(self, groups_per_node: int, threads: int) -> float:
+        """Average runtime per physical step for the hybrid layout."""
+        if groups_per_node < 1 or threads < 1:
+            raise ConfigurationError(
+                f"bad layout: {groups_per_node} groups/node x {threads} threads"
+            )
+        if groups_per_node * threads > self.cluster.cpus_per_node:
+            raise ConfigurationError(
+                f"{groups_per_node}x{threads} exceeds a "
+                f"{self.cluster.cpus_per_node}-CPU node"
+            )
+        self._check_fabric(groups_per_node)
+        total_groups = groups_per_node * self.n_nodes
+        if total_groups > self.system.n_blocks:
+            raise ConfigurationError(
+                f"{total_groups} groups exceed {self.system.n_blocks} zones"
+            )
+        # Two-level partition: zones -> nodes -> groups.
+        node_assignment = group_blocks(self.system, max(1, self.n_nodes), "binpack")
+        imbalance = group_blocks(self.system, total_groups, "binpack").imbalance
+        f = OMP_PARALLEL_FRACTION[NodeType.BX2B]
+        amdahl = (1.0 - f) + f / threads
+        serial = SERIAL_STEP_SECONDS[NodeType.BX2B]
+        compute = (
+            serial / total_groups * imbalance
+            * (MLP_OVERHEAD if total_groups > 1 else 1.0)
+            * amdahl
+        )
+        return compute + self._exchange_time(node_assignment)
+
+    def _exchange_time(self, node_assignment) -> float:
+        """Cross-node boundary-archive exchange per step."""
+        if self.n_nodes == 1:
+            return 0.0
+        # The archive share crossing node boundaries ~ the fraction of
+        # zone surface in zones whose overlap partners live elsewhere;
+        # with bin-packed nodes approximate by the random-pair bound.
+        cross_fraction = 1.0 - 1.0 / self.n_nodes
+        cross_bytes = (
+            self.system.total_surface_points
+            * BOUNDARY_BYTES_PER_POINT
+            * cross_fraction
+            * 0.5  # connectivity-aware node packing keeps half local
+        )
+        per_node = cross_bytes / self.n_nodes
+        if self.cluster.fabric == "infiniband":
+            lat, bw = self.cluster.infiniband.point_to_point(
+                self.n_nodes, self.cluster.mpt
+            )
+            channels = self.cluster.infiniband.cards_per_node
+        else:
+            from repro.netmodel.contention import NUMALINK4_UPLINKS_PER_NODE
+
+            lat, bw = self.cluster.nodes[0].interconnect.point_to_point(
+                0, internode=True
+            )
+            channels = NUMALINK4_UPLINKS_PER_NODE
+        effective = bw * channels * EXCHANGE_EFF
+        messages = self.n_nodes - 1
+        return per_node / effective + messages * lat
+
+    def best_layout(self, cpus_per_node: int = 508) -> tuple[int, int, float]:
+        """(groups_per_node, threads, step_time) minimizing step time
+        with at most ``cpus_per_node`` CPUs used per node."""
+        best: tuple[int, int, float] | None = None
+        for threads in (1, 2, 4, 8):
+            groups = cpus_per_node // threads
+            if groups < 1:
+                continue
+            try:
+                t = self.step_time(groups, threads)
+            except (ConfigurationError, CommunicationError):
+                continue
+            if best is None or t < best[2]:
+                best = (groups, threads, t)
+        if best is None:
+            raise ConfigurationError("no feasible multinode INS3D layout")
+        return best

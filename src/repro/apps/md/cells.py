@@ -1,0 +1,69 @@
+"""Cell lists for O(N) short-range force evaluation.
+
+Paper §3.3 describes the per-processor data structures: atoms binned
+into boxes with "neighbor linked lists to permit easy deletions and
+insertions as atoms move between boxes".  In vectorized NumPy the
+equivalent is a sorted cell index: atoms are bucketed into cells at
+least one cutoff wide, and force evaluation only visits the 27
+neighboring cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CellList"]
+
+
+class CellList:
+    """Atoms bucketed into a periodic grid of cubic cells."""
+
+    def __init__(self, positions: np.ndarray, box: float, rcut: float) -> None:
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ConfigurationError(f"positions must be (N,3): {positions.shape}")
+        if box <= 0 or rcut <= 0:
+            raise ConfigurationError("box and rcut must be positive")
+        self.box = box
+        self.rcut = rcut
+        #: cells per edge; each cell >= rcut wide so neighbors suffice.
+        self.n_cells = max(1, int(np.floor(box / rcut)))
+        self.cell_width = box / self.n_cells
+        wrapped = np.mod(positions, box)
+        idx3 = np.minimum(
+            (wrapped / self.cell_width).astype(int), self.n_cells - 1
+        )
+        self.cell_of = (
+            idx3[:, 0] * self.n_cells**2 + idx3[:, 1] * self.n_cells + idx3[:, 2]
+        )
+        #: atom indices sorted by cell, plus per-cell start offsets.
+        self.order = np.argsort(self.cell_of, kind="stable")
+        sorted_cells = self.cell_of[self.order]
+        self.starts = np.searchsorted(
+            sorted_cells, np.arange(self.n_cells**3 + 1)
+        )
+
+    def atoms_in(self, cell: int) -> np.ndarray:
+        """Atom indices in flat cell id ``cell``."""
+        if not 0 <= cell < self.n_cells**3:
+            raise ConfigurationError(f"cell {cell} out of range")
+        return self.order[self.starts[cell]:self.starts[cell + 1]]
+
+    def neighbor_cells(self, cell: int) -> np.ndarray:
+        """Flat ids of the 27 periodic neighbor cells (incl. self)."""
+        n = self.n_cells
+        cx, cy, cz = cell // (n * n), (cell // n) % n, cell % n
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    out.append(
+                        ((cx + dx) % n) * n * n + ((cy + dy) % n) * n + (cz + dz) % n
+                    )
+        return np.unique(out)
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Atoms per cell (diagnostics/tests)."""
+        return np.diff(self.starts)

@@ -1,0 +1,46 @@
+"""Velocity Verlet integration.
+
+Paper §3.3: "a sophisticated integrator designed to further improve
+the velocity evaluations ... The Velocity Verlet algorithm provides
+both the atomic positions and velocities at the same instant of time,
+and therefore is regarded as the most complete form of the Verlet
+algorithm."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["velocity_verlet_step"]
+
+ForceFn = Callable[[np.ndarray], tuple[np.ndarray, float]]
+
+
+def velocity_verlet_step(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    forces: np.ndarray,
+    dt: float,
+    force_fn: ForceFn,
+    box: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """One Velocity Verlet step (mass = 1, reduced units).
+
+    v(t+dt/2) = v(t) + dt/2 f(t)
+    x(t+dt)   = x(t) + dt v(t+dt/2)          (wrapped into the box)
+    f(t+dt)   = force(x(t+dt))
+    v(t+dt)   = v(t+dt/2) + dt/2 f(t+dt)
+
+    Returns (positions, velocities, forces, potential_energy) at t+dt.
+    """
+    if dt <= 0:
+        raise ConfigurationError(f"dt must be positive: {dt}")
+    half = velocities + 0.5 * dt * forces
+    new_positions = np.mod(positions + dt * half, box)
+    new_forces, potential = force_fn(new_positions)
+    new_velocities = half + 0.5 * dt * new_forces
+    return new_positions, new_velocities, new_forces, potential

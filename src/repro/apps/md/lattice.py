@@ -1,0 +1,73 @@
+"""Initial conditions: fcc lattice and Maxwell velocities.
+
+Paper §3.3: "The simulation starts with atoms on a force cubic center
+(fcc) lattice with randomized velocities at a given temperature."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
+
+__all__ = ["fcc_lattice", "maxwell_velocities"]
+
+#: The four basis atoms of the fcc unit cell (in cell units).
+_FCC_BASIS = np.array(
+    [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ]
+)
+
+
+def fcc_lattice(cells: int, density: float = 0.8442) -> tuple[np.ndarray, float]:
+    """Atoms on an fcc lattice.
+
+    Parameters
+    ----------
+    cells:
+        Unit cells per box edge; the box holds ``4 * cells**3`` atoms.
+    density:
+        Reduced number density (0.8442 is the classic LJ solid point).
+
+    Returns
+    -------
+    (positions, box_length)
+    """
+    if cells < 1:
+        raise ConfigurationError(f"cells must be >= 1: {cells}")
+    if density <= 0:
+        raise ConfigurationError(f"density must be positive: {density}")
+    n_atoms = 4 * cells**3
+    box = (n_atoms / density) ** (1.0 / 3.0)
+    a = box / cells  # lattice constant
+    ii, jj, kk = np.meshgrid(np.arange(cells), np.arange(cells), np.arange(cells),
+                             indexing="ij")
+    corners = np.stack([ii, jj, kk], axis=-1).reshape(-1, 1, 3).astype(float)
+    positions = (corners + _FCC_BASIS[None, :, :]).reshape(-1, 3) * a
+    return positions, box
+
+
+def maxwell_velocities(
+    n_atoms: int, temperature: float = 0.72, seed: int | None = None
+) -> np.ndarray:
+    """Maxwell-Boltzmann velocities with zero net momentum, rescaled
+    to exactly the requested temperature (reduced units, mass = 1)."""
+    if n_atoms < 1:
+        raise ConfigurationError(f"n_atoms must be >= 1: {n_atoms}")
+    if temperature < 0:
+        raise ConfigurationError(f"temperature must be >= 0: {temperature}")
+    if temperature == 0:
+        return np.zeros((n_atoms, 3))
+    rng = make_rng(seed)
+    v = rng.standard_normal((n_atoms, 3)) * np.sqrt(temperature)
+    v -= v.mean(axis=0)  # zero total momentum
+    if n_atoms > 1:
+        current = (v**2).sum() / (3.0 * n_atoms)
+        if current > 0:
+            v *= np.sqrt(temperature / current)
+    return v

@@ -1,0 +1,144 @@
+"""Bulk-property extraction from MD trajectories (paper §3.3).
+
+"After integrating for some time when sufficient information on the
+motion of the individual atoms has been collected, one uses
+statistical methods to deduce the bulk properties of the material.
+These properties may include the structure, thermodynamics, and
+transport properties."
+
+Implemented here:
+
+* :func:`radial_distribution` — g(r), the structural fingerprint (an
+  fcc solid shows sharp shells, a liquid broad ones);
+* :func:`mean_squared_displacement` — MSD(t), whose slope gives the
+  diffusion coefficient (transport);
+* :func:`velocity_autocorrelation` — VACF(t), the other route to
+  transport coefficients;
+* :func:`pressure_virial` — instantaneous virial pressure
+  (thermodynamics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "radial_distribution",
+    "mean_squared_displacement",
+    "diffusion_coefficient",
+    "velocity_autocorrelation",
+    "pressure_virial",
+]
+
+
+def radial_distribution(
+    positions: np.ndarray, box: float, n_bins: int = 50,
+    r_max: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pair distribution function g(r) with minimum-image distances.
+
+    Returns ``(r_centers, g)``; for an ideal gas g == 1 everywhere,
+    for an fcc solid g spikes at the shell radii.
+    """
+    n = len(positions)
+    if n < 2:
+        raise ConfigurationError("g(r) needs at least two atoms")
+    if n_bins < 2:
+        raise ConfigurationError(f"need >= 2 bins, got {n_bins}")
+    r_max = r_max if r_max is not None else box / 2.0
+    if not 0 < r_max <= box / 2.0 + 1e-12:
+        raise ConfigurationError(
+            f"r_max must be in (0, box/2], got {r_max} with box {box}"
+        )
+    delta = positions[:, None, :] - positions[None, :, :]
+    delta -= box * np.round(delta / box)
+    r = np.sqrt((delta**2).sum(-1))
+    iu = np.triu_indices(n, k=1)
+    dists = r[iu]
+    dists = dists[dists < r_max]
+    counts, edges = np.histogram(dists, bins=n_bins, range=(0.0, r_max))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    # Normalize by the ideal-gas shell population.
+    density = n / box**3
+    shell_volumes = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    ideal = density * shell_volumes * n / 2.0
+    g = np.where(ideal > 0, counts / ideal, 0.0)
+    return centers, g
+
+
+def mean_squared_displacement(trajectory: np.ndarray) -> np.ndarray:
+    """MSD(t) from an unwrapped trajectory of shape (frames, atoms, 3).
+
+    MSD(k) averages |x(t0+k) - x(t0)|^2 over atoms and time origins.
+    """
+    traj = np.asarray(trajectory, dtype=float)
+    if traj.ndim != 3 or traj.shape[2] != 3:
+        raise ConfigurationError(
+            f"trajectory must be (frames, atoms, 3): {traj.shape}"
+        )
+    frames = traj.shape[0]
+    if frames < 2:
+        raise ConfigurationError("need at least two frames")
+    msd = np.zeros(frames)
+    for lag in range(1, frames):
+        disp = traj[lag:] - traj[:-lag]
+        msd[lag] = float((disp**2).sum(-1).mean())
+    return msd
+
+
+def diffusion_coefficient(msd: np.ndarray, dt: float,
+                          fit_fraction: float = 0.5) -> float:
+    """Einstein relation: D = slope(MSD) / 6 from the late-time tail."""
+    if dt <= 0:
+        raise ConfigurationError(f"dt must be positive: {dt}")
+    if not 0 < fit_fraction <= 1:
+        raise ConfigurationError(f"bad fit fraction {fit_fraction}")
+    n = len(msd)
+    if n < 4:
+        raise ConfigurationError("MSD too short to fit")
+    start = max(1, int(n * (1 - fit_fraction)))
+    times = np.arange(n) * dt
+    slope = np.polyfit(times[start:], msd[start:], 1)[0]
+    return float(slope / 6.0)
+
+
+def velocity_autocorrelation(velocities: np.ndarray) -> np.ndarray:
+    """Normalized VACF(t) from (frames, atoms, 3) velocity history."""
+    v = np.asarray(velocities, dtype=float)
+    if v.ndim != 3 or v.shape[2] != 3:
+        raise ConfigurationError(f"velocities must be (frames, atoms, 3): {v.shape}")
+    frames = v.shape[0]
+    if frames < 2:
+        raise ConfigurationError("need at least two frames")
+    c0 = float((v[0] * v[0]).sum(-1).mean())
+    if c0 == 0:
+        raise ConfigurationError("zero initial kinetic energy")
+    out = np.empty(frames)
+    for lag in range(frames):
+        out[lag] = float((v[0] * v[lag]).sum(-1).mean()) / c0
+    return out
+
+
+def pressure_virial(
+    positions: np.ndarray, velocities: np.ndarray, box: float, rcut: float
+) -> float:
+    """Instantaneous virial pressure P = (N kT + W/3) / V with
+    W = sum r_ij . f_ij over pairs (reduced units, mass = kB = 1)."""
+    from repro.apps.md.forces import _pair_forces
+
+    n = len(positions)
+    if n < 2:
+        raise ConfigurationError("pressure needs at least two atoms")
+    delta = positions[:, None, :] - positions[None, :, :]
+    delta -= box * np.round(delta / box)
+    r2 = (delta**2).sum(-1)
+    iu = np.triu_indices(n, k=1)
+    mask = r2[iu] <= rcut * rcut
+    rows, cols = iu[0][mask], iu[1][mask]
+    fvec, _ = _pair_forces(delta[rows, cols], r2[iu][mask])
+    virial = float((delta[rows, cols] * fvec).sum())
+    kinetic = float((velocities**2).sum())  # 2 x KE = N 3 kT
+    volume = box**3
+    return (kinetic + virial) / (3.0 * volume)

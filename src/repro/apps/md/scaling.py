@@ -1,0 +1,120 @@
+"""MD weak-scaling performance model (paper §4.6.3, Table 5).
+
+The paper's study: 64,000 atoms per processor (weak scaling; 130.56
+million atoms at 2040 processors), 100 steps, run across the
+NUMAlink4-coupled BX2b nodes.  "Results show almost perfect
+scalability all the way up to 2040 processors.  The communication
+costs are insignificant for this test case."
+
+Model per step and per processor:
+
+* **compute** — pair interactions of the processor's atoms: the
+  neighbor count per atom comes from the density and the paper's 5.0
+  cutoff; flop cost per pair from the LJ kernel;
+* **comm** — exchanging the ghost shell (one cutoff deep around the
+  processor's sub-box) with the 26 neighbor boxes: entirely local
+  communication, hence insignificant and nearly flat in P.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.apps.md.forces import DEFAULT_RCUT
+from repro.errors import ConfigurationError
+from repro.machine.cluster import Cluster, multinode
+from repro.machine.placement import Placement
+from repro.netmodel.costs import NetworkModel
+
+__all__ = ["MDScalingModel"]
+
+#: Flop per pair interaction per step (distance, LJ kernel, update).
+FLOPS_PER_PAIR = 45.0
+#: Fraction of peak the (gather-heavy) pair loop sustains.
+COMPUTE_EFF = 0.10
+#: Bytes exchanged per ghost atom per step (position coordinates; the
+#: paper's second data structure "stores only position coordinates of
+#: atoms in neighboring boxes").
+BYTES_PER_GHOST = 3 * 8
+
+
+@dataclass
+class MDScalingModel:
+    """Weak-scaling timing of the MD code (Table 5)."""
+
+    atoms_per_proc: int = 64_000
+    density: float = 0.8442
+    rcut: float = DEFAULT_RCUT
+    cluster: Cluster | None = None
+
+    def __post_init__(self) -> None:
+        if self.atoms_per_proc < 1 or self.density <= 0 or self.rcut <= 0:
+            raise ConfigurationError("bad MD scaling parameters")
+
+    def _cluster_for(self, n_procs: int) -> Cluster:
+        if self.cluster is not None:
+            return self.cluster
+        n_nodes = max(1, math.ceil(n_procs / 510))
+        return multinode(min(4, n_nodes), fabric="numalink4")
+
+    def neighbors_per_atom(self) -> float:
+        """Average pair partners within the cutoff sphere."""
+        return self.density * 4.0 / 3.0 * math.pi * self.rcut**3
+
+    def compute_time_per_step(self, node) -> float:
+        pairs = self.atoms_per_proc * self.neighbors_per_atom() / 2.0
+        return pairs * FLOPS_PER_PAIR / (node.processor.peak_flops * COMPUTE_EFF)
+
+    def ghost_atoms_per_proc(self) -> float:
+        """Atoms in the one-cutoff-deep shell around a sub-box."""
+        side = (self.atoms_per_proc / self.density) ** (1.0 / 3.0)
+        shell_volume = (side + 2 * self.rcut) ** 3 - side**3
+        return self.density * shell_volume
+
+    def comm_time_per_step(self, n_procs: int) -> float:
+        if n_procs <= 1:
+            return 0.0
+        cluster = self._cluster_for(n_procs)
+        placement = Placement(
+            cluster, n_ranks=min(n_procs, cluster.total_cpus),
+            spread_nodes=len(cluster.nodes) > 1,
+        )
+        net = NetworkModel(placement)
+        path = net.neighbor_path(0)
+        volume = self.ghost_atoms_per_proc() * BYTES_PER_GHOST
+        # 26 neighbor boxes, exchanges overlap pairwise (13 rounds),
+        # plus per-message latency.
+        return 13 * path.latency + volume / path.bandwidth
+
+    def step_time(self, n_procs: int) -> float:
+        """Wall-clock seconds per MD step at ``n_procs`` processors."""
+        if n_procs < 1:
+            raise ConfigurationError(f"n_procs must be >= 1: {n_procs}")
+        cluster = self._cluster_for(n_procs)
+        node = cluster.nodes[0]
+        return self.compute_time_per_step(node) + self.comm_time_per_step(n_procs)
+
+    def total_atoms(self, n_procs: int) -> int:
+        return self.atoms_per_proc * n_procs
+
+    def efficiency(self, n_procs: int) -> float:
+        """Weak-scaling efficiency vs one processor."""
+        return self.step_time(1) / self.step_time(n_procs)
+
+    def table5(self, proc_counts=(1, 4, 16, 64, 256, 1020, 2040),
+               steps: int = 100) -> list[dict]:
+        """Rows of Table 5: processors, particles, time per step."""
+        rows = []
+        for p in proc_counts:
+            per_step = self.step_time(p)
+            rows.append(
+                {
+                    "processors": p,
+                    "particles": self.total_atoms(p),
+                    "time_per_step": per_step,
+                    "total_time": per_step * steps,
+                    "efficiency": self.efficiency(p),
+                }
+            )
+        return rows

@@ -1,0 +1,79 @@
+"""Temperature control for equilibration (paper §3.3's "at a given
+temperature").
+
+The NVE simulation drifts from the lattice's initial temperature as
+potential energy converts to kinetic during melting.  To *study* a
+state point one first equilibrates with a thermostat, then releases to
+NVE for measurement.  Implemented: velocity rescaling (exact) and the
+Berendsen weak-coupling thermostat (gentler).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.md.simulation import MDSimulation
+from repro.errors import ConfigurationError
+
+__all__ = ["rescale_velocities", "berendsen_factor", "equilibrate"]
+
+
+def rescale_velocities(
+    velocities: np.ndarray, target_temperature: float
+) -> np.ndarray:
+    """Scale velocities to hit the target temperature exactly."""
+    if target_temperature <= 0:
+        raise ConfigurationError(
+            f"target temperature must be positive: {target_temperature}"
+        )
+    n = len(velocities)
+    current = float((velocities**2).sum()) / (3.0 * n)
+    if current == 0:
+        raise ConfigurationError("cannot rescale a frozen system")
+    return velocities * np.sqrt(target_temperature / current)
+
+
+def berendsen_factor(
+    current: float, target: float, dt: float, tau: float
+) -> float:
+    """Berendsen scaling factor lambda = sqrt(1 + dt/tau (T0/T - 1))."""
+    if current <= 0 or target <= 0:
+        raise ConfigurationError("temperatures must be positive")
+    if tau <= 0 or dt <= 0 or dt > tau:
+        raise ConfigurationError(f"need 0 < dt <= tau, got dt={dt}, tau={tau}")
+    return float(np.sqrt(1.0 + (dt / tau) * (target / current - 1.0)))
+
+
+def equilibrate(
+    sim: MDSimulation,
+    target_temperature: float,
+    steps: int = 100,
+    method: str = "berendsen",
+    tau: float = 0.1,
+    rescale_every: int = 10,
+) -> list[float]:
+    """Equilibrate ``sim`` to the target temperature in place.
+
+    Returns the temperature history.  ``method='rescale'`` hard-resets
+    every ``rescale_every`` steps; ``'berendsen'`` weak-couples every
+    step.
+    """
+    if method not in ("rescale", "berendsen"):
+        raise ConfigurationError(f"unknown thermostat {method!r}")
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1: {steps}")
+    history: list[float] = []
+    for step in range(steps):
+        sim.step(1)
+        state = sim.state
+        t = state.temperature
+        if method == "rescale":
+            if (step + 1) % rescale_every == 0:
+                state.velocities = rescale_velocities(
+                    state.velocities, target_temperature
+                )
+        else:
+            lam = berendsen_factor(t, target_temperature, sim.dt, tau)
+            state.velocities = state.velocities * lam
+        history.append(state.temperature)
+    return history

@@ -1,0 +1,24 @@
+"""Multi-block overset grid substrate (paper §3.4-§3.5).
+
+Both INS3D and OVERFLOW-D decompose their problem domain into
+overlapping ("overset") grid blocks; connectivity between neighboring
+grids is established by interpolation at the outer boundaries.  This
+package provides the grid-system model: block geometry, overlap
+detection, donor interpolation, the bin-packing grouping with
+connectivity test that OVERFLOW-D uses, and boundary-exchange volume
+accounting.
+"""
+
+from repro.apps.overset.grids import GridBlock, OversetSystem, rotor_system, turbopump_system
+from repro.apps.overset.connectivity import find_overlaps, trilinear_weights
+from repro.apps.overset.grouping import group_blocks
+
+__all__ = [
+    "GridBlock",
+    "OversetSystem",
+    "turbopump_system",
+    "rotor_system",
+    "find_overlaps",
+    "trilinear_weights",
+    "group_blocks",
+]

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    All registered experiments with descriptions.
+``run <id> [--fast] [--format text|csv|markdown|json]``
+    Regenerate one table/figure and print it.
+``all [--fast]``
+    Regenerate every experiment (the full characterization).
+``machine``
+    Print the Columbia configuration (Table 1).
+``calibration``
+    Print the calibration provenance index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import list_experiments, run_experiment
+from repro.core.calibration import calibration_report
+from repro.core.export import to_csv, to_json, to_markdown
+from repro.errors import ReproError
+from repro.machine.specs import format_table1
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An Application-Based Performance "
+            "Characterization of the Columbia Supercluster' (SC 2005)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment_id", help="e.g. table2, fig5, ablation_cache")
+    run_p.add_argument("--fast", action="store_true",
+                       help="trimmed sweeps (for smoke runs)")
+    run_p.add_argument(
+        "--format", default="text",
+        choices=("text", "csv", "markdown", "json", "chart"),
+        help="output rendering ('chart' draws the figure as ASCII)",
+    )
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--fast", action="store_true")
+
+    sub.add_parser("machine", help="print the machine configuration")
+    sub.add_parser("calibration", help="print calibration provenance")
+
+    claims_p = sub.add_parser(
+        "claims", help="verify every prose claim (the reproduction certificate)"
+    )
+    claims_p.add_argument("claim_ids", nargs="*", help="subset of claim ids")
+
+    report_p = sub.add_parser(
+        "report", help="write the full characterization report directory"
+    )
+    report_p.add_argument("--output", required=True, help="directory to write")
+    report_p.add_argument("--fast", action="store_true", default=True)
+    report_p.add_argument("--full", dest="fast", action="store_false",
+                          help="full sweeps (slow: minutes of DES)")
+
+    advise_p = sub.add_parser(
+        "advise", help="lint a job layout against the paper's lessons"
+    )
+    advise_p.add_argument("--nodes", type=int, default=1)
+    advise_p.add_argument("--node-type", default="BX2b",
+                          choices=("3700", "BX2a", "BX2b"))
+    advise_p.add_argument("--fabric", default="numalink4",
+                          choices=("numalink4", "infiniband"))
+    advise_p.add_argument("--ranks", type=int, required=True)
+    advise_p.add_argument("--threads", type=int, default=1)
+    advise_p.add_argument("--stride", type=int, default=1)
+    advise_p.add_argument("--unpinned", action="store_true")
+    advise_p.add_argument("--released-mpt", action="store_true")
+    advise_p.add_argument("--bandwidth-bound", action="store_true")
+
+    hpcc_p = sub.add_parser(
+        "hpcc", help="run the HPCC subset and print an hpccoutf-style summary"
+    )
+    hpcc_p.add_argument("--node-type", default="BX2b",
+                        choices=("3700", "BX2a", "BX2b"))
+    hpcc_p.add_argument("--cpus", type=int, default=64)
+    return parser
+
+
+def _render(result, fmt: str) -> str:
+    if fmt == "csv":
+        return to_csv(result)
+    if fmt == "markdown":
+        return to_markdown(result)
+    if fmt == "json":
+        return to_json(result)
+    if fmt == "chart":
+        from repro.core.series import chart_by_hint
+
+        return chart_by_hint(result)
+    return result.format()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for eid, desc in list_experiments():
+                print(f"{eid:<20} {desc}")
+        elif args.command == "run":
+            result = run_experiment(args.experiment_id, fast=args.fast)
+            print(_render(result, args.format))
+        elif args.command == "all":
+            for eid, _desc in list_experiments():
+                result = run_experiment(eid, fast=args.fast)
+                print(result.format())
+                print()
+        elif args.command == "machine":
+            from repro.machine.topology import topology_report
+
+            print(format_table1())
+            print()
+            print(topology_report())
+        elif args.command == "calibration":
+            print(calibration_report())
+        elif args.command == "claims":
+            from repro.core.claims import format_claims, verify_claims
+
+            results = verify_claims(args.claim_ids or None)
+            print(format_claims(results))
+            if not all(r.passed for r in results):
+                return 1
+        elif args.command == "report":
+            from repro.core.suite import write_report
+
+            files = write_report(args.output, fast=args.fast)
+            print(f"wrote {len(files)} files to {args.output}")
+        elif args.command == "advise":
+            from repro.machine.advisor import advise
+            from repro.machine.cluster import multinode, single_node
+            from repro.machine.infiniband import MPTVersion
+            from repro.machine.node import NodeType
+            from repro.machine.placement import Placement, PinningMode
+
+            node_type = {"3700": NodeType.A3700, "BX2a": NodeType.BX2A,
+                         "BX2b": NodeType.BX2B}[args.node_type]
+            mpt = (MPTVersion.MPT_1_11R if args.released_mpt
+                   else MPTVersion.MPT_1_11B)
+            cluster = (
+                single_node(node_type) if args.nodes == 1
+                else multinode(args.nodes, node_type=node_type,
+                               fabric=args.fabric, mpt=mpt)
+            )
+            placement = Placement(
+                cluster, n_ranks=args.ranks, threads_per_rank=args.threads,
+                stride=args.stride,
+                pinning=(PinningMode.UNPINNED if args.unpinned
+                         else PinningMode.PINNED),
+                spread_nodes=args.nodes > 1,
+            )
+            advice = advise(placement, bandwidth_bound=args.bandwidth_bound)
+            if not advice:
+                print("layout looks clean — no paper lessons apply")
+            for a in advice:
+                print(f"[{a.severity:<7}] {a.rule} ({a.paper_ref}): {a.message}")
+        elif args.command == "hpcc":
+            from repro.hpcc.report import hpcc_summary
+            from repro.machine.node import NodeType
+
+            node_type = {"3700": NodeType.A3700, "BX2a": NodeType.BX2A,
+                         "BX2b": NodeType.BX2B}[args.node_type]
+            print(hpcc_summary(node_type, n_cpus=args.cpus).format())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # piped into head etc.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

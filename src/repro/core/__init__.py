@@ -1,0 +1,23 @@
+"""The characterization harness (the paper's primary deliverable).
+
+The paper's contribution is an *application-based performance
+characterization*: a structured set of experiments spanning
+microbenchmarks, synthetic benchmarks and full applications, each
+isolating one machine dimension (node type, interconnect, pinning,
+stride, compiler, process/thread mix).  This package is that harness,
+re-targeted at the simulated Columbia:
+
+* :mod:`repro.core.experiment` — experiment/result containers;
+* :mod:`repro.core.registry` — every table and figure by id
+  (``run_experiment("table2")`` etc.);
+* :mod:`repro.core.paper` — the paper's reported values (with
+  ``reconstructed`` flags where the source text is garbled), used by
+  EXPERIMENTS.md and the comparison tests;
+* :mod:`repro.core.calibration` — the provenance index of every
+  calibrated constant in the model.
+"""
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "list_experiments", "run_experiment"]

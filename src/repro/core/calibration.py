@@ -1,0 +1,109 @@
+"""Calibration provenance index.
+
+Every tuned constant in the model, where it lives, and which paper
+statement anchors it.  The constants themselves stay next to the code
+that uses them (so the modules are self-contained); this index is the
+audit trail, and :func:`calibration_report` renders it for the docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CalibratedConstant", "CALIBRATION", "calibration_report"]
+
+
+@dataclass(frozen=True)
+class CalibratedConstant:
+    name: str
+    module: str
+    anchored_to: str
+
+
+CALIBRATION: tuple[CalibratedConstant, ...] = (
+    CalibratedConstant(
+        "DGEMM_EFFICIENCY = 0.90", "repro.hpcc.dgemm",
+        "§4.1.1: BX2b DGEMM 5.75 Gflop/s, ~6% over the 1.5 GHz parts",
+    ),
+    CalibratedConstant(
+        "ALTIX_FSB (4.0 GB/s bus, 3.8 GB/s single CPU)", "repro.machine.memory",
+        "§4.2: 1-CPU STREAM ~3.8 GB/s, dense ~2 GB/s, Triad 1.9x strided",
+    ),
+    CalibratedConstant(
+        "NODE_QUIRK[3700] = 1.01", "repro.hpcc.stream",
+        "§4.1.1: Triad ~1% better on 3700 (unexplained by the authors too)",
+    ),
+    CalibratedConstant(
+        "NUMALINK3/4 latency & bandwidth parameters", "repro.machine.interconnect",
+        "Table 1 bandwidths; Fig. 5 latency ranges and node-type ordering",
+    ),
+    CalibratedConstant(
+        "plane_factor (NL3 0.35, NL4 1.0)", "repro.machine.interconnect",
+        "§4.1.2: FT ~2x on BX2 at 256 CPUs; OpenMP up to 2x at 128 threads",
+    ),
+    CalibratedConstant(
+        "MPI_MEMCPY_BANDWIDTH = 1.9 GB/s @1.5 GHz", "repro.machine.node",
+        "§4.1.1: natural-ring bandwidth determined by processor speed",
+    ),
+    CalibratedConstant(
+        "INFINIBAND (0.82 GB/s, 5.6 us, degradation per node)",
+        "repro.machine.infiniband",
+        "Fig. 10: IB latency/bandwidth penalties, worse at four nodes",
+    ),
+    CalibratedConstant(
+        "mpt_anomaly_overhead; MZ anomaly = 0.40*(256/P)", "repro.machine.infiniband / repro.npb.hybrid",
+        "§4.6.2: released MPT 40% slower for SP-MZ over IB at 256 CPUs",
+    ),
+    CalibratedConstant(
+        "boot_cpuset_penalty = 1.12", "repro.machine.placement",
+        "§4.6.2: full-512-CPU runs dropped 10-15%",
+    ),
+    CalibratedConstant(
+        "unpinned locality penalty (migration x spread model)",
+        "repro.machine.placement",
+        "Fig. 7: pinning matters most for many threads and many CPUs",
+    ),
+    CalibratedConstant(
+        "compiler_factor matrix", "repro.machine.compilers",
+        "Fig. 8 and Table 4 compiler orderings, incl. the MG crossover",
+    ),
+    CalibratedConstant(
+        "KERNEL_PERF (base_eff/reuse/OMP params per NPB kernel)",
+        "repro.npb.timing",
+        "Fig. 6 rate bands; §4.1.2 cache-jump and bandwidth sentences",
+    ),
+    CalibratedConstant(
+        "thread_efficiency = 1/(1 + 0.11 (t-1)^1.25)", "repro.npb.hybrid",
+        "Fig. 9: strong at 2 threads, dropping quickly beyond",
+    ),
+    CalibratedConstant(
+        "INS3D SERIAL_STEP (39230 / 26430 s), OMP fraction 0.72/0.75, MLP_OVERHEAD 1.10",
+        "repro.apps.ins3d",
+        "Table 2 (the first row is the paper's own baseline measurement)",
+    ),
+    CalibratedConstant(
+        "turbopump/rotor block-size distributions", "repro.apps.overset.grids",
+        "§3.4-§3.5 block counts/total points; §4.1.4 load-balance collapse at 508",
+    ),
+    CalibratedConstant(
+        "OVERFLOW constants (FLOPS_PER_POINT 5000, TRAFFIC 30000 B, WS 160 B/pt, "
+        "FRINGE_EFF 0.13, POLL 4 MB/partner, fabric-dependent thread eff)",
+        "repro.apps.overflow",
+        "§4.1.4 efficiency percentages, comm/exec ratios, BX2b 2x/3x claims; "
+        "§4.6.4 NL4 ~10% better exec with lower IB comm timers",
+    ),
+    CalibratedConstant(
+        "MD FLOPS_PER_PAIR 45, COMPUTE_EFF 0.10", "repro.apps.md.scaling",
+        "§4.6.3: flat time/step at 64k atoms/CPU, insignificant comm",
+    ),
+)
+
+
+def calibration_report() -> str:
+    """Human-readable audit trail of every calibrated constant."""
+    lines = ["Calibrated constants and their provenance:", ""]
+    for c in CALIBRATION:
+        lines.append(f"* {c.name}")
+        lines.append(f"    in {c.module}")
+        lines.append(f"    anchored to: {c.anchored_to}")
+    return "\n".join(lines)

@@ -1,0 +1,343 @@
+"""The reproduction certificate: every prose claim, checked.
+
+The paper's findings are sentences, not just tables.  Each
+:class:`Claim` pairs one sentence with an executable check against the
+simulated machine; :func:`verify_claims` runs them all and reports
+pass/fail with the measured value — the quickest way to see what this
+reproduction does and does not capture (``python -m repro claims``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Claim", "ClaimResult", "CLAIMS", "verify_claims"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement from the paper."""
+
+    claim_id: str
+    paper_ref: str
+    statement: str
+    #: returns (passed, measured-description)
+    check: Callable[[], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim_id: str
+    paper_ref: str
+    statement: str
+    passed: bool
+    measured: str
+
+
+# -- check implementations (lazy imports keep module import cheap) -----------
+
+
+def _dgemm_bx2b():
+    from repro.hpcc import predict_dgemm
+    from repro.machine.node import NodeType, build_node
+
+    rate = predict_dgemm(build_node(NodeType.BX2B)).gflops_per_cpu
+    return abs(rate - 5.75) / 5.75 < 0.01, f"{rate:.2f} Gflop/s"
+
+
+def _dgemm_advantage():
+    from repro.hpcc import predict_dgemm
+    from repro.machine.node import NodeType, build_node
+
+    bx = predict_dgemm(build_node(NodeType.BX2B)).gflops_per_cpu
+    t37 = predict_dgemm(build_node(NodeType.A3700)).gflops_per_cpu
+    ratio = bx / t37
+    return 1.04 < ratio < 1.09, f"{(ratio - 1) * 100:.1f}%"
+
+
+def _stream_stride():
+    from repro.machine.memory import ALTIX_FSB
+
+    gain = ALTIX_FSB.per_cpu_bandwidth(1) / ALTIX_FSB.per_cpu_bandwidth(2)
+    return abs(gain - 1.9) < 0.05, f"{gain:.2f}x"
+
+
+def _ft_2x():
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.timing import npb_gflops_per_cpu
+
+    r = [
+        npb_gflops_per_cpu("ft", "B", Placement(single_node(nt), n_ranks=256))
+        for nt in (NodeType.BX2A, NodeType.A3700)
+    ]
+    ratio = r[0] / r[1]
+    return 1.6 < ratio < 2.6, f"{ratio:.2f}x"
+
+
+def _mg_bt_cache_jump():
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.timing import npb_gflops_per_cpu
+
+    jumps = []
+    for bm in ("mg", "bt"):
+        r = [
+            npb_gflops_per_cpu(bm, "B", Placement(single_node(nt), n_ranks=64))
+            for nt in (NodeType.BX2B, NodeType.BX2A)
+        ]
+        jumps.append(r[0] / r[1])
+    ok = all(1.3 < j < 1.9 for j in jumps)
+    return ok, f"MG {jumps[0]:.2f}x, BT {jumps[1]:.2f}x"
+
+
+def _openmp_2x():
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.timing import npb_gflops_per_cpu
+
+    ratios = []
+    for bm in ("ft", "bt"):
+        r = [
+            npb_gflops_per_cpu(
+                bm, "B",
+                Placement(single_node(nt), n_ranks=1, threads_per_rank=128),
+                "openmp",
+            )
+            for nt in (NodeType.BX2A, NodeType.A3700)
+        ]
+        ratios.append(r[0] / r[1])
+    return max(ratios) > 1.5, f"FT {ratios[0]:.2f}x, BT {ratios[1]:.2f}x"
+
+
+def _ins3d_50pct():
+    from repro.apps.ins3d import INS3DModel
+    from repro.machine.node import NodeType
+
+    t37 = INS3DModel(node_type=NodeType.A3700).step_time(36, 4)
+    tbx = INS3DModel(node_type=NodeType.BX2B).step_time(36, 4)
+    ratio = t37 / tbx
+    return 1.3 < ratio < 1.8, f"{(ratio - 1) * 100:.0f}% faster"
+
+
+def _ins3d_thread_decay():
+    from repro.apps.ins3d import INS3DModel
+
+    m = INS3DModel()
+    early = m.step_time(36, 2) / m.step_time(36, 4)
+    late = m.step_time(36, 8) / m.step_time(36, 14)
+    return early > 1.3 and late < 1.2, f"2->4: {early:.2f}x, 8->14: {late:.2f}x"
+
+
+def _overflow_3x():
+    from repro.apps.overflow import OverflowModel
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+
+    t37 = OverflowModel(cluster=single_node(NodeType.A3700)).best_step_time(508).exec
+    tbx = OverflowModel(cluster=single_node(NodeType.BX2B)).best_step_time(508).exec
+    ratio = t37 / tbx
+    return ratio > 3.0, f"{ratio:.1f}x at 508 CPUs"
+
+
+def _overflow_imbalance():
+    from repro.apps.overset.grids import rotor_system
+    from repro.apps.overset.grouping import group_blocks
+
+    s = rotor_system()
+    imb = group_blocks(s, 508, "binpack").imbalance
+    return imb > 4.0, f"max/mean load {imb:.1f} at 508 groups"
+
+
+def _pure_mpi_three_nodes():
+    from repro.machine.infiniband import max_mpi_procs_per_node
+
+    cap3 = max_mpi_procs_per_node(3)
+    cap4 = max_mpi_procs_per_node(4)
+    return cap3 >= 512 > cap4, f"cap: {cap3}@3 nodes, {cap4}@4 nodes"
+
+
+def _pinning():
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement, PinningMode
+
+    def penalty(threads):
+        return Placement(
+            single_node(NodeType.BX2B), n_ranks=64 // threads,
+            threads_per_rank=threads, pinning=PinningMode.UNPINNED,
+        ).locality_penalty()
+
+    hybrid, pure = penalty(16), penalty(1)
+    return hybrid > 1.5 and pure < hybrid, f"hybrid {hybrid:.2f}x, pure {pure:.2f}x"
+
+
+def _compiler_mg_crossover():
+    from repro.machine.compilers import Compiler, compiler_factor
+
+    low = compiler_factor(Compiler.V7_1, "mg", 16) > compiler_factor(Compiler.V8_1, "mg", 16)
+    mid = compiler_factor(Compiler.V8_1, "mg", 64) > compiler_factor(Compiler.V7_1, "mg", 64)
+    return low and mid, "7.1 wins <32 threads, 8.1 wins 32-128"
+
+
+def _btmz_linear():
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.hybrid import MZTimingModel
+
+    cluster = single_node(NodeType.BX2B)
+    t16 = MZTimingModel("bt-mz", "C", Placement(cluster, n_ranks=16)).total_gflops()
+    t64 = MZTimingModel("bt-mz", "C", Placement(cluster, n_ranks=64)).total_gflops()
+    ratio = t64 / t16
+    return ratio > 3.3, f"16->64 processes: {ratio:.1f}x"
+
+
+def _spmz_dips():
+    from repro.machine.cluster import multinode
+    from repro.machine.placement import Placement
+    from repro.npb.hybrid import mz_gflops_per_cpu
+
+    c = multinode(2)
+    even = mz_gflops_per_cpu("sp-mz", "E", Placement(c, n_ranks=512, spread_nodes=True))
+    dip = mz_gflops_per_cpu("sp-mz", "E", Placement(c, n_ranks=768, spread_nodes=True))
+    return dip < 0.95 * even, f"768-CPU rate {dip / even * 100:.0f}% of 512's"
+
+
+def _mpt_anomaly():
+    from repro.machine.cluster import multinode
+    from repro.machine.infiniband import MPTVersion
+    from repro.machine.placement import Placement
+    from repro.npb.hybrid import mz_gflops_per_cpu
+
+    def rate(mpt):
+        c = multinode(4, fabric="infiniband", mpt=mpt)
+        return mz_gflops_per_cpu(
+            "sp-mz", "E", Placement(c, n_ranks=256, spread_nodes=True)
+        )
+
+    rel, beta = rate(MPTVersion.MPT_1_11R), rate(MPTVersion.MPT_1_11B)
+    deficit = 1 - rel / beta
+    return 0.2 < deficit < 0.5, f"released MPT {deficit * 100:.0f}% slower"
+
+
+def _boot_cpuset():
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+
+    full = Placement(single_node(NodeType.BX2B), n_ranks=512).boot_cpuset_penalty()
+    reduced = Placement(single_node(NodeType.BX2B), n_ranks=508).boot_cpuset_penalty()
+    return full > 1.05 and reduced == 1.0, f"512-CPU penalty {full:.2f}x, 508: none"
+
+
+def _md_weak_scaling():
+    from repro.apps.md.scaling import MDScalingModel
+
+    m = MDScalingModel()
+    eff = m.efficiency(2040)
+    comm_share = m.comm_time_per_step(2040) / m.step_time(2040)
+    return eff > 0.9 and comm_share < 0.05, (
+        f"efficiency {eff:.3f}, comm {comm_share * 100:.1f}% of step"
+    )
+
+
+def _md_energy():
+    from repro.apps.md import MDSimulation
+
+    sim = MDSimulation(cells=2, dt=0.004, seed=1)
+    sim.step(40)
+    drift = sim.energy_drift()
+    return drift < 0.01, f"NVE drift {drift:.2e} over 40 steps"
+
+
+def _table6_inversion():
+    from repro.apps.overflow import OverflowModel
+    from repro.machine.cluster import multinode
+
+    nl = OverflowModel(cluster=multinode(4, fabric="numalink4")).reported(1008)
+    ib = OverflowModel(cluster=multinode(4, fabric="infiniband")).reported(1008)
+    ok = ib.exec > nl.exec and ib.comm < nl.comm
+    return ok, (
+        f"exec NL4 {nl.exec:.2f}s vs IB {ib.exec:.2f}s; "
+        f"comm NL4 {nl.comm:.2f}s vs IB {ib.comm:.2f}s"
+    )
+
+
+def _ib_ring_collapse():
+    from repro.hpcc import random_ring
+    from repro.machine.cluster import multinode
+    from repro.machine.placement import Placement
+
+    nl = Placement(multinode(2, fabric="numalink4", n_cpus=64), n_ranks=128, spread_nodes=True)
+    ib = Placement(multinode(2, fabric="infiniband", n_cpus=64), n_ranks=128, spread_nodes=True)
+    r_nl = random_ring(nl, trials=1)
+    r_ib = random_ring(ib, trials=1)
+    ratio = r_ib.bandwidth_per_cpu / r_nl.bandwidth_per_cpu
+    return ratio < 0.5, f"IB random ring at {ratio * 100:.0f}% of NL4"
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim("dgemm_rate", "§4.1.1", "BX2b DGEMM reaches 5.75 Gflop/s", _dgemm_bx2b),
+    Claim("dgemm_gap", "§4.1.1", "BX2b DGEMM ~6% over 3700/BX2a", _dgemm_advantage),
+    Claim("stride_triad", "§4.2", "Strided STREAM Triad 1.9x over dense", _stream_stride),
+    Claim("ft_bandwidth", "§4.1.2", "FT ~2x faster on BX2 at 256 CPUs", _ft_2x),
+    Claim("cache_jump", "§4.1.2", "MG/BT jump ~50% on BX2b at 64 CPUs (9MB L3)", _mg_bt_cache_jump),
+    Claim("openmp_bandwidth", "§4.1.2", "OpenMP gap up to 2x at 128 threads (FT/BT)", _openmp_2x),
+    Claim("ins3d_bx2b", "§4.1.3", "INS3D ~50% faster per iteration on BX2b", _ins3d_50pct),
+    Claim("ins3d_threads", "§4.1.3", "INS3D thread scaling decays beyond 8", _ins3d_thread_decay),
+    Claim("overflow_3x", "§4.1.4", "OVERFLOW-D >3x faster on BX2b at 508 CPUs", _overflow_3x),
+    Claim("overflow_balance", "§4.1.4", "1679 blocks defeat balancing at 508 processes", _overflow_imbalance),
+    Claim("ib_connection_cap", "§2", "Pure MPI fully uses at most 3 nodes over IB", _pure_mpi_three_nodes),
+    Claim("pinning", "§4.3", "Pinning matters most for hybrid many-thread runs", _pinning),
+    Claim("mg_compiler", "§4.4", "MG compiler ranking flips with thread count", _compiler_mg_crossover),
+    Claim("btmz_mpi", "§4.5", "BT-MZ MPI scales near-linearly until imbalance", _btmz_linear),
+    Claim("spmz_divisibility", "§4.6.2", "SP-MZ dips when zones don't divide processes", _spmz_dips),
+    Claim("mpt_anomaly", "§4.6.2", "Released MPT ~40% slower for SP-MZ over IB at 256", _mpt_anomaly),
+    Claim("boot_cpuset", "§4.6.2", "Full-node 512-CPU runs drop 10-15%", _boot_cpuset),
+    Claim("md_scaling", "§4.6.3", "MD weak-scales almost perfectly to 2040 CPUs", _md_weak_scaling),
+    Claim("md_physics", "§3.3", "Velocity Verlet conserves energy (NVE)", _md_energy),
+    Claim("table6_inversion", "§4.6.4", "NL4 ~10% better exec; IB comm timers lower", _table6_inversion),
+    Claim("ib_random_ring", "§4.6.1", "IB random ring far below NL4 across nodes", _ib_ring_collapse),
+)
+
+
+def verify_claims(claim_ids: list[str] | None = None) -> list[ClaimResult]:
+    """Run every (or the named) claim check; never raises on failure."""
+    selected = CLAIMS
+    if claim_ids is not None:
+        by_id = {c.claim_id: c for c in CLAIMS}
+        unknown = [cid for cid in claim_ids if cid not in by_id]
+        if unknown:
+            raise ConfigurationError(f"unknown claims: {unknown}")
+        selected = tuple(by_id[cid] for cid in claim_ids)
+    results = []
+    for claim in selected:
+        try:
+            passed, measured = claim.check()
+        except Exception as exc:  # a crash is a failed claim
+            passed, measured = False, f"check crashed: {exc}"
+        results.append(
+            ClaimResult(claim.claim_id, claim.paper_ref, claim.statement,
+                        passed, measured)
+        )
+    return results
+
+
+def format_claims(results: list[ClaimResult]) -> str:
+    """Render the certificate."""
+    lines = ["Reproduction certificate", "=" * 72]
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        lines.append(f"[{mark}] {r.paper_ref:<8} {r.statement}")
+        lines.append(f"       measured: {r.measured}")
+    n_pass = sum(r.passed for r in results)
+    lines.append("=" * 72)
+    lines.append(f"{n_pass}/{len(results)} claims reproduced")
+    return "\n".join(lines)

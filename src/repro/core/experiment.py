@@ -1,0 +1,88 @@
+"""Experiment and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one table/figure reproduction.
+
+    ``rows`` are printable tuples matching ``columns``; ``format()``
+    renders the same rows/series the paper reports.
+    """
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"{self.experiment_id}: row of {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column (for tests and plots)."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"{self.experiment_id}: no column {name!r}; "
+                f"have {self.columns}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def select(self, **filters: Any) -> list[tuple]:
+        """Rows whose named columns equal the given values."""
+        idxs = {self.columns.index(k): v for k, v in filters.items()}
+        return [
+            row
+            for row in self.rows
+            if all(row[i] == v for i, v in idxs.items())
+        ]
+
+    def value(self, column: str, **filters: Any) -> Any:
+        """The single value of ``column`` in the row matching
+        ``filters`` (errors if not exactly one row matches)."""
+        rows = self.select(**filters)
+        if len(rows) != 1:
+            raise ConfigurationError(
+                f"{self.experiment_id}: {len(rows)} rows match {filters}"
+            )
+        return rows[0][self.columns.index(column)]
+
+    def format(self, float_fmt: str = "{:.3g}") -> str:
+        """Render as an aligned text table."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [
+                float_fmt.format(v) if isinstance(v, float) else str(v)
+                for v in row
+            ]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""One module per reproduced table/figure.
+
+Every module exposes ``run(fast: bool = False) -> ExperimentResult``.
+``fast=True`` trims CPU-count sweeps and DES sizes for test/benchmark
+loops; the default regenerates the full table/figure.
+"""

@@ -1,0 +1,72 @@
+"""Extension experiment: Class F and the full 20-node Columbia.
+
+The paper introduces Class F (16384 zones, 12032 x 8960 x 250 — ~27
+billion points) "to stress the processors, memory, and network of the
+Columbia system" (§3.2) but never publishes a Class F result.  The
+machine model shows why it *couldn't* have run where the other
+multi-zone tests ran: at ~60 float64 words per point, Class F needs
+~13 TB of memory — more than the entire 4-node NUMAlink4 capability
+subsystem (4 TB) holds.  Only a 13+-node InfiniBand job fits it, and
+over InfiniBand the §2 connection limit forces hybrid layouts.  This
+experiment reports the capacity ledger and then runs Class F across
+the full 10,240-CPU machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.experiment import ExperimentResult
+from repro.machine.cluster import columbia
+from repro.machine.placement import Placement
+from repro.npb.hybrid import MZTimingModel
+from repro.npb.multizone import MZ_CLASSES, mz_problem
+from repro.units import TERA
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ext_class_f",
+        title="Extension: NPB-MZ Class F — capacity ledger and the full Columbia",
+        columns=(
+            "row_kind", "benchmark", "detail", "cpus", "layout",
+            "gflops_per_cpu", "total_gflops",
+        ),
+        notes="Capacity rows: memory footprint per class and the "
+              "minimum 1 TB nodes it needs — Class F exceeds the "
+              "whole 4-node NUMAlink4 subsystem, which is why the "
+              "paper could not have measured it there.  Run rows: "
+              "Class F across all 20 nodes over InfiniBand (hybrid "
+              "layouts per the §2 connection limit).",
+    )
+    # Capacity ledger.
+    for cls in ("C", "D", "E", "F"):
+        problem = mz_problem("bt-mz", cls)
+        tb = problem.memory_bytes / TERA
+        min_nodes = max(1, math.ceil(problem.memory_bytes / (1.0 * TERA)))
+        result.add(
+            "capacity", "-", f"class {cls}: {tb:.2f} TB, >= {min_nodes} node(s)",
+            "-", "-", "-", "-",
+        )
+    if fast:
+        return result
+    # Class F across the whole machine: 20 nodes x 512 CPUs over IB.
+    # The §2 cap at 20 nodes is sqrt(8*64K/19) = 166 processes/node,
+    # so full nodes need >= 4 threads per process.
+    full = columbia(fabric="infiniband")
+    for bm in ("bt-mz", "sp-mz"):
+        for threads in (4, 8):
+            ranks_per_node = 512 // threads
+            full.infiniband.check_pure_mpi(len(full.nodes), ranks_per_node)
+            ranks = ranks_per_node * len(full.nodes)
+            pl = Placement(full, n_ranks=ranks, threads_per_rank=threads,
+                           spread_nodes=True)
+            m = MZTimingModel(bm, "F", pl)
+            result.add(
+                "run", bm, "20n InfiniBand", 10240,
+                f"{ranks}x{threads}",
+                round(m.gflops_per_cpu(), 3), round(m.total_gflops(), 0),
+            )
+    return result

@@ -1,0 +1,64 @@
+"""Fig. 10: multinode b_eff — NUMAlink4 vs InfiniBand across BX2b nodes.
+
+Latency and bandwidth for ping-pong / natural ring / random ring at
+64-2048 CPUs spread over one, two or four nodes, under each fabric.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.hpcc import natural_ring, pingpong, random_ring
+from repro.machine.cluster import multinode, single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.units import to_gb_per_s, to_usec
+
+__all__ = ["run", "CONFIGS"]
+
+#: (label, n_nodes, fabric) — one node has no inter-node fabric.
+CONFIGS = (
+    ("1 node", 1, None),
+    ("2n NUMAlink4", 2, "numalink4"),
+    ("4n NUMAlink4", 4, "numalink4"),
+    ("2n InfiniBand", 2, "infiniband"),
+    ("4n InfiniBand", 4, "infiniband"),
+)
+
+CPU_COUNTS = (64, 256, 512, 1024, 2048)
+FAST_CPU_COUNTS = (64, 512)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Fig. 10: multinode b_eff, NUMAlink4 vs InfiniBand (BX2b nodes)",
+        columns=(
+            "config", "cpus", "pattern", "latency_us", "bandwidth_gb_s",
+        ),
+    )
+    counts = FAST_CPU_COUNTS if fast else CPU_COUNTS
+    for label, n_nodes, fabric in CONFIGS:
+        cluster = (
+            single_node(NodeType.BX2B)
+            if n_nodes == 1
+            else multinode(n_nodes, fabric=fabric)
+        )
+        for p in counts:
+            if p > cluster.total_cpus:
+                continue
+            if n_nodes > 1 and p < n_nodes:
+                continue
+            pl = Placement(cluster, n_ranks=p, spread_nodes=n_nodes > 1)
+            pp = pingpong(pl, max_pairs=8 if fast else 16)
+            result.add(label, p, "pingpong",
+                       round(to_usec(pp.avg_latency), 2),
+                       round(to_gb_per_s(pp.avg_bandwidth), 3))
+            nr = natural_ring(pl)
+            result.add(label, p, "natural_ring",
+                       round(to_usec(nr.latency), 2),
+                       round(to_gb_per_s(nr.bandwidth_per_cpu), 3))
+            rr = random_ring(pl, trials=1 if fast else 2)
+            result.add(label, p, "random_ring",
+                       round(to_usec(rr.latency), 2),
+                       round(to_gb_per_s(rr.bandwidth_per_cpu), 3))
+    return result

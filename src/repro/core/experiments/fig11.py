@@ -1,0 +1,74 @@
+"""Fig. 11: NPB-MZ Class E under three networks.
+
+Top row: per-CPU Gflop/s with NUMAlink4 across four BX2b nodes versus
+within a single node, at one and two threads per process.  Bottom row:
+total Gflop/s for the best thread combination, NUMAlink4 versus
+InfiniBand — including the released-vs-beta MPT library anomaly for
+SP-MZ.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.machine.cluster import multinode, single_node
+from repro.machine.infiniband import MPTVersion
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.npb.hybrid import MZTimingModel
+
+__all__ = ["run", "CPU_COUNTS"]
+
+CPU_COUNTS = (256, 512, 768, 1024, 1536, 2048)
+FAST_CPU_COUNTS = (256, 1024)
+
+NETWORKS = (
+    ("in-node", None, None),
+    ("NUMAlink4", "numalink4", None),
+    ("InfiniBand(beta)", "infiniband", MPTVersion.MPT_1_11B),
+    ("InfiniBand(released)", "infiniband", MPTVersion.MPT_1_11R),
+)
+
+
+def _cluster(network, mpt):
+    if network is None:
+        return single_node(NodeType.BX2B)
+    if network == "numalink4":
+        return multinode(4, fabric="numalink4")
+    return multinode(4, fabric="infiniband", mpt=mpt)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Fig. 11: NPB-MZ Class E per-CPU Gflop/s under three networks",
+        columns=(
+            "benchmark", "network", "cpus", "threads",
+            "gflops_per_cpu", "total_gflops",
+        ),
+        notes="'in-node' rows exist only up to 512 CPUs; 512-CPU "
+              "in-node runs include the boot-cpuset penalty (§4.6.2).",
+    )
+    counts = FAST_CPU_COUNTS if fast else CPU_COUNTS
+    for bm in ("bt-mz", "sp-mz"):
+        for label, network, mpt in NETWORKS:
+            cluster = _cluster(network, mpt)
+            for cpus in counts:
+                if cpus > cluster.total_cpus:
+                    continue
+                for threads in (1, 2):
+                    ranks = cpus // threads
+                    if ranks * threads != cpus or ranks < 1:
+                        continue
+                    if ranks > 4096:  # class E zone count
+                        continue
+                    pl = Placement(
+                        cluster, n_ranks=ranks, threads_per_rank=threads,
+                        spread_nodes=network is not None,
+                    )
+                    m = MZTimingModel(bm, "E", pl)
+                    result.add(
+                        bm, label, cpus, threads,
+                        round(m.gflops_per_cpu(), 3),
+                        round(m.total_gflops(), 1),
+                    )
+    return result

@@ -1,0 +1,43 @@
+"""Fig. 6: NPB per-CPU Gflop/s, MPI and OpenMP, on the three node types."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.npb.timing import npb_gflops_per_cpu
+
+__all__ = ["run", "BENCHMARK_CLASSES"]
+
+#: The paper runs class B/C problems for these comparisons; class B
+#: is the size every CPU count in Fig. 6 can hold.
+BENCHMARK_CLASSES = {"cg": "B", "ft": "B", "mg": "B", "bt": "B"}
+
+CPU_COUNTS = (4, 8, 16, 32, 64, 128, 256)
+FAST_CPU_COUNTS = (4, 32, 256)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="Fig. 6: NPB per-CPU Gflop/s (MPI and OpenMP) per node type",
+        columns=("benchmark", "paradigm", "node_type", "cpus", "gflops_per_cpu"),
+    )
+    counts = FAST_CPU_COUNTS if fast else CPU_COUNTS
+    for bm, cls in BENCHMARK_CLASSES.items():
+        for nt in NodeType:
+            cluster = single_node(nt)
+            for p in counts:
+                mpi = npb_gflops_per_cpu(
+                    bm, cls, Placement(cluster, n_ranks=p), "mpi"
+                )
+                result.add(bm, "mpi", nt.value, p, round(mpi, 3))
+                if p <= 256:  # OpenMP swept to 256 threads in Fig. 6
+                    omp = npb_gflops_per_cpu(
+                        bm, cls,
+                        Placement(cluster, n_ranks=1, threads_per_rank=p),
+                        "openmp",
+                    )
+                    result.add(bm, "openmp", nt.value, p, round(omp, 3))
+    return result

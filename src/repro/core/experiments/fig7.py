@@ -1,0 +1,54 @@
+"""Fig. 7: pinning versus no pinning for SP-MZ Class C on the BX2b.
+
+Each curve fixes a total CPU count (64 / 128 / 256) and varies the
+number of OpenMP threads per MPI process; the y-axis is execution
+time, so lower is better.  Pinning helps most in hybrid mode with many
+threads; pure process mode (Px1) is least affected.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement, PinningMode
+from repro.npb.hybrid import MZTimingModel
+from repro.npb.multizone import MZ_CLASSES
+
+__all__ = ["run", "TOTAL_CPUS", "THREAD_COUNTS"]
+
+TOTAL_CPUS = (64, 128, 256)
+THREAD_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Fig. 7: SP-MZ Class C execution time (s), pinning vs no pinning (BX2b)",
+        columns=("total_cpus", "threads_per_proc", "pinned_s", "unpinned_s"),
+        notes="Execution time for the full run "
+              f"({MZ_CLASSES['C'].steps} steps); MPI processes = "
+              "total_cpus / threads.",
+    )
+    cluster = single_node(NodeType.BX2B)
+    steps = MZ_CLASSES["C"].steps
+    totals = TOTAL_CPUS[:2] if fast else TOTAL_CPUS
+    threads = THREAD_COUNTS[::2] if fast else THREAD_COUNTS
+    for total in totals:
+        for t in threads:
+            ranks = total // t
+            if ranks < 1 or ranks * t != total:
+                continue
+            if ranks > MZ_CLASSES["C"].n_zones:
+                continue
+            pinned = MZTimingModel(
+                "sp-mz", "C",
+                Placement(cluster, n_ranks=ranks, threads_per_rank=t),
+            ).total_time_per_step() * steps
+            unpinned = MZTimingModel(
+                "sp-mz", "C",
+                Placement(cluster, n_ranks=ranks, threads_per_rank=t,
+                          pinning=PinningMode.UNPINNED),
+            ).total_time_per_step() * steps
+            result.add(total, t, round(pinned, 1), round(unpinned, 1))
+    return result

@@ -1,0 +1,53 @@
+"""§4.2 "CPU Stride": HPCC in a spread-out fashion.
+
+Reproduces: DGEMM differences under 0.5%; STREAM per-CPU numbers at
+stride 2 or 4 equal to the 1-CPU case (Triad 1.9x over dense);
+ping-pong and random-ring slightly worse when spread out; natural ring
+inconclusive (small latency improvement, none for bandwidth).
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.hpcc import natural_ring, pingpong, predict_dgemm, predict_stream, random_ring
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType, build_node
+from repro.machine.placement import Placement
+from repro.units import to_gb_per_s, to_usec
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="sec42_stride",
+        title="§4.2: HPCC at CPU stride 1 / 2 / 4 (BX2b)",
+        columns=(
+            "stride", "dgemm_gflops", "triad_gb_s",
+            "pingpong_lat_us", "pingpong_bw_gb_s",
+            "natring_lat_us", "natring_bw_gb_s",
+            "rndring_lat_us", "rndring_bw_gb_s",
+        ),
+    )
+    node = build_node(NodeType.BX2B)
+    cluster = single_node(NodeType.BX2B)
+    n_ranks = 16 if fast else 64
+    for stride in (1, 2, 4):
+        pl = Placement(cluster, n_ranks=n_ranks, stride=stride)
+        d = predict_dgemm(node, pl)
+        s = predict_stream(node, pl)
+        pp = pingpong(pl, max_pairs=8 if fast else 24)
+        nr = natural_ring(pl)
+        rr = random_ring(pl, trials=1 if fast else 3)
+        result.add(
+            stride,
+            round(d.gflops_per_cpu, 3),
+            round(s.triad, 2),
+            round(to_usec(pp.avg_latency), 2),
+            round(to_gb_per_s(pp.avg_bandwidth), 2),
+            round(to_usec(nr.latency), 2),
+            round(to_gb_per_s(nr.bandwidth_per_cpu), 2),
+            round(to_usec(rr.latency), 2),
+            round(to_gb_per_s(rr.bandwidth_per_cpu), 2),
+        )
+    return result

@@ -1,0 +1,27 @@
+"""Table 1: characteristics of the Altix node types."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.machine.specs import table1_rows
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Table 1: Characteristics of the Altix nodes used in Columbia",
+        columns=(
+            "node_type", "processors", "cpus_per_rack", "clock_ghz",
+            "l3_mb", "interconnect", "bandwidth_gb_s", "peak_tflops",
+            "memory_tb",
+        ),
+    )
+    for r in table1_rows():
+        result.add(
+            r.node_type.value, r.n_processors, r.cpus_per_rack,
+            r.clock_ghz, r.l3_mb, r.interconnect, r.bandwidth_gb_s,
+            round(r.peak_tflops, 2), r.memory_tb,
+        )
+    return result

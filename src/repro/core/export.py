@@ -1,0 +1,72 @@
+"""Export experiment results (CSV / Markdown / JSON-compatible dicts).
+
+The paper's tables and figures end up in three places downstream:
+spreadsheets (CSV), reports (Markdown) and scripted comparisons
+(records).  All three renderings share the ExperimentResult rows.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.core.experiment import ExperimentResult
+from repro.errors import ConfigurationError
+
+__all__ = ["to_csv", "to_markdown", "to_records", "to_json"]
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Comma-separated rendering, header first."""
+    import csv
+
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    """GitHub-flavored Markdown table with the title as a heading."""
+    lines = [f"### {result.title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in result.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in result.columns) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    return "\n".join(lines)
+
+
+def to_records(result: ExperimentResult) -> list[dict]:
+    """One dict per row, keyed by column name."""
+    return [dict(zip(result.columns, row)) for row in result.rows]
+
+
+def to_json(result: ExperimentResult) -> str:
+    """JSON document with metadata + records."""
+    doc = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "notes": result.notes,
+        "rows": to_records(result),
+    }
+    try:
+        return json.dumps(doc, indent=2, default=_jsonable)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise ConfigurationError(f"unserializable result: {exc}") from exc
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def _jsonable(v):
+    if hasattr(v, "item"):
+        return v.item()
+    return str(v)

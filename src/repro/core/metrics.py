@@ -1,0 +1,81 @@
+"""Performance metrics used across the harness.
+
+Small, heavily-tested helpers for the quantities the paper reports:
+speedup, parallel efficiency, Gflop/s conversions, and the aggregate
+means HPCC uses (geometric for ring trials, harmonic for rates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "weak_scaling_efficiency",
+    "geometric_mean",
+    "harmonic_mean",
+    "gflops_rate",
+    "comm_fraction",
+]
+
+
+def speedup(t_serial: float, t_parallel: float) -> float:
+    """Classic speedup T1 / Tp."""
+    if t_serial <= 0 or t_parallel <= 0:
+        raise ConfigurationError("times must be positive")
+    return t_serial / t_parallel
+
+
+def parallel_efficiency(t_serial: float, t_parallel: float, p: int) -> float:
+    """Strong-scaling efficiency T1 / (p Tp) — §4.1.4's metric."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1: {p}")
+    return speedup(t_serial, t_parallel) / p
+
+
+def weak_scaling_efficiency(t_one: float, t_p: float) -> float:
+    """Weak-scaling efficiency T(1) / T(p) at fixed per-CPU work —
+    Table 5's metric (1.0 = perfect)."""
+    if t_one <= 0 or t_p <= 0:
+        raise ConfigurationError("times must be positive")
+    return t_one / t_p
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (how HPCC aggregates random-ring trials)."""
+    if not values:
+        raise ConfigurationError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (the right average for rates over equal work)."""
+    if not values:
+        raise ConfigurationError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("harmonic mean needs positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def gflops_rate(flops: float, seconds: float) -> float:
+    """Gflop/s from a flop count and a duration."""
+    if seconds <= 0:
+        raise ConfigurationError(f"duration must be positive: {seconds}")
+    if flops < 0:
+        raise ConfigurationError(f"negative flop count: {flops}")
+    return flops / seconds / 1e9
+
+
+def comm_fraction(comm: float, total: float) -> float:
+    """Communication share of execution (Table 3's diagnostic)."""
+    if total <= 0 or comm < 0 or comm > total:
+        raise ConfigurationError(
+            f"need 0 <= comm <= total, got comm={comm}, total={total}"
+        )
+    return comm / total

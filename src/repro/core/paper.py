@@ -1,0 +1,112 @@
+"""The paper's reported results, as machine-readable records.
+
+Values marked ``reconstructed=True`` could not be read directly from
+the available scan (garbled OCR in parts of Tables 3, 5, 6 and the
+figure axes); they are reconstructed from the prose — efficiency
+percentages, ratios ("~2x", "about 7% worse", "40% slower"), and
+qualitative descriptions — and should be compared by *shape*, not
+digit-for-digit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperValue", "PAPER", "paper_value"]
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One number (or claim) the paper reports."""
+
+    experiment_id: str
+    key: str
+    value: float
+    unit: str
+    reconstructed: bool = False
+    source: str = ""
+
+
+_VALUES: list[PaperValue] = [
+    # -- Table 1 / §2 ---------------------------------------------------------
+    PaperValue("table1", "total_cpus", 10240, "CPUs", False, "§1"),
+    PaperValue("table1", "peak_3700_tflops", 3.07, "Tflop/s", False, "Table 1"),
+    PaperValue("table1", "peak_bx2b_tflops", 3.28, "Tflop/s", False, "Table 1"),
+    PaperValue("table1", "nl3_bandwidth", 3.2, "GB/s", False, "Table 1"),
+    PaperValue("table1", "nl4_bandwidth", 6.4, "GB/s", False, "Table 1"),
+    PaperValue("table1", "capability_subsystem_tflops", 13.0, "Tflop/s", False, "§2"),
+    # -- §4.1.1 HPCC ------------------------------------------------------------
+    PaperValue("sec411_compute", "dgemm_bx2b_gflops", 5.75, "Gflop/s", False, "§4.1.1"),
+    PaperValue("sec411_compute", "dgemm_bx2b_advantage", 1.06, "x", False, "§4.1.1"),
+    PaperValue("sec411_compute", "stream_3700_advantage", 1.01, "x", False, "§4.1.1"),
+    # -- §4.2 stride ------------------------------------------------------------
+    PaperValue("sec42_stride", "stream_1cpu_gb_s", 3.8, "GB/s", False, "§4.2"),
+    PaperValue("sec42_stride", "stream_dense_gb_s", 2.0, "GB/s", False, "§4.2"),
+    PaperValue("sec42_stride", "triad_stride_gain", 1.9, "x", False, "§4.2"),
+    PaperValue("sec42_stride", "dgemm_stride_effect_max", 0.005, "fraction", False, "§4.2"),
+    # -- §4.1.2 NPB ---------------------------------------------------------------
+    PaperValue("fig6", "ft_bx2_over_3700_at_256", 2.0, "x", False, "§4.1.2"),
+    PaperValue("fig6", "mg_bt_bx2b_jump_at_64", 1.5, "x", False, "§4.1.2"),
+    PaperValue("fig6", "openmp_bw_gap_at_128", 2.0, "x", False, "§4.1.2"),
+    # -- Table 2 INS3D ------------------------------------------------------------
+    PaperValue("table2", "serial_3700_s", 39230.0, "s", False, "Table 2"),
+    PaperValue("table2", "serial_bx2b_s", 26430.0, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t1_3700_s", 1223.0, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t2_3700_s", 796.0, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t4_3700_s", 554.2, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t8_3700_s", 454.7, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t12_3700_s", 409.1, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t1_bx2b_s", 825.2, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t2_bx2b_s", 508.4, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t4_bx2b_s", 331.8, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t8_bx2b_s", 287.7, "s", False, "Table 2"),
+    PaperValue("table2", "g36_t14_bx2b_s", 247.6, "s", False, "Table 2"),
+    PaperValue("table2", "steps_per_rotation", 720, "steps", False, "§4.1.3"),
+    # -- Table 3 / §4.1.4 OVERFLOW-D ------------------------------------------------
+    PaperValue("table3", "eff_3700_128", 0.26, "fraction", False, "§4.1.4"),
+    PaperValue("table3", "eff_3700_256", 0.19, "fraction", False, "§4.1.4"),
+    PaperValue("table3", "eff_3700_508", 0.07, "fraction", False, "§4.1.4"),
+    PaperValue("table3", "eff_bx2b_128", 0.61, "fraction", False, "§4.1.4"),
+    PaperValue("table3", "eff_bx2b_256", 0.37, "fraction", False, "§4.1.4"),
+    PaperValue("table3", "eff_bx2b_508", 0.27, "fraction", False, "§4.1.4"),
+    PaperValue("table3", "comm_exec_ratio_256_3700", 0.3, "ratio", False, "§4.1.4"),
+    PaperValue("table3", "comm_exec_ratio_508_3700", 0.5, "ratio (lower bound)", False, "§4.1.4"),
+    PaperValue("table3", "bx2b_speedup_avg", 2.0, "x", False, "§4.1.4"),
+    PaperValue("table3", "bx2b_speedup_508", 3.0, "x (lower bound)", False, "§4.1.4"),
+    PaperValue("table3", "points_per_task_508", 150_000, "points", False, "§4.1.4"),
+    PaperValue("table3", "steps_production", 50_000, "steps", False, "§4.1.4"),
+    # -- Fig 7 pinning -----------------------------------------------------------
+    PaperValue("fig7", "pinning_matters_hybrid", 1.0, "boolean", False, "§4.3"),
+    # -- Table 4 compilers ----------------------------------------------------------
+    PaperValue("table4", "ins3d_71_81_delta_max", 0.02, "fraction", False, "Table 4"),
+    PaperValue("table4", "overflow_71_advantage_small", 1.3, "x (20-40%)", False, "§4.4"),
+    # -- Fig 11 / §4.6.2 NPB-MZ ------------------------------------------------------
+    PaperValue("fig11", "class_e_zones", 4096, "zones", False, "§3.2"),
+    PaperValue("fig11", "class_e_points", 1.3e9, "points", False, "§4.6.2"),
+    PaperValue("fig11", "btmz_ib_deficit", 0.07, "fraction", False, "§4.6.2"),
+    PaperValue("fig11", "spmz_mpt_anomaly_256", 0.40, "fraction", False, "§4.6.2"),
+    PaperValue("fig11", "spmz_2thread_gain", 0.11, "fraction", False, "§4.6.2"),
+    PaperValue("fig11", "boot_cpuset_drop", 0.12, "fraction (10-15%)", False, "§4.6.2"),
+    # -- Table 5 MD -------------------------------------------------------------------
+    PaperValue("table5", "atoms_per_proc", 64_000, "atoms", False, "§4.6.3"),
+    PaperValue("table5", "max_procs", 2040, "CPUs", False, "§4.6.3"),
+    PaperValue("table5", "max_atoms", 130_560_000, "atoms", False, "§4.6.3"),
+    PaperValue("table5", "steps", 100, "steps", False, "§4.6.3"),
+    PaperValue("table5", "weak_scaling_eff", 0.95, "fraction", True, "§4.6.3 'almost perfect'"),
+    PaperValue("table5", "time_per_step", 1.0, "s", True, "Table 5 OCR garbled; order-of-magnitude from model"),
+    # -- Table 6 ------------------------------------------------------------------------
+    PaperValue("table6", "nl4_exec_advantage", 1.10, "x", False, "§4.6.4"),
+    PaperValue("table6", "ib_comm_lower", 1.0, "boolean", False, "§4.6.4"),
+    # -- §2 InfiniBand limits --------------------------------------------------------------
+    PaperValue("sec2_ib", "max_pure_mpi_nodes", 3, "nodes", False, "§2"),
+    PaperValue("sec2_ib", "ib_cards_per_node", 8, "cards", False, "§2"),
+]
+
+PAPER: dict[tuple[str, str], PaperValue] = {
+    (v.experiment_id, v.key): v for v in _VALUES
+}
+
+
+def paper_value(experiment_id: str, key: str) -> PaperValue:
+    """Look up one reported value; raises KeyError if unknown."""
+    return PAPER[(experiment_id, key)]

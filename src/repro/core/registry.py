@@ -1,0 +1,81 @@
+"""The experiment registry: every table/figure by id."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.experiment import ExperimentResult
+from repro.core.experiments import (
+    ablations,
+    ext_class_f,
+    ext_ins3d_multinode,
+    ext_noise,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    sec42_stride,
+    sec411_compute,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+#: experiment id -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "table1": ("Node characteristics (3700/BX2a/BX2b)", table1.run),
+    "sec411_compute": ("§4.1.1 DGEMM + STREAM per node type", sec411_compute.run),
+    "fig5": ("b_eff latency/bandwidth per node type", fig5.run),
+    "fig6": ("NPB per-CPU rates, MPI and OpenMP", fig6.run),
+    "table2": ("INS3D MLP groups x OpenMP threads", table2.run),
+    "table3": ("OVERFLOW-D 3700 vs BX2b scaling", table3.run),
+    "sec42_stride": ("§4.2 CPU stride effects on HPCC", sec42_stride.run),
+    "fig7": ("SP-MZ pinning vs no pinning", fig7.run),
+    "fig8": ("Four compiler versions on OpenMP NPB", fig8.run),
+    "table4": ("INS3D/OVERFLOW-D under Fortran 7.1 vs 8.1", table4.run),
+    "fig9": ("BT-MZ process x thread combinations", fig9.run),
+    "fig10": ("Multinode b_eff: NUMAlink4 vs InfiniBand", fig10.run),
+    "fig11": ("NPB-MZ Class E under three networks", fig11.run),
+    "table5": ("MD weak scaling to 2040 CPUs", table5.run),
+    "table6": ("OVERFLOW-D multinode NL4 vs InfiniBand", table6.run),
+    "ablation_cache": ("L3 size at fixed clock", ablations.run_cache_ablation),
+    "ablation_clock": ("Clock at fixed L3 size", ablations.run_clock_ablation),
+    "ablation_grouping": ("Grouping strategies vs imbalance", ablations.run_grouping_ablation),
+    "ablation_ibcards": ("IB card count vs MPI process cap", ablations.run_ibcards_ablation),
+    "ablation_shmem": ("§5 future work: SHMEM vs MPI", ablations.run_shmem_ablation),
+    "ext_ins3d_multinode": (
+        "§5 future work: multinode INS3D", ext_ins3d_multinode.run,
+    ),
+    "ext_class_f": (
+        "Extension: Class F on the full Columbia", ext_class_f.run,
+    ),
+    "ext_noise": (
+        "Extension: OS-noise amplification at scale", ext_noise.run,
+    ),
+}
+
+
+def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one registered experiment and return its result."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(fast=fast)
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, description) pairs for every registered experiment."""
+    return [(eid, desc) for eid, (desc, _) in EXPERIMENTS.items()]

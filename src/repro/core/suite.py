@@ -1,0 +1,94 @@
+"""Full-report generation: the whole characterization in one call.
+
+``write_report(output_dir)`` regenerates every experiment, runs the
+claims certificate, and writes a browsable report directory:
+
+* ``README.md`` — index with the certificate summary;
+* ``<experiment_id>.md`` + ``<experiment_id>.csv`` per experiment;
+* ``claims.md`` — the certificate;
+* ``machine.md`` — Table 1 + topology metrics;
+* ``calibration.md`` — the provenance index.
+
+CLI: ``python -m repro report --output DIR [--fast]``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.calibration import calibration_report
+from repro.core.claims import format_claims, verify_claims
+from repro.core.export import to_csv, to_markdown
+from repro.core.registry import list_experiments, run_experiment
+from repro.errors import ConfigurationError
+from repro.machine.specs import format_table1
+from repro.machine.topology import topology_report
+
+__all__ = ["write_report"]
+
+
+def write_report(
+    output_dir: str | Path,
+    fast: bool = True,
+    experiment_ids: list[str] | None = None,
+    include_claims: bool = True,
+) -> list[Path]:
+    """Generate the report; returns the files written."""
+    out = Path(output_dir)
+    if out.exists() and not out.is_dir():
+        raise ConfigurationError(f"{out} exists and is not a directory")
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    selected = list_experiments()
+    if experiment_ids is not None:
+        known = {eid for eid, _ in selected}
+        unknown = [e for e in experiment_ids if e not in known]
+        if unknown:
+            raise ConfigurationError(f"unknown experiments: {unknown}")
+        selected = [(eid, d) for eid, d in selected if eid in experiment_ids]
+
+    index = [
+        "# Columbia characterization report",
+        "",
+        "Regenerated from the simulated machine "
+        f"({'fast sweeps' if fast else 'full sweeps'}).",
+        "",
+        "## Experiments",
+        "",
+    ]
+    for eid, desc in selected:
+        result = run_experiment(eid, fast=fast)
+        md = out / f"{eid}.md"
+        md.write_text(to_markdown(result) + "\n")
+        csv = out / f"{eid}.csv"
+        csv.write_text(to_csv(result))
+        written.extend([md, csv])
+        index.append(f"* [{eid}]({eid}.md) — {desc}")
+
+    machine_md = out / "machine.md"
+    machine_md.write_text(
+        "# The simulated Columbia\n\n```\n"
+        + format_table1() + "\n\n" + topology_report() + "\n```\n"
+    )
+    written.append(machine_md)
+    index.append("")
+    index.append("## Machine\n\n* [machine.md](machine.md)")
+
+    calib_md = out / "calibration.md"
+    calib_md.write_text("# Calibration provenance\n\n" + calibration_report() + "\n")
+    written.append(calib_md)
+    index.append("* [calibration.md](calibration.md)")
+
+    if include_claims:
+        results = verify_claims()
+        claims_md = out / "claims.md"
+        claims_md.write_text("# Certificate\n\n```\n" + format_claims(results) + "\n```\n")
+        written.append(claims_md)
+        n_pass = sum(r.passed for r in results)
+        index.append(f"* [claims.md](claims.md) — {n_pass}/{len(results)} claims pass")
+
+    index_md = out / "README.md"
+    index_md.write_text("\n".join(index) + "\n")
+    written.append(index_md)
+    return written

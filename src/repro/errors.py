@@ -1,0 +1,31 @@
+"""Exception hierarchy for the ``repro`` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency detected by the discrete-event simulator
+    (e.g. time moving backwards, an event scheduled in the past)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator ran out of events while simulated processes were
+    still blocked — the simulated program deadlocked."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, layout, or workload configuration."""
+
+
+class CommunicationError(ReproError):
+    """Misuse of the simulated MPI/SHMEM layers (bad rank, tag
+    mismatch, message truncation, exceeding InfiniBand connection
+    limits, ...)."""
+
+
+class VerificationError(ReproError):
+    """A workload's numerical verification failed."""

@@ -1,0 +1,40 @@
+"""HPC Challenge microbenchmarks (paper §3.1, §4.1.1, §4.2, §4.6.1).
+
+Three components, as in the paper:
+
+* :mod:`repro.hpcc.dgemm` — double-precision matrix multiply (peak
+  floating-point probe);
+* :mod:`repro.hpcc.stream` — memory bandwidth (copy/scale/add/triad);
+* :mod:`repro.hpcc.beff` — b_eff message-passing latency/bandwidth in
+  ping-pong, natural-ring and random-ring patterns.
+
+Each benchmark has a ``run_*`` function that *actually executes* the
+kernel with NumPy (used for verification and as a live measurement on
+the host), and a ``predict_*`` function that evaluates the benchmark
+against the simulated Columbia machine (used to regenerate the paper's
+results).
+"""
+
+from repro.hpcc.dgemm import DGEMMResult, predict_dgemm, run_dgemm
+from repro.hpcc.stream import StreamResult, predict_stream, run_stream
+from repro.hpcc.beff import (
+    PingPongResult,
+    RingResult,
+    pingpong,
+    natural_ring,
+    random_ring,
+)
+
+__all__ = [
+    "DGEMMResult",
+    "predict_dgemm",
+    "run_dgemm",
+    "StreamResult",
+    "predict_stream",
+    "run_stream",
+    "PingPongResult",
+    "RingResult",
+    "pingpong",
+    "natural_ring",
+    "random_ring",
+]

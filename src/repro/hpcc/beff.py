@@ -1,0 +1,190 @@
+"""HPCC b_eff: MPI latency and bandwidth patterns (paper §3.1).
+
+Three patterns, as the paper uses:
+
+* **Ping-Pong** — average one-way latency (8-byte messages) and
+  bandwidth (2,000,000-byte messages, per HPCC) over a deterministic
+  sample of rank pairs;
+* **Natural Ring** — every rank exchanges with its MPI_COMM_WORLD
+  neighbors simultaneously; mostly-local communication;
+* **Random Ring** — neighbors under a random permutation: mostly
+  *remote* communication; reported as a geometric mean over several
+  orderings (as the HPCC benchmark reports).
+
+All three are *executed* message-by-message on the DES against the
+simulated machine.  Ring bandwidths are additionally derated by the
+analytic cross-node contention factor (the DES prices paths unloaded;
+a ring loads every path at once — on InfiniBand that saturates the
+per-node card capacity, which is the §4.6.1 "severe problems with
+scalability of InfiniBand" mechanism).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.placement import Placement
+from repro.mpi import MPIComm, run_mpi
+from repro.mpi.collectives import barrier
+from repro.netmodel.contention import (
+    cross_node_flow_factor,
+    random_permutation_factor,
+)
+from repro.sim.rng import make_rng
+
+__all__ = ["PingPongResult", "RingResult", "pingpong", "natural_ring", "random_ring"]
+
+#: HPCC message sizes: 8 bytes for latency, 2,000,000 for bandwidth.
+LATENCY_BYTES = 8
+BANDWIDTH_BYTES = 2_000_000
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    """Average ping-pong results over sampled pairs."""
+
+    n_cpus: int
+    avg_latency: float  # seconds, one-way
+    avg_bandwidth: float  # bytes/s, one direction
+
+
+@dataclass(frozen=True)
+class RingResult:
+    """Ring benchmark results (natural or random ordering)."""
+
+    n_cpus: int
+    latency: float  # seconds per ring iteration with 8-byte messages
+    bandwidth_per_cpu: float  # bytes/s through each CPU (both directions)
+
+
+def _pair_sample(p: int, max_pairs: int, seed: int) -> list[tuple[int, int]]:
+    """Deterministic sample of distinct rank pairs."""
+    if p < 2:
+        raise ConfigurationError("ping-pong needs at least 2 ranks")
+    all_count = p * (p - 1) // 2
+    if all_count <= max_pairs:
+        return [(i, j) for i in range(p) for j in range(i + 1, p)]
+    rng = make_rng(seed)
+    pairs = set()
+    while len(pairs) < max_pairs:
+        i, j = rng.integers(0, p, size=2)
+        if i != j:
+            pairs.add((int(min(i, j)), int(max(i, j))))
+    return sorted(pairs)
+
+
+def pingpong(
+    placement: Placement, max_pairs: int = 64, seed: int = 0
+) -> PingPongResult:
+    """HPCC ping-pong: averages over sampled communicating pairs.
+
+    Each pair plays one 8-byte and one 2 MB ping-pong on the DES; the
+    "average" results the paper quotes (§3.1) are arithmetic means.
+    """
+    pairs = _pair_sample(placement.n_ranks, max_pairs, seed)
+
+    def prog_for(pair: tuple[int, int], nbytes: int):
+        a, b = pair
+
+        def prog(comm: MPIComm):
+            if comm.rank == a:
+                t0 = comm.now
+                yield from comm.send(b, nbytes)
+                yield from comm.recv(b)
+                return (comm.now - t0) / 2.0  # one-way
+            elif comm.rank == b:
+                yield from comm.recv(a)
+                yield from comm.send(a, nbytes)
+            return None
+
+        return prog
+
+    latencies, bandwidths = [], []
+    for pair in pairs:
+        lat = run_mpi(placement, prog_for(pair, LATENCY_BYTES)).values[pair[0]]
+        oneway = run_mpi(placement, prog_for(pair, BANDWIDTH_BYTES)).values[pair[0]]
+        latencies.append(lat)
+        bandwidths.append(BANDWIDTH_BYTES / oneway)
+    return PingPongResult(
+        n_cpus=placement.total_cpus,
+        avg_latency=float(np.mean(latencies)),
+        avg_bandwidth=float(np.mean(bandwidths)),
+    )
+
+
+def _ring_times(
+    placement: Placement, order: list[int], nbytes: int
+) -> np.ndarray:
+    """Per-rank exchange times for one ring iteration under the DES.
+
+    ``order`` is the ring permutation: rank ``order[k]`` exchanges with
+    ``order[k-1]`` and ``order[(k+1) % p]`` simultaneously.  Each
+    rank's time reflects its own two neighbor paths: over the many
+    pipelined iterations b_eff runs, independent pairs stream at their
+    own rate, so the benchmark's per-process results follow the
+    per-pair path quality (HPCC averages over processes).
+    """
+    p = placement.n_ranks
+    pos = {rank: k for k, rank in enumerate(order)}
+
+    def prog(comm: MPIComm):
+        k = pos[comm.rank]
+        right = order[(k + 1) % p]
+        left = order[(k - 1) % p]
+        yield from barrier(comm)
+        t0 = comm.now
+        # Bidirectional exchange with both neighbors, as b_eff does.
+        comm.isend(right, nbytes, tag=1)
+        comm.isend(left, nbytes, tag=2)
+        yield comm.irecv(left, tag=1)
+        yield comm.irecv(right, tag=2)
+        return comm.now - t0
+
+    result = run_mpi(placement, prog)
+    return np.asarray(result.values, dtype=float)
+
+
+def natural_ring(placement: Placement) -> RingResult:
+    """Ring over adjacent MPI ranks ("natural" ordering).
+
+    Latency is the worst per-process time, as the paper notes the
+    benchmark "reports the worst-case process-to-process latency for
+    the entire ring communication" (§4.6.1); bandwidth is the mean
+    per-process sustained rate.
+    """
+    p = placement.n_ranks
+    order = list(range(p))
+    lat = float(np.max(_ring_times(placement, order, LATENCY_BYTES)))
+    bw_times = _ring_times(placement, order, BANDWIDTH_BYTES)
+    # Few neighbor pairs cross nodes in natural order.
+    cross = cross_node_flow_factor(placement, concurrent_fraction=2.0 / max(2, p))
+    per_cpu = float(np.mean(2.0 * BANDWIDTH_BYTES / bw_times)) / cross
+    return RingResult(placement.total_cpus, lat, per_cpu)
+
+
+def random_ring(placement: Placement, trials: int = 3, seed: int = 1) -> RingResult:
+    """Ring over randomly permuted ranks; geometric mean over trials
+    (HPCC reports "a geometric mean of the results from a number of
+    trials", §3.1).
+
+    Latency is the mean per-process time (most pairs are remote, so
+    the mean is what grows with CPU count as in Fig. 5); bandwidth is
+    the mean sustained rate derated by the full cross-node contention
+    factor (every rank has remote flows in flight at once).
+    """
+    p = placement.n_ranks
+    rng = make_rng(seed)
+    lats, bws = [], []
+    cross = cross_node_flow_factor(placement, concurrent_fraction=1.0)
+    cross *= random_permutation_factor(p / placement.n_nodes_used())
+    for _ in range(max(1, trials)):
+        order = [int(r) for r in rng.permutation(p)]
+        lats.append(float(np.mean(_ring_times(placement, order, LATENCY_BYTES))))
+        bw_times = _ring_times(placement, order, BANDWIDTH_BYTES)
+        bws.append(float(np.mean(2.0 * BANDWIDTH_BYTES / bw_times)) / cross)
+    geo = lambda xs: float(math.exp(np.mean(np.log(xs))))
+    return RingResult(placement.total_cpus, geo(lats), geo(bws))

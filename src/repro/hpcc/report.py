@@ -1,0 +1,83 @@
+"""HPCC-style output summary.
+
+The HPC Challenge suite writes a single ``hpccoutf.txt`` with every
+component's headline numbers.  ``hpcc_summary`` assembles the same
+block for one simulated configuration — handy for eyeballing a node
+type the way the paper's authors eyeballed the real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hpcc.beff import natural_ring, pingpong, random_ring
+from repro.hpcc.dgemm import predict_dgemm
+from repro.hpcc.stream import predict_stream
+from repro.machine.cluster import Cluster, single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.units import to_gb_per_s, to_usec
+
+__all__ = ["HPCCSummary", "hpcc_summary"]
+
+
+@dataclass(frozen=True)
+class HPCCSummary:
+    """Headline numbers of one HPCC run."""
+
+    node_type: str
+    n_cpus: int
+    dgemm_gflops: float
+    stream_triad_gb_s: float
+    pingpong_latency_us: float
+    pingpong_bandwidth_gb_s: float
+    natural_ring_latency_us: float
+    natural_ring_bandwidth_gb_s: float
+    random_ring_latency_us: float
+    random_ring_bandwidth_gb_s: float
+
+    def format(self) -> str:
+        lines = [
+            "Begin of Summary section.",
+            f"CommWorldProcs={self.n_cpus}",
+            f"NodeType={self.node_type}",
+            f"StarDGEMM_Gflops={self.dgemm_gflops:.4f}",
+            f"StarSTREAM_Triad={self.stream_triad_gb_s:.4f}",
+            f"MaxPingPongLatency_usec={self.pingpong_latency_us:.4f}",
+            f"MaxPingPongBandwidth_GBytes={self.pingpong_bandwidth_gb_s:.4f}",
+            f"NaturallyOrderedRingLatency_usec={self.natural_ring_latency_us:.4f}",
+            f"NaturallyOrderedRingBandwidth_GBytes={self.natural_ring_bandwidth_gb_s:.4f}",
+            f"RandomlyOrderedRingLatency_usec={self.random_ring_latency_us:.4f}",
+            f"RandomlyOrderedRingBandwidth_GBytes={self.random_ring_bandwidth_gb_s:.4f}",
+            "End of Summary section.",
+        ]
+        return "\n".join(lines)
+
+
+def hpcc_summary(
+    node_type: NodeType = NodeType.BX2B,
+    n_cpus: int = 64,
+    cluster: Cluster | None = None,
+    trials: int = 2,
+) -> HPCCSummary:
+    """Run the HPCC subset on one configuration and summarize."""
+    cluster = cluster if cluster is not None else single_node(node_type)
+    placement = Placement(cluster, n_ranks=n_cpus)
+    node = cluster.nodes[0]
+    dgemm = predict_dgemm(node, placement)
+    stream = predict_stream(node, placement)
+    pp = pingpong(placement, max_pairs=12)
+    nr = natural_ring(placement)
+    rr = random_ring(placement, trials=trials)
+    return HPCCSummary(
+        node_type=node.node_type.value,
+        n_cpus=n_cpus,
+        dgemm_gflops=dgemm.gflops_per_cpu,
+        stream_triad_gb_s=stream.triad,
+        pingpong_latency_us=to_usec(pp.avg_latency),
+        pingpong_bandwidth_gb_s=to_gb_per_s(pp.avg_bandwidth),
+        natural_ring_latency_us=to_usec(nr.latency),
+        natural_ring_bandwidth_gb_s=to_gb_per_s(nr.bandwidth_per_cpu),
+        random_ring_latency_us=to_usec(rr.latency),
+        random_ring_bandwidth_gb_s=to_gb_per_s(rr.bandwidth_per_cpu),
+    )

@@ -1,0 +1,49 @@
+"""Models of the Columbia supercluster hardware.
+
+The paper characterizes three Altix node types (3700, BX2a, BX2b), two
+interconnect fabrics (NUMAlink3/4 inside and between nodes, InfiniBand
+between nodes), shared front-side buses, process pinning, CPU striding
+and four Intel compiler versions.  Each of those is an explicit model
+here, parameterized from Table 1 of the paper and the prose in §2.
+"""
+
+from repro.machine.processor import (
+    ProcessorSpec,
+    ITANIUM2_1500_6MB,
+    ITANIUM2_1600_9MB,
+)
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.memory import MemoryBusSpec
+from repro.machine.brick import CBrick
+from repro.machine.node import AltixNode, NodeType, build_node
+from repro.machine.interconnect import InterconnectSpec, NUMALINK3, NUMALINK4
+from repro.machine.infiniband import InfiniBandSpec, MPTVersion, INFINIBAND
+from repro.machine.cluster import Cluster, columbia, multinode
+from repro.machine.placement import Placement, PinningMode
+from repro.machine.compilers import Compiler, compiler_factor
+
+__all__ = [
+    "ProcessorSpec",
+    "ITANIUM2_1500_6MB",
+    "ITANIUM2_1600_9MB",
+    "CacheHierarchy",
+    "CacheLevel",
+    "MemoryBusSpec",
+    "CBrick",
+    "AltixNode",
+    "NodeType",
+    "build_node",
+    "InterconnectSpec",
+    "NUMALINK3",
+    "NUMALINK4",
+    "InfiniBandSpec",
+    "MPTVersion",
+    "INFINIBAND",
+    "Cluster",
+    "columbia",
+    "multinode",
+    "Placement",
+    "PinningMode",
+    "Compiler",
+    "compiler_factor",
+]

@@ -1,0 +1,154 @@
+"""Configuration advisor: the paper's operational lessons as lint rules.
+
+The characterization's practical payload is a set of "don't do this on
+Columbia" lessons.  ``advise(placement)`` inspects a job layout and
+returns the applicable warnings, each tied to the paper section that
+taught it:
+
+* unpinned hybrid jobs (§4.3);
+* occupying the boot cpuset (§4.6.2);
+* pure MPI over InfiniBand beyond the §2 connection limit;
+* SHMEM-style assumptions across the InfiniBand switch (§2);
+* dense placement for bandwidth-bound work (§4.2);
+* the released MPT library over InfiniBand (§4.6.2);
+* OpenMP spanning too many C-Bricks on a 3700 (§4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.infiniband import MPTVersion
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement, PinningMode
+
+__all__ = ["Advice", "advise"]
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One warning about a job layout."""
+
+    rule: str
+    paper_ref: str
+    severity: str  # "error" (won't run / nonsense) or "warning"
+    message: str
+
+
+def advise(placement: Placement, bandwidth_bound: bool = False) -> list[Advice]:
+    """Lint a placement against the paper's lessons.
+
+    ``bandwidth_bound`` marks the workload as STREAM-like, enabling
+    the §4.2 stride advice.
+    """
+    out: list[Advice] = []
+    cluster = placement.cluster
+    n_nodes = placement.n_nodes_used()
+
+    # -- §4.3 pinning -----------------------------------------------------------
+    if placement.pinning is PinningMode.UNPINNED:
+        penalty = placement.locality_penalty()
+        severity = "warning" if placement.threads_per_rank == 1 else "error"
+        out.append(
+            Advice(
+                rule="pin-your-threads",
+                paper_ref="§4.3",
+                severity=severity,
+                message=(
+                    f"unpinned layout pays a ~{penalty:.1f}x locality penalty; "
+                    "use dplace/MPI_DSM_CPULIST (pure-process jobs suffer "
+                    "least, hybrid jobs most)"
+                ),
+            )
+        )
+
+    # -- §4.6.2 boot cpuset --------------------------------------------------------
+    if placement.boot_cpuset_penalty() > 1.0:
+        out.append(
+            Advice(
+                rule="leave-the-boot-cpuset",
+                paper_ref="§4.6.2",
+                severity="warning",
+                message=(
+                    "the job occupies every CPU of a node and will contend "
+                    "with system software (10-15% observed); use 508 of 512"
+                ),
+            )
+        )
+
+    # -- §2 InfiniBand connection limit ---------------------------------------------
+    if n_nodes > 1 and cluster.fabric == "infiniband":
+        ranks_per_node = -(-placement.n_ranks // n_nodes)  # ceil
+        cap = cluster.infiniband.max_procs_per_node(n_nodes)
+        if ranks_per_node > cap:
+            out.append(
+                Advice(
+                    rule="hybrid-beyond-three-nodes",
+                    paper_ref="§2",
+                    severity="error",
+                    message=(
+                        f"{ranks_per_node} MPI processes/node exceeds the "
+                        f"InfiniBand connection cap of {cap} at {n_nodes} "
+                        "nodes; add OpenMP threads"
+                    ),
+                )
+            )
+        if cluster.mpt is MPTVersion.MPT_1_11R:
+            out.append(
+                Advice(
+                    rule="use-the-beta-mpt",
+                    paper_ref="§4.6.2",
+                    severity="warning",
+                    message=(
+                        "the released MPT library (mpt1.11r) showed a 40% "
+                        "InfiniBand anomaly at moderate CPU counts; use "
+                        "mpt1.11b"
+                    ),
+                )
+            )
+
+    # -- §4.2 stride for bandwidth-bound work ------------------------------------------
+    if bandwidth_bound and placement.stride == 1 and placement.active_per_fsb() > 1:
+        out.append(
+            Advice(
+                rule="stride-for-bandwidth",
+                paper_ref="§4.2",
+                severity="warning",
+                message=(
+                    "dense placement shares each memory bus between two "
+                    "CPUs (~2 GB/s each); stride 2 recovers ~3.8 GB/s per "
+                    "CPU if spare CPUs are available"
+                ),
+            )
+        )
+
+    # -- §4.1.2 / §4.5 OpenMP width -------------------------------------------------------
+    node = cluster.nodes[0]
+    if placement.threads_per_rank > 8 and node.node_type is NodeType.A3700:
+        out.append(
+            Advice(
+                rule="narrow-threads-on-3700",
+                paper_ref="§4.1.2",
+                severity="warning",
+                message=(
+                    f"{placement.threads_per_rank} OpenMP threads span many "
+                    "NUMAlink3 bricks; thread scaling on the 3700 decays "
+                    "quickly — prefer more MPI processes or a BX2 node"
+                ),
+            )
+        )
+    if placement.threads_per_rank > 2 and placement.n_ranks > 1:
+        out.append(
+            Advice(
+                rule="two-threads-sweet-spot",
+                paper_ref="§4.5",
+                severity="info",
+                message=(
+                    "hybrid codes scaled well at two threads per process; "
+                    f"beyond that ({placement.threads_per_rank} requested) "
+                    "OpenMP efficiency drops quickly — justify with load "
+                    "balance, not speed"
+                ),
+            )
+        )
+    return out

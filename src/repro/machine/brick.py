@@ -1,0 +1,49 @@
+"""C-Brick model.
+
+From the paper (§2): the Altix 3700 C-Brick holds four Itanium2
+processors (in two 2-CPU nodes), 8 GB local memory and a two-controller
+SHUB ASIC; a BX2 C-Brick is double-density — eight processors, 16 GB
+memory and four SHUBs.  Each 2-CPU node shares one front-side bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.memory import MemoryBusSpec
+from repro.machine.processor import ProcessorSpec
+
+__all__ = ["CBrick"]
+
+
+@dataclass(frozen=True)
+class CBrick:
+    """One computational building block (C-Brick)."""
+
+    cpus: int
+    memory_bytes: int
+    processor: ProcessorSpec
+    fsb: MemoryBusSpec
+    shubs: int
+
+    def __post_init__(self) -> None:
+        if self.cpus % self.fsb.cpus_per_fsb != 0:
+            raise ConfigurationError(
+                f"{self.cpus} CPUs not divisible by {self.fsb.cpus_per_fsb} per FSB"
+            )
+        if self.cpus < 1 or self.memory_bytes <= 0 or self.shubs < 1:
+            raise ConfigurationError("invalid C-Brick configuration")
+
+    @property
+    def fsb_count(self) -> int:
+        """Number of front-side buses in the brick."""
+        return self.cpus // self.fsb.cpus_per_fsb
+
+    def fsb_of(self, cpu_in_brick: int) -> int:
+        """Which FSB (0-based, within the brick) a CPU sits on."""
+        if not 0 <= cpu_in_brick < self.cpus:
+            raise ConfigurationError(
+                f"cpu {cpu_in_brick} outside brick of {self.cpus}"
+            )
+        return cpu_in_brick // self.fsb.cpus_per_fsb

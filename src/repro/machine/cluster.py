@@ -1,0 +1,154 @@
+"""The Columbia supercluster: 20 Altix nodes and two fabrics.
+
+Paper §2: Columbia is 20 x 512-CPU nodes — 12 model 3700 and 8 model
+BX2, five of the BX2s with 1.6 GHz/9 MB parts ("BX2b").  An InfiniBand
+switch connects all 20 nodes; four of the BX2b nodes are additionally
+linked with NUMAlink4 into a 2,048-CPU / 13 Tflop/s capability
+subsystem.
+
+A :class:`Cluster` is the unit experiments run against: an ordered
+list of nodes plus the inter-node fabric in use ("numalink4" or
+"infiniband") and, for InfiniBand, the MPT runtime version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.machine.infiniband import INFINIBAND, InfiniBandSpec, MPTVersion
+from repro.machine.interconnect import NUMALINK4
+from repro.machine.node import NODE_CPUS, AltixNode, NodeType, build_node
+
+__all__ = ["Cluster", "columbia", "single_node", "multinode"]
+
+#: Valid inter-node fabric names.
+FABRICS = ("numalink4", "infiniband")
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A set of Altix nodes joined by one inter-node fabric.
+
+    Global CPU ids are dense: CPU ``i`` lives on node ``i // cpus_per_node``
+    (all nodes in one cluster object have the same CPU count).
+    """
+
+    nodes: tuple[AltixNode, ...]
+    fabric: str = "numalink4"
+    mpt: MPTVersion = MPTVersion.MPT_1_11B
+    infiniband: InfiniBandSpec = INFINIBAND
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        if self.fabric not in FABRICS:
+            raise ConfigurationError(
+                f"unknown fabric {self.fabric!r}; expected one of {FABRICS}"
+            )
+        sizes = {node.n_cpus for node in self.nodes}
+        if len(sizes) != 1:
+            raise ConfigurationError("all nodes must have the same CPU count")
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def cpus_per_node(self) -> int:
+        return self.nodes[0].n_cpus
+
+    @property
+    def total_cpus(self) -> int:
+        return len(self.nodes) * self.cpus_per_node
+
+    def node_of(self, cpu: int) -> int:
+        """Which node a global CPU id belongs to."""
+        if not 0 <= cpu < self.total_cpus:
+            raise ConfigurationError(
+                f"cpu {cpu} outside cluster of {self.total_cpus}"
+            )
+        return cpu // self.cpus_per_node
+
+    def local_cpu(self, cpu: int) -> int:
+        """CPU id within its node."""
+        return cpu % self.cpus_per_node
+
+    def node(self, index: int) -> AltixNode:
+        return self.nodes[index]
+
+    # -- communication cost ---------------------------------------------------
+
+    def point_to_point(self, cpu_a: int, cpu_b: int) -> tuple[float, float]:
+        """(latency_s, bandwidth_Bps) between two global CPUs.
+
+        Intra-node messages use the node's own NUMAlink; inter-node
+        messages use the cluster fabric (NUMAlink4 between the linked
+        BX2b nodes, or the InfiniBand switch).
+        """
+        na, nb = self.node_of(cpu_a), self.node_of(cpu_b)
+        if na == nb:
+            node = self.nodes[na]
+            return node.point_to_point(self.local_cpu(cpu_a), self.local_cpu(cpu_b))
+        if self.fabric == "numalink4":
+            # Cross-node NUMAlink: climb each node's fat tree to its
+            # root, then cross the inter-node link.
+            from repro.machine.router import tree_depth
+
+            node_a, node_b = self.nodes[na], self.nodes[nb]
+            hops = tree_depth(node_a.n_bricks) + tree_depth(node_b.n_bricks)
+            return NUMALINK4.point_to_point(hops, internode=True)
+        return self.infiniband.point_to_point(len(self.nodes), self.mpt)
+
+    def crosses_nodes(self, cpu_a: int, cpu_b: int) -> bool:
+        return self.node_of(cpu_a) != self.node_of(cpu_b)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(
+            f"{sum(1 for n in self.nodes if n.node_type is t)}x{t.value}"
+            for t in NodeType
+            if any(n.node_type is t for n in self.nodes)
+        )
+        return f"Cluster[{kinds}; fabric={self.fabric}]"
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def single_node(node_type: NodeType, n_cpus: int = NODE_CPUS) -> Cluster:
+    """A one-node cluster (most of §4.1's experiments)."""
+    return Cluster(nodes=(build_node(node_type, n_cpus),))
+
+
+def multinode(
+    n_nodes: int,
+    node_type: NodeType = NodeType.BX2B,
+    fabric: str = "numalink4",
+    n_cpus: int = NODE_CPUS,
+    mpt: MPTVersion = MPTVersion.MPT_1_11B,
+) -> Cluster:
+    """``n_nodes`` identical nodes joined by ``fabric`` (§4.6).
+
+    The paper's multinode experiments use up to four BX2b nodes via
+    NUMAlink4 and/or InfiniBand.
+    """
+    if n_nodes < 1:
+        raise ConfigurationError(f"need at least one node, got {n_nodes}")
+    if fabric == "numalink4" and n_nodes > 4:
+        raise ConfigurationError(
+            "only four BX2b nodes are NUMAlink4-linked on Columbia (paper §2)"
+        )
+    nodes = tuple(build_node(node_type, n_cpus) for _ in range(n_nodes))
+    return Cluster(nodes=nodes, fabric=fabric, mpt=mpt)
+
+
+def columbia(fabric: str = "infiniband", mpt: MPTVersion = MPTVersion.MPT_1_11B) -> Cluster:
+    """The full 20-node Columbia configuration (paper §2).
+
+    12 x 3700, 3 x BX2a and 5 x BX2b; all 20 reachable over the
+    InfiniBand switch.
+    """
+    nodes = (
+        tuple(build_node(NodeType.A3700) for _ in range(12))
+        + tuple(build_node(NodeType.BX2A) for _ in range(3))
+        + tuple(build_node(NodeType.BX2B) for _ in range(5))
+    )
+    return Cluster(nodes=nodes, fabric=fabric, mpt=mpt)

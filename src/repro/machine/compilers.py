@@ -1,0 +1,131 @@
+"""Intel compiler version performance matrix.
+
+Paper §4.4: four Intel compiler versions are installed on Columbia —
+7.1(.042) (the default), 8.0(.070), 8.1(.026) and a 9.0(.012) beta.
+Findings (Fig. 8 and Table 4):
+
+* performance is application dependent; 8.0 is worst in most cases;
+* all four compilers are similar on CG;
+* the 9.0 beta performs very well on FT;
+* on MG, 8.1/9.0b win between 32 and 128 threads, while 7.1/8.0 are
+  20-30% better below 32 threads; the ordering flips again above 128;
+* 7.1 is consistently good, especially at small thread counts, and is
+  used for the remaining NPB tests;
+* INS3D: 7.1 vs 8.1 negligible (Table 4);
+* OVERFLOW-D (on the 3700): 7.1 beats 8.1 by 20-40% below 64
+  processors, identical at larger counts.
+
+We encode these as relative *throughput factors* (1.0 = the 7.1
+baseline at large scale); a workload's compute time is divided by the
+factor.  This is exactly the information content of the paper's
+compiler experiments — relative performance per (compiler, code,
+parallelism) — with no pretense of modeling code generation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Compiler", "compiler_factor", "COMPILER_CODES"]
+
+
+class Compiler(enum.Enum):
+    """Intel Fortran/C compiler versions installed on Columbia."""
+
+    V7_1 = "7.1"
+    V8_0 = "8.0"
+    V8_1 = "8.1"
+    V9_0B = "9.0b"
+
+
+#: Workload keys understood by :func:`compiler_factor`.
+COMPILER_CODES = ("cg", "ft", "mg", "bt", "sp", "ins3d", "overflow", "md")
+
+
+def compiler_factor(compiler: Compiler, code: str, parallelism: int = 1) -> float:
+    """Relative throughput of ``code`` built with ``compiler``.
+
+    ``parallelism`` is the thread count for the OpenMP NPBs, or the
+    process count for the applications; several of the paper's
+    compiler effects are parallelism-dependent.
+
+    Returns a multiplicative factor; compute time scales as
+    ``1 / factor``.
+    """
+    if code not in COMPILER_CODES:
+        raise ConfigurationError(
+            f"unknown code {code!r}; expected one of {COMPILER_CODES}"
+        )
+    if parallelism < 1:
+        raise ConfigurationError(f"parallelism must be >= 1: {parallelism}")
+
+    if code == "cg":
+        # "All the compilers gave similar results on the CG benchmark."
+        return {
+            Compiler.V7_1: 1.00,
+            Compiler.V8_0: 0.99,
+            Compiler.V8_1: 1.00,
+            Compiler.V9_0B: 1.00,
+        }[compiler]
+
+    if code == "ft":
+        # "The beta version of 9.0 performed very well on FT"; 8.0 worst.
+        return {
+            Compiler.V7_1: 1.00,
+            Compiler.V8_0: 0.90,
+            Compiler.V8_1: 0.98,
+            Compiler.V9_0B: 1.10,
+        }[compiler]
+
+    if code == "mg":
+        # Below 32 threads 7.1/8.0 are 20-30% better; between 32 and
+        # 128 threads 8.1/9.0b outperform; above 128 it turns around.
+        if parallelism < 32:
+            older, newer = 1.00, 0.78
+        elif parallelism <= 128:
+            older, newer = 1.00, 1.15
+        else:
+            older, newer = 1.00, 0.92
+        return {
+            Compiler.V7_1: older,
+            Compiler.V8_0: older * 0.97,
+            Compiler.V8_1: newer,
+            Compiler.V9_0B: newer * 1.01,
+        }[compiler]
+
+    if code in ("bt", "sp"):
+        # 8.0 produced the worst results in most cases; others close.
+        return {
+            Compiler.V7_1: 1.00,
+            Compiler.V8_0: 0.88,
+            Compiler.V8_1: 0.97,
+            Compiler.V9_0B: 0.99,
+        }[compiler]
+
+    if code == "ins3d":
+        # Table 4: "negligible difference in runtime per iteration".
+        return {
+            Compiler.V7_1: 1.00,
+            Compiler.V8_0: 0.97,
+            Compiler.V8_1: 0.995,
+            Compiler.V9_0B: 1.00,
+        }[compiler]
+
+    if code == "overflow":
+        # Table 4: 7.1 superior to 8.1 by 20-40% below 64 processors,
+        # almost identical on larger counts.
+        if compiler is Compiler.V7_1:
+            return 1.00
+        if compiler is Compiler.V8_1:
+            if parallelism < 64:
+                # Interpolate the 20-40% deficit: worst at tiny counts.
+                deficit = 0.40 - 0.20 * (parallelism / 64.0)
+                return 1.0 / (1.0 + deficit)
+            return 0.995
+        # 8.0 / 9.0b were not evaluated for OVERFLOW-D; assume 8.1-like.
+        return compiler_factor(Compiler.V8_1, code, parallelism)
+
+    # code == "md": the MD study did not vary compilers; treat as flat.
+    return 1.00

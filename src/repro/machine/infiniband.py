@@ -1,0 +1,134 @@
+"""InfiniBand inter-node fabric model.
+
+From the paper: an InfiniBand switch (Voltaire ISR 9288) provides
+low-latency MPI communication between the 20 Altix nodes.  Compared to
+NUMAlink4 the paper finds (Fig. 10): a substantial latency penalty for
+cross-node pairs that worsens from two to four nodes, a ping-pong
+bandwidth falloff as the likelihood of non-local pairing increases,
+and severe random-ring scalability problems.  §2 also documents the
+connection-count limit: with ``N_cards = 8`` per node and
+``N_connections = 64K`` per card, a pure-MPI code can fully utilize at
+most three Altix nodes; four or more need a hybrid paradigm.
+
+§4.6.2 reports an SP-MZ anomaly with the released SGI MPT runtime
+(mpt1.11r) — InfiniBand 40% slower than NUMAlink4 at 256 CPUs,
+recovering at higher counts — that disappears with the beta library
+(mpt1.11b).  The anomaly is modeled as an extra per-message software
+overhead that shrinks as the per-process message count grows.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.units import gb_per_s, usec
+
+__all__ = ["MPTVersion", "InfiniBandSpec", "INFINIBAND", "max_mpi_procs_per_node"]
+
+
+class MPTVersion(enum.Enum):
+    """SGI Message Passing Toolkit runtime versions tested in §4.6.2."""
+
+    #: Released library; exhibits the SP-MZ-over-InfiniBand anomaly.
+    MPT_1_11R = "mpt1.11r"
+    #: Beta library; anomaly absent, IB close to NUMAlink4.
+    MPT_1_11B = "mpt1.11b"
+
+
+@dataclass(frozen=True)
+class InfiniBandSpec:
+    """The InfiniBand switch coupling Columbia's Altix nodes."""
+
+    name: str
+    #: Effective point-to-point MPI bandwidth across the switch.
+    bandwidth: float
+    #: Base cross-switch MPI latency.
+    base_latency: float
+    #: Extra latency per additional participating node beyond two —
+    #: models the paper's two-node -> four-node latency degradation
+    #: (more off-node pairs, more switch stages exercised).
+    per_extra_node_latency: float
+    #: Bandwidth derate per additional node beyond two.
+    per_extra_node_bw_derate: float
+    #: InfiniBand cards per Altix node (paper §2: N_cards = 8).
+    cards_per_node: int
+    #: Connections supported per card (paper §2: 64K).
+    connections_per_card: int
+    #: Extra per-message overhead (seconds) charged by the released
+    #: MPT library; zero for the beta.
+    mpt_anomaly_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.base_latency < 0:
+            raise ConfigurationError(f"{self.name}: bad parameters")
+        if self.cards_per_node < 1 or self.connections_per_card < 1:
+            raise ConfigurationError(f"{self.name}: bad connection limits")
+
+    def point_to_point(
+        self, n_nodes: int, mpt: MPTVersion = MPTVersion.MPT_1_11B
+    ) -> tuple[float, float]:
+        """(latency_s, bandwidth_Bps) for a cross-node path when
+        ``n_nodes`` Altix nodes participate in the job."""
+        if n_nodes < 2:
+            raise ConfigurationError(
+                "InfiniBand paths only exist between distinct nodes"
+            )
+        extra = n_nodes - 2
+        latency = self.base_latency + extra * self.per_extra_node_latency
+        if mpt is MPTVersion.MPT_1_11R:
+            latency += self.mpt_anomaly_overhead
+        bandwidth = self.bandwidth / (1.0 + extra * self.per_extra_node_bw_derate)
+        return latency, bandwidth
+
+    def max_procs_per_node(self, n_nodes: int) -> int:
+        """Max per-node MPI processes given the connection limit.
+
+        Paper §2: per-node process count is confined by
+        ``sqrt(N_cards * N_connections / (n - 1))`` for ``n >= 2``
+        nodes.  With 8 cards x 64K connections this fully utilizes a
+        512-CPU node only up to three nodes.
+        """
+        return max_mpi_procs_per_node(
+            n_nodes, self.cards_per_node, self.connections_per_card
+        )
+
+    def check_pure_mpi(self, n_nodes: int, procs_per_node: int) -> None:
+        """Raise if a pure-MPI layout exceeds the connection limit."""
+        if n_nodes < 2:
+            return
+        limit = self.max_procs_per_node(n_nodes)
+        if procs_per_node > limit:
+            raise CommunicationError(
+                f"{procs_per_node} MPI processes/node over InfiniBand on "
+                f"{n_nodes} nodes exceeds the connection limit of {limit} "
+                f"({self.cards_per_node} cards x "
+                f"{self.connections_per_card} connections); "
+                "use a hybrid MPI+OpenMP layout (paper §2)"
+            )
+
+
+def max_mpi_procs_per_node(
+    n_nodes: int, cards_per_node: int = 8, connections_per_card: int = 64 * 1024
+) -> int:
+    """The paper's §2 formula for the pure-MPI per-node process cap."""
+    if n_nodes < 2:
+        raise ConfigurationError("the limit applies only for n >= 2 nodes")
+    return int(math.isqrt(cards_per_node * connections_per_card // (n_nodes - 1)))
+
+
+#: Calibrated to Fig. 10: cross-node latency several times NUMAlink4's,
+#: bandwidth well below NUMAlink4, both degrading from 2 to 4 nodes;
+#: and to §4.6.2's released-MPT anomaly.
+INFINIBAND = InfiniBandSpec(
+    name="InfiniBand (Voltaire ISR 9288)",
+    bandwidth=gb_per_s(0.82),
+    base_latency=usec(5.6),
+    per_extra_node_latency=usec(1.6),
+    per_extra_node_bw_derate=0.16,
+    cards_per_node=8,
+    connections_per_card=64 * 1024,
+    mpt_anomaly_overhead=usec(14.0),
+)

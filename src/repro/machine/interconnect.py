@@ -1,0 +1,112 @@
+"""NUMAlink interconnect specifications.
+
+From the paper: NUMAlink3 (Altix 3700) gives each C-Brick a shared
+peak of 3.2 GB/s; NUMAlink4 (BX2) doubles that to 6.4 GB/s.  The BX2's
+double-density packaging also shortens average router distances, which
+the paper credits for the BX2's shorter latencies and better OpenMP
+scaling ("the double density packing for BX2 produces shorter latency
+and higher bandwidth in NUMAlink access", §4.1.2).
+
+Latency parameters are calibrated to Fig. 5: ping-pong latencies are
+~1-2 us and nearly identical across node types, while random-ring
+latency grows with CPU count and grows *faster* on the 3700.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gb_per_s, usec
+
+__all__ = ["InterconnectSpec", "NUMALINK3", "NUMALINK4"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """A NUMAlink generation."""
+
+    name: str
+    #: Peak link bandwidth per C-Brick, bytes/s (Table 1).
+    link_bandwidth: float
+    #: Fraction of peak an MPI transfer can sustain point-to-point.
+    mpi_efficiency: float
+    #: Software+SHUB latency for a zero-hop (same-brick) MPI message.
+    base_latency: float
+    #: Added latency per router hop.
+    per_hop_latency: float
+    #: Bandwidth derating per router hop for far traffic (models
+    #: SHUB/directory overheads on long paths), applied as
+    #: ``bw / (1 + hops * per_hop_bw_derate)``.
+    per_hop_bw_derate: float
+    #: Latency to cross between two NUMAlink-connected Altix nodes.
+    internode_latency: float
+    #: Sustained fraction of the per-brick link available per CPU when
+    #: *every* CPU drives the fabric at once (dense patterns:
+    #: all-to-all transposes, OpenMP shared-memory traffic).  The
+    #: BX2's NUMAlink4 fat tree routes over two planes, sustaining
+    #: full per-CPU share; the 3700's NUMAlink3 effectively halves it
+    #: under load — the mechanism behind the paper's 2x FT/OpenMP
+    #: gaps (§4.1.2).
+    plane_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or not 0 < self.mpi_efficiency <= 1:
+            raise ConfigurationError(f"{self.name}: bad bandwidth parameters")
+        if min(self.base_latency, self.per_hop_latency,
+               self.per_hop_bw_derate, self.internode_latency) < 0:
+            raise ConfigurationError(f"{self.name}: negative latency parameter")
+
+    def point_to_point(self, hops: int, internode: bool = False) -> tuple[float, float]:
+        """(latency_s, bandwidth_Bps) for a path of ``hops`` router hops."""
+        if hops < 0:
+            raise ConfigurationError(f"negative hop count: {hops}")
+        latency = self.base_latency + hops * self.per_hop_latency
+        if internode:
+            latency += self.internode_latency
+        bandwidth = (
+            self.link_bandwidth * self.mpi_efficiency
+            / (1.0 + hops * self.per_hop_bw_derate)
+        )
+        return latency, bandwidth
+
+    def loaded_bandwidth_per_cpu(self, cpus_per_brick: int) -> float:
+        """Per-CPU sustained bandwidth when all CPUs drive the fabric.
+
+        Each brick's link is shared by its CPUs; the plane factor
+        accounts for how well the generation routes dense traffic.
+        """
+        if cpus_per_brick < 1:
+            raise ConfigurationError(
+                f"cpus_per_brick must be >= 1: {cpus_per_brick}"
+            )
+        return (
+            self.link_bandwidth * self.mpi_efficiency * self.plane_factor
+            / cpus_per_brick
+        )
+
+
+#: NUMAlink3 as in the Altix 3700 (Table 1: 3.2 GB/s per brick).
+NUMALINK3 = InterconnectSpec(
+    name="NUMAlink3",
+    link_bandwidth=gb_per_s(3.2),
+    mpi_efficiency=0.58,
+    base_latency=usec(1.1),
+    per_hop_latency=usec(0.12),
+    per_hop_bw_derate=0.085,
+    internode_latency=usec(1.0),
+    plane_factor=0.35,
+)
+
+#: NUMAlink4 as in the BX2 (Table 1: 6.4 GB/s per brick; also used to
+#: couple the four BX2b nodes into the 2048-CPU capability subsystem).
+NUMALINK4 = InterconnectSpec(
+    name="NUMAlink4",
+    link_bandwidth=gb_per_s(6.4),
+    mpi_efficiency=0.58,
+    base_latency=usec(1.0),
+    per_hop_latency=usec(0.07),
+    per_hop_bw_derate=0.055,
+    internode_latency=usec(0.9),
+    plane_factor=1.0,
+)

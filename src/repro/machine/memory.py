@@ -1,0 +1,62 @@
+"""Front-side-bus / local-memory bandwidth model.
+
+From the paper (§4.2): STREAM on one CPU reaches ~3.8 GB/s, but on
+densely packed CPUs only ~2 GB/s per CPU, because *each memory bus is
+shared by two processors*.  Running strided (every 2nd or 4th CPU)
+recovers the single-CPU number (Triad 1.9x higher than dense).
+
+The model: each FSB serves ``cpus_per_fsb`` processors and sustains
+``fsb_bandwidth`` bytes/s total; a single CPU can itself only sink
+``cpu_max_bandwidth``.  Effective per-CPU bandwidth is the min of the
+CPU limit and the fair FSB share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gb_per_s
+
+__all__ = ["MemoryBusSpec", "ALTIX_FSB"]
+
+
+@dataclass(frozen=True)
+class MemoryBusSpec:
+    """One front-side bus shared by a pair of Itanium2 CPUs."""
+
+    #: Sustainable bus bandwidth (bytes/s), all sharers combined.
+    fsb_bandwidth: float
+    #: Max bandwidth a single CPU can sink (bytes/s).
+    cpu_max_bandwidth: float
+    #: Number of CPUs sharing one bus (2 on the Altix C-brick).
+    cpus_per_fsb: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fsb_bandwidth <= 0 or self.cpu_max_bandwidth <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if self.cpus_per_fsb < 1:
+            raise ConfigurationError("cpus_per_fsb must be >= 1")
+
+    def per_cpu_bandwidth(self, active_cpus_on_fsb: int) -> float:
+        """Effective STREAM-like bandwidth per active CPU (bytes/s)."""
+        if active_cpus_on_fsb < 1:
+            raise ConfigurationError(
+                f"active_cpus_on_fsb must be >= 1, got {active_cpus_on_fsb}"
+            )
+        if active_cpus_on_fsb > self.cpus_per_fsb:
+            raise ConfigurationError(
+                f"{active_cpus_on_fsb} active CPUs exceeds the "
+                f"{self.cpus_per_fsb} sharing this bus"
+            )
+        fair_share = self.fsb_bandwidth / active_cpus_on_fsb
+        return min(self.cpu_max_bandwidth, fair_share)
+
+
+#: Calibrated to §4.2: 1-CPU STREAM ~3.8 GB/s; dense ~2 GB/s per CPU
+#: (Triad 1.9x better when strided).
+ALTIX_FSB = MemoryBusSpec(
+    fsb_bandwidth=gb_per_s(4.0),
+    cpu_max_bandwidth=gb_per_s(3.8),
+    cpus_per_fsb=2,
+)

@@ -1,0 +1,172 @@
+"""Altix node model: 3700, BX2a and BX2b.
+
+Table 1 of the paper: every Columbia node is a 512-processor
+single-system-image NUMAflex machine with ~1 TB of globally shared
+memory.  The 3700 packs 32 CPUs/rack (4-CPU C-Bricks, NUMAlink3,
+3.2 GB/s); the BX2 packs 64 CPUs/rack (8-CPU C-Bricks, NUMAlink4,
+6.4 GB/s).  "BX2a" denotes BX2 nodes with 1.5 GHz/6 MB parts, "BX2b"
+the five with 1.6 GHz/9 MB parts (§4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.machine.brick import CBrick
+from repro.machine.interconnect import InterconnectSpec, NUMALINK3, NUMALINK4
+from repro.machine.memory import ALTIX_FSB, MemoryBusSpec
+from repro.machine.processor import (
+    ITANIUM2_1500_6MB,
+    ITANIUM2_1600_9MB,
+    ProcessorSpec,
+)
+from repro.machine.router import hop_count
+from repro.units import GIB, TERA
+
+__all__ = ["NodeType", "AltixNode", "build_node", "MPI_MEMCPY_BANDWIDTH"]
+
+NODE_CPUS = 512
+
+#: Single-stream MPI copy bandwidth through shared memory at 1.5 GHz
+#: (one CPU reading + writing through its half of the FSB).  This is
+#: the ceiling for intra-node MPI transfers — the reason the paper
+#: finds processor speed, not interconnect, determines natural-ring
+#: bandwidth (§4.1.1).
+MPI_MEMCPY_BANDWIDTH = 1.9e9
+
+
+class NodeType(enum.Enum):
+    """The three Altix node variants characterized in the paper."""
+
+    A3700 = "3700"
+    BX2A = "BX2a"
+    BX2B = "BX2b"
+
+
+_PROCESSOR: dict[NodeType, ProcessorSpec] = {
+    NodeType.A3700: ITANIUM2_1500_6MB,
+    NodeType.BX2A: ITANIUM2_1500_6MB,
+    NodeType.BX2B: ITANIUM2_1600_9MB,
+}
+
+_INTERCONNECT: dict[NodeType, InterconnectSpec] = {
+    NodeType.A3700: NUMALINK3,
+    NodeType.BX2A: NUMALINK4,
+    NodeType.BX2B: NUMALINK4,
+}
+
+_CPUS_PER_BRICK: dict[NodeType, int] = {
+    NodeType.A3700: 4,  # 32 CPUs/rack
+    NodeType.BX2A: 8,  # 64 CPUs/rack (double density)
+    NodeType.BX2B: 8,
+}
+
+
+@dataclass(frozen=True)
+class AltixNode:
+    """One 512-CPU Altix node (a "box" in the paper's terms)."""
+
+    node_type: NodeType
+    n_cpus: int
+    brick: CBrick
+    interconnect: InterconnectSpec
+    memory_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.n_cpus < 1 or self.n_cpus % self.brick.cpus != 0:
+            raise ConfigurationError(
+                f"{self.n_cpus} CPUs not divisible into "
+                f"{self.brick.cpus}-CPU bricks"
+            )
+
+    # -- layout -------------------------------------------------------------
+
+    @property
+    def processor(self) -> ProcessorSpec:
+        return self.brick.processor
+
+    @property
+    def fsb(self) -> MemoryBusSpec:
+        return self.brick.fsb
+
+    @property
+    def n_bricks(self) -> int:
+        return self.n_cpus // self.brick.cpus
+
+    def brick_of(self, cpu: int) -> int:
+        """Which C-Brick a CPU lives in (0-based)."""
+        self._check_cpu(cpu)
+        return cpu // self.brick.cpus
+
+    def fsb_of(self, cpu: int) -> int:
+        """Global FSB index of a CPU within the node."""
+        self._check_cpu(cpu)
+        return cpu // self.fsb.cpus_per_fsb
+
+    def hops(self, cpu_a: int, cpu_b: int) -> int:
+        """NUMAlink router hops between two CPUs of this node."""
+        return hop_count(self.brick_of(cpu_a), self.brick_of(cpu_b))
+
+    def point_to_point(self, cpu_a: int, cpu_b: int) -> tuple[float, float]:
+        """(latency_s, bandwidth_Bps) for an intra-node MPI message.
+
+        The MPI software overhead (message matching, copies in and out
+        of MPT buffers) runs on the CPU, so both latency and the
+        achievable bandwidth of *local* transfers scale with clock —
+        the paper's §4.1.1 finding that "in the case of the Natural
+        Ring, where local communication predominates, processor speed
+        is the determining factor", with a partial effect on remote
+        paths ("In the Random Ring ... both processor speed and
+        interconnect show effects").
+        """
+        hops = self.hops(cpu_a, cpu_b)
+        lat, bw = self.interconnect.point_to_point(hops)
+        speed = self.processor.clock_hz / 1.5e9
+        lat = lat / speed
+        # Intra-node MPI moves data with CPU copies through shared
+        # memory, so achievable bandwidth is capped by a clock-scaled
+        # memcpy bound regardless of NUMAlink generation.
+        bw = min(bw, MPI_MEMCPY_BANDWIDTH * speed)
+        return lat, bw
+
+    @property
+    def peak_flops(self) -> float:
+        """Theoretical node peak (Table 1: 3.07 / 3.28 Tflop/s)."""
+        return self.n_cpus * self.processor.peak_flops
+
+    def _check_cpu(self, cpu: int) -> None:
+        if not 0 <= cpu < self.n_cpus:
+            raise ConfigurationError(
+                f"cpu {cpu} outside node of {self.n_cpus}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Altix {self.node_type.value} ({self.n_cpus} CPUs)"
+
+
+@lru_cache(maxsize=None)
+def build_node(node_type: NodeType, n_cpus: int = NODE_CPUS) -> AltixNode:
+    """Construct one of the three Columbia node variants.
+
+    ``n_cpus`` can be reduced (power of two recommended) for small
+    test machines; production nodes have 512.
+    """
+    cpus_per_brick = _CPUS_PER_BRICK[node_type]
+    processor = _PROCESSOR[node_type]
+    brick = CBrick(
+        cpus=cpus_per_brick,
+        memory_bytes=(2 * GIB) * cpus_per_brick,  # 8 GB / 4-CPU brick
+        processor=processor,
+        fsb=ALTIX_FSB,
+        shubs=cpus_per_brick // 2,
+    )
+    return AltixNode(
+        node_type=node_type,
+        n_cpus=n_cpus,
+        brick=brick,
+        interconnect=_INTERCONNECT[node_type],
+        memory_bytes=1.0 * TERA * (n_cpus / NODE_CPUS),
+    )

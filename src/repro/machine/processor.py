@@ -1,0 +1,83 @@
+"""Itanium2 processor model.
+
+From the paper (§2): the predominant CPU is a 1.5 GHz Itanium2 issuing
+two multiply-adds per cycle (peak 6.0 Gflop/s), with 128 floating-point
+registers, 32 KB L1 / 256 KB L2 / 6 MB L3 on-chip caches; the Itanium2
+cannot hold floating-point data in L1.  Five of the BX2 nodes instead
+use 1.6 GHz parts with 9 MB L3 caches (peak 6.4 Gflop/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.units import KIB, MIB
+
+__all__ = ["ProcessorSpec", "ITANIUM2_1500_6MB", "ITANIUM2_1600_9MB"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """An Itanium2 processor variant."""
+
+    name: str
+    clock_hz: float
+    #: FP operations per cycle: 2 multiply-adds = 4 flop/cycle.
+    flops_per_cycle: int
+    fp_registers: int
+    caches: CacheHierarchy
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock must be positive: {self.clock_hz}")
+        if self.flops_per_cycle <= 0:
+            raise ConfigurationError(
+                f"flops_per_cycle must be positive: {self.flops_per_cycle}"
+            )
+
+    @property
+    def peak_flops(self) -> float:
+        """Theoretical peak, flop/s (6.0e9 for the 1.5 GHz part)."""
+        return self.clock_hz * self.flops_per_cycle
+
+    @property
+    def l3_bytes(self) -> int:
+        """Last-level cache capacity in bytes."""
+        return self.caches.last_level.size_bytes
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at this clock."""
+        return cycles / self.clock_hz
+
+
+def _itanium2_caches(l3_mb: int) -> CacheHierarchy:
+    # The Itanium2 L1D does not hold floating-point data (paper §2);
+    # `holds_fp=False` makes the cache model skip it for FP kernels.
+    return CacheHierarchy(
+        (
+            CacheLevel("L1D", 32 * KIB, latency_cycles=1, line_bytes=64, holds_fp=False),
+            CacheLevel("L2", 256 * KIB, latency_cycles=5, line_bytes=128),
+            CacheLevel("L3", l3_mb * MIB, latency_cycles=14, line_bytes=128),
+        )
+    )
+
+
+#: The 1.5 GHz / 6 MB L3 part used in the 3700 and BX2a nodes.
+ITANIUM2_1500_6MB = ProcessorSpec(
+    name="Itanium2 1.5GHz/6MB",
+    clock_hz=1.5e9,
+    flops_per_cycle=4,
+    fp_registers=128,
+    caches=_itanium2_caches(6),
+)
+
+#: The 1.6 GHz / 9 MB L3 part used in five of the BX2 nodes ("BX2b").
+ITANIUM2_1600_9MB = ProcessorSpec(
+    name="Itanium2 1.6GHz/9MB",
+    clock_hz=1.6e9,
+    flops_per_cycle=4,
+    fp_registers=128,
+    caches=_itanium2_caches(9),
+)

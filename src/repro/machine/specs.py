@@ -1,0 +1,89 @@
+"""Canonical Columbia configuration data (paper Table 1 and §2).
+
+This module renders the machine model back into the paper's Table 1,
+both as structured rows (for tests) and as formatted text (for the
+``table1`` experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.node import NodeType, build_node
+from repro.units import MIB, TERA, to_gflops
+
+__all__ = ["Table1Row", "table1_rows", "COLUMBIA_INVENTORY", "format_table1"]
+
+#: Paper §2: 20 nodes — 12 model 3700, 8 model BX2 of which five are
+#: the 1.6 GHz / 9 MB "BX2b" variant.
+COLUMBIA_INVENTORY: dict[NodeType, int] = {
+    NodeType.A3700: 12,
+    NodeType.BX2A: 3,
+    NodeType.BX2B: 5,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1."""
+
+    node_type: NodeType
+    architecture: str
+    n_processors: int
+    cpus_per_rack: int
+    processor: str
+    clock_ghz: float
+    l3_mb: float
+    interconnect: str
+    bandwidth_gb_s: float
+    peak_tflops: float
+    memory_tb: float
+
+
+def table1_rows() -> list[Table1Row]:
+    """Reproduce Table 1 from the machine model."""
+    rows = []
+    for node_type in (NodeType.A3700, NodeType.BX2A, NodeType.BX2B):
+        node = build_node(node_type)
+        proc = node.processor
+        rows.append(
+            Table1Row(
+                node_type=node_type,
+                architecture="NUMAflex, SSI",
+                n_processors=node.n_cpus,
+                cpus_per_rack=node.brick.cpus * 8,  # 8 bricks per rack
+                processor="Itanium2",
+                clock_ghz=proc.clock_hz / 1e9,
+                l3_mb=proc.l3_bytes / MIB,
+                interconnect=node.interconnect.name,
+                bandwidth_gb_s=node.interconnect.link_bandwidth / 1e9,
+                peak_tflops=to_gflops(node.peak_flops) / 1000.0,
+                memory_tb=node.memory_bytes / TERA,
+            )
+        )
+    return rows
+
+
+def format_table1() -> str:
+    """Table 1 as printable text, in the paper's layout."""
+    rows = table1_rows()
+    lines = [
+        "Table 1. Characteristics of the Altix nodes used in Columbia.",
+        f"{'Characteristics':<18}" + "".join(f"{r.node_type.value:>16}" for r in rows),
+    ]
+
+    def line(label: str, values: list[str]) -> str:
+        return f"{label:<18}" + "".join(f"{v:>16}" for v in values)
+
+    lines.append(line("Architecture", [r.architecture for r in rows]))
+    lines.append(line("# Processors", [str(r.n_processors) for r in rows]))
+    lines.append(line("Packaging", [f"{r.cpus_per_rack} CPUs/rack" for r in rows]))
+    lines.append(line("Processor", [r.processor for r in rows]))
+    lines.append(
+        line("clock/L3 cache", [f"{r.clock_ghz:.1f}GHz/{r.l3_mb:.0f}MB" for r in rows])
+    )
+    lines.append(line("Interconnect", [r.interconnect for r in rows]))
+    lines.append(line("Bandwidth", [f"{r.bandwidth_gb_s:.1f} GB/s" for r in rows]))
+    lines.append(line("Th. peak perf.", [f"{r.peak_tflops:.2f} Tflop/s" for r in rows]))
+    lines.append(line("Memory", [f"{r.memory_tb:.0f} TB" for r in rows]))
+    return "\n".join(lines)

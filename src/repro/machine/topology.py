@@ -1,0 +1,84 @@
+"""Topology analysis of the NUMAlink fat trees.
+
+Quantifies the structural claims behind the paper's §2/§4.1.2
+narrative: the BX2's double-density packaging halves the brick count,
+shortening paths, while the fat tree keeps bisection bandwidth linear
+in the processor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.node import AltixNode, NodeType, build_node
+from repro.machine.router import bisection_links, hop_count, tree_depth
+from repro.units import to_gb_per_s
+
+__all__ = ["TopologyStats", "analyze_node", "topology_report"]
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Structural metrics of one node's interconnect."""
+
+    node_type: NodeType
+    n_bricks: int
+    tree_depth: int
+    diameter_hops: int
+    mean_hops: float
+    bisection_bandwidth: float  # bytes/s
+    bisection_per_cpu: float  # bytes/s/CPU
+
+
+def analyze_node(node: AltixNode) -> TopologyStats:
+    """Compute the fat-tree metrics for a node."""
+    b = node.n_bricks
+    if b < 1:
+        raise ConfigurationError("node has no bricks")
+    # Mean over distinct brick pairs (closed form is messy; b <= 128
+    # keeps the O(b^2) loop trivial).
+    if b == 1:
+        mean_hops = 0.0
+        diameter = 0
+    else:
+        total = 0
+        count = 0
+        for i in range(b):
+            for j in range(i + 1, b):
+                total += hop_count(i, j)
+                count += 1
+        mean_hops = total / count
+        diameter = 2 * tree_depth(b)
+    bis_bw = bisection_links(b) * node.interconnect.link_bandwidth
+    return TopologyStats(
+        node_type=node.node_type,
+        n_bricks=b,
+        tree_depth=tree_depth(b),
+        diameter_hops=diameter,
+        mean_hops=mean_hops,
+        bisection_bandwidth=bis_bw,
+        bisection_per_cpu=bis_bw / node.n_cpus,
+    )
+
+
+def topology_report() -> str:
+    """Side-by-side metrics for the three Columbia node types."""
+    lines = [
+        "NUMAlink fat-tree topology metrics",
+        f"{'metric':<26}{'3700':>12}{'BX2a':>12}{'BX2b':>12}",
+    ]
+    stats = [analyze_node(build_node(nt)) for nt in NodeType]
+    rows = [
+        ("bricks", [f"{s.n_bricks}" for s in stats]),
+        ("tree depth", [f"{s.tree_depth}" for s in stats]),
+        ("diameter (hops)", [f"{s.diameter_hops}" for s in stats]),
+        ("mean distance (hops)", [f"{s.mean_hops:.1f}" for s in stats]),
+        ("bisection (GB/s)", [f"{to_gb_per_s(s.bisection_bandwidth):.0f}" for s in stats]),
+        ("bisection/CPU (GB/s)", [f"{to_gb_per_s(s.bisection_per_cpu):.2f}" for s in stats]),
+    ]
+    for label, values in rows:
+        lines.append(f"{label:<26}" + "".join(f"{v:>12}" for v in values))
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Multi-Level Parallelism (MLP) model.
+
+MLP (Taft, NASA Ames — paper ref [17]) is the shared-memory paradigm
+INS3D uses: coarse-grain parallelism from independent UNIX-forked
+processes sharing a memory arena, fine-grain parallelism from OpenMP
+inside each process; all communication is direct memory referencing
+through the arena.
+"""
+
+from repro.mlp.arena import SharedArena
+from repro.mlp.groups import MLPConfig, mlp_step_time
+
+__all__ = ["SharedArena", "MLPConfig", "mlp_step_time"]

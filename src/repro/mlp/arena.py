@@ -1,0 +1,54 @@
+"""Shared-memory arena model.
+
+Under MLP, each forked group archives its overset boundary data in a
+shared arena; other groups read it with plain loads/stores (paper
+§3.4).  The cost model: a group writing/reading ``nbytes`` moves it at
+local-memory bandwidth when the pages are on the group's own FSBs,
+derated by the NUMAlink for remote pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.node import AltixNode
+
+__all__ = ["SharedArena"]
+
+
+@dataclass(frozen=True)
+class SharedArena:
+    """Cost model for arena traffic on one Altix node."""
+
+    node: AltixNode
+    #: Fraction of arena pages remote to the accessing group.  With
+    #: first-touch placement and pinning this is the fraction of
+    #: boundary data owned by *other* groups, ~ (groups-1)/groups.
+    remote_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.remote_fraction <= 1.0:
+            raise ConfigurationError(
+                f"remote_fraction must be in [0,1]: {self.remote_fraction}"
+            )
+
+    def access_time(self, nbytes: float, concurrent_groups: int = 1) -> float:
+        """Time for one group to move ``nbytes`` through the arena.
+
+        ``concurrent_groups`` groups hitting the arena simultaneously
+        share the fabric.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"negative arena transfer: {nbytes}")
+        if concurrent_groups < 1:
+            raise ConfigurationError("concurrent_groups must be >= 1")
+        local_bw = self.node.fsb.cpu_max_bandwidth
+        ic = self.node.interconnect
+        remote_bw = ic.link_bandwidth * ic.mpi_efficiency
+        # Remote traffic from all groups shares the per-brick links.
+        bricks = max(1, self.node.n_bricks)
+        remote_share = remote_bw * min(bricks, concurrent_groups) / concurrent_groups
+        local = nbytes * (1.0 - self.remote_fraction) / local_bw
+        remote = nbytes * self.remote_fraction / remote_share
+        return local + remote

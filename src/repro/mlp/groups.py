@@ -1,0 +1,88 @@
+"""MLP group-level execution model.
+
+An MLP run is ``groups`` forked processes, each running ``threads``
+OpenMP threads.  Per time step each group: computes its share of the
+zones (load balance depends on how evenly zones divide into groups),
+then archives/reads boundary data through the shared arena and
+synchronizes.
+
+INS3D's observed behaviour (paper §4.1.3, Table 2) is the calibration
+target: good scaling in OpenMP threads up to ~8, decaying beyond;
+further scaling by adding groups until load balancing fails; varying
+threads does not change convergence, varying groups may.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.node import AltixNode
+from repro.mlp.arena import SharedArena
+from repro.openmp.scaling import OMPKernelParams, omp_region_time
+
+__all__ = ["MLPConfig", "mlp_step_time"]
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """An MLP process/thread layout on one node."""
+
+    groups: int
+    threads: int
+
+    def __post_init__(self) -> None:
+        if self.groups < 1 or self.threads < 1:
+            raise ConfigurationError(
+                f"groups and threads must be >= 1: {self.groups}x{self.threads}"
+            )
+
+    @property
+    def total_cpus(self) -> int:
+        return self.groups * self.threads
+
+
+def mlp_step_time(
+    serial_step_time: float,
+    config: MLPConfig,
+    node: AltixNode,
+    omp_params: OMPKernelParams,
+    group_imbalance: float,
+    boundary_bytes: float,
+    locality_penalty: float = 1.0,
+) -> float:
+    """Wall time of one solver step under MLP.
+
+    Parameters
+    ----------
+    serial_step_time:
+        One-group one-thread time for the step on this node.
+    group_imbalance:
+        max-group-load / mean-group-load (>= 1) for this group count —
+        comes from the workload's zone-to-group partition.
+    boundary_bytes:
+        Total overset boundary data archived in the arena per step.
+    """
+    if serial_step_time < 0 or boundary_bytes < 0:
+        raise ConfigurationError("times and sizes must be non-negative")
+    if group_imbalance < 1.0:
+        raise ConfigurationError(
+            f"group_imbalance must be >= 1, got {group_imbalance}"
+        )
+    if config.total_cpus > node.n_cpus:
+        raise ConfigurationError(
+            f"{config.groups}x{config.threads} exceeds node of {node.n_cpus} CPUs"
+        )
+    # Coarse level: each group gets 1/groups of the work, the slowest
+    # group carries the imbalance.
+    group_work = serial_step_time / config.groups * group_imbalance
+    compute = omp_region_time(
+        group_work, config.threads, node, omp_params, locality_penalty
+    )
+    arena = SharedArena(
+        node, remote_fraction=1.0 - 1.0 / config.groups if config.groups > 1 else 0.0
+    )
+    exchange = arena.access_time(
+        boundary_bytes / max(1, config.groups), concurrent_groups=config.groups
+    )
+    return compute + exchange

@@ -1,0 +1,22 @@
+"""Simulated MPI.
+
+Rank programs are Python generators receiving a :class:`MPIComm`
+handle.  ``yield from comm.send(...)`` / ``comm.recv(...)`` /
+``comm.compute(...)`` block the simulated rank for the modeled
+duration, so wall-clock behaviour (including waiting on slow partners)
+emerges from the event interleaving exactly as it does on a real
+machine.  Message payloads are carried through, so rank programs can
+exchange real NumPy data (used by the MD domain-decomposition tests).
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Message, MPIComm
+from repro.mpi.job import MPIJobResult, run_mpi
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "MPIComm",
+    "MPIJobResult",
+    "run_mpi",
+]

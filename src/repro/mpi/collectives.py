@@ -1,0 +1,251 @@
+"""Collective operations executed message-by-message on the DES.
+
+These mirror the algorithms priced analytically in
+:mod:`repro.netmodel.collectives`; here they actually run as message
+exchanges between simulated ranks, so skew, contention and partner
+waiting emerge from the simulation.  All are generators to be driven
+with ``yield from`` inside a rank program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import CommunicationError
+from repro.mpi.comm import MPIComm, Message
+from repro.sim.process import SimEvent
+
+__all__ = [
+    "barrier",
+    "broadcast",
+    "allreduce",
+    "alltoall",
+    "allgather",
+    "reduce",
+    "gather",
+    "scatter",
+    "scan",
+]
+
+_BARRIER_TAG = 0x7FF0
+_BCAST_TAG = 0x7FF1
+_ALLREDUCE_TAG = 0x7FF2
+_ALLTOALL_TAG = 0x7FF3
+_ALLGATHER_TAG = 0x7FF4
+_REDUCE_TAG = 0x7FF5
+_GATHER_TAG = 0x7FF6
+_SCATTER_TAG = 0x7FF7
+_SCAN_TAG = 0x7FF8
+
+
+def barrier(comm: MPIComm) -> Generator[SimEvent, Any, None]:
+    """Dissemination barrier: log2(P) rounds of 1-byte exchanges."""
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return
+    distance = 1
+    round_no = 0
+    while distance < p:
+        dest = (r + distance) % p
+        src = (r - distance) % p
+        comm.isend(dest, 1, tag=_BARRIER_TAG + round_no * 16)
+        yield comm.irecv(src, tag=_BARRIER_TAG + round_no * 16)
+        distance *= 2
+        round_no += 1
+
+
+def broadcast(
+    comm: MPIComm, nbytes: float, root: int = 0, payload: Any = None
+) -> Generator[SimEvent, Any, Any]:
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    p = comm.size
+    if p == 1:
+        return payload
+    # Rank relative to root.
+    vrank = (comm.rank - root) % p
+    mask = 1
+    # Receive phase: wait for the message from the parent.
+    if vrank != 0:
+        while mask < p:
+            if vrank & mask:
+                src = (vrank - mask + root) % p
+                msg: Message = yield comm.irecv(src, tag=_BCAST_TAG)
+                payload = msg.payload
+                break
+            mask *= 2
+        mask //= 2  # children live below the received bit
+    else:
+        while mask < p:
+            mask *= 2
+        mask //= 2
+    # Send phase: forward to children.
+    while mask >= 1:
+        if vrank + mask < p and not (vrank & (mask - 1)) and not (vrank & mask):
+            dest = (vrank + mask + root) % p
+            comm.isend(dest, nbytes, tag=_BCAST_TAG, payload=payload)
+        mask //= 2
+    return payload
+
+
+def allreduce(
+    comm: MPIComm, nbytes: float, value: float = 0.0
+) -> Generator[SimEvent, Any, float]:
+    """Allreduce (sum) of a scalar via binomial-tree reduce to rank 0
+    followed by a binomial-tree broadcast; message size ``nbytes``
+    models the real vector length being reduced.
+
+    2*ceil(log2 P) rounds — the textbook cost the analytic model in
+    :mod:`repro.netmodel.collectives` charges within a factor of two.
+    """
+    p, r = comm.size, comm.rank
+    acc = float(value)
+    if p == 1:
+        return acc
+    # Reduce phase: children fold into parents by clearing bits LSB-first.
+    mask = 1
+    while mask < p:
+        if r & mask:
+            comm.isend(r & ~mask, nbytes, tag=_ALLREDUCE_TAG, payload=acc)
+            break
+        partner = r | mask
+        if partner < p:
+            msg: Message = yield comm.irecv(partner, tag=_ALLREDUCE_TAG)
+            acc += float(msg.payload)
+        mask *= 2
+    # Broadcast phase reuses the tree broadcast.
+    result = yield from broadcast(comm, nbytes, root=0, payload=acc)
+    return float(result)
+
+
+def alltoall(
+    comm: MPIComm, nbytes_per_pair: float
+) -> Generator[SimEvent, Any, None]:
+    """Pairwise-exchange all-to-all (timing only, no payloads)."""
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return
+    for step in range(1, p):
+        dest = (r + step) % p
+        src = (r - step) % p
+        comm.isend(dest, nbytes_per_pair, tag=_ALLTOALL_TAG + step)
+        yield comm.irecv(src, tag=_ALLTOALL_TAG + step)
+
+
+def allgather(
+    comm: MPIComm, nbytes_per_rank: float, value: Any = None
+) -> Generator[SimEvent, Any, list]:
+    """Ring allgather; returns the list of every rank's value."""
+    p, r = comm.size, comm.rank
+    gathered: list = [None] * p
+    gathered[r] = value
+    if p == 1:
+        return gathered
+    right = (r + 1) % p
+    left = (r - 1) % p
+    carry_rank, carry_value = r, value
+    for _ in range(p - 1):
+        comm.isend(
+            right, nbytes_per_rank, tag=_ALLGATHER_TAG,
+            payload=(carry_rank, carry_value),
+        )
+        msg = yield comm.irecv(left, tag=_ALLGATHER_TAG)
+        carry_rank, carry_value = msg.payload
+        gathered[carry_rank] = carry_value
+    return gathered
+
+
+def reduce(
+    comm: MPIComm, nbytes: float, value: float = 0.0, root: int = 0
+) -> Generator[SimEvent, Any, float | None]:
+    """Binomial-tree reduction (sum) to ``root``.
+
+    Returns the total on the root, ``None`` elsewhere.
+    """
+    p = comm.size
+    acc = float(value)
+    if p == 1:
+        return acc
+    # Work in root-relative virtual ranks so any root works.
+    vrank = (comm.rank - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            dest = ((vrank & ~mask) + root) % p
+            comm.isend(dest, nbytes, tag=_REDUCE_TAG, payload=acc)
+            return None
+        partner = vrank | mask
+        if partner < p:
+            msg: Message = yield comm.irecv(
+                (partner + root) % p, tag=_REDUCE_TAG
+            )
+            acc += float(msg.payload)
+        mask *= 2
+    return acc
+
+
+def gather(
+    comm: MPIComm, nbytes_per_rank: float, value: Any = None, root: int = 0
+) -> Generator[SimEvent, Any, list | None]:
+    """Direct gather to ``root`` (each rank one message).
+
+    Returns the rank-ordered list on the root, ``None`` elsewhere.
+    """
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return [value]
+    if r == root:
+        out: list = [None] * p
+        out[root] = value
+        for _ in range(p - 1):
+            msg: Message = yield comm.irecv(tag=_GATHER_TAG)
+            out[msg.source] = msg.payload
+        return out
+    comm.isend(root, nbytes_per_rank, tag=_GATHER_TAG, payload=value)
+    return None
+
+
+def scatter(
+    comm: MPIComm, nbytes_per_rank: float, values: list | None = None,
+    root: int = 0,
+) -> Generator[SimEvent, Any, Any]:
+    """Direct scatter from ``root``; returns this rank's element."""
+    p, r = comm.size, comm.rank
+    if p == 1:
+        if values is None or len(values) != 1:
+            raise CommunicationError("scatter needs one value per rank")
+        return values[0]
+    if r == root:
+        if values is None or len(values) != p:
+            raise CommunicationError(
+                f"scatter root needs {p} values, got "
+                f"{0 if values is None else len(values)}"
+            )
+        for dest in range(p):
+            if dest != root:
+                comm.isend(dest, nbytes_per_rank, tag=_SCATTER_TAG,
+                           payload=values[dest])
+        return values[root]
+    msg: Message = yield comm.irecv(root, tag=_SCATTER_TAG)
+    return msg.payload
+
+
+def scan(
+    comm: MPIComm, nbytes: float, value: float = 0.0
+) -> Generator[SimEvent, Any, float]:
+    """Inclusive prefix sum over ranks (Hillis-Steele doubling)."""
+    p, r = comm.size, comm.rank
+    acc = float(value)
+    if p == 1:
+        return acc
+    distance = 1
+    round_no = 0
+    while distance < p:
+        tag = _SCAN_TAG + round_no
+        if r + distance < p:
+            comm.isend(r + distance, nbytes, tag=tag, payload=acc)
+        if r - distance >= 0:
+            msg: Message = yield comm.irecv(r - distance, tag=tag)
+            acc += float(msg.payload)
+        distance *= 2
+        round_no += 1
+    return acc

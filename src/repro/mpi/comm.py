@@ -1,0 +1,213 @@
+"""The simulated MPI communicator.
+
+Timing model per message (LogGP-flavored):
+
+* the sender is occupied for the injection time ``size / bandwidth``
+  (its ``send`` completes then — eager protocol);
+* the message lands in the receiver's mailbox at
+  ``latency + size / bandwidth`` after the send started;
+* a ``recv`` posted before arrival blocks until arrival; a ``recv``
+  posted after arrival returns at the posting time (plus a small
+  matching overhead folded into latency already).
+
+Path latency/bandwidth come from :class:`~repro.netmodel.costs.NetworkModel`,
+i.e. from the machine model and the placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.errors import CommunicationError
+from repro.netmodel.costs import NetworkModel
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.process import SimEvent, Timeout
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "MPIWorld", "MPIComm"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight or delivered simulated MPI message."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+
+
+class MPIWorld:
+    """Shared state of one simulated MPI job (all ranks).
+
+    ``brick_contention=True`` switches injection serialization from
+    per-rank to per-C-Brick: all CPUs of a brick share the brick's
+    NUMAlink link, so their concurrent sends queue behind each other —
+    the more physical (and more pessimistic) model, used to study
+    dense patterns.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: NetworkModel,
+        brick_contention: bool = False,
+        os_noise: float = 0.0,
+        noise_seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.size = network.placement.n_ranks
+        self.mailboxes = [Channel(sim) for _ in range(self.size)]
+        self.brick_contention = brick_contention
+        #: OS-noise amplitude: each compute segment is stretched by an
+        #: exponentially distributed factor with this mean (0 = quiet
+        #: machine).  Models the system-software interference behind
+        #: the §4.6.2 boot-cpuset observation: at scale, collectives
+        #: wait for whichever rank the OS delayed this time.
+        self.os_noise = os_noise
+        if os_noise < 0:
+            raise CommunicationError(f"negative os_noise: {os_noise}")
+        self._noise_rng = None
+        if os_noise > 0:
+            from repro.sim.rng import make_rng
+
+            self._noise_rng = make_rng(noise_seed)
+        #: injection serialization keys: one slot per rank, or one per
+        #: (node, brick) when brick contention is on.
+        self.inject_busy_until: dict = {}
+        self._inject_keys = [
+            self._injection_key(rank) for rank in range(self.size)
+        ]
+        #: message counters, for tests and IB connection accounting
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def _injection_key(self, rank: int):
+        if not self.brick_contention:
+            return rank
+        placement = self.network.placement
+        cluster = placement.cluster
+        cpu = placement.cpu_of(rank)
+        node_idx = cluster.node_of(cpu)
+        node = cluster.nodes[node_idx]
+        return ("brick", node_idx, node.brick_of(cluster.local_cpu(cpu)))
+
+    def comm(self, rank: int) -> "MPIComm":
+        return MPIComm(self, rank)
+
+
+class MPIComm:
+    """Per-rank MPI handle passed to simulated rank programs."""
+
+    def __init__(self, world: MPIWorld, rank: int) -> None:
+        if not 0 <= rank < world.size:
+            raise CommunicationError(f"rank {rank} outside world of {world.size}")
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def sim(self) -> Simulator:
+        return self.world.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (for rank-side timing)."""
+        return self.world.sim.now
+
+    # -- local work ---------------------------------------------------------
+
+    def compute(self, seconds: float) -> Timeout:
+        """Occupy this rank with local computation for ``seconds``.
+
+        On a noisy world, the segment stretches by a random factor
+        ``1 + Exp(os_noise)`` — system-software interference.
+        """
+        world = self.world
+        if world._noise_rng is not None and seconds > 0:
+            seconds *= 1.0 + world._noise_rng.exponential(world.os_noise)
+        return Timeout(self.sim, seconds)
+
+    # -- point to point ------------------------------------------------------
+
+    def isend(
+        self, dest: int, nbytes: float, tag: int = 0, payload: Any = None
+    ) -> SimEvent:
+        """Start a send; the event triggers when injection completes.
+
+        The message arrives in ``dest``'s mailbox after the full path
+        time.  Non-blocking in the MPI sense: the caller may yield the
+        returned event later (or not at all, for fire-and-forget).
+        """
+        if not 0 <= dest < self.size:
+            raise CommunicationError(f"bad destination rank {dest}")
+        if nbytes < 0:
+            raise CommunicationError(f"negative message size {nbytes}")
+        world = self.world
+        path = world.network.path(self.rank, dest)
+        # Serialize injection: outgoing messages share this rank's (or
+        # this brick's, under brick contention) link into the fabric —
+        # the two directions of a ring exchange cannot each run at
+        # full path bandwidth.
+        now = self.sim.now
+        key = world._inject_keys[self.rank]
+        start = max(now, world.inject_busy_until.get(key, 0.0))
+        finish = start + nbytes / path.bandwidth
+        world.inject_busy_until[key] = finish
+        arrival = (finish - now) + path.latency
+        msg = Message(self.rank, dest, tag, nbytes, payload)
+        world.messages_sent += 1
+        world.bytes_sent += nbytes
+        trace = getattr(world, "_trace", None)
+        if trace is not None:
+            trace.record(now, self.rank, dest, tag, nbytes)
+        self.sim.schedule(arrival, lambda: world.mailboxes[dest].put(msg))
+        return Timeout(self.sim, finish - now)
+
+    def send(
+        self, dest: int, nbytes: float, tag: int = 0, payload: Any = None
+    ) -> Generator[SimEvent, Any, None]:
+        """Blocking send (generator — use ``yield from``)."""
+        yield self.isend(dest, nbytes, tag, payload)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimEvent:
+        """Post a receive; the event triggers with the :class:`Message`."""
+
+        def match(msg: Message) -> bool:
+            return (source in (ANY_SOURCE, msg.source)) and (
+                tag in (ANY_TAG, msg.tag)
+            )
+
+        return self.world.mailboxes[self.rank].get(match)
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[SimEvent, Any, Message]:
+        """Blocking receive (generator — use ``yield from``).
+
+        Returns the received :class:`Message`.
+        """
+        msg = yield self.irecv(source, tag)
+        return msg
+
+    def sendrecv(
+        self,
+        dest: int,
+        nbytes: float,
+        source: int = ANY_SOURCE,
+        tag: int = 0,
+        payload: Any = None,
+    ) -> Generator[SimEvent, Any, Message]:
+        """Simultaneous send+receive (the ring-benchmark primitive)."""
+        self.isend(dest, nbytes, tag, payload)
+        msg = yield self.irecv(source, tag)
+        return msg

@@ -1,0 +1,256 @@
+"""Data-parallel programs executed on the simulated MPI.
+
+The DES MPI carries real payloads, so genuinely distributed
+computations can run on it: each simulated rank owns a slice of the
+data, exchanges halos/ghosts as messages, and computes with NumPy.
+Results must match the serial computation exactly — which makes these
+programs end-to-end integration tests of the whole stack (machine
+model -> network costs -> DES -> MPI semantics -> numerics), while
+their simulated wall-clock exercises the timing path.
+
+* :func:`run_distributed_diffusion` — 1D-decomposed explicit heat
+  equation with halo exchange;
+* :func:`run_distributed_md_forces` — spatially decomposed
+  Lennard-Jones force computation with ghost-atom exchange (the
+  paper's §3.3 parallelization), gathered at rank 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.md.forces import lj_forces_naive
+from repro.apps.md.lattice import fcc_lattice
+from repro.errors import ConfigurationError
+from repro.machine.placement import Placement
+from repro.mpi.comm import MPIComm
+from repro.mpi.job import MPIJobResult, run_mpi
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "DistributedResult",
+    "run_distributed_diffusion",
+    "run_distributed_md_forces",
+    "run_distributed_ft",
+]
+
+#: Modeled compute throughput for the simulated time accounting
+#: (flop/s per rank); only affects simulated timing, not the numerics.
+_MODEL_FLOPS = 6.0e8
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """A distributed computation's answer plus its simulated timing."""
+
+    value: np.ndarray
+    job: MPIJobResult
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.job.elapsed
+
+
+def run_distributed_diffusion(
+    placement: Placement,
+    n: int = 256,
+    steps: int = 20,
+    sigma: float = 0.25,
+    seed: int | None = None,
+) -> DistributedResult:
+    """Explicit 1D heat equation, block-decomposed across ranks.
+
+    Each step every rank exchanges its edge values with both
+    neighbors (Dirichlet-zero at the physical ends), updates its
+    block, and charges the simulated compute time.  Rank 0 gathers
+    the final field.
+    """
+    p = placement.n_ranks
+    if n < 2 * p:
+        raise ConfigurationError(f"{n} cells cannot feed {p} ranks")
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1: {steps}")
+    rng = make_rng(seed)
+    u0 = rng.standard_normal(n)
+    bounds = np.linspace(0, n, p + 1).astype(int)
+
+    def program(comm: MPIComm):
+        r = comm.rank
+        lo, hi = bounds[r], bounds[r + 1]
+        block = u0[lo:hi].copy()
+        for step in range(steps):
+            left_ghost = 0.0
+            right_ghost = 0.0
+            if r > 0:
+                comm.isend(r - 1, 8, tag=step, payload=float(block[0]))
+            if r < p - 1:
+                comm.isend(r + 1, 8, tag=step, payload=float(block[-1]))
+            if r > 0:
+                msg = yield from comm.recv(r - 1, tag=step)
+                left_ghost = msg.payload
+            if r < p - 1:
+                msg = yield from comm.recv(r + 1, tag=step)
+                right_ghost = msg.payload
+            padded = np.concatenate(([left_ghost], block, [right_ghost]))
+            block = block + sigma * (padded[:-2] - 2 * block + padded[2:])
+            yield comm.compute(5.0 * len(block) / _MODEL_FLOPS)
+        # Gather at rank 0.
+        if r == 0:
+            field = np.zeros(n)
+            field[lo:hi] = block
+            for _ in range(p - 1):
+                msg = yield from comm.recv(tag=steps + 1)
+                src_lo, chunk = msg.payload
+                field[src_lo:src_lo + len(chunk)] = chunk
+            return field
+        comm.isend(0, 8.0 * len(block), tag=steps + 1, payload=(int(lo), block))
+        return None
+
+    job = run_mpi(placement, program)
+    field = job.values[0]
+    return DistributedResult(value=field, job=job)
+
+
+def serial_diffusion(n: int, steps: int, sigma: float = 0.25,
+                     seed: int | None = None) -> np.ndarray:
+    """The undistributed reference for :func:`run_distributed_diffusion`."""
+    rng = make_rng(seed)
+    u = rng.standard_normal(n)
+    for _ in range(steps):
+        padded = np.concatenate(([0.0], u, [0.0]))
+        u = u + sigma * (padded[:-2] - 2 * u + padded[2:])
+    return u
+
+
+def run_distributed_md_forces(
+    placement: Placement,
+    cells: int = 3,
+    rcut: float = 2.0,
+    seed: int | None = None,
+) -> DistributedResult:
+    """Spatially decomposed LJ force computation (paper §3.3).
+
+    Atoms are assigned to ranks by x-slab.  Each rank sends its atoms
+    within ``rcut`` of a slab face to the owning neighbor (periodic),
+    computes LJ forces for its own atoms from (own + ghost) positions,
+    and rank 0 gathers the global force array.
+    """
+    p = placement.n_ranks
+    positions, box = fcc_lattice(cells)
+    n_atoms = len(positions)
+    if p > max(1, int(box / rcut)):
+        raise ConfigurationError(
+            f"{p} slabs of width >= rcut do not fit in a box of {box:.2f}"
+        )
+    slab = box / p
+    owner = np.minimum((positions[:, 0] / slab).astype(int), p - 1)
+
+    def program(comm: MPIComm):
+        r = comm.rank
+        mine = np.where(owner == r)[0]
+        my_pos = positions[mine]
+        if p == 1:
+            forces, _ = lj_forces_naive(my_pos, box, rcut)
+            out = np.zeros_like(positions)
+            out[mine] = forces
+            return out
+        # Ghost export: atoms within rcut of each slab face go to the
+        # periodic neighbor on that side.
+        lo_edge = r * slab
+        hi_edge = (r + 1) * slab
+        to_left = my_pos[my_pos[:, 0] - lo_edge <= rcut]
+        to_right = my_pos[hi_edge - my_pos[:, 0] <= rcut]
+        left, right = (r - 1) % p, (r + 1) % p
+        comm.isend(left, to_left.nbytes, tag=1, payload=to_left)
+        comm.isend(right, to_right.nbytes, tag=2, payload=to_right)
+        ghosts = []
+        msg = yield from comm.recv(right, tag=1)
+        ghosts.append(msg.payload)
+        msg = yield from comm.recv(left, tag=2)
+        ghosts.append(msg.payload)
+        if p == 2:
+            # Both faces border the same neighbor; drop duplicates.
+            combined = np.unique(np.vstack(ghosts), axis=0)
+        else:
+            combined = np.vstack(ghosts)
+        local = np.vstack([my_pos, combined])
+        f_local, _ = lj_forces_naive(local, box, rcut)
+        yield comm.compute(45.0 * len(local) ** 2 / _MODEL_FLOPS)
+        my_forces = f_local[: len(my_pos)]
+        if r == 0:
+            out = np.zeros_like(positions)
+            out[mine] = my_forces
+            for _ in range(p - 1):
+                msg = yield from comm.recv(tag=3)
+                idx, forces = msg.payload
+                out[idx] = forces
+            return out
+        comm.isend(0, my_forces.nbytes, tag=3, payload=(mine, my_forces))
+        return None
+
+    job = run_mpi(placement, program)
+    return DistributedResult(value=job.values[0], job=job)
+
+
+def run_distributed_ft(
+    placement: Placement,
+    shape: tuple[int, int, int] = (16, 8, 4),
+    seed: int | None = None,
+) -> DistributedResult:
+    """Slab-decomposed 3D FFT with a payload-carrying all-to-all.
+
+    The NPB FT communication pattern executed for real on the DES
+    (paper §3.2: "FT tests all-to-all communication"): each rank owns
+    ``nx/p`` x-planes, 2D-FFTs them locally, exchanges transpose
+    blocks with every other rank as actual array payloads, then
+    finishes with 1D FFTs along x on its y-columns.  Rank 0 gathers
+    the spectral field, which must equal ``numpy.fft.fftn`` of the
+    input exactly.
+    """
+    p = placement.n_ranks
+    nx, ny, nz = shape
+    if nx % p != 0 or ny % p != 0:
+        raise ConfigurationError(
+            f"shape {shape} not divisible by {p} ranks in x and y"
+        )
+    rng = make_rng(seed)
+    u = rng.random(shape) + 1j * rng.random(shape)
+    sx = nx // p  # x-planes per rank (input slabs)
+    sy = ny // p  # y-columns per rank (output pencils)
+
+    def program(comm: MPIComm):
+        r = comm.rank
+        slab = u[r * sx:(r + 1) * sx]
+        partial = np.fft.fftn(slab, axes=(1, 2))
+        yield comm.compute(5.0 * slab.size * np.log2(max(2, ny * nz)) / _MODEL_FLOPS)
+        # All-to-all transpose: send rank q the y-columns it owns.
+        for q in range(p):
+            block = partial[:, q * sy:(q + 1) * sy]
+            if q == r:
+                my_block = block
+            else:
+                comm.isend(q, block.nbytes, tag=7, payload=(r, block))
+        columns = np.empty((nx, sy, nz), dtype=complex)
+        columns[r * sx:(r + 1) * sx] = my_block
+        for _ in range(p - 1):
+            msg = yield from comm.recv(tag=7)
+            src, block = msg.payload
+            columns[src * sx:(src + 1) * sx] = block
+        pencil = np.fft.fft(columns, axis=0)
+        yield comm.compute(5.0 * pencil.size * np.log2(max(2, nx)) / _MODEL_FLOPS)
+        # Gather the spectral field at rank 0.
+        if r == 0:
+            out = np.empty(shape, dtype=complex)
+            out[:, :sy] = pencil
+            for _ in range(p - 1):
+                msg = yield from comm.recv(tag=8)
+                src, block = msg.payload
+                out[:, src * sy:(src + 1) * sy] = block
+            return out
+        comm.isend(0, pencil.nbytes, tag=8, payload=(r, pencil))
+        return None
+
+    job = run_mpi(placement, program)
+    return DistributedResult(value=job.values[0], job=job)

@@ -1,0 +1,14 @@
+"""Analytic network cost models.
+
+The DES MPI layer charges each message a LogGP-style cost obtained
+from :class:`~repro.netmodel.costs.NetworkModel` (which consults the
+machine model for the path between the two CPUs hosting the ranks).
+For closed-form workload models (the NPB timing model, the
+applications), :mod:`repro.netmodel.collectives` provides analytic
+collective-operation costs built from the same path statistics.
+"""
+
+from repro.netmodel.costs import NetworkModel, PathSpec, PathStats
+from repro.netmodel.collectives import CollectiveModel
+
+__all__ = ["NetworkModel", "PathSpec", "PathStats", "CollectiveModel"]

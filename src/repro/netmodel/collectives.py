@@ -1,0 +1,121 @@
+"""Analytic collective-operation cost model.
+
+Costs follow the standard algorithm analyses (binomial-tree broadcast,
+recursive-doubling allreduce, pairwise all-to-all, ring allgather)
+evaluated with the placement's path statistics, plus pattern-level
+contention from :mod:`repro.netmodel.contention`.  Used by the
+closed-form workload models; DES workloads instead *execute* the same
+algorithms message by message in :mod:`repro.mpi.collectives`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.placement import Placement
+from repro.netmodel.contention import cross_node_flow_factor
+from repro.netmodel.costs import NetworkModel, PathStats
+
+__all__ = ["CollectiveModel"]
+
+
+@dataclass
+class CollectiveModel:
+    """Analytic collective costs for one placement."""
+
+    placement: Placement
+
+    def __post_init__(self) -> None:
+        if self.placement.n_ranks < 1:
+            raise ConfigurationError("placement must have >= 1 rank")
+        self._net = NetworkModel(self.placement)
+        self._stats: PathStats = self._net.stats()
+
+    @property
+    def stats(self) -> PathStats:
+        return self._stats
+
+    @property
+    def p(self) -> int:
+        return self.placement.n_ranks
+
+    def _rounds(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, self.p)))) if self.p > 1 else 0
+
+    # -- operations ---------------------------------------------------------
+
+    def barrier(self) -> float:
+        """Dissemination barrier: ceil(log2 P) latency-bound rounds."""
+        if self.p == 1:
+            return 0.0
+        return self._rounds() * self._stats.mean_latency
+
+    def broadcast(self, nbytes: float) -> float:
+        """Binomial-tree broadcast of ``nbytes``."""
+        if self.p == 1:
+            return 0.0
+        per_round = self._stats.mean_latency + nbytes / self._stats.mean_bandwidth
+        return self._rounds() * per_round
+
+    def allreduce(self, nbytes: float, gamma: float = 2e-10) -> float:
+        """Recursive-doubling allreduce (``gamma``: s/byte reduction cost)."""
+        if self.p == 1:
+            return 0.0
+        per_round = (
+            self._stats.mean_latency
+            + nbytes / self._stats.mean_bandwidth
+            + gamma * nbytes
+        )
+        return self._rounds() * per_round
+
+    def allgather(self, nbytes_per_rank: float) -> float:
+        """Ring allgather: P-1 neighbor steps of the per-rank block."""
+        if self.p == 1:
+            return 0.0
+        per_step = (
+            self._stats.mean_latency
+            + nbytes_per_rank / self._stats.mean_bandwidth
+        )
+        return (self.p - 1) * per_step
+
+    def alltoall(self, nbytes_per_pair: float) -> float:
+        """All-to-all with every CPU driving the fabric at once.
+
+        ``nbytes_per_pair`` is the block each rank sends to each other
+        rank.  Under full load each CPU's sustained throughput is its
+        *loaded* share of the brick link (plane-factor derated — the
+        NUMAlink3/4 difference the paper highlights for FT:
+        "indicating the importance of bandwidth for the all-to-all
+        communication used in the benchmark", §4.1.2), shrinking
+        logarithmically with the rank count as the pattern's footprint
+        climbs the fat tree, and divided by the cross-node factor on
+        multi-box runs.  A latency term charges the (P-1) message
+        startups.
+        """
+        if self.p == 1:
+            return 0.0
+        node = self.placement.cluster.nodes[0]
+        per_cpu_bw = node.interconnect.loaded_bandwidth_per_cpu(node.brick.cpus)
+        per_cpu_bw /= 1.0 + 0.08 * math.log2(max(2, self.p))
+        per_cpu_bw /= cross_node_flow_factor(self.placement, concurrent_fraction=1.0)
+        total_bytes = (self.p - 1) * nbytes_per_pair
+        # Send and receive volumes share the CPU's path to the fabric.
+        return (self.p - 1) * self._stats.mean_latency + 2.0 * total_bytes / per_cpu_bw
+
+    def halo_exchange(self, nbytes_per_neighbor: float, n_neighbors: int = 6) -> float:
+        """Nearest-neighbor exchange (BT/MG/MD pattern).
+
+        Neighbor ranks are usually adjacent in MPI_COMM_WORLD, so the
+        *neighbor* path (better than the mean path) is used; exchanges
+        with all neighbors overlap pairwise, so cost is the per-pair
+        round trip times a small serialization factor.
+        """
+        if self.p == 1 or n_neighbors == 0:
+            return 0.0
+        path = self._net.neighbor_path(0)
+        # send+recv per neighbor; half the neighbors proceed concurrently.
+        serial = math.ceil(n_neighbors / 2)
+        cross = cross_node_flow_factor(self.placement, concurrent_fraction=0.5)
+        return serial * 2 * (path.latency + nbytes_per_neighbor / (path.bandwidth / cross))

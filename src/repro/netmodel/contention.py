@@ -1,0 +1,113 @@
+"""Pattern-level contention models.
+
+Point-to-point path specs describe an *unloaded* network.  Dense
+patterns — random rings, all-to-all transposes — load shared links;
+effective per-flow bandwidth is the unloaded bandwidth divided by a
+contention factor >= 1.
+
+Inside an Altix node the fat tree has full bisection bandwidth (paper
+§2), so intra-node contention is mild (SHUB/directory overheads are
+already folded into the per-hop bandwidth derate).  Across nodes the
+picture differs sharply by fabric: the NUMAlink4 inter-node links and
+especially the InfiniBand switch are oversubscribed relative to 512
+CPUs per node, which is what makes the paper's IB random-ring results
+"severe" (§4.6.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.machine.placement import Placement
+
+__all__ = [
+    "concurrent_flow_factor",
+    "cross_node_flow_factor",
+    "alltoall_factor",
+    "random_pair_cross_fraction",
+    "random_permutation_factor",
+    "NUMALINK4_UPLINKS_PER_NODE",
+]
+
+
+def concurrent_flow_factor(n_flows: float, n_channels: float) -> float:
+    """Derating when ``n_flows`` share ``n_channels`` equal links."""
+    if n_flows < 0 or n_channels <= 0:
+        raise ConfigurationError(
+            f"bad contention args: flows={n_flows}, channels={n_channels}"
+        )
+    return max(1.0, n_flows / n_channels)
+
+
+def random_pair_cross_fraction(n_nodes: int) -> float:
+    """Probability a uniformly random rank pair spans two nodes."""
+    if n_nodes < 1:
+        raise ConfigurationError(f"need >= 1 node, got {n_nodes}")
+    return 1.0 - 1.0 / n_nodes
+
+
+#: Inter-node NUMAlink4 uplinks per BX2b node in the 2048-CPU
+#: capability subsystem (§2) — the NL4 coupling is far wider than the
+#: 8 InfiniBand cards, which is why NL4 survives dense cross-node
+#: patterns so much better (Fig. 10).
+NUMALINK4_UPLINKS_PER_NODE = 32
+
+
+def cross_node_flow_factor(
+    placement: Placement, concurrent_fraction: float = 1.0
+) -> float:
+    """Contention factor for simultaneous cross-node flows.
+
+    ``concurrent_fraction`` is the fraction of ranks with a cross-node
+    flow in flight at once (1.0 for a random ring where every rank
+    sends simultaneously).
+
+    Each node's egress is the bottleneck: cross-node flows leaving one
+    node share its uplinks — NUMAlink4 routers (32 modeled uplinks) or
+    the 8 InfiniBand cards.
+    """
+    cluster = placement.cluster
+    n_nodes = placement.n_nodes_used()
+    if n_nodes <= 1:
+        return 1.0
+    ranks_per_node = placement.n_ranks / n_nodes
+    cross_flows_per_node = (
+        ranks_per_node * concurrent_fraction * random_pair_cross_fraction(n_nodes)
+    )
+    if cluster.fabric == "numalink4":
+        channels = float(NUMALINK4_UPLINKS_PER_NODE)
+    else:
+        channels = float(cluster.infiniband.cards_per_node)
+    return concurrent_flow_factor(cross_flows_per_node, channels)
+
+
+def random_permutation_factor(ranks_per_node: float) -> float:
+    """Intra-node contention for a random-permutation pattern.
+
+    Even with full bisection bandwidth, a random permutation loads
+    individual fat-tree links unevenly (balls-into-bins on the upward
+    paths), so sustained per-flow bandwidth falls logarithmically with
+    the number of concurrent flows.  Natural-order rings keep almost
+    all flows inside a brick and pay nothing.
+    """
+    if ranks_per_node < 1:
+        raise ConfigurationError(
+            f"ranks_per_node must be >= 1, got {ranks_per_node}"
+        )
+    if ranks_per_node <= 2:
+        return 1.0
+    return 1.0 + 0.12 * math.log2(ranks_per_node)
+
+
+def alltoall_factor(placement: Placement) -> float:
+    """Contention factor for an all-to-all (FT transpose, OVERFLOW-D
+    coarse-grain exchange).
+
+    Intra-node: the fat tree sustains all-to-all at near full per-CPU
+    bandwidth with a mild logarithmic penalty from root-level link
+    sharing.  Multi-node: dominated by the cross-node factor.
+    """
+    p = placement.n_ranks
+    intra = 1.0 + 0.06 * math.log2(max(2, p))
+    return intra * cross_node_flow_factor(placement, concurrent_fraction=1.0)

@@ -1,0 +1,125 @@
+"""Point-to-point message cost model (LogGP style).
+
+``T(message) = latency(path) + size / bandwidth(path)``
+
+where the path parameters come from the machine model: NUMAlink hop
+counts inside a node, the NUMAlink4 inter-node link, or the InfiniBand
+switch, as appropriate for the two CPUs the communicating ranks are
+pinned to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.placement import Placement
+from repro.sim.rng import make_rng
+
+__all__ = ["PathSpec", "NetworkModel", "PathStats"]
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """Latency/bandwidth of one rank-to-rank path."""
+
+    latency: float  # seconds
+    bandwidth: float  # bytes / second
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bad path: latency={self.latency}, bandwidth={self.bandwidth}"
+            )
+
+    def time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over this path."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Aggregate path statistics for a placement (collective inputs)."""
+
+    mean_latency: float
+    max_latency: float
+    mean_bandwidth: float
+    min_bandwidth: float
+    cross_node_fraction: float
+
+
+class NetworkModel:
+    """Message costs between the ranks of a :class:`Placement`."""
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        self.cluster = placement.cluster
+        self._path_cache: dict[tuple[int, int], PathSpec] = {}
+
+    def path(self, rank_a: int, rank_b: int) -> PathSpec:
+        """Path between the home CPUs of two ranks (thread 0)."""
+        if rank_a == rank_b:
+            # Self-messages move through shared memory: model as the
+            # best same-brick path.
+            cpu = self.placement.cpu_of(rank_a)
+            node = self.cluster.nodes[self.cluster.node_of(cpu)]
+            lat, bw = node.interconnect.point_to_point(0)
+            return PathSpec(lat * 0.5, bw * 2.0)
+        key = (rank_a, rank_b) if rank_a < rank_b else (rank_b, rank_a)
+        spec = self._path_cache.get(key)
+        if spec is None:
+            cpu_a = self.placement.cpu_of(rank_a)
+            cpu_b = self.placement.cpu_of(rank_b)
+            lat, bw = self.cluster.point_to_point(cpu_a, cpu_b)
+            spec = PathSpec(lat, bw)
+            self._path_cache[key] = spec
+        return spec
+
+    def message_time(self, rank_a: int, rank_b: int, nbytes: float) -> float:
+        """LogGP time for one message of ``nbytes``."""
+        return self.path(rank_a, rank_b).time(nbytes)
+
+    def stats(self, max_samples: int = 2048, seed: int = 0) -> PathStats:
+        """Path statistics over rank pairs.
+
+        Exact for small rank counts; deterministic sampling beyond
+        ``max_samples`` pairs (all-pairs at 2048 ranks would be ~2M
+        path computations per call).
+        """
+        n = self.placement.n_ranks
+        if n == 1:
+            p = self.path(0, 0)
+            return PathStats(p.latency, p.latency, p.bandwidth, p.bandwidth, 0.0)
+        pairs: list[tuple[int, int]]
+        total_pairs = n * (n - 1) // 2
+        if total_pairs <= max_samples:
+            pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        else:
+            rng = make_rng(seed)
+            a = rng.integers(0, n, size=max_samples)
+            b = rng.integers(0, n - 1, size=max_samples)
+            b = np.where(b >= a, b + 1, b)
+            pairs = list(zip(a.tolist(), b.tolist()))
+        lats, bws, cross = [], [], 0
+        for i, j in pairs:
+            p = self.path(i, j)
+            lats.append(p.latency)
+            bws.append(p.bandwidth)
+            cpu_i = self.placement.cpu_of(i)
+            cpu_j = self.placement.cpu_of(j)
+            if self.cluster.crosses_nodes(cpu_i, cpu_j):
+                cross += 1
+        return PathStats(
+            mean_latency=float(np.mean(lats)),
+            max_latency=float(np.max(lats)),
+            mean_bandwidth=float(np.mean(bws)),
+            min_bandwidth=float(np.min(bws)),
+            cross_node_fraction=cross / len(pairs),
+        )
+
+    def neighbor_path(self, rank: int) -> PathSpec:
+        """Path to the next rank in MPI_COMM_WORLD order (ring step)."""
+        return self.path(rank, (rank + 1) % self.placement.n_ranks)

@@ -1,0 +1,37 @@
+"""NAS Parallel Benchmarks (paper §3.2).
+
+The paper's subset: three kernels (MG, CG, FT), one simulated
+application (BT), and the two multi-zone benchmarks (BT-MZ, SP-MZ)
+with the new Class E (4096 zones) and Class F (16384 zones) problem
+sizes introduced for Columbia.
+
+Every single-zone benchmark has a *real* NumPy implementation
+(``run_*`` — numerically verified at the small classes) and a timing
+model (:mod:`repro.npb.timing`) that prices the same computation and
+communication pattern on the simulated machine at any class and CPU
+count.  The multi-zone benchmarks live in :mod:`repro.npb.multizone`
+and :mod:`repro.npb.hybrid`.
+"""
+
+from repro.npb.classes import NPB_CLASSES, ProblemSize, problem
+from repro.npb.mg import MGResult, run_mg
+from repro.npb.cg import CGResult, run_cg
+from repro.npb.ft import FTResult, run_ft
+from repro.npb.bt import BTResult, run_bt
+from repro.npb.timing import NPBTimingModel, npb_gflops_per_cpu
+
+__all__ = [
+    "NPB_CLASSES",
+    "ProblemSize",
+    "problem",
+    "MGResult",
+    "run_mg",
+    "CGResult",
+    "run_cg",
+    "FTResult",
+    "run_ft",
+    "BTResult",
+    "run_bt",
+    "NPBTimingModel",
+    "npb_gflops_per_cpu",
+]

@@ -1,0 +1,186 @@
+"""BT: block-tridiagonal simulated application (real implementation).
+
+NPB BT solves the 3D Navier-Stokes equations with a Beam-Warming
+approximate factorization: each time step sweeps the three coordinate
+directions, solving block-tridiagonal systems with 5x5 blocks along
+every grid line ("BT tests nearest neighbor communication", paper
+§3.2 — the directional sweeps exchange faces with neighbors).
+
+We implement the same computational core on a model problem that keeps
+the numerics honest while staying compact: an implicitly time-stepped
+5-component coupled diffusion system
+
+    (I - dt Dxx)(I - dt Dyy)(I - dt Dzz) u^{n+1} = u^n + dt f
+
+where each directional factor is a block-tridiagonal matrix with 5x5
+blocks coupling the components through a fixed matrix K (standing in
+for the flux Jacobians).  The solver is a *batched block-Thomas
+algorithm* vectorized over all grid lines — exactly BT's inner kernel.
+Tests verify the block solver against dense linear algebra and the
+ADI iteration's convergence to steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.npb.classes import problem
+from repro.sim.rng import make_rng
+
+__all__ = ["BTResult", "run_bt", "block_thomas", "adi_step"]
+
+#: Number of coupled components (Navier-Stokes: rho, rho*u, rho*v,
+#: rho*w, E).
+NVARS = 5
+
+#: Fixed component-coupling matrix (a stand-in flux Jacobian): small,
+#: non-symmetric, spectral radius < 1 so the implicit operator stays
+#: diagonally dominant.
+_K = np.array(
+    [
+        [0.00, 0.10, 0.00, 0.00, 0.02],
+        [0.05, 0.00, 0.08, 0.00, 0.00],
+        [0.00, 0.06, 0.00, 0.07, 0.00],
+        [0.00, 0.00, 0.05, 0.00, 0.06],
+        [0.03, 0.00, 0.00, 0.04, 0.00],
+    ]
+)
+
+
+def block_thomas(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, r: np.ndarray
+) -> np.ndarray:
+    """Solve batched block-tridiagonal systems.
+
+    Shapes: ``a, b, c`` are ``(L, n, k, k)`` (sub/main/super diagonal
+    blocks; ``a[:, 0]`` and ``c[:, -1]`` are ignored), ``r`` is
+    ``(L, n, k)``.  Returns ``x`` with shape ``(L, n, k)``.  All L
+    independent lines are solved simultaneously with vectorized 5x5
+    factorizations — the BT inner loop.
+    """
+    L, n, k, k2 = b.shape
+    if k != k2 or a.shape != b.shape or c.shape != b.shape or r.shape != (L, n, k):
+        raise ConfigurationError("inconsistent block-tridiagonal shapes")
+    bb = b.copy()
+    rr = r.copy()
+    # Forward elimination.
+    for i in range(1, n):
+        # m = a_i @ inv(bb_{i-1}) computed as solve(bb^T, a^T)^T.
+        m = np.linalg.solve(
+            np.swapaxes(bb[:, i - 1], -1, -2), np.swapaxes(a[:, i], -1, -2)
+        )
+        m = np.swapaxes(m, -1, -2)
+        bb[:, i] = bb[:, i] - m @ c[:, i - 1]
+        rr[:, i] = rr[:, i] - np.einsum("lij,lj->li", m, rr[:, i - 1])
+    # Back substitution.  (The [..., None] dance makes numpy treat the
+    # right-hand sides as batched vectors, not matrices.)
+    x = np.empty_like(rr)
+    x[:, n - 1] = np.linalg.solve(bb[:, n - 1], rr[:, n - 1][..., None])[..., 0]
+    for i in range(n - 2, -1, -1):
+        rhs = rr[:, i] - np.einsum("lij,lj->li", c[:, i], x[:, i + 1])
+        x[:, i] = np.linalg.solve(bb[:, i], rhs[..., None])[..., 0]
+    return x
+
+
+def _directional_blocks(n: int, sigma: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Blocks of one directional factor (I - dt D) on a line of n
+    points with homogeneous Dirichlet ends."""
+    eye = np.eye(NVARS)
+    main = (1.0 + 2.0 * sigma) * eye + 0.5 * sigma * _K
+    off = -sigma * eye - 0.25 * sigma * _K
+    a = np.broadcast_to(off, (n, NVARS, NVARS)).copy()
+    b = np.broadcast_to(main, (n, NVARS, NVARS)).copy()
+    c = np.broadcast_to(off, (n, NVARS, NVARS)).copy()
+    return a, b, c
+
+
+def _sweep(u: np.ndarray, axis: int, sigma: float) -> np.ndarray:
+    """Solve the directional factor along ``axis`` for every line."""
+    n = u.shape[axis]
+    # Move the sweep axis to position 1 and flatten the others.
+    moved = np.moveaxis(u, axis, 2)  # (n1, n2, n, NVARS) after reshape
+    s = moved.shape
+    lines = moved.reshape(-1, n, NVARS)
+    L = lines.shape[0]
+    a1, b1, c1 = _directional_blocks(n, sigma)
+    a = np.broadcast_to(a1, (L, n, NVARS, NVARS))
+    b = np.broadcast_to(b1, (L, n, NVARS, NVARS))
+    c = np.broadcast_to(c1, (L, n, NVARS, NVARS))
+    x = block_thomas(np.ascontiguousarray(a), np.ascontiguousarray(b),
+                     np.ascontiguousarray(c), lines)
+    return np.moveaxis(x.reshape(s), 2, axis)
+
+
+def _explicit_rhs(u: np.ndarray, f: np.ndarray, dt: float, sigma: float) -> np.ndarray:
+    """u + dt*f + explicit diffusion residual (Dirichlet zero ends)."""
+    rhs = u + dt * f
+    for axis in range(3):
+        lap = -2.0 * u
+        lap += np.roll(u, 1, axis)
+        lap += np.roll(u, -1, axis)
+        # Dirichlet: zero the wrapped contributions.
+        lo = [slice(None)] * 4
+        lo[axis] = 0
+        hi = [slice(None)] * 4
+        hi[axis] = -1
+        lap[tuple(lo)] = -2.0 * u[tuple(lo)] + np.take(u, 1, axis)
+        lap[tuple(hi)] = -2.0 * u[tuple(hi)] + np.take(u, -2, axis)
+        rhs = rhs + sigma * lap + 0.25 * sigma * lap @ _K.T
+    return rhs
+
+
+def adi_step(u: np.ndarray, f: np.ndarray, dt: float) -> np.ndarray:
+    """One approximately factored implicit step (the BT time step)."""
+    if u.ndim != 4 or u.shape[-1] != NVARS:
+        raise ConfigurationError(f"state must be (nx,ny,nz,{NVARS}): {u.shape}")
+    sigma = dt  # unit grid spacing
+    rhs = _explicit_rhs(u, f, dt, sigma)
+    w = _sweep(rhs, 0, sigma)
+    w = _sweep(w, 1, sigma)
+    w = _sweep(w, 2, sigma)
+    return w
+
+
+@dataclass(frozen=True)
+class BTResult:
+    """Outcome of a real BT run."""
+
+    cls: str
+    n: int
+    iterations: int
+    rms_history: tuple[float, ...]
+
+    @property
+    def converged(self) -> bool:
+        """Whether the update norm decreased over the run."""
+        return self.rms_history[-1] < self.rms_history[0]
+
+
+def run_bt(cls: str = "S", iterations: int | None = None, seed: int | None = None) -> BTResult:
+    """Execute the BT benchmark class ``cls`` for real.
+
+    Marches the coupled implicit diffusion system toward steady state
+    and records the RMS update norm per step (which must decay — the
+    verification invariant).
+    """
+    spec = problem("bt", cls)
+    n = spec.shape[0]
+    if n > 24:
+        raise ConfigurationError(
+            f"class {cls} ({n}^3) is a model-scale problem; run S/W for "
+            "real execution"
+        )
+    iters = iterations if iterations is not None else min(spec.iterations, 40)
+    rng = make_rng(seed)
+    u = rng.standard_normal((n, n, n, NVARS)) * 0.1
+    f = np.zeros_like(u)
+    dt = 0.5
+    history = []
+    for _ in range(iters):
+        u_new = adi_step(u, f, dt)
+        history.append(float(np.sqrt(np.mean((u_new - u) ** 2))))
+        u = u_new
+    return BTResult(cls=cls.upper(), n=n, iterations=iters, rms_history=tuple(history))

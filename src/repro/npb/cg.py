@@ -1,0 +1,126 @@
+"""CG: conjugate-gradient kernel (real implementation).
+
+NPB CG estimates the largest eigenvalue of a sparse symmetric
+positive-definite matrix with random irregular structure via inverse
+power iteration, each outer step solving ``A z = x`` with 25 conjugate
+gradient iterations ("CG ... tests irregular memory access and
+communication", paper §3.2).
+
+Matrix construction substitution: NPB's ``makea`` builds the matrix
+from outer products of sparse random vectors; we build a random sparse
+SPD matrix with the same density parameterization (``nonzer``) and a
+controlled eigenvalue range, which preserves the benchmark's access
+pattern and convergence behaviour.  Verification is by linear-algebra
+invariants (residual reduction, eigenvalue-estimate convergence to the
+true extreme eigenvalue computed directly) instead of NPB's hard-coded
+zeta values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigurationError
+from repro.npb.classes import problem
+from repro.sim.rng import make_rng
+
+__all__ = ["CGResult", "run_cg", "make_matrix", "cg_solve"]
+
+
+def make_matrix(
+    n: int, nonzer: int, shift: float = 20.0, seed: int | None = None
+) -> sp.csr_matrix:
+    """Random sparse SPD matrix with ~``nonzer`` off-diagonals per row.
+
+    ``A = S S^T / ||.|| + shift*I`` with sparse random S — symmetric
+    positive definite by construction, with irregular sparsity as in
+    NPB CG.
+    """
+    if n < 2 or nonzer < 1:
+        raise ConfigurationError(f"bad CG matrix parameters: n={n}, nonzer={nonzer}")
+    rng = make_rng(seed)
+    density = nonzer / n
+    s = sp.random(
+        n, n, density=density, format="csr", random_state=np.random.RandomState(
+            rng.integers(0, 2**31 - 1)
+        )
+    )
+    a = (s @ s.T).tocsr()
+    scale = abs(a).sum(axis=1).max() or 1.0
+    a = a / scale
+    return (a + shift * sp.identity(n, format="csr")).tocsr()
+
+
+def cg_solve(
+    a: sp.csr_matrix, b: np.ndarray, iterations: int = 25
+) -> tuple[np.ndarray, float]:
+    """``iterations`` steps of (unpreconditioned) conjugate gradients.
+
+    Returns the iterate and the final residual norm ||b - Ax||.
+    Exactly the NPB CG inner loop: one SpMV and a handful of vector
+    operations per iteration.
+    """
+    x = np.zeros_like(b)
+    r = b.copy()
+    p = r.copy()
+    rho = float(r @ r)
+    for _ in range(iterations):
+        q = a @ p
+        alpha = rho / float(p @ q)
+        x += alpha * p
+        r -= alpha * q
+        rho_new = float(r @ r)
+        beta = rho_new / rho
+        rho = rho_new
+        p = r + beta * p
+    return x, float(np.linalg.norm(b - a @ x))
+
+
+@dataclass(frozen=True)
+class CGResult:
+    """Outcome of a real CG run."""
+
+    cls: str
+    n: int
+    outer_iterations: int
+    zeta: float  # eigenvalue estimate (NPB's reported quantity)
+    final_residual: float
+    residual_history: tuple[float, ...]
+
+
+def run_cg(cls: str = "S", seed: int | None = None) -> CGResult:
+    """Execute the CG benchmark class ``cls`` for real.
+
+    Inverse power iteration: ``zeta = shift + 1/(x . z)`` converges to
+    the eigenvalue of A closest to ``shift`` from below; with our SPD
+    construction that is the dominant behaviour NPB reports.
+    """
+    spec = problem("cg", cls)
+    n, nonzer, _ = spec.shape
+    if n > 20000:
+        raise ConfigurationError(
+            f"class {cls} (n={n}) is a model-scale problem; run S/W/A "
+            "for real execution"
+        )
+    shift = 20.0
+    a = make_matrix(n, nonzer, shift=shift, seed=seed)
+    rng = make_rng(seed)
+    x = rng.random(n)
+    zeta = 0.0
+    history = []
+    for _ in range(spec.iterations):
+        z, resid = cg_solve(a, x, iterations=25)
+        history.append(resid)
+        zeta = shift + 1.0 / float(x @ z)
+        x = z / np.linalg.norm(z)
+    return CGResult(
+        cls=cls.upper(),
+        n=n,
+        outer_iterations=spec.iterations,
+        zeta=zeta,
+        final_residual=history[-1],
+        residual_history=tuple(history),
+    )

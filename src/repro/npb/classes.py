@@ -1,0 +1,147 @@
+"""NPB problem classes and operation/traffic formulas.
+
+Grid sizes and iteration counts follow the NPB 3.x specification for
+classes S through D (the classes the paper's single-zone experiments
+use are B and C).  Operation counts are analytic approximations of the
+official Mop totals — they set the scale of reported Gflop/s rates and
+the computation/communication ratio, which is what the paper's shapes
+depend on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProblemSize", "NPB_CLASSES", "problem", "BENCHMARKS"]
+
+BENCHMARKS = ("mg", "cg", "ft", "bt")
+
+
+@dataclass(frozen=True)
+class ProblemSize:
+    """One (benchmark, class) problem instance."""
+
+    benchmark: str
+    cls: str
+    #: grid dimensions (nx, ny, nz); for CG, (n_rows, nonzeros/row, 1).
+    shape: tuple[int, int, int]
+    iterations: int
+
+    @property
+    def points(self) -> int:
+        """Grid points (or matrix rows for CG)."""
+        if self.benchmark == "cg":
+            return self.shape[0]
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def flops(self) -> float:
+        """Approximate total floating-point operations."""
+        n = self.points
+        if self.benchmark == "mg":
+            # ~58 flop per fine-grid point per iteration across the
+            # V-cycle (the coarse levels add a geometric-series ~8/7).
+            return 58.0 * n * self.iterations * 8.0 / 7.0
+        if self.benchmark == "cg":
+            nonzer = self.shape[1]
+            nnz = n * (nonzer + 1) ** 2 / 2  # makea-style fill estimate
+            # 25 inner CG iterations x (SpMV 2*nnz + vector ops 10n).
+            return self.iterations * 25 * (2.0 * nnz + 10.0 * n)
+        if self.benchmark == "ft":
+            # One forward 3D FFT + one inverse per iteration plus the
+            # evolution multiply: ~ 2 * 5 N log2 N + 6N.
+            return self.iterations * (10.0 * n * math.log2(n) + 6.0 * n)
+        if self.benchmark == "bt":
+            # Block-tridiagonal ADI: three sweeps of 5x5 block solves,
+            # ~2500 flop per point per iteration in NPB BT.
+            return 2500.0 * n * self.iterations
+        raise ConfigurationError(f"unknown benchmark {self.benchmark!r}")
+
+    @property
+    def memory_bytes(self) -> float:
+        """Resident data set in bytes (float64 unknowns + workspace)."""
+        n = self.points
+        if self.benchmark == "mg":
+            return 8.0 * n * 4  # u, v, r + coarse hierarchy
+        if self.benchmark == "cg":
+            nonzer = self.shape[1]
+            nnz = n * (nonzer + 1) ** 2 / 2
+            return 12.0 * nnz + 8.0 * 5 * n  # CSR (8B value + 4B col) + vectors
+        if self.benchmark == "ft":
+            return 16.0 * n * 3  # complex128: u0, u1, twiddle
+        if self.benchmark == "bt":
+            # 5 unknowns, rhs, forcing plus the per-sweep 5x5 LHS
+            # blocks: BT's footprint is dominated by block workspace.
+            return 8.0 * n * 150
+        raise ConfigurationError(f"unknown benchmark {self.benchmark!r}")
+
+    @property
+    def traffic_bytes(self) -> float:
+        """Main-memory traffic per full run if nothing is cached.
+
+        Expressed as data-set passes per iteration; the timing model
+        multiplies by the cache miss fraction to get actual DRAM
+        traffic.
+        """
+        passes_per_iteration = {
+            "mg": 4.0,  # smoothing/residual/transfer over u, v, r
+            "cg": 25.0,  # one matrix+vector pass per inner iteration
+            "ft": 3.3,  # multiple FFT passes over the complex arrays
+            "bt": 8.0,  # assemble + eliminate the LHS blocks, 3 sweeps
+        }[self.benchmark]
+        return self.iterations * passes_per_iteration * self.memory_bytes
+
+
+#: NPB 3.x problem classes.
+NPB_CLASSES: dict[tuple[str, str], ProblemSize] = {}
+
+
+def _add(benchmark: str, cls: str, shape: tuple[int, int, int], iters: int) -> None:
+    NPB_CLASSES[(benchmark, cls)] = ProblemSize(benchmark, cls, shape, iters)
+
+
+# MG: grid size, V-cycle iterations.
+_add("mg", "S", (32, 32, 32), 4)
+_add("mg", "W", (128, 128, 128), 4)
+_add("mg", "A", (256, 256, 256), 4)
+_add("mg", "B", (256, 256, 256), 20)
+_add("mg", "C", (512, 512, 512), 20)
+_add("mg", "D", (1024, 1024, 1024), 50)
+
+# CG: (rows, nonzeros-per-row parameter, 1), outer iterations.
+_add("cg", "S", (1400, 7, 1), 15)
+_add("cg", "W", (7000, 8, 1), 15)
+_add("cg", "A", (14000, 11, 1), 15)
+_add("cg", "B", (75000, 13, 1), 75)
+_add("cg", "C", (150000, 15, 1), 75)
+_add("cg", "D", (1500000, 21, 1), 100)
+
+# FT: grid, iterations.
+_add("ft", "S", (64, 64, 64), 6)
+_add("ft", "W", (128, 128, 32), 6)
+_add("ft", "A", (256, 256, 128), 6)
+_add("ft", "B", (512, 256, 256), 20)
+_add("ft", "C", (512, 512, 512), 20)
+_add("ft", "D", (2048, 1024, 1024), 25)
+
+# BT: cubic grid, iterations.
+_add("bt", "S", (12, 12, 12), 60)
+_add("bt", "W", (24, 24, 24), 200)
+_add("bt", "A", (64, 64, 64), 200)
+_add("bt", "B", (102, 102, 102), 200)
+_add("bt", "C", (162, 162, 162), 200)
+_add("bt", "D", (408, 408, 408), 250)
+
+
+def problem(benchmark: str, cls: str) -> ProblemSize:
+    """Look up a problem instance; raises for unknown combinations."""
+    try:
+        return NPB_CLASSES[(benchmark, cls.upper())]
+    except KeyError:
+        raise ConfigurationError(
+            f"no NPB problem {benchmark!r} class {cls!r}"
+        ) from None

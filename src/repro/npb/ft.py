@@ -1,0 +1,126 @@
+"""FT: 3D FFT kernel (real implementation).
+
+NPB FT solves a 3D diffusion PDE spectrally: FFT the initial state
+once, multiply by evolution factors each time step, inverse-FFT, and
+checksum ("FT tests all-to-all communication", paper §3.2 — the
+distributed transposes inside the 3D FFT are all-to-alls).
+
+Two execution paths are provided and verified against each other:
+
+* :func:`run_ft` — whole-array ``numpy.fft`` evolution;
+* :func:`distributed_fft3` — a slab-decomposed 3D FFT that performs
+  2D FFTs on local slabs, a global transpose (the all-to-all the
+  timing model charges for), and the final 1D FFTs.  Executed
+  sequentially over the virtual ranks, it must reproduce
+  ``numpy.fft.fftn`` exactly; tests assert it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.npb.classes import problem
+from repro.sim.rng import make_rng
+
+__all__ = ["FTResult", "run_ft", "distributed_fft3", "evolution_factors"]
+
+_ALPHA = 1e-6  # NPB FT diffusion coefficient
+
+
+def evolution_factors(shape: tuple[int, int, int], t: int) -> np.ndarray:
+    """Spectral evolution term exp(-4 alpha pi^2 |k|^2 t)."""
+    if t < 0:
+        raise ConfigurationError(f"negative time step: {t}")
+    ks = []
+    for n in shape:
+        k = np.fft.fftfreq(n, d=1.0 / n)  # integer wavenumbers +-
+        ks.append(k)
+    kx, ky, kz = np.meshgrid(*ks, indexing="ij")
+    k2 = kx**2 + ky**2 + kz**2
+    return np.exp(-4.0 * _ALPHA * np.pi**2 * k2 * t)
+
+
+def distributed_fft3(u: np.ndarray, n_ranks: int) -> np.ndarray:
+    """Slab-decomposed 3D FFT, executed rank by rank.
+
+    Each virtual rank owns ``nx / n_ranks`` x-planes: it computes 2D
+    FFTs over (y, z) on its slab.  The global transpose (an MPI
+    all-to-all in the real code) regroups the data so each rank owns
+    full x-pencils, where the final 1D FFT along x completes the
+    transform.
+    """
+    nx = u.shape[0]
+    if nx % n_ranks != 0:
+        raise ConfigurationError(
+            f"nx={nx} not divisible by {n_ranks} ranks"
+        )
+    # Phase 1: per-rank 2D FFTs on x-slabs.
+    slabs = [
+        np.fft.fftn(u[r * (nx // n_ranks):(r + 1) * (nx // n_ranks)], axes=(1, 2))
+        for r in range(n_ranks)
+    ]
+    partial = np.concatenate(slabs, axis=0)
+    # Phase 2: all-to-all transpose — every rank sends each other rank
+    # the y-columns it will own.  Sequentially this is just a gather.
+    # Phase 3: per-rank 1D FFTs along x on full pencils.
+    ny = u.shape[1]
+    if ny % n_ranks == 0:
+        cols = [
+            np.fft.fft(partial[:, r * (ny // n_ranks):(r + 1) * (ny // n_ranks)], axis=0)
+            for r in range(n_ranks)
+        ]
+        return np.concatenate(cols, axis=1)
+    return np.fft.fft(partial, axis=0)
+
+
+@dataclass(frozen=True)
+class FTResult:
+    """Outcome of a real FT run."""
+
+    cls: str
+    shape: tuple[int, int, int]
+    iterations: int
+    checksums: tuple[complex, ...]
+    energy_error: float  # relative Parseval violation (should be ~eps)
+
+
+def run_ft(cls: str = "S", seed: int | None = None) -> FTResult:
+    """Execute the FT benchmark class ``cls`` for real.
+
+    Per NPB FT: transform the random initial field once, then for each
+    time step scale by the evolution factors, inverse transform, and
+    record a checksum (a strided sample sum, as NPB does).
+    """
+    spec = problem("ft", cls)
+    shape = spec.shape
+    if spec.points > 64**3:
+        raise ConfigurationError(
+            f"class {cls} {shape} is a model-scale problem; run S for "
+            "real execution"
+        )
+    rng = make_rng(seed)
+    u0 = rng.random(shape) + 1j * rng.random(shape)
+    u_hat = np.fft.fftn(u0)
+    # Parseval check on the forward transform.
+    energy_phys = float(np.sum(np.abs(u0) ** 2))
+    energy_spec = float(np.sum(np.abs(u_hat) ** 2)) / u0.size
+    energy_error = abs(energy_phys - energy_spec) / energy_phys
+    checksums = []
+    n_total = u0.size
+    for t in range(1, spec.iterations + 1):
+        w_hat = u_hat * evolution_factors(shape, t)
+        w = np.fft.ifftn(w_hat)
+        # NPB checksum: sum of 1024 strided samples.
+        flat = w.reshape(-1)
+        idx = (np.arange(1024) * ((n_total // 1024) + 1)) % n_total
+        checksums.append(complex(flat[idx].sum()))
+    return FTResult(
+        cls=cls.upper(),
+        shape=shape,
+        iterations=spec.iterations,
+        checksums=tuple(checksums),
+        energy_error=energy_error,
+    )

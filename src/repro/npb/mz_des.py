@@ -1,0 +1,124 @@
+"""NPB-MZ steps executed on the discrete-event simulator.
+
+The analytic model in :mod:`repro.npb.hybrid` charges the *maximum*
+bin's compute plus an average exchange — good enough for sweeps, but
+it assumes the max is what gates the step.  This module checks that
+assumption by *executing* a step: one simulated MPI rank per process,
+each computing for its actual bin time, then exchanging boundary
+messages with the ranks owning its zones' geometric neighbors and
+synchronizing.  Wall time emerges from the event interleaving, so
+waiting chains (a light rank stuck behind two heavy neighbors in
+series) are captured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.compilers import Compiler
+from repro.machine.placement import Placement
+from repro.mpi import run_mpi
+from repro.mpi.collectives import allreduce
+from repro.npb.hybrid import MZTimingModel
+from repro.npb.multizone import MZProblem
+
+__all__ = ["DESStepResult", "des_step_time", "zone_neighbors"]
+
+
+def zone_neighbors(problem: MZProblem) -> dict[int, list[int]]:
+    """Geometric neighbors of each zone in the 2D zone array."""
+    zx = problem.spec.zones_x
+    zy = problem.spec.zones_y
+    out: dict[int, list[int]] = {}
+    for j in range(zy):
+        for i in range(zx):
+            z = j * zx + i
+            nbrs = []
+            if i > 0:
+                nbrs.append(z - 1)
+            if i + 1 < zx:
+                nbrs.append(z + 1)
+            if j > 0:
+                nbrs.append(z - zx)
+            if j + 1 < zy:
+                nbrs.append(z + zx)
+            out[z] = nbrs
+    return out
+
+
+@dataclass(frozen=True)
+class DESStepResult:
+    """One executed multi-zone step."""
+
+    elapsed: float
+    analytic: float
+    messages: int
+    max_skew: float
+
+    @property
+    def ratio(self) -> float:
+        """DES wall time over the analytic prediction."""
+        return self.elapsed / self.analytic if self.analytic else float("inf")
+
+
+def des_step_time(
+    benchmark: str,
+    cls: str,
+    placement: Placement,
+    compiler: Compiler = Compiler.V7_1,
+) -> DESStepResult:
+    """Execute one BT-MZ/SP-MZ step on the DES and compare with the
+    analytic per-step model."""
+    model = MZTimingModel(benchmark, cls, placement, compiler)
+    problem = model.problem
+    assignment = model.assignment
+    p = placement.n_ranks
+    if p < 2:
+        raise ConfigurationError("the DES step needs >= 2 ranks")
+    node = placement.cluster.nodes[0]
+    threads = placement.threads_per_rank
+    from repro.npb.hybrid import _BASE_EFF, thread_efficiency
+
+    per_point = 2500.0 if benchmark == "bt-mz" else 900.0
+    rate = (
+        node.processor.peak_flops * _BASE_EFF[benchmark]
+        * threads * thread_efficiency(threads)
+    )
+    # Per-rank compute times from the actual bins.
+    compute = [per_point * load / rate for load in assignment.loads]
+    # Rank-level neighbor sets from the zone adjacency.
+    owner = {}
+    for b, members in enumerate(assignment.bins):
+        for z in members:
+            owner[z] = b
+    adjacency = zone_neighbors(problem)
+    rank_neighbors: list[set[int]] = [set() for _ in range(p)]
+    boundary_bytes: list[float] = [0.0] * p
+    for z, nbrs in adjacency.items():
+        rz = owner[z]
+        for nb in nbrs:
+            rn = owner[nb]
+            if rn != rz:
+                rank_neighbors[rz].add(rn)
+                boundary_bytes[rz] += problem.zones[z].boundary_points * 20.0
+
+    def program(comm):
+        r = comm.rank
+        yield comm.compute(compute[r])
+        nbrs = sorted(rank_neighbors[r])
+        per_msg = boundary_bytes[r] / max(1, len(nbrs))
+        for nb in nbrs:
+            comm.isend(nb, per_msg, tag=11)
+        for nb in nbrs:
+            yield comm.irecv(nb, tag=11)
+        yield from allreduce(comm, 8, 0.0)
+        return None
+
+    job = run_mpi(placement, program)
+    return DESStepResult(
+        elapsed=job.elapsed,
+        analytic=model.total_time_per_step(),
+        messages=job.messages_sent,
+        max_skew=job.max_skew,
+    )

@@ -1,0 +1,102 @@
+"""NPB-style result blocks.
+
+The official NAS Parallel Benchmarks print a standardized result
+footer (class, size, iterations, Mop/s total and per process,
+verification).  This module renders our real runs and model
+predictions in that familiar shape, so output is directly comparable
+with archived NPB logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.npb.classes import problem
+
+__all__ = ["NPBReport", "report_real_run", "report_model"]
+
+
+@dataclass(frozen=True)
+class NPBReport:
+    """The fields of an NPB result footer."""
+
+    benchmark: str
+    cls: str
+    size: str
+    iterations: int
+    time_seconds: float
+    total_processes: int
+    mops_total: float
+    verification: str  # "SUCCESSFUL" / "UNSUCCESSFUL"
+
+    def format(self) -> str:
+        name = self.benchmark.upper()
+        lines = [
+            f" {name} Benchmark Completed.",
+            f" Class           =             {self.cls:>12}",
+            f" Size            =             {self.size:>12}",
+            f" Iterations      =             {self.iterations:>12d}",
+            f" Time in seconds =             {self.time_seconds:>12.2f}",
+            f" Total processes =             {self.total_processes:>12d}",
+            f" Mop/s total     =             {self.mops_total:>12.2f}",
+            f" Mop/s/process   =             "
+            f"{self.mops_total / max(1, self.total_processes):>12.2f}",
+            f" Verification    =             {self.verification:>12}",
+        ]
+        return "\n".join(lines)
+
+
+def _size_string(benchmark: str, cls: str) -> str:
+    spec = problem(benchmark, cls)
+    if benchmark == "cg":
+        return str(spec.shape[0])
+    return "x".join(str(s) for s in spec.shape)
+
+
+def report_real_run(
+    benchmark: str,
+    cls: str,
+    time_seconds: float,
+    verified: bool,
+    iterations: int | None = None,
+) -> NPBReport:
+    """Footer for an actually-executed kernel run."""
+    if time_seconds <= 0:
+        raise ConfigurationError(f"time must be positive: {time_seconds}")
+    spec = problem(benchmark, cls)
+    iters = iterations if iterations is not None else spec.iterations
+    return NPBReport(
+        benchmark=benchmark,
+        cls=cls.upper(),
+        size=_size_string(benchmark, cls),
+        iterations=iters,
+        time_seconds=time_seconds,
+        total_processes=1,
+        mops_total=spec.flops / time_seconds / 1e6,
+        verification="SUCCESSFUL" if verified else "UNSUCCESSFUL",
+    )
+
+
+def report_model(
+    benchmark: str,
+    cls: str,
+    placement,
+    paradigm: str = "mpi",
+) -> NPBReport:
+    """Footer for a machine-model prediction."""
+    from repro.npb.timing import NPBTimingModel
+
+    model = NPBTimingModel(benchmark, cls, placement, paradigm)
+    total_time = model.total_time()
+    spec = model.spec
+    return NPBReport(
+        benchmark=benchmark,
+        cls=cls.upper(),
+        size=_size_string(benchmark, cls),
+        iterations=spec.iterations,
+        time_seconds=total_time,
+        total_processes=placement.total_cpus,
+        mops_total=spec.flops / total_time / 1e6,
+        verification="MODELED",
+    )

@@ -1,0 +1,181 @@
+"""SP: scalar-pentadiagonal solver (real implementation).
+
+NPB SP is BT's sibling: the same approximately-factored ADI scheme,
+but the directional systems are *scalar pentadiagonal* (5 independent
+scalar solves per line, bandwidth 2) instead of 5x5 block tridiagonal.
+The paper exercises SP through its multi-zone version (SP-MZ, §3.2);
+this module supplies the real inner kernel: a batched pentadiagonal
+Thomas solver vectorized over grid lines, and an ADI time step built
+on it.
+
+Verified by tests: the pentadiagonal solver matches dense linear
+algebra, and the ADI iteration converges to steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.npb.classes import ProblemSize
+from repro.sim.rng import make_rng
+
+__all__ = ["SPResult", "run_sp", "penta_thomas", "sp_adi_step"]
+
+#: Components carried by SP (same five as BT, but uncoupled in the
+#: implicit operator).
+NVARS = 5
+
+
+def penta_thomas(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    d: np.ndarray,
+    e: np.ndarray,
+    r: np.ndarray,
+) -> np.ndarray:
+    """Solve batched pentadiagonal systems.
+
+    Bands are ``(L, n)`` arrays: ``a`` (2nd sub), ``b`` (1st sub),
+    ``c`` (main), ``d`` (1st super), ``e`` (2nd super); out-of-range
+    band entries are ignored.  ``r`` is ``(L, n)``; returns ``x`` of
+    the same shape.  All L lines are eliminated simultaneously —
+    SP's inner loop, vectorized the way the Columbia port vectorizes
+    over grid lines.
+    """
+    if not (a.shape == b.shape == c.shape == d.shape == e.shape == r.shape):
+        raise ConfigurationError("inconsistent pentadiagonal band shapes")
+    if c.ndim != 2:
+        raise ConfigurationError(f"bands must be (L, n), got {c.shape}")
+    L, n = c.shape
+    if n < 3:
+        raise ConfigurationError(f"need n >= 3, got {n}")
+    # Work on copies: forward elimination to upper-triangular with two
+    # superdiagonals, then back substitution.
+    cc = c.astype(float).copy()
+    dd = d.astype(float).copy()
+    ee = e.astype(float).copy()
+    rr = r.astype(float).copy()
+    # Row 1 eliminated with row 0.
+    m = b[:, 1] / cc[:, 0]
+    cc[:, 1] -= m * dd[:, 0]
+    dd[:, 1] -= m * ee[:, 0]
+    rr[:, 1] -= m * rr[:, 0]
+    for i in range(2, n):
+        # Eliminate the 2nd subdiagonal with row i-2.
+        m2 = a[:, i] / cc[:, i - 2]
+        b_eff = b[:, i] - m2 * dd[:, i - 2]
+        rr[:, i] -= m2 * rr[:, i - 2]
+        ee_im2 = ee[:, i - 2]
+        # Eliminate the (updated) 1st subdiagonal with row i-1.
+        m1 = b_eff / cc[:, i - 1]
+        cc[:, i] -= m2 * ee_im2 + m1 * dd[:, i - 1]
+        dd[:, i] -= m1 * ee[:, i - 1]
+        rr[:, i] -= m1 * rr[:, i - 1]
+    # Back substitution.
+    x = np.empty_like(rr)
+    x[:, n - 1] = rr[:, n - 1] / cc[:, n - 1]
+    x[:, n - 2] = (rr[:, n - 2] - dd[:, n - 2] * x[:, n - 1]) / cc[:, n - 2]
+    for i in range(n - 3, -1, -1):
+        x[:, i] = (
+            rr[:, i] - dd[:, i] * x[:, i + 1] - ee[:, i] * x[:, i + 2]
+        ) / cc[:, i]
+    return x
+
+
+def _directional_bands(L: int, n: int, sigma: float):
+    """Pentadiagonal factor bands for (I - dt D4) on lines of n points.
+
+    A fourth-order-damped implicit diffusion factor: the classic SP
+    pattern of a pentadiagonal operator per direction (2nd-difference
+    diffusion plus 4th-difference artificial dissipation).
+    """
+    eps4 = 0.25 * sigma
+    a = np.full((L, n), eps4)
+    b = np.full((L, n), -sigma - 4.0 * eps4)
+    c = np.full((L, n), 1.0 + 2.0 * sigma + 6.0 * eps4)
+    d = np.full((L, n), -sigma - 4.0 * eps4)
+    e = np.full((L, n), eps4)
+    # One-sided ends: fold the out-of-range dissipation into the
+    # diagonal so the operator stays diagonally dominant.
+    c[:, 0] -= eps4
+    c[:, 1] -= 0.0
+    c[:, -1] -= eps4
+    return a, b, c, d, e
+
+
+def _sweep(u: np.ndarray, axis: int, sigma: float) -> np.ndarray:
+    """Solve the pentadiagonal factor along ``axis`` for all lines and
+    all NVARS components (components are independent — SP's defining
+    property)."""
+    n = u.shape[axis]
+    moved = np.moveaxis(u, axis, 2)  # (d1, d2, n, NVARS)
+    s = moved.shape
+    lines = moved.reshape(-1, n, NVARS)
+    # Batch dimension = lines x components.
+    flat = np.moveaxis(lines, 2, 1).reshape(-1, n)
+    L = flat.shape[0]
+    a, b, c, d, e = _directional_bands(L, n, sigma)
+    x = penta_thomas(a, b, c, d, e, flat)
+    back = np.moveaxis(x.reshape(-1, NVARS, n), 1, 2)
+    return np.moveaxis(back.reshape(s), 2, axis)
+
+
+def sp_adi_step(u: np.ndarray, f: np.ndarray, dt: float) -> np.ndarray:
+    """One approximately factored SP time step (implicit diffusion
+    with fourth-difference dissipation, Dirichlet-zero ends)."""
+    if u.ndim != 4 or u.shape[-1] != NVARS:
+        raise ConfigurationError(f"state must be (nx,ny,nz,{NVARS}): {u.shape}")
+    sigma = dt
+    rhs = u + dt * f
+    for axis in range(3):
+        lap = -2.0 * u
+        lap += np.roll(u, 1, axis)
+        lap += np.roll(u, -1, axis)
+        lo = [slice(None)] * 4
+        lo[axis] = 0
+        hi = [slice(None)] * 4
+        hi[axis] = -1
+        lap[tuple(lo)] = -2.0 * u[tuple(lo)] + np.take(u, 1, axis)
+        lap[tuple(hi)] = -2.0 * u[tuple(hi)] + np.take(u, -2, axis)
+        rhs = rhs + sigma * lap
+    w = _sweep(rhs, 0, sigma)
+    w = _sweep(w, 1, sigma)
+    w = _sweep(w, 2, sigma)
+    return w
+
+
+@dataclass(frozen=True)
+class SPResult:
+    """Outcome of a real SP run."""
+
+    n: int
+    iterations: int
+    rms_history: tuple[float, ...]
+
+    @property
+    def converged(self) -> bool:
+        return self.rms_history[-1] < self.rms_history[0]
+
+
+def run_sp(n: int = 12, iterations: int = 30, seed: int | None = None) -> SPResult:
+    """March the SP model problem toward steady state on an n^3 grid."""
+    if n < 4 or n > 32:
+        raise ConfigurationError(
+            f"real SP runs are test-scale: 4 <= n <= 32, got {n}"
+        )
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1: {iterations}")
+    rng = make_rng(seed)
+    u = rng.standard_normal((n, n, n, NVARS)) * 0.1
+    f = np.zeros_like(u)
+    dt = 0.4
+    history = []
+    for _ in range(iterations):
+        u_new = sp_adi_step(u, f, dt)
+        history.append(float(np.sqrt(np.mean((u_new - u) ** 2))))
+        u = u_new
+    return SPResult(n=n, iterations=iterations, rms_history=tuple(history))

@@ -1,0 +1,267 @@
+"""NPB performance model on the simulated Columbia machine.
+
+For each benchmark the model charges, per run:
+
+* a **compute** term — flop count against (peak x kernel efficiency),
+  scaled by the compiler factor;
+* a **memory** term — main-memory traffic surviving the L3 (working
+  set vs cache capacity, kernel-specific reuse) against the per-CPU
+  STREAM bandwidth of the placement;
+* a **communication** term — the kernel's characteristic pattern
+  (halo exchange for MG/BT, reductions + pencil exchange for CG,
+  all-to-all transposes for FT) priced by the analytic collective
+  model; or, under OpenMP, the same exchange *volumes* moved through
+  the node's NUMAlink at its loaded per-CPU bandwidth, plus fork-join
+  synchronization and an Amdahl serial fraction.
+
+This reproduces the paper's §4.1.2 findings: OpenMP wins at small CPU
+counts but MPI scales better; OpenMP is bandwidth-sensitive (up to 2x
+between 3700 and BX2 at 128 threads for FT/BT); FT at 256 CPUs runs
+~2x faster on BX2 (all-to-all); MG/BT jump ~50% on BX2b at >=64 CPUs
+(9 MB L3); clock speed matters little.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.cache import miss_fraction
+from repro.machine.compilers import Compiler, compiler_factor
+from repro.machine.placement import Placement
+from repro.netmodel.collectives import CollectiveModel
+from repro.npb.classes import ProblemSize, problem
+from repro.units import to_gflops
+
+__all__ = ["KernelPerf", "KERNEL_PERF", "NPBTimingModel", "npb_gflops_per_cpu"]
+
+
+@dataclass(frozen=True)
+class KernelPerf:
+    """Machine-independent performance characteristics of a kernel."""
+
+    #: Fraction of processor peak the compute phase sustains.
+    base_eff: float
+    #: Cache-reuse factor (effective L3 multiplier; blocked kernels > 1).
+    reuse: float
+    #: Nearest-neighbor halo partners (0 if the kernel is all-to-all).
+    halo_neighbors: int
+    #: Amdahl parallel fraction of the OpenMP version.
+    omp_parallel_fraction: float
+    #: Seconds per OpenMP barrier round (x log2 t x barrier count).
+    omp_sync_cost: float
+    #: Barriers per benchmark iteration in the OpenMP version.
+    omp_barriers_per_iter: float
+    #: OpenMP cross-brick traffic relative to the MPI exchange volume
+    #: at the same parallelism (remote touches are not aggregated the
+    #: way MPI packs messages, so > 1).
+    omp_traffic_multiplier: float
+    #: Whether the OpenMP version slices the domain into 1D slabs
+    #: (loop-level parallelism) rather than the MPI version's compact
+    #: 3D subdomains: slab surfaces are t**(2/3) larger.
+    omp_slab_decomposition: bool = False
+
+
+KERNEL_PERF: dict[str, KernelPerf] = {
+    "mg": KernelPerf(
+        base_eff=0.30,
+        reuse=1.0,
+        halo_neighbors=6,
+        omp_parallel_fraction=0.997,
+        omp_sync_cost=10e-6,
+        omp_barriers_per_iter=40.0,  # every smoothing pass, every level
+        omp_traffic_multiplier=2.0,
+    ),
+    "cg": KernelPerf(
+        base_eff=0.085,  # irregular gather-bound SpMV
+        reuse=1.0,
+        halo_neighbors=2,
+        omp_parallel_fraction=0.998,
+        omp_sync_cost=6e-6,
+        omp_barriers_per_iter=100.0,  # 25 inner iterations x 4 regions
+        omp_traffic_multiplier=1.5,
+    ),
+    "ft": KernelPerf(
+        base_eff=0.24,
+        reuse=1.0,
+        halo_neighbors=0,
+        omp_parallel_fraction=0.999,
+        omp_sync_cost=8e-6,
+        omp_barriers_per_iter=8.0,
+        omp_traffic_multiplier=3.0,  # transposed remote touches
+    ),
+    "bt": KernelPerf(
+        base_eff=0.17,
+        reuse=2.0,  # 5x5 blocks revisited across the three sweeps
+        halo_neighbors=6,
+        omp_parallel_fraction=0.996,
+        omp_sync_cost=10e-6,
+        omp_barriers_per_iter=15.0,  # per-direction pipeline syncs
+        omp_traffic_multiplier=2.5,
+        omp_slab_decomposition=True,  # pipelined line solver slices 1D
+    ),
+}
+
+
+@dataclass
+class NPBTimingModel:
+    """Predicted timing of one NPB run on a placement."""
+
+    benchmark: str
+    cls: str
+    placement: Placement
+    paradigm: str = "mpi"  # "mpi" or "openmp"
+    compiler: Compiler = Compiler.V7_1
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in KERNEL_PERF:
+            raise ConfigurationError(f"unknown NPB benchmark {self.benchmark!r}")
+        if self.paradigm not in ("mpi", "openmp"):
+            raise ConfigurationError(f"unknown paradigm {self.paradigm!r}")
+        self.spec: ProblemSize = problem(self.benchmark, self.cls)
+        self.perf = KERNEL_PERF[self.benchmark]
+        if self.paradigm == "openmp" and self.placement.n_nodes_used() > 1:
+            raise ConfigurationError(
+                "OpenMP cannot span Altix nodes (shared memory only)"
+            )
+        self._collectives: CollectiveModel | None = None
+
+    # -- pieces ---------------------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        """Degree of parallelism (ranks, or threads under OpenMP)."""
+        return self.placement.total_cpus
+
+    def _node(self):
+        return self.placement.cluster.nodes[0]
+
+    def _compute_time(self) -> float:
+        """Per-CPU compute + memory time for the whole run."""
+        node = self._node()
+        p = self.p
+        cf = compiler_factor(self.compiler, self.benchmark, p)
+        flops = self.spec.flops / p
+        eff = self.perf.base_eff * cf
+        compute = flops / (node.processor.peak_flops * eff)
+        ws = self.spec.memory_bytes / p
+        miss = miss_fraction(ws, node.processor.l3_bytes, self.perf.reuse)
+        mem_bw = node.fsb.per_cpu_bandwidth(self.placement.active_per_fsb())
+        memory = (self.spec.traffic_bytes / p) * miss / mem_bw
+        return compute + memory
+
+    def comm_volume_per_rank(self, p: int | None = None) -> float:
+        """Bytes each rank exchanges over the whole run when the
+        problem is decomposed ``p`` ways (both paradigms slice the
+        same way, so this also sizes OpenMP's cross-brick traffic)."""
+        p = self.p if p is None else p
+        if p <= 1:
+            return 0.0
+        spec = self.spec
+        n = spec.points
+        iters = spec.iterations
+        if self.benchmark == "mg":
+            # 6 faces per smoothing/residual pass; the level hierarchy
+            # adds a ~2x geometric factor.
+            face = 8.0 * (n / p) ** (2.0 / 3.0)
+            return iters * 6 * 2.0 * face
+        if self.benchmark == "cg":
+            # Per inner iteration: pencil exchange of the vector block
+            # with the transpose partner set (~sqrt(P)-wide).
+            vec_block = 8.0 * n / max(1.0, math.sqrt(p))
+            return iters * 25 * 2 * vec_block
+        if self.benchmark == "ft":
+            # Two full-array transposes per iteration.
+            return iters * 2 * 16.0 * n / p
+        # bt: three directional sweeps, two faces each, 5 variables.
+        face = 8.0 * 5.0 * (n / p) ** (2.0 / 3.0)
+        return iters * 3 * 2 * face
+
+    def _mpi_comm_time(self) -> float:
+        """Communication time for the whole run under MPI."""
+        if self.p == 1:
+            return 0.0
+        if self._collectives is None:
+            self._collectives = CollectiveModel(self.placement)
+        coll = self._collectives
+        spec = self.spec
+        n = spec.points
+        p = self.p
+        iters = spec.iterations
+        if self.benchmark == "mg":
+            face = 8.0 * (n / p) ** (2.0 / 3.0)
+            per_iter = coll.halo_exchange(2.0 * face, 6) + coll.allreduce(8)
+            return iters * per_iter
+        if self.benchmark == "cg":
+            vec_block = 8.0 * n / max(1.0, math.sqrt(p))
+            per_inner = 2 * coll.allreduce(8) + coll.halo_exchange(vec_block, 2)
+            return iters * 25 * per_inner
+        if self.benchmark == "ft":
+            per_pair = 16.0 * n / (p * p)
+            return iters * 2 * coll.alltoall(per_pair)
+        # bt: halo faces plus the solver's latency ladder per sweep.
+        face = 8.0 * 5.0 * (n / p) ** (2.0 / 3.0)
+        pipeline = 3 * math.sqrt(p) * coll.stats.mean_latency
+        per_iter = 3 * coll.halo_exchange(face, 2) + pipeline
+        return iters * per_iter
+
+    def _openmp_overhead_time(self) -> float:
+        """Serial fraction + barriers + cross-brick fabric traffic."""
+        node = self._node()
+        t = self.p
+        perf = self.perf
+        serial = (1.0 - perf.omp_parallel_fraction) * self._compute_time() * t
+        if t == 1:
+            return serial
+        sync = (
+            perf.omp_sync_cost
+            * math.ceil(math.log2(t))
+            * perf.omp_barriers_per_iter
+            * self.spec.iterations
+        )
+        # Traffic leaves a brick only once threads span several bricks.
+        brick_cpus = node.brick.cpus
+        off_brick = max(0.0, 1.0 - brick_cpus / t)
+        volume_per_thread = (
+            self.comm_volume_per_rank(t) * perf.omp_traffic_multiplier * off_brick
+        )
+        if perf.omp_slab_decomposition:
+            # 1D slab surfaces exceed compact-subdomain faces.
+            volume_per_thread *= t ** (2.0 / 3.0)
+        loaded_bw = node.interconnect.loaded_bandwidth_per_cpu(brick_cpus)
+        fabric = volume_per_thread / loaded_bw
+        return serial + sync + fabric
+
+    # -- results ----------------------------------------------------------------
+
+    def total_time(self) -> float:
+        """Predicted wall-clock for the full benchmark run."""
+        penalty = self.placement.locality_penalty()
+        if self.paradigm == "mpi":
+            return self._compute_time() * penalty + self._mpi_comm_time()
+        return self._compute_time() * penalty + self._openmp_overhead_time()
+
+    def gflops_per_cpu(self) -> float:
+        """Per-CPU flop rate, the quantity Fig. 6/8 plots."""
+        return to_gflops(self.spec.flops / self.p / self.total_time())
+
+    def breakdown(self) -> dict[str, float]:
+        """Compute / communication-or-overhead split."""
+        if self.paradigm == "mpi":
+            return {"compute": self._compute_time(), "comm": self._mpi_comm_time()}
+        return {
+            "compute": self._compute_time(),
+            "comm": self._openmp_overhead_time(),
+        }
+
+
+def npb_gflops_per_cpu(
+    benchmark: str,
+    cls: str,
+    placement: Placement,
+    paradigm: str = "mpi",
+    compiler: Compiler = Compiler.V7_1,
+) -> float:
+    """Convenience wrapper around :class:`NPBTimingModel`."""
+    return NPBTimingModel(benchmark, cls, placement, paradigm, compiler).gflops_per_cpu()

@@ -1,0 +1,12 @@
+"""OpenMP fork-join performance model.
+
+The paper's OpenMP findings (§4.1.2, §4.5): OpenMP NPB versions beat
+MPI at small CPU counts but scale worse; their scaling is limited far
+more by NUMAlink *bandwidth* than by cache size or clock (the BX2's
+doubled bandwidth buys up to 2x at 128 threads on FT/BT); and beyond a
+few threads per process, hybrid-code OpenMP efficiency decays quickly.
+"""
+
+from repro.openmp.scaling import OMPKernelParams, omp_region_time, omp_speedup
+
+__all__ = ["OMPKernelParams", "omp_region_time", "omp_speedup"]

@@ -1,0 +1,104 @@
+"""Thread-scaling model for OpenMP parallel regions.
+
+Time for a region whose serial execution takes ``t_serial`` on one CPU,
+run with ``t`` threads on an Altix node:
+
+``T(t) = t_serial*(1-f)                     # Amdahl serial part
+       + t_serial*f/t                       # perfectly divided part
+       + sync * ceil(log2 t)                # fork/join + barriers
+       + shared_bytes(t) / numalink_bw``    # data crossing the fabric
+
+The last term is what differentiates node types: threads touch data
+homed on other bricks through the NUMAlink, so the BX2's doubled
+bandwidth directly improves OpenMP scaling — the paper's core OpenMP
+observation.  ``shared_bytes`` grows with thread count (finer domain
+slicing exposes proportionally more shared boundary).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.node import AltixNode
+
+__all__ = ["OMPKernelParams", "omp_region_time", "omp_speedup"]
+
+
+@dataclass(frozen=True)
+class OMPKernelParams:
+    """Scaling characteristics of one OpenMP kernel."""
+
+    #: Amdahl parallel fraction of the region.
+    parallel_fraction: float
+    #: Seconds per fork-join/barrier round (multiplied by log2 t).
+    sync_cost: float
+    #: Bytes of cross-thread (cross-brick) traffic per unit of
+    #: serial time, at one thread; actual traffic scales with the
+    #: boundary growth exponent below.
+    shared_bytes_per_second: float
+    #: Boundary growth: traffic multiplies by t**exponent (surface-
+    #: to-volume for 3D slab decompositions is ~2/3; all-to-all-ish
+    #: kernels like FT approach 1).
+    boundary_exponent: float = 0.67
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.parallel_fraction <= 1.0:
+            raise ConfigurationError(
+                f"parallel_fraction must be in (0,1]: {self.parallel_fraction}"
+            )
+        if self.sync_cost < 0 or self.shared_bytes_per_second < 0:
+            raise ConfigurationError("costs must be non-negative")
+        if not 0.0 <= self.boundary_exponent <= 1.5:
+            raise ConfigurationError(
+                f"boundary_exponent out of range: {self.boundary_exponent}"
+            )
+
+
+def omp_region_time(
+    t_serial: float,
+    threads: int,
+    node: AltixNode,
+    params: OMPKernelParams,
+    locality_penalty: float = 1.0,
+) -> float:
+    """Wall time of the region with ``threads`` threads on ``node``.
+
+    ``locality_penalty`` >= 1 models unpinned thread migration
+    (:meth:`repro.machine.placement.Placement.locality_penalty`).
+    """
+    if threads < 1:
+        raise ConfigurationError(f"threads must be >= 1, got {threads}")
+    if t_serial < 0:
+        raise ConfigurationError(f"negative serial time: {t_serial}")
+    f = params.parallel_fraction
+    serial_part = t_serial * (1.0 - f)
+    parallel_part = t_serial * f / threads
+    if threads == 1:
+        return (serial_part + parallel_part) * locality_penalty
+    sync = params.sync_cost * math.ceil(math.log2(threads))
+    # Cross-brick traffic rides the NUMAlink at the *loaded* per-CPU
+    # share (plane-factor derated: NUMAlink3 sustains far less under
+    # dense traffic — the §4.1.2 OpenMP bandwidth sensitivity).
+    traffic = (
+        params.shared_bytes_per_second
+        * t_serial
+        * (threads ** params.boundary_exponent - 1.0)
+    )
+    per_cpu_bw = node.interconnect.loaded_bandwidth_per_cpu(node.brick.cpus)
+    fabric_time = traffic / (per_cpu_bw * threads)
+    return (serial_part + parallel_part + sync + fabric_time) * locality_penalty
+
+
+def omp_speedup(
+    threads: int,
+    node: AltixNode,
+    params: OMPKernelParams,
+    t_serial: float = 1.0,
+    locality_penalty: float = 1.0,
+) -> float:
+    """Speedup over one thread (same node, same pinning)."""
+    t1 = omp_region_time(t_serial, 1, node, params, locality_penalty)
+    tt = omp_region_time(t_serial, threads, node, params, locality_penalty)
+    return t1 / tt

@@ -1,0 +1,56 @@
+"""One-sided put/get cost model.
+
+SHMEM puts/gets skip MPI's message matching and rendezvous: on the
+Altix they compile to direct memory references through the SHUB, so
+the per-transfer software overhead is a fraction of MPI's, while the
+path bandwidth is the same NUMAlink link.  SHMEM works only over
+NUMAlink — "communication over the InfiniBand switch requires the use
+of MPI" (paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.machine.placement import Placement
+from repro.netmodel.costs import NetworkModel, PathSpec
+
+__all__ = ["ShmemModel"]
+
+#: SHMEM software latency relative to MPI's (no matching, no tags).
+_LATENCY_FRACTION = 0.55
+
+
+@dataclass
+class ShmemModel:
+    """SHMEM transfer costs for one placement."""
+
+    placement: Placement
+
+    def __post_init__(self) -> None:
+        cluster = self.placement.cluster
+        if self.placement.n_nodes_used() > 1 and cluster.fabric != "numalink4":
+            raise CommunicationError(
+                "SHMEM cannot cross the InfiniBand switch (paper §2); "
+                "use MPI or a NUMAlink4-coupled cluster"
+            )
+        self._net = NetworkModel(self.placement)
+
+    def path(self, pe_a: int, pe_b: int) -> PathSpec:
+        """One-sided path between two processing elements."""
+        mpi_path = self._net.path(pe_a, pe_b)
+        return PathSpec(mpi_path.latency * _LATENCY_FRACTION, mpi_path.bandwidth)
+
+    def put_time(self, pe_from: int, pe_to: int, nbytes: float) -> float:
+        """Time for a blocking put of ``nbytes``."""
+        if nbytes < 0:
+            raise CommunicationError(f"negative put size: {nbytes}")
+        return self.path(pe_from, pe_to).time(nbytes)
+
+    def get_time(self, pe_from: int, pe_to: int, nbytes: float) -> float:
+        """Time for a blocking get (a round trip: request + data)."""
+        if nbytes < 0:
+            raise CommunicationError(f"negative get size: {nbytes}")
+        p = self.path(pe_from, pe_to)
+        return p.latency + p.time(nbytes)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, deterministic simpy-like kernel: a time-ordered
+event queue (:class:`~repro.sim.engine.Simulator`), generator-based
+simulated processes (:class:`~repro.sim.process.SimProcess`), one-shot
+events, FIFO resources, bandwidth-serialized links, and mailbox
+channels.  The simulated MPI/OpenMP/MLP layers in :mod:`repro.mpi`,
+:mod:`repro.openmp` and :mod:`repro.mlp` are built on top of it.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.process import SimEvent, SimProcess, Timeout
+from repro.sim.resources import Link, Resource
+from repro.sim.channel import Channel
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Simulator",
+    "SimEvent",
+    "SimProcess",
+    "Timeout",
+    "Resource",
+    "Link",
+    "Channel",
+    "make_rng",
+]

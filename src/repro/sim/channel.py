@@ -1,0 +1,68 @@
+"""Mailbox channel used by the simulated MPI layer.
+
+A :class:`Channel` is an unbounded mailbox with *matching*: receivers
+ask for a message satisfying a predicate (source/tag matching in MPI
+terms); if none is buffered the receiver blocks until a matching
+message is put.  Unmatched messages buffer (eager-send semantics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.process import SimEvent
+
+__all__ = ["Channel"]
+
+MatchFn = Callable[[Any], bool]
+
+
+def _match_any(_msg: Any) -> bool:
+    return True
+
+
+class Channel:
+    """An unbounded matching mailbox."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._messages: deque[Any] = deque()
+        self._getters: deque[tuple[MatchFn, SimEvent]] = deque()
+
+    def put(self, message: Any) -> None:
+        """Deliver ``message``; wakes the oldest matching getter."""
+        for i, (match, ev) in enumerate(self._getters):
+            if match(message):
+                del self._getters[i]
+                ev.succeed(message)
+                return
+        self._messages.append(message)
+
+    def get(self, match: MatchFn | None = None) -> SimEvent:
+        """Request a message satisfying ``match`` (default: any).
+
+        The returned event triggers with the message as its value.
+        Buffered messages are matched in FIFO order.
+        """
+        if match is None:
+            match = _match_any
+        ev = SimEvent(self.sim)
+        for i, message in enumerate(self._messages):
+            if match(message):
+                del self._messages[i]
+                ev.succeed(message)
+                return ev
+        self._getters.append((match, ev))
+        return ev
+
+    @property
+    def buffered(self) -> int:
+        """Number of messages waiting to be received."""
+        return len(self._messages)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of blocked receive requests."""
+        return len(self._getters)

@@ -1,0 +1,100 @@
+"""The discrete-event simulator core.
+
+The :class:`Simulator` owns the clock and a heap-ordered queue of
+scheduled callbacks.  Everything else (events, processes, resources)
+is built by scheduling callbacks here.  Determinism is guaranteed by a
+monotonically increasing sequence number that breaks ties between
+callbacks scheduled for the same instant: two runs of the same program
+always execute callbacks in the same order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in seconds.  Starts at ``0.0`` and only
+        moves forward.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[], Any]]] = []
+        self._seq: int = 0
+        #: number of simulated processes that have started but not finished;
+        #: used for deadlock detection when the event queue drains.
+        self._active_processes: int = 0
+        self._blocked_processes: int = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` at ``now + delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        self.schedule(when - self.now, callback)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.
+
+        Returns ``False`` when the queue is empty, ``True`` otherwise.
+        """
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError(
+                f"time went backwards: {when} < {self.now}"
+            )
+        self.now = when
+        callback()
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the event queue drains (or past ``until`` seconds).
+
+        Raises
+        ------
+        DeadlockError
+            If the queue drains while simulated processes are still
+            blocked — the simulated program can never make progress.
+
+        Returns
+        -------
+        float
+            The simulated time at which execution stopped.
+        """
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        if self._blocked_processes > 0:
+            raise DeadlockError(
+                f"event queue empty with {self._blocked_processes} "
+                f"blocked process(es) at t={self.now:.6g} s"
+            )
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks currently scheduled."""
+        return len(self._queue)

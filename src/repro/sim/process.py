@@ -1,0 +1,185 @@
+"""Events and generator-based simulated processes.
+
+A simulated process is a Python generator that *yields* things it
+wants to wait for:
+
+* a :class:`Timeout` — elapse simulated time (e.g. compute);
+* a :class:`SimEvent` — wait for a one-shot event (message arrival,
+  resource grant, ...); the event's value is sent back into the
+  generator;
+* another :class:`SimProcess` — join it (a process is itself an event
+  that triggers with the generator's return value);
+* an :class:`AllOf` — wait for several events; yields their values.
+
+Example::
+
+    def worker(sim):
+        yield Timeout(sim, 1.5)          # compute for 1.5 s
+        value = yield some_event         # block until triggered
+        return value * 2
+
+    sim = Simulator()
+    proc = SimProcess(sim, worker(sim))
+    sim.run()
+    assert proc.value == expected
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+__all__ = ["SimEvent", "Timeout", "SimProcess", "AllOf", "AnyOf"]
+
+
+class SimEvent:
+    """A one-shot event that simulated processes can wait on.
+
+    The event starts untriggered.  Calling :meth:`succeed` schedules
+    all registered callbacks at the current simulated time and stores
+    ``value``, which is delivered to every waiter.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event, waking all waiters at the current time."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, lambda cb=cb: cb(self))
+        return self
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register ``callback(event)``; fires immediately if already
+        triggered (scheduled at the current time, preserving order)."""
+        if self.triggered:
+            self.sim.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(SimEvent):
+    """An event that triggers ``delay`` simulated seconds from now."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        sim.schedule(delay, lambda: self._fire(value))
+
+    def _fire(self, value: Any) -> None:
+        if not self.triggered:
+            self.succeed(value)
+
+
+class AnyOf(SimEvent):
+    """Triggers when the *first* of ``events`` triggers.
+
+    The value is ``(index, value)`` of the winning event.  Later
+    triggers of the other events are ignored.  An empty list is an
+    error (it could never trigger).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: Simulator, events: Iterable[SimEvent]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, ev in enumerate(self._events):
+            ev.add_callback(lambda e, index=index: self._first(index, e))
+
+    def _first(self, index: int, ev: SimEvent) -> None:
+        if not self.triggered:
+            self.succeed((index, ev.value))
+
+
+class AllOf(SimEvent):
+    """Triggers when every event in ``events`` has triggered.
+
+    The value is the list of the constituent events' values, in the
+    order given.  An empty list triggers immediately.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: Simulator, events: Iterable[SimEvent]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._one_done)
+
+    def _one_done(self, _ev: SimEvent) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([ev.value for ev in self._events])
+
+
+class SimProcess(SimEvent):
+    """A running simulated process wrapping a generator.
+
+    The process is itself a :class:`SimEvent` that triggers when the
+    generator returns; ``value`` is the generator's return value, so
+    processes can be joined by yielding them.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gen: Generator[SimEvent, Any, Any],
+        name: str = "process",
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"SimProcess needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        self._gen = gen
+        self.name = name
+        sim._active_processes += 1
+        # Start the process at the current simulated time.
+        sim.schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, send_value: Any) -> None:
+        sim = self.sim
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            sim._active_processes -= 1
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, SimEvent):
+            sim._active_processes -= 1
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "expected a SimEvent/Timeout/SimProcess"
+            )
+        sim._blocked_processes += 1
+
+        def wake(ev: SimEvent) -> None:
+            sim._blocked_processes -= 1
+            self._resume(ev.value)
+
+        target.add_callback(wake)

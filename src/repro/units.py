@@ -1,0 +1,87 @@
+"""Unit helpers used throughout the package.
+
+All internal times are in **seconds**, sizes in **bytes**, rates in
+**bytes/second** or **flop/s**.  These helpers exist so that model
+constants can be written in the units the paper uses (microseconds,
+GB/s, Gflop/s) without sprinkling powers of ten through the code.
+"""
+
+from __future__ import annotations
+
+# -- scale factors ----------------------------------------------------------
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+TERA = 1_000_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+TIB = 1024 * 1024 * 1024 * 1024
+
+US = 1e-6  # one microsecond, in seconds
+MS = 1e-3  # one millisecond, in seconds
+
+
+def usec(x: float) -> float:
+    """Convert a value in microseconds to seconds."""
+    return x * US
+
+
+def msec(x: float) -> float:
+    """Convert a value in milliseconds to seconds."""
+    return x * MS
+
+
+def to_usec(seconds: float) -> float:
+    """Convert seconds to microseconds (for reporting)."""
+    return seconds / US
+
+
+def gb_per_s(x: float) -> float:
+    """Convert a bandwidth in GB/s (decimal) to bytes/s."""
+    return x * GIGA
+
+
+def mb_per_s(x: float) -> float:
+    """Convert a bandwidth in MB/s (decimal) to bytes/s."""
+    return x * MEGA
+
+
+def to_gb_per_s(bytes_per_s: float) -> float:
+    """Convert bytes/s to GB/s (decimal, as HPCC reports)."""
+    return bytes_per_s / GIGA
+
+
+def to_mb_per_s(bytes_per_s: float) -> float:
+    """Convert bytes/s to MB/s (decimal)."""
+    return bytes_per_s / MEGA
+
+
+def gflops(x: float) -> float:
+    """Convert Gflop/s to flop/s."""
+    return x * GIGA
+
+
+def to_gflops(flops_per_s: float) -> float:
+    """Convert flop/s to Gflop/s (as the paper reports)."""
+    return flops_per_s / GIGA
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units), e.g. ``6.0 MiB``."""
+    n = float(n)
+    for unit, scale in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable time, choosing s / ms / us as appropriate."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= MS:
+        return f"{seconds / MS:.3g} ms"
+    return f"{seconds / US:.3g} us"

@@ -1,0 +1,132 @@
+"""Tests for the configuration advisor and the HPCC summary."""
+
+import pytest
+
+from repro.hpcc.report import hpcc_summary
+from repro.machine.advisor import advise
+from repro.machine.cluster import multinode, single_node
+from repro.machine.infiniband import MPTVersion
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement, PinningMode
+
+
+def rules(advice):
+    return {a.rule for a in advice}
+
+
+class TestAdvisor:
+    def test_clean_layout_is_quiet(self):
+        pl = Placement(single_node(NodeType.BX2B), n_ranks=64)
+        assert advise(pl) == []
+
+    def test_unpinned_hybrid_is_an_error(self):
+        pl = Placement(
+            single_node(NodeType.BX2B), n_ranks=8, threads_per_rank=8,
+            pinning=PinningMode.UNPINNED,
+        )
+        advice = advise(pl)
+        assert "pin-your-threads" in rules(advice)
+        pin = next(a for a in advice if a.rule == "pin-your-threads")
+        assert pin.severity == "error"
+        assert pin.paper_ref == "§4.3"
+
+    def test_unpinned_pure_mpi_only_warns(self):
+        pl = Placement(
+            single_node(NodeType.BX2B), n_ranks=64,
+            pinning=PinningMode.UNPINNED,
+        )
+        pin = next(a for a in advise(pl) if a.rule == "pin-your-threads")
+        assert pin.severity == "warning"
+
+    def test_boot_cpuset_flagged(self):
+        pl = Placement(single_node(NodeType.BX2B), n_ranks=512)
+        assert "leave-the-boot-cpuset" in rules(advise(pl))
+        pl508 = Placement(single_node(NodeType.BX2B), n_ranks=508)
+        assert "leave-the-boot-cpuset" not in rules(advise(pl508))
+
+    def test_ib_connection_cap_flagged(self):
+        cluster = multinode(4, fabric="infiniband")
+        pl = Placement(cluster, n_ranks=2048, spread_nodes=True)
+        advice = advise(pl)
+        assert "hybrid-beyond-three-nodes" in rules(advice)
+        cap = next(a for a in advice if a.rule == "hybrid-beyond-three-nodes")
+        assert cap.severity == "error"
+
+    def test_hybrid_layout_clears_the_cap(self):
+        cluster = multinode(4, fabric="infiniband")
+        pl = Placement(cluster, n_ranks=1024, threads_per_rank=2, spread_nodes=True)
+        assert "hybrid-beyond-three-nodes" not in rules(advise(pl))
+
+    def test_released_mpt_flagged(self):
+        cluster = multinode(2, fabric="infiniband", mpt=MPTVersion.MPT_1_11R)
+        pl = Placement(cluster, n_ranks=128, spread_nodes=True)
+        assert "use-the-beta-mpt" in rules(advise(pl))
+
+    def test_stride_advice_only_for_bandwidth_bound(self):
+        pl = Placement(single_node(NodeType.BX2B), n_ranks=64)
+        assert "stride-for-bandwidth" not in rules(advise(pl))
+        assert "stride-for-bandwidth" in rules(advise(pl, bandwidth_bound=True))
+        strided = Placement(single_node(NodeType.BX2B), n_ranks=64, stride=2)
+        assert "stride-for-bandwidth" not in rules(advise(strided, bandwidth_bound=True))
+
+    def test_wide_threads_on_3700_flagged(self):
+        pl = Placement(single_node(NodeType.A3700), n_ranks=4, threads_per_rank=16)
+        advice = rules(advise(pl))
+        assert "narrow-threads-on-3700" in advice
+        bx = Placement(single_node(NodeType.BX2B), n_ranks=4, threads_per_rank=16)
+        assert "narrow-threads-on-3700" not in rules(advise(bx))
+
+    def test_thread_sweet_spot_info(self):
+        pl = Placement(single_node(NodeType.BX2B), n_ranks=16, threads_per_rank=8)
+        info = next(a for a in advise(pl) if a.rule == "two-threads-sweet-spot")
+        assert info.severity == "info"
+
+
+class TestHPCCSummary:
+    def test_summary_fields_sane(self):
+        s = hpcc_summary(NodeType.BX2B, n_cpus=32, trials=1)
+        assert s.n_cpus == 32
+        assert s.dgemm_gflops == pytest.approx(5.76, abs=0.05)
+        assert 1.5 < s.stream_triad_gb_s < 2.5
+        assert 0.5 < s.pingpong_latency_us < 5.0
+        assert s.random_ring_bandwidth_gb_s <= s.natural_ring_bandwidth_gb_s * 1.01
+
+    def test_format_looks_like_hpccoutf(self):
+        s = hpcc_summary(NodeType.A3700, n_cpus=16, trials=1)
+        text = s.format()
+        assert text.startswith("Begin of Summary section.")
+        assert "StarSTREAM_Triad=" in text
+        assert "RandomlyOrderedRingBandwidth_GBytes=" in text
+        assert text.endswith("End of Summary section.")
+
+    def test_node_types_differ(self):
+        s37 = hpcc_summary(NodeType.A3700, n_cpus=32, trials=1)
+        sbx = hpcc_summary(NodeType.BX2B, n_cpus=32, trials=1)
+        assert sbx.dgemm_gflops > s37.dgemm_gflops
+        assert sbx.pingpong_latency_us < s37.pingpong_latency_us
+
+
+class TestCLICommands:
+    def test_advise_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["advise", "--ranks", "64"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_advise_flags_bad_layout(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "advise", "--nodes", "4", "--fabric", "infiniband",
+            "--ranks", "2048", "--unpinned",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid-beyond-three-nodes" in out
+        assert "pin-your-threads" in out
+
+    def test_hpcc_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["hpcc", "--node-type", "BX2b", "--cpus", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "StarDGEMM_Gflops=5.7" in out

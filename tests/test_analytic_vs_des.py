@@ -1,0 +1,122 @@
+"""Cross-validation: analytic collective costs vs DES execution.
+
+The closed-form workload models price collectives with
+:class:`~repro.netmodel.collectives.CollectiveModel`; the DES executes
+the same algorithms message by message.  The two were built to agree
+in *shape* — these tests pin the agreement (within small factors; the
+analytic model ignores interleaving effects by design) so the two
+layers cannot silently drift apart.
+"""
+
+import pytest
+
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.mpi import run_mpi
+from repro.mpi.collectives import allgather, allreduce, alltoall, barrier, broadcast
+from repro.netmodel.collectives import CollectiveModel
+
+
+def des_time(p, program):
+    placement = Placement(single_node(NodeType.BX2B), n_ranks=p)
+    return run_mpi(placement, program).elapsed
+
+
+def analytic(p):
+    return CollectiveModel(Placement(single_node(NodeType.BX2B), n_ranks=p))
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_within_factor_three(self, p):
+        def prog(comm):
+            yield from barrier(comm)
+            return None
+
+        des = des_time(p, prog)
+        model = analytic(p).barrier()
+        assert model / 3 < des < model * 3
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    @pytest.mark.parametrize("nbytes", [64, 65536])
+    def test_within_factor_three(self, p, nbytes):
+        def prog(comm):
+            yield from broadcast(comm, nbytes, root=0, payload=None)
+            return None
+
+        des = des_time(p, prog)
+        model = analytic(p).broadcast(nbytes)
+        assert model / 3 < des < model * 3
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_within_factor_four(self, p):
+        """The DES runs reduce+broadcast (2 log P rounds); the model
+        charges recursive doubling (log P) — a factor-2 by design,
+        plus interleaving slack."""
+
+        def prog(comm):
+            yield from allreduce(comm, 1024, 1.0)
+            return None
+
+        des = des_time(p, prog)
+        model = analytic(p).allreduce(1024)
+        assert model / 2 < des < model * 4
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    @pytest.mark.parametrize("nbytes", [256, 16384])
+    def test_loaded_des_within_factor_four(self, p, nbytes):
+        """The analytic model prices a *loaded* fabric, so compare
+        against the DES with brick contention on (all CPUs of a brick
+        share one injection link)."""
+
+        def prog(comm):
+            yield from alltoall(comm, nbytes)
+            return None
+
+        placement = Placement(single_node(NodeType.BX2B), n_ranks=p)
+        des = run_mpi(placement, prog, brick_contention=True).elapsed
+        model = analytic(p).alltoall(nbytes)
+        assert model / 4 < des < model * 4
+
+    def test_unloaded_des_is_faster_for_big_messages(self):
+        """Without brick contention the DES prices an unloaded fabric,
+        which a bandwidth-bound all-to-all beats the loaded model on —
+        pinning the deliberate difference between the two layers."""
+
+        def prog(comm):
+            yield from alltoall(comm, 16384)
+            return None
+
+        des = des_time(16, prog)
+        model = analytic(16).alltoall(16384)
+        assert des < model / 3
+
+    def test_both_grow_with_ranks(self):
+        def prog(comm):
+            yield from alltoall(comm, 4096)
+            return None
+
+        des8, des64 = des_time(8, prog), des_time(64, prog)
+        m8 = analytic(8).alltoall(4096)
+        m64 = analytic(64).alltoall(4096)
+        assert des64 > des8
+        assert m64 > m8
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_within_factor_three(self, p):
+        def prog(comm):
+            yield from allgather(comm, 2048, comm.rank)
+            return None
+
+        des = des_time(p, prog)
+        model = analytic(p).allgather(2048)
+        assert model / 3 < des < model * 3

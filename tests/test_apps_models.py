@@ -1,0 +1,217 @@
+"""Tests for the INS3D and OVERFLOW-D performance models
+(paper Tables 2, 3, 4, 6)."""
+
+import pytest
+
+from repro.apps.ins3d import INS3DModel, SERIAL_STEP_SECONDS
+from repro.apps.overflow import OverflowModel, overflow_thread_efficiency
+from repro.errors import ConfigurationError
+from repro.machine.cluster import multinode, single_node
+from repro.machine.compilers import Compiler
+from repro.machine.node import NodeType, build_node
+
+
+class TestINS3DTable2:
+    """Table 2: runtime per iteration, 36 MLP groups x OpenMP threads."""
+
+    #: Paper values: threads -> (3700 seconds, BX2b seconds).
+    PAPER = {
+        1: (1223.0, 825.2),
+        2: (796.0, 508.4),
+        4: (554.2, 331.8),
+        8: (454.7, 287.7),
+    }
+
+    def test_baselines_match_paper(self):
+        assert SERIAL_STEP_SECONDS[NodeType.A3700] == 39230.0
+        assert SERIAL_STEP_SECONDS[NodeType.BX2B] == 26430.0
+
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_3700_column_within_10_percent(self, threads):
+        m = INS3DModel(node_type=NodeType.A3700)
+        assert m.step_time(36, threads) == pytest.approx(
+            self.PAPER[threads][0], rel=0.10
+        )
+
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_bx2b_column_within_10_percent(self, threads):
+        m = INS3DModel(node_type=NodeType.BX2B)
+        assert m.step_time(36, threads) == pytest.approx(
+            self.PAPER[threads][1], rel=0.10
+        )
+
+    def test_bx2b_roughly_50_percent_faster(self):
+        """§4.1.3: 'the BX2b demonstrates approximately 50% faster
+        iteration time'."""
+        t3700 = INS3DModel(node_type=NodeType.A3700).step_time(36, 4)
+        tbx2b = INS3DModel(node_type=NodeType.BX2B).step_time(36, 4)
+        assert 1.3 < t3700 / tbx2b < 1.8
+
+    def test_thread_scaling_decays_beyond_eight(self):
+        """§4.1.3: scalability 'begins to decay as the number of
+        threads increases beyond eight'."""
+        m = INS3DModel(node_type=NodeType.A3700)
+        gain_2_to_4 = m.step_time(36, 2) / m.step_time(36, 4)
+        gain_8_to_14 = m.step_time(36, 8) / m.step_time(36, 14)
+        assert gain_2_to_4 > 1.3  # early threads pay off
+        assert gain_8_to_14 < 1.15  # later threads barely help
+
+    def test_groups_scale_until_balance_fails(self):
+        """§4.1.3: 'further scaling can be accomplished by ... varying
+        the number of MLP groups until the load balancing begins to
+        fail'."""
+        m = INS3DModel(node_type=NodeType.BX2B)
+        assert m.group_imbalance(36) < 1.1
+        assert m.group_imbalance(250) > m.group_imbalance(36)
+
+    def test_convergence_penalty_for_many_groups(self):
+        """§4.1.3: varying groups 'may deteriorate convergence'."""
+        m = INS3DModel()
+        assert m.convergence_factor(36) == 1.0
+        assert m.convergence_factor(144) > 1.0
+        # Threads never change convergence: time_to_solution scales
+        # purely with step time.
+        assert m.convergence_factor(36) == m.convergence_factor(20)
+
+    def test_compilers_71_vs_81_negligible(self):
+        """Table 4: INS3D 7.1 vs 8.1 'negligible difference'."""
+        t71 = INS3DModel(compiler=Compiler.V7_1).step_time(36, 4)
+        t81 = INS3DModel(compiler=Compiler.V8_1).step_time(36, 4)
+        assert abs(t71 - t81) / t71 < 0.02
+
+    def test_bad_layouts_rejected(self):
+        m = INS3DModel()
+        with pytest.raises(ConfigurationError):
+            m.step_time(0, 1)
+        with pytest.raises(ConfigurationError):
+            m.step_time(64, 16)  # 1024 CPUs > one node
+
+
+class TestOverflowTable3:
+    """Table 3 / §4.1.4: 3700 vs BX2b scaling."""
+
+    def test_3700_scaling_good_to_64_flat_beyond_256(self):
+        m = OverflowModel(cluster=single_node(NodeType.A3700))
+        assert m.efficiency(64) > 0.7  # "reasonably good up to 64"
+        t256 = m.best_step_time(256).exec
+        t508 = m.best_step_time(508).exec
+        assert t508 > 0.9 * t256  # "flattens beyond 256"
+
+    def test_efficiencies_match_paper_shape(self):
+        """§4.1.4: BX2b efficiency 61/37/27% vs 26/19/7% on 3700 at
+        128/256/508 CPUs (tolerant band: the grid system is synthetic)."""
+        m37 = OverflowModel(cluster=single_node(NodeType.A3700))
+        mbx = OverflowModel(cluster=single_node(NodeType.BX2B))
+        for cpus, lo37, hi37, lobx, hibx in (
+            (128, 0.15, 0.50, 0.45, 0.75),
+            (256, 0.10, 0.28, 0.30, 0.55),
+            (508, 0.04, 0.13, 0.18, 0.35),
+        ):
+            assert lo37 < m37.efficiency(cpus) < hi37
+            assert lobx < mbx.efficiency(cpus) < hibx
+
+    def test_bx2b_beats_3700_2x_average_3x_at_508(self):
+        """§4.1.4: 'more than a factor of 3x on 508 CPUs ... on
+        average almost 2x faster'."""
+        m37 = OverflowModel(cluster=single_node(NodeType.A3700))
+        mbx = OverflowModel(cluster=single_node(NodeType.BX2B))
+        ratios = [
+            m37.best_step_time(c).exec / mbx.best_step_time(c).exec
+            for c in (64, 128, 256, 508)
+        ]
+        assert ratios[-1] > 3.0
+        assert 1.5 < sum(ratios) / len(ratios) < 4.0
+
+    def test_comm_reduced_more_than_half_on_bx2b(self):
+        """§4.1.4: 'the communication time is also reduced by more
+        than 50%'."""
+        c37 = OverflowModel(cluster=single_node(NodeType.A3700)).best_step_time(256).comm
+        cbx = OverflowModel(cluster=single_node(NodeType.BX2B)).best_step_time(256).comm
+        assert cbx < 0.5 * c37
+
+    def test_comm_ratio_grows_with_cpus_on_3700(self):
+        """§4.1.4: comm/exec ~0.3 at 256, larger at 508."""
+        m = OverflowModel(cluster=single_node(NodeType.A3700))
+        r256 = m.best_step_time(256)
+        r508 = m.best_step_time(508)
+        assert 0.2 < r256.comm / r256.exec < 0.45
+        assert r508.comm / r508.exec >= r256.comm / r256.exec * 0.85
+
+    def test_3700_prefers_pure_mpi_bx2b_uses_threads(self):
+        """Thread efficiency is fabric dependent: the 3700's best
+        layouts are process-heavy, the BX2b's hybrid."""
+        m37 = OverflowModel(cluster=single_node(NodeType.A3700))
+        mbx = OverflowModel(cluster=single_node(NodeType.BX2B))
+        assert m37.best_step_time(128).threads <= mbx.best_step_time(128).threads
+
+    def test_thread_efficiency_fabric_dependent(self):
+        n37 = build_node(NodeType.A3700)
+        nbx = build_node(NodeType.BX2B)
+        assert overflow_thread_efficiency(nbx, 2) > overflow_thread_efficiency(n37, 2)
+        assert overflow_thread_efficiency(n37, 1) == 1.0
+
+    def test_compiler_71_beats_81_at_small_counts(self):
+        """Table 4: OVERFLOW-D 7.1 superior by 20-40% below 64
+        processors, identical above."""
+        def exec_at(compiler, cluster_cpus, cpus):
+            m = OverflowModel(
+                cluster=single_node(NodeType.A3700, cluster_cpus), compiler=compiler
+            )
+            return m.best_step_time(cpus).exec
+
+        small71 = exec_at(Compiler.V7_1, 32, 32)
+        small81 = exec_at(Compiler.V8_1, 32, 32)
+        assert 1.1 < small81 / small71 < 1.5
+        large71 = exec_at(Compiler.V7_1, 512, 256)
+        large81 = exec_at(Compiler.V8_1, 512, 256)
+        assert abs(large81 / large71 - 1.0) < 0.05
+
+    def test_too_many_ranks_rejected(self):
+        m = OverflowModel()
+        with pytest.raises(ConfigurationError):
+            m.step_time(1700)
+
+
+class TestOverflowTable6:
+    """Table 6: multinode NUMAlink4 vs InfiniBand."""
+
+    def test_nl4_execution_about_10_percent_better(self):
+        nl = OverflowModel(cluster=multinode(4, fabric="numalink4"))
+        ib = OverflowModel(cluster=multinode(4, fabric="infiniband"))
+        for cpus in (504, 1008):
+            r = ib.reported(cpus).exec / nl.reported(cpus).exec
+            assert 1.0 < r < 1.25
+
+    def test_ib_reported_comm_lower(self):
+        """§4.6.4: 'the reverse appears to be true for the
+        communication times' (IB comm timers read lower)."""
+        nl = OverflowModel(cluster=multinode(4, fabric="numalink4"))
+        ib = OverflowModel(cluster=multinode(4, fabric="infiniband"))
+        assert ib.reported(1008).comm < nl.reported(1008).comm
+
+    def test_no_pronounced_multinode_penalty(self):
+        """§4.6.4: same total CPUs across more nodes costs little."""
+        two = OverflowModel(cluster=multinode(2, fabric="numalink4"))
+        four = OverflowModel(cluster=multinode(4, fabric="numalink4"))
+        assert four.reported(504).exec < 1.15 * two.reported(504).exec
+
+
+class TestExactHalos:
+    def test_exact_halos_more_pessimistic(self):
+        """The synthetic geometry's overlap graph yields a higher
+        remote fraction than the calibrated closed form (documented
+        in repro.apps.overset.halo)."""
+        closed = OverflowModel(cluster=single_node(NodeType.A3700))
+        exact = OverflowModel(cluster=single_node(NodeType.A3700), exact_halos=True)
+        a = closed.best_step_time(256)
+        b = exact.best_step_time(256)
+        assert b.comm > a.comm
+        assert b.exec >= a.exec
+
+    def test_remote_fraction_sources(self):
+        closed = OverflowModel()
+        exact = OverflowModel(exact_halos=True)
+        assert closed._remote_fraction(256) == pytest.approx(
+            min(1.0, 1.35 / (1679 / 256))
+        )
+        assert 0.0 < exact._remote_fraction(256) <= 1.0

@@ -1,0 +1,173 @@
+"""Tests for the CFD numerics (INS3D and OVERFLOW-D solvers)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.apps.cfd import (
+    ACSolver,
+    hyperplane_ordering,
+    line_relax_poisson,
+    lusgs_solve,
+)
+from repro.apps.cfd.lusgs import lusgs_sweep, _apply
+from repro.errors import ConfigurationError, VerificationError
+from repro.sim.rng import make_rng
+
+
+class TestArtificialCompressibility:
+    def test_divergence_driven_below_tolerance(self):
+        """The paper's own convergence criterion (§3.4): pseudo-time
+        iteration reduces the velocity divergence below tolerance."""
+        solver = ACSolver(n=32, beta=1.0, seed=0)
+        result = solver.subiterate(tolerance=5e-3)
+        assert result.converged
+        assert result.final_divergence < 5e-3
+
+    def test_divergence_history_decreases_overall(self):
+        solver = ACSolver(n=32, seed=1)
+        result = solver.subiterate(tolerance=5e-3)
+        h = result.divergence_history
+        assert h[-1] < h[0] * 0.01
+
+    def test_subiteration_count_depends_on_beta(self):
+        """§3.4: 'The total number of sub-iterations required varies
+        depending on ... the artificial compressibility parameter.'"""
+        fast = ACSolver(n=32, beta=2.0, seed=2).subiterate(tolerance=5e-3)
+        slow = ACSolver(n=32, beta=0.3, seed=2).subiterate(tolerance=5e-3)
+        assert fast.sub_iterations != slow.sub_iterations
+
+    def test_divergence_free_field_converges_immediately(self):
+        solver = ACSolver(n=16, seed=3)
+        # Overwrite with an exactly divergence-free field (stream
+        # function construction).
+        n = solver.n
+        x = np.arange(n) / n
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        psi = np.sin(2 * np.pi * X) * np.sin(2 * np.pi * Y)
+        from repro.apps.cfd.artificial_compressibility import _ddx, _ddy
+
+        solver.u = _ddy(psi, solver.h)
+        solver.v = -_ddx(psi, solver.h)
+        assert solver.divergence_norm() < 1e-10
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ACSolver(n=4)
+        with pytest.raises(ConfigurationError):
+            ACSolver(beta=0.0)
+
+
+class TestLineRelaxation:
+    def test_residual_decreases_monotonically(self):
+        rng = make_rng(0)
+        f = rng.standard_normal((24, 24))
+        _, history = line_relax_poisson(f, sweeps=20)
+        assert all(b <= a * 1.0001 for a, b in zip(history, history[1:]))
+        assert history[-1] < history[0] * 0.1
+
+    def test_converges_to_direct_solution(self):
+        rng = make_rng(1)
+        n = 16
+        f = rng.standard_normal((n, n))
+        u, _ = line_relax_poisson(f, sweeps=200)
+        # Direct sparse solve of the same 5-point system.
+        h2 = (1.0 / (n + 1)) ** 2
+        main = sp.eye(n * n) * (-4.0)
+        offs = sp.diags(
+            [1.0] * (n * n - 1), 1
+        ) + sp.diags([1.0] * (n * n - 1), -1)
+        # Remove couplings across row boundaries.
+        kill = np.ones(n * n - 1)
+        kill[np.arange(n - 1, n * n - 1, n)] = 0.0
+        horizontal = sp.diags(kill, 1) + sp.diags(kill, -1)
+        vertical = sp.diags([1.0] * (n * n - n), n) + sp.diags([1.0] * (n * n - n), -n)
+        a = (main + horizontal + vertical) / h2
+        u_direct = spla.spsolve(a.tocsr(), f.reshape(-1)).reshape(n, n)
+        assert np.allclose(u, u_direct, atol=1e-6)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_relax_poisson(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            line_relax_poisson(np.zeros((4, 4)), sweeps=0)
+
+
+class TestLUSGS:
+    def test_hyperplane_ordering_covers_grid(self):
+        planes = hyperplane_ordering((3, 4, 5))
+        total = sum(len(p[0]) for p in planes)
+        assert total == 3 * 4 * 5
+        assert len(planes) == 3 + 4 + 5 - 2
+
+    def test_hyperplanes_are_independent_sets(self):
+        """Cells within one wavefront must not be neighbors along any
+        sweep direction — that is what makes the pipeline vectorizable."""
+        planes = hyperplane_ordering((4, 4, 4))
+        for ii, jj, kk in planes:
+            cells = set(zip(ii.tolist(), jj.tolist(), kk.tolist()))
+            for i, j, k in cells:
+                assert (i + 1, j, k) not in cells
+                assert (i, j + 1, k) not in cells
+                assert (i, j, k + 1) not in cells
+
+    def test_forward_sweep_solves_lower_triangular_system(self):
+        rng = make_rng(2)
+        rhs = rng.standard_normal((4, 4, 4))
+        diag, off = 6.5, -1.0
+        x = lusgs_sweep(rhs, diag, off, forward=True)
+        # Verify (D + L) x = rhs by explicit reconstruction.
+        recon = diag * x
+        for axis in range(3):
+            shifted = np.roll(x, 1, axis)
+            idx = [slice(None)] * 3
+            idx[axis] = 0
+            shifted[tuple(idx)] = 0.0
+            recon += off * shifted
+        assert np.allclose(recon, rhs, atol=1e-10)
+
+    def test_converges_to_sparse_direct_solution(self):
+        rng = make_rng(3)
+        shape = (6, 5, 4)
+        b = rng.standard_normal(shape)
+        u, history = lusgs_solve(b, diag=6.5, off=-1.0, iterations=60)
+        assert history[-1] < 1e-10
+        # Compare with the direct solution of the same operator.
+        n = np.prod(shape)
+        rows, cols, vals = [], [], []
+        for flat in range(n):
+            i, j, k = np.unravel_index(flat, shape)
+            rows.append(flat)
+            cols.append(flat)
+            vals.append(6.5)
+            for di, dj, dk in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+                ni, nj, nk = i + di, j + dj, k + dk
+                if 0 <= ni < shape[0] and 0 <= nj < shape[1] and 0 <= nk < shape[2]:
+                    rows.append(flat)
+                    cols.append(int(np.ravel_multi_index((ni, nj, nk), shape)))
+                    vals.append(-1.0)
+        a = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+        direct = spla.spsolve(a, b.reshape(-1)).reshape(shape)
+        assert np.allclose(u, direct, atol=1e-8)
+
+    def test_residual_decreases(self):
+        rng = make_rng(4)
+        b = rng.standard_normal((5, 5, 5))
+        _, history = lusgs_solve(b, iterations=10)
+        assert all(y < x for x, y in zip(history, history[1:]))
+
+    def test_operator_application(self):
+        u = np.zeros((3, 3, 3))
+        u[1, 1, 1] = 1.0
+        out = _apply(u, 6.5, -1.0)
+        assert out[1, 1, 1] == pytest.approx(6.5)
+        assert out[0, 1, 1] == pytest.approx(-1.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lusgs_sweep(np.zeros((4, 4)), 1.0, 0.1, True)
+        with pytest.raises(ConfigurationError):
+            lusgs_sweep(np.zeros((4, 4, 4)), 0.0, 0.1, True)
+        with pytest.raises(ConfigurationError):
+            lusgs_solve(np.zeros((4, 4, 4)), iterations=0)

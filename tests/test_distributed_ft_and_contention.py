@@ -1,0 +1,86 @@
+"""Tests for the distributed FFT and brick-level injection contention."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.mpi import run_mpi
+from repro.mpi.distributed import run_distributed_ft
+from repro.sim.rng import make_rng
+
+
+def placement(p, **kw):
+    return Placement(single_node(NodeType.BX2B, 64), n_ranks=p, **kw)
+
+
+class TestDistributedFT:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_matches_fftn_exactly(self, p):
+        res = run_distributed_ft(placement(p), (16, 8, 4), seed=9)
+        rng = make_rng(9)
+        u = rng.random((16, 8, 4)) + 1j * rng.random((16, 8, 4))
+        assert np.allclose(res.value, np.fft.fftn(u))
+
+    def test_alltoall_message_count(self):
+        p = 4
+        res = run_distributed_ft(placement(p), (16, 8, 4))
+        # Transpose: p*(p-1) payload messages; gather: p-1 more.
+        assert res.job.messages_sent == p * (p - 1) + (p - 1)
+
+    def test_indivisible_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_distributed_ft(placement(3), (16, 8, 4))
+
+    def test_nonsquare_shapes(self):
+        res = run_distributed_ft(placement(2), (8, 4, 6), seed=2)
+        rng = make_rng(2)
+        u = rng.random((8, 4, 6)) + 1j * rng.random((8, 4, 6))
+        assert np.allclose(res.value, np.fft.fftn(u))
+
+
+class TestBrickContention:
+    def _burst_program(self, nbytes):
+        def prog(comm):
+            if comm.rank != 0:
+                comm.isend(0, nbytes)
+                return None
+            times = []
+            for _ in range(comm.size - 1):
+                yield comm.irecv()
+                times.append(comm.now)
+            return max(times)
+
+        return prog
+
+    def test_same_brick_senders_serialize(self):
+        """Eight CPUs of one brick bursting to rank 0 share one
+        injection link: completion takes ~7x a lone transfer."""
+        nbytes = 1 << 20
+        pl = placement(8)  # ranks 0..7 all in brick 0
+        fair = run_mpi(pl, self._burst_program(nbytes))
+        shared = run_mpi(pl, self._burst_program(nbytes), brick_contention=True)
+        assert shared.values[0] > 3.0 * fair.values[0]
+
+    def test_spread_bricks_unaffected(self):
+        """With one rank per brick, brick contention changes nothing."""
+        nbytes = 1 << 20
+        pl = placement(8, stride=8)  # one rank per 8-CPU brick
+        fair = run_mpi(pl, self._burst_program(nbytes))
+        shared = run_mpi(pl, self._burst_program(nbytes), brick_contention=True)
+        assert shared.values[0] == pytest.approx(fair.values[0], rel=1e-9)
+
+    def test_results_identical_numerically(self):
+        """Contention changes timing, never answers."""
+        from repro.mpi.collectives import allreduce
+
+        def prog(comm):
+            v = yield from allreduce(comm, 8, float(comm.rank))
+            return v
+
+        fair = run_mpi(placement(8), prog)
+        shared = run_mpi(placement(8), prog, brick_contention=True)
+        assert fair.values == shared.values
+        assert shared.elapsed >= fair.elapsed

@@ -1,0 +1,90 @@
+"""Tests for the extension features: multinode INS3D and topology
+analysis."""
+
+import pytest
+
+from repro.apps.ins3d import INS3DModel
+from repro.apps.ins3d_multinode import INS3DMultinodeModel
+from repro.core import run_experiment
+from repro.errors import ConfigurationError
+from repro.machine.cluster import multinode
+from repro.machine.node import NodeType, build_node
+from repro.machine.topology import analyze_node, topology_report
+
+
+class TestINS3DMultinode:
+    def test_two_nodes_beat_one(self):
+        """The whole point of the §5 port: more CPUs than one box."""
+        single = INS3DModel(node_type=NodeType.BX2B).step_time(36, 14)
+        model = INS3DMultinodeModel(cluster=multinode(2))
+        _, _, step = model.best_layout()
+        assert step < 0.7 * single
+
+    def test_saturates_by_zone_count(self):
+        """267 zones cap useful groups: four nodes barely beat two."""
+        two = INS3DMultinodeModel(cluster=multinode(2)).best_layout()[2]
+        four = INS3DMultinodeModel(cluster=multinode(4)).best_layout()[2]
+        assert four <= two * 1.02  # no worse...
+        assert four > two * 0.8  # ...but not 2x better either
+
+    def test_fabric_barely_matters(self):
+        """Echoes §4.6.4: interconnect type does not gate the apps."""
+        nl = INS3DMultinodeModel(cluster=multinode(2, fabric="numalink4"))
+        ib = INS3DMultinodeModel(cluster=multinode(2, fabric="infiniband"))
+        t_nl = nl.step_time(63, 8)
+        t_ib = ib.step_time(63, 8)
+        assert abs(t_ib - t_nl) / t_nl < 0.05
+
+    def test_exchange_cost_higher_on_infiniband(self):
+        nl = INS3DMultinodeModel(cluster=multinode(4, fabric="numalink4"))
+        ib = INS3DMultinodeModel(cluster=multinode(4, fabric="infiniband"))
+        grouping = None
+        assert ib._exchange_time(grouping) > nl._exchange_time(grouping)
+
+    def test_layout_validation(self):
+        model = INS3DMultinodeModel(cluster=multinode(2))
+        with pytest.raises(ConfigurationError):
+            model.step_time(0, 1)
+        with pytest.raises(ConfigurationError):
+            model.step_time(512, 2)  # exceeds a node
+        with pytest.raises(ConfigurationError):
+            model.step_time(200, 1)  # 400 groups > 267 zones
+
+    def test_non_bx2b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            INS3DMultinodeModel(
+                cluster=multinode(2, node_type=NodeType.A3700, fabric="infiniband")
+            )
+
+    def test_experiment_runs(self):
+        r = run_experiment("ext_ins3d_multinode", fast=True)
+        assert r.rows
+        single_rows = r.select(nodes=1)
+        multi_rows = [row for row in r.rows if row[0] > 1]
+        assert single_rows and multi_rows
+
+
+class TestTopology:
+    def test_3700_has_longer_paths(self):
+        s37 = analyze_node(build_node(NodeType.A3700))
+        sbx = analyze_node(build_node(NodeType.BX2B))
+        assert s37.n_bricks == 2 * sbx.n_bricks
+        assert s37.diameter_hops > sbx.diameter_hops
+        assert s37.mean_hops > sbx.mean_hops
+
+    def test_bisection_per_cpu_constant_across_types(self):
+        """§2's 'bisection bandwidth scales linearly' — per CPU it is
+        flat, and identical across generations (double links, double
+        sharing)."""
+        stats = [analyze_node(build_node(nt)) for nt in NodeType]
+        per_cpu = [s.bisection_per_cpu for s in stats]
+        assert max(per_cpu) / min(per_cpu) < 1.01
+
+    def test_small_node(self):
+        s = analyze_node(build_node(NodeType.BX2B, 8))
+        assert s.n_bricks == 1
+        assert s.mean_hops == 0.0
+
+    def test_report_renders(self):
+        text = topology_report()
+        assert "bisection" in text and "3700" in text

@@ -1,0 +1,96 @@
+"""Cross-cutting property-based tests over random configurations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cluster import columbia, multinode, single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.netmodel.collectives import CollectiveModel
+from repro.netmodel.costs import NetworkModel
+from repro.npb.hybrid import MZTimingModel
+from repro.npb.multizone import mz_problem
+from repro.npb.timing import NPBTimingModel
+
+node_types = st.sampled_from(list(NodeType))
+
+
+class TestNetworkProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nt=node_types,
+        p=st.integers(2, 128),
+        a=st.integers(0, 127),
+        b=st.integers(0, 127),
+    )
+    def test_paths_positive_and_symmetric(self, nt, p, a, b):
+        if a >= p or b >= p:
+            return
+        net = NetworkModel(Placement(single_node(nt), n_ranks=p))
+        ab, ba = net.path(a, b), net.path(b, a)
+        assert ab == ba
+        assert ab.latency > 0 and ab.bandwidth > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(nt=node_types, p=st.sampled_from([2, 4, 8, 16, 64]))
+    def test_collective_costs_nonnegative_and_ordered(self, nt, p):
+        coll = CollectiveModel(Placement(single_node(nt), n_ranks=p))
+        assert 0 <= coll.barrier() <= coll.allreduce(8)
+        assert coll.broadcast(8) <= coll.broadcast(1 << 20)
+
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.sampled_from([4, 16, 64]), nbytes=st.floats(8, 1e6))
+    def test_alltoall_dominates_allgather(self, p, nbytes):
+        """All-to-all moves P blocks per rank vs allgather's one."""
+        coll = CollectiveModel(
+            Placement(single_node(NodeType.BX2B), n_ranks=p)
+        )
+        assert coll.alltoall(nbytes) >= coll.allgather(nbytes) * 0.5
+
+
+class TestHeterogeneousColumbia:
+    def test_paths_across_mixed_nodes(self):
+        c = columbia()
+        # 3700 <-> BX2b over InfiniBand.
+        lat, bw = c.point_to_point(0, 19 * 512)
+        assert lat > 0 and bw > 0
+        # Within a 3700 vs within a BX2b: BX2b faster.
+        lat37, _ = c.point_to_point(0, 511)
+        latbx, _ = c.point_to_point(19 * 512, 19 * 512 + 511)
+        assert latbx < lat37
+
+    def test_placement_spans_node_kinds(self):
+        c = columbia()
+        pl = Placement(c, n_ranks=40, spread_nodes=True)
+        nodes = {c.node_of(cpu) for cpu in pl.cpus()}
+        assert len(nodes) == 20
+
+    def test_full_machine_cpu_count(self):
+        assert columbia().total_cpus == 10240
+
+
+class TestModelMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(bm=st.sampled_from(["mg", "ft", "bt", "cg"]))
+    def test_npb_total_time_decreases_with_cpus(self, bm):
+        """More CPUs never slow the modeled wall time within the
+        well-scaled range (4 -> 32)."""
+        t4 = NPBTimingModel(bm, "B", Placement(single_node(NodeType.BX2B), n_ranks=4)).total_time()
+        t32 = NPBTimingModel(bm, "B", Placement(single_node(NodeType.BX2B), n_ranks=32)).total_time()
+        assert t32 < t4
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        bm=st.sampled_from(["bt-mz", "sp-mz"]),
+        p=st.sampled_from([4, 16, 64, 256]),
+    )
+    def test_mz_imbalance_bounds(self, bm, p):
+        m = MZTimingModel(bm, "C", Placement(single_node(NodeType.BX2B), n_ranks=p))
+        problem = mz_problem(bm, "C")
+        assert 1.0 <= m.imbalance() <= problem.size_imbalance * 2
+
+    @settings(max_examples=8, deadline=None)
+    @given(p=st.sampled_from([8, 32, 128]))
+    def test_mz_rates_below_peak(self, p):
+        m = MZTimingModel("bt-mz", "C", Placement(single_node(NodeType.BX2B), n_ranks=p))
+        assert 0 < m.gflops_per_cpu() < 6.4

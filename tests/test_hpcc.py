@@ -1,0 +1,124 @@
+"""Tests for the HPCC microbenchmark implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hpcc import (
+    natural_ring,
+    pingpong,
+    predict_dgemm,
+    predict_stream,
+    random_ring,
+    run_dgemm,
+    run_stream,
+)
+from repro.hpcc.dgemm import dgemm_problem_size
+from repro.machine.cluster import multinode, single_node
+from repro.machine.node import NodeType, build_node
+from repro.machine.placement import Placement
+from repro.units import GIB, to_gb_per_s
+
+
+def placement(p, node_type=NodeType.BX2B, **kw):
+    return Placement(single_node(node_type), n_ranks=p, **kw)
+
+
+class TestDGEMM:
+    def test_real_run_produces_rate(self):
+        r = run_dgemm(128, repeats=1)
+        assert r.gflops_per_cpu > 0.01
+
+    def test_real_run_verifies(self):
+        # Verification happens inside; a normal run must not raise.
+        run_dgemm(64, repeats=1)
+
+    def test_tiny_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_dgemm(1)
+
+    def test_problem_size_uses_75_percent(self):
+        n = dgemm_problem_size(1 * GIB)
+        assert 3 * 8 * n * n <= 0.75 * GIB
+        assert 3 * 8 * (n + 50) * (n + 50) > 0.75 * GIB
+
+    def test_prediction_matches_paper_rates(self):
+        assert predict_dgemm(build_node(NodeType.BX2B)).gflops_per_cpu == pytest.approx(5.76, abs=0.01)
+        assert predict_dgemm(build_node(NodeType.A3700)).gflops_per_cpu == pytest.approx(5.40, abs=0.01)
+
+    def test_total_scales_with_cpus(self):
+        node = build_node(NodeType.BX2B)
+        r = predict_dgemm(node, placement(16))
+        assert r.total_gflops == pytest.approx(16 * r.gflops_per_cpu)
+
+
+class TestSTREAM:
+    def test_real_run_produces_rates(self):
+        r = run_stream(200_000, repeats=1)
+        for op in ("copy", "scale", "add", "triad"):
+            assert r[op] > 0.01
+
+    def test_real_run_verifies_values(self):
+        run_stream(50_000, repeats=2)  # raises on corruption
+
+    def test_short_vector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_stream(10)
+
+    def test_unknown_op_rejected(self):
+        r = predict_stream(build_node(NodeType.BX2B))
+        with pytest.raises(ConfigurationError):
+            r["swizzle"]
+
+    def test_prediction_single_vs_dense(self):
+        node = build_node(NodeType.BX2B)
+        single = predict_stream(node)  # no placement -> 1 CPU per bus
+        dense = predict_stream(node, placement(8))
+        assert single.triad > 1.8 * dense.triad
+
+    def test_copy_at_least_triad(self):
+        r = predict_stream(build_node(NodeType.A3700))
+        assert r.copy >= r.triad
+
+
+class TestBeff:
+    def test_pingpong_needs_two_ranks(self):
+        with pytest.raises(ConfigurationError):
+            pingpong(placement(1))
+
+    def test_pingpong_latency_in_microsecond_range(self):
+        r = pingpong(placement(16), max_pairs=8)
+        assert 0.5e-6 < r.avg_latency < 20e-6
+
+    def test_rings_report_positive_rates(self):
+        pl = placement(16)
+        for ring in (natural_ring(pl), random_ring(pl, trials=1)):
+            assert ring.latency > 0
+            assert ring.bandwidth_per_cpu > 0
+            assert ring.n_cpus == 16
+
+    def test_random_ring_no_better_than_natural(self):
+        pl = placement(128)
+        nat = natural_ring(pl)
+        rnd = random_ring(pl, trials=2)
+        assert rnd.bandwidth_per_cpu <= nat.bandwidth_per_cpu * 1.01
+
+    def test_random_ring_deterministic_per_seed(self):
+        pl = placement(32)
+        a = random_ring(pl, trials=2, seed=9)
+        b = random_ring(pl, trials=2, seed=9)
+        assert a == b
+
+    def test_ring_bandwidth_declines_with_cpus_on_3700(self):
+        small = random_ring(placement(8, NodeType.A3700), trials=1)
+        large = random_ring(placement(256, NodeType.A3700), trials=1)
+        assert large.bandwidth_per_cpu < small.bandwidth_per_cpu
+
+    def test_multinode_infiniband_rings_collapse(self):
+        """Fig. 10's 'severe problems with scalability of InfiniBand'."""
+        nl = Placement(multinode(2, fabric="numalink4", n_cpus=64), n_ranks=128, spread_nodes=True)
+        ib = Placement(multinode(2, fabric="infiniband", n_cpus=64), n_ranks=128, spread_nodes=True)
+        r_nl = random_ring(nl, trials=1)
+        r_ib = random_ring(ib, trials=1)
+        assert r_ib.bandwidth_per_cpu < 0.5 * r_nl.bandwidth_per_cpu
+        assert r_ib.latency > r_nl.latency

@@ -1,0 +1,119 @@
+"""Tests for processors, caches, memory buses and bricks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.cache import CacheHierarchy, CacheLevel, miss_fraction
+from repro.machine.memory import ALTIX_FSB, MemoryBusSpec
+from repro.machine.processor import ITANIUM2_1500_6MB, ITANIUM2_1600_9MB
+from repro.units import GIB, MIB, gb_per_s
+
+
+class TestProcessor:
+    def test_peak_matches_paper(self):
+        # §2: "1.5 GHz ... two multiply-adds per cycle for a peak
+        # performance of 6.0 Gflop/s".
+        assert ITANIUM2_1500_6MB.peak_flops == pytest.approx(6.0e9)
+        assert ITANIUM2_1600_9MB.peak_flops == pytest.approx(6.4e9)
+
+    def test_cache_sizes_match_paper(self):
+        # §2: 32KB L1, 256KB L2, 6MB L3 (9MB on the BX2b parts).
+        assert ITANIUM2_1500_6MB.l3_bytes == 6 * MIB
+        assert ITANIUM2_1600_9MB.l3_bytes == 9 * MIB
+        names = [lvl.name for lvl in ITANIUM2_1500_6MB.caches.levels]
+        assert names == ["L1D", "L2", "L3"]
+
+    def test_l1_does_not_hold_fp(self):
+        # §2: "The Itanium2 cannot store floating-point data in L1".
+        l1 = ITANIUM2_1500_6MB.caches.levels[0]
+        assert not l1.holds_fp
+        assert ITANIUM2_1500_6MB.caches.fp_capacity() == 6 * MIB
+
+    def test_register_count(self):
+        assert ITANIUM2_1500_6MB.fp_registers == 128
+
+    def test_cycles_to_seconds(self):
+        assert ITANIUM2_1500_6MB.cycles_to_seconds(1.5e9) == pytest.approx(1.0)
+
+
+class TestCacheModel:
+    def test_hierarchy_must_grow(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(
+                (
+                    CacheLevel("big", 1024, 1, 64),
+                    CacheLevel("small", 512, 5, 64),
+                )
+            )
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(())
+
+    def test_fitting_working_set_has_no_misses(self):
+        assert miss_fraction(4 * MIB, 6 * MIB) == 0.0
+
+    def test_oversized_working_set_misses(self):
+        m = miss_fraction(12 * MIB, 6 * MIB)
+        assert m == pytest.approx(0.5)
+
+    def test_bigger_cache_fewer_misses(self):
+        ws = 16 * MIB
+        assert miss_fraction(ws, 9 * MIB) < miss_fraction(ws, 6 * MIB)
+
+    def test_reuse_scales_effective_capacity(self):
+        ws = 12 * MIB
+        assert miss_fraction(ws, 6 * MIB, reuse=2.0) == 0.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            miss_fraction(-1, 6 * MIB)
+        with pytest.raises(ConfigurationError):
+            miss_fraction(1, 0)
+        with pytest.raises(ConfigurationError):
+            miss_fraction(1, 1, reuse=0)
+
+    @given(
+        ws=st.floats(min_value=1.0, max_value=1e12),
+        cache=st.floats(min_value=1.0, max_value=1e9),
+        reuse=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_miss_fraction_in_unit_interval(self, ws, cache, reuse):
+        m = miss_fraction(ws, cache, reuse)
+        assert 0.0 <= m < 1.0
+
+    @given(
+        cache=st.floats(min_value=1e3, max_value=1e8),
+        f=st.floats(min_value=1.01, max_value=10.0),
+    )
+    def test_miss_fraction_monotone_in_working_set(self, cache, f):
+        ws = cache * 2.0
+        assert miss_fraction(ws * f, cache) >= miss_fraction(ws, cache)
+
+
+class TestMemoryBus:
+    def test_single_cpu_gets_full_cpu_bandwidth(self):
+        # §4.2: single-CPU STREAM ~3.8 GB/s.
+        assert ALTIX_FSB.per_cpu_bandwidth(1) == pytest.approx(gb_per_s(3.8))
+
+    def test_dense_pair_shares_the_bus(self):
+        # §4.2: ~2 GB/s per CPU when both CPUs of an FSB are active.
+        assert ALTIX_FSB.per_cpu_bandwidth(2) == pytest.approx(gb_per_s(2.0))
+
+    def test_stride_recovers_1_9x(self):
+        # §4.2: Triad bandwidth is 1.9x higher when strided.
+        ratio = ALTIX_FSB.per_cpu_bandwidth(1) / ALTIX_FSB.per_cpu_bandwidth(2)
+        assert ratio == pytest.approx(1.9)
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ALTIX_FSB.per_cpu_bandwidth(3)
+
+    def test_zero_active_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ALTIX_FSB.per_cpu_bandwidth(0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBusSpec(fsb_bandwidth=-1, cpu_max_bandwidth=1)

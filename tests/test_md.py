@@ -1,0 +1,226 @@
+"""Tests for the molecular dynamics code (paper §3.3, Table 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.md import (
+    MDScalingModel,
+    MDSimulation,
+    fcc_lattice,
+    lj_forces,
+    lj_forces_naive,
+    maxwell_velocities,
+)
+from repro.apps.md.cells import CellList
+from repro.apps.md.domain import decompose, decomposed_forces, ghost_atoms
+from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
+
+
+class TestLattice:
+    def test_atom_count(self):
+        pos, box = fcc_lattice(3)
+        assert len(pos) == 4 * 27
+
+    def test_density_respected(self):
+        pos, box = fcc_lattice(4, density=0.8442)
+        assert len(pos) / box**3 == pytest.approx(0.8442)
+
+    def test_atoms_inside_box(self):
+        pos, box = fcc_lattice(3)
+        assert np.all(pos >= 0) and np.all(pos < box)
+
+    def test_minimum_pair_distance_is_lattice_spacing(self):
+        pos, box = fcc_lattice(2, density=0.8442)
+        delta = pos[:, None] - pos[None, :]
+        delta -= box * np.round(delta / box)
+        r = np.sqrt((delta**2).sum(-1))
+        np.fill_diagonal(r, np.inf)
+        # fcc nearest neighbor = a / sqrt(2).
+        a = box / 2
+        assert r.min() == pytest.approx(a / np.sqrt(2))
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fcc_lattice(0)
+        with pytest.raises(ConfigurationError):
+            fcc_lattice(2, density=-1)
+
+
+class TestVelocities:
+    def test_zero_momentum(self):
+        v = maxwell_velocities(500, 0.72, seed=1)
+        assert np.abs(v.sum(axis=0)).max() < 1e-10
+
+    def test_exact_temperature(self):
+        v = maxwell_velocities(500, 0.72, seed=1)
+        t = (v**2).sum() / (3 * 500)
+        assert t == pytest.approx(0.72)
+
+    def test_zero_temperature(self):
+        v = maxwell_velocities(100, 0.0)
+        assert np.abs(v).max() == 0.0
+
+    @given(n=st.integers(2, 200), t=st.floats(0.01, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_momentum_and_temperature_invariants(self, n, t):
+        v = maxwell_velocities(n, t, seed=n)
+        assert np.abs(v.sum(axis=0)).max() < 1e-8
+        assert (v**2).sum() / (3 * n) == pytest.approx(t)
+
+
+class TestCellList:
+    def test_every_atom_in_exactly_one_cell(self):
+        pos, box = fcc_lattice(3)
+        cl = CellList(pos, box, 2.5)
+        counted = sum(len(cl.atoms_in(c)) for c in range(cl.n_cells**3))
+        assert counted == len(pos)
+        assert cl.occupancy.sum() == len(pos)
+
+    def test_neighbor_cells_include_self(self):
+        pos, box = fcc_lattice(3)
+        cl = CellList(pos, box, 2.5)
+        assert 0 in cl.neighbor_cells(0)
+
+    def test_cell_width_at_least_cutoff(self):
+        pos, box = fcc_lattice(4)
+        cl = CellList(pos, box, 2.5)
+        assert cl.cell_width >= 2.5
+
+
+class TestForces:
+    def test_cell_list_matches_naive(self):
+        pos, box = fcc_lattice(3)
+        rng = make_rng(0)
+        pos = np.mod(pos + rng.normal(0, 0.05, pos.shape), box)
+        f_ref, e_ref = lj_forces_naive(pos, box, 2.5)
+        f, e = lj_forces(pos, box, 2.5)
+        assert np.allclose(f, f_ref, atol=1e-10)
+        assert e == pytest.approx(e_ref)
+
+    def test_newton_third_law(self):
+        pos, box = fcc_lattice(3)
+        f, _ = lj_forces(pos, box, 2.5)
+        assert np.abs(f.sum(axis=0)).max() < 1e-9
+
+    def test_two_atoms_at_minimum_have_zero_force(self):
+        r_min = 2.0 ** (1.0 / 6.0)
+        pos = np.array([[0.0, 0.0, 0.0], [r_min, 0.0, 0.0]])
+        f, e = lj_forces_naive(pos, box=100.0, rcut=5.0)
+        assert np.abs(f).max() < 1e-12
+        assert e == pytest.approx(-1.0)  # LJ well depth
+
+    def test_repulsive_inside_minimum(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        f, _ = lj_forces_naive(pos, box=100.0, rcut=5.0)
+        assert f[0, 0] < 0 and f[1, 0] > 0  # pushed apart
+
+    def test_no_interaction_beyond_cutoff(self):
+        pos = np.array([[0.0, 0.0, 0.0], [6.0, 0.0, 0.0]])
+        f, e = lj_forces_naive(pos, box=100.0, rcut=5.0)
+        assert np.abs(f).max() == 0.0
+        assert e == 0.0
+
+    def test_fcc_lattice_forces_vanish_by_symmetry(self):
+        pos, box = fcc_lattice(3)
+        f, _ = lj_forces(pos, box, min(2.5, box / 2))
+        assert np.abs(f).max() < 1e-9
+
+
+class TestSimulation:
+    def test_energy_conservation(self):
+        sim = MDSimulation(cells=3, dt=0.002, seed=7)
+        sim.step(80)
+        assert sim.energy_drift() < 5e-3
+
+    def test_momentum_conservation(self):
+        sim = MDSimulation(cells=3, dt=0.004, seed=7)
+        sim.step(50)
+        assert np.abs(sim.state.momentum).max() < 1e-9
+
+    def test_energy_conserved_across_time_steps(self):
+        """NVE drift stays below 1% at any stable step size (the
+        Verlet family's symplectic-conservation signature)."""
+        for dt in (0.008, 0.002):
+            sim = MDSimulation(cells=2, dt=dt, seed=3)
+            sim.step(50)
+            assert sim.energy_drift() < 0.01
+
+    def test_atoms_stay_in_box(self):
+        sim = MDSimulation(cells=2, dt=0.004)
+        sim.step(30)
+        assert np.all(sim.state.positions >= 0)
+        assert np.all(sim.state.positions < sim.state.box)
+
+    def test_deterministic(self):
+        a = MDSimulation(cells=2, seed=5)
+        a.step(10)
+        b = MDSimulation(cells=2, seed=5)
+        b.step(10)
+        assert np.array_equal(a.state.positions, b.state.positions)
+
+
+class TestDomainDecomposition:
+    def test_partition_is_exact(self):
+        pos, box = fcc_lattice(3)
+        parts = decompose(pos, box, (2, 2, 2))
+        joined = np.sort(np.concatenate(parts))
+        assert np.array_equal(joined, np.arange(len(pos)))
+
+    @pytest.mark.parametrize("grid", [(2, 1, 1), (2, 2, 1), (2, 2, 2)])
+    def test_decomposed_forces_match_global(self, grid):
+        pos, box = fcc_lattice(3)
+        rng = make_rng(1)
+        pos = np.mod(pos + rng.normal(0, 0.05, pos.shape), box)
+        rcut = min(2.5, box / 2)
+        f_global, _ = lj_forces_naive(pos, box, rcut)
+        f_dec = decomposed_forces(pos, box, grid, rcut)
+        assert np.allclose(f_dec, f_global, atol=1e-10)
+
+    def test_ghosts_are_outside_domain(self):
+        pos, box = fcc_lattice(3)
+        from repro.apps.md.domain import owner_of
+
+        ghosts = ghost_atoms(pos, box, (2, 2, 2), 0, 1.5)
+        owners = owner_of(pos, box, (2, 2, 2))
+        assert np.all(owners[ghosts] != 0)
+
+    def test_communication_is_local(self):
+        """§3.3: a processor only needs nearby boxes' atoms — the
+        ghost shell is a small fraction of the system."""
+        pos, box = fcc_lattice(4)
+        ghosts = ghost_atoms(pos, box, (2, 2, 2), 0, 1.0)
+        assert 0 < len(ghosts) < len(pos) / 2
+
+
+class TestScalingModel:
+    def test_weak_scaling_nearly_perfect(self):
+        """§4.6.3: 'almost perfect scalability all the way up to 2040
+        processors'."""
+        m = MDScalingModel()
+        assert m.efficiency(2040) > 0.9
+
+    def test_comm_insignificant(self):
+        """§4.6.3: 'The communication costs are insignificant'."""
+        m = MDScalingModel()
+        assert m.comm_time_per_step(2040) < 0.05 * m.step_time(2040)
+
+    def test_table5_matches_paper_headline(self):
+        """2040 processors simulate 130.56 million atoms (§4.6.3)."""
+        m = MDScalingModel()
+        rows = m.table5()
+        last = rows[-1]
+        assert last["processors"] == 2040
+        assert last["particles"] == 130_560_000
+
+    def test_neighbor_count_reasonable(self):
+        # density 0.8442, rcut 5: ~440 neighbors per atom.
+        m = MDScalingModel()
+        assert 350 < m.neighbors_per_atom() < 500
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MDScalingModel(atoms_per_proc=0)
+        with pytest.raises(ConfigurationError):
+            MDScalingModel().step_time(0)

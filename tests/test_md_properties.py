@@ -1,0 +1,208 @@
+"""Tests for MD bulk properties and thermostats (paper §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.md import MDSimulation, fcc_lattice
+from repro.apps.md.properties import (
+    diffusion_coefficient,
+    mean_squared_displacement,
+    pressure_virial,
+    radial_distribution,
+    velocity_autocorrelation,
+)
+from repro.apps.md.thermostat import berendsen_factor, equilibrate, rescale_velocities
+from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
+
+
+class TestRadialDistribution:
+    def test_fcc_shows_first_shell(self):
+        """The solid's g(r) must spike at the fcc nearest-neighbor
+        distance a/sqrt(2) — §3.3's 'structure' deduction."""
+        pos, box = fcc_lattice(4)
+        r, g = radial_distribution(pos, box, n_bins=100)
+        a = box / 4
+        shell = a / np.sqrt(2)
+        peak_r = r[np.argmax(g)]
+        assert abs(peak_r - shell) < 0.1
+        assert g.max() > 5.0  # sharp crystalline peak
+
+    def test_fcc_has_forbidden_gaps(self):
+        pos, box = fcc_lattice(4)
+        r, g = radial_distribution(pos, box, n_bins=100)
+        a = box / 4
+        # No pairs below the nearest-neighbor shell.
+        assert g[r < 0.8 * a / np.sqrt(2)].max() == 0.0
+
+    def test_ideal_gas_is_flat(self):
+        rng = make_rng(0)
+        box = 10.0
+        pos = rng.random((3000, 3)) * box
+        r, g = radial_distribution(pos, box, n_bins=25)
+        tail = g[5:]
+        assert abs(tail.mean() - 1.0) < 0.1
+
+    def test_validation(self):
+        pos, box = fcc_lattice(2)
+        with pytest.raises(ConfigurationError):
+            radial_distribution(pos[:1], box)
+        with pytest.raises(ConfigurationError):
+            radial_distribution(pos, box, n_bins=1)
+        with pytest.raises(ConfigurationError):
+            radial_distribution(pos, box, r_max=box)
+
+
+class TestMSD:
+    def test_static_atoms_have_zero_msd(self):
+        traj = np.repeat(fcc_lattice(2)[0][None], 5, axis=0)
+        msd = mean_squared_displacement(traj)
+        assert np.all(msd == 0.0)
+
+    def test_ballistic_motion_is_quadratic(self):
+        rng = make_rng(1)
+        v = rng.standard_normal((50, 3))
+        frames = np.array([v * t for t in range(10)])
+        msd = mean_squared_displacement(frames)
+        # MSD(t) = <v^2> t^2: ratio of consecutive lags follows t^2.
+        assert msd[4] / msd[2] == pytest.approx(4.0)
+
+    def test_diffusion_coefficient_of_brownian_walk(self):
+        rng = make_rng(2)
+        dt = 1.0
+        steps = rng.standard_normal((400, 200, 3)) * np.sqrt(2 * 0.5 * dt)
+        traj = np.cumsum(steps, axis=0)
+        msd = mean_squared_displacement(traj)
+        d = diffusion_coefficient(msd, dt)
+        assert d == pytest.approx(0.5, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_squared_displacement(np.zeros((1, 4, 3)))
+        with pytest.raises(ConfigurationError):
+            diffusion_coefficient(np.zeros(3), 1.0)
+        with pytest.raises(ConfigurationError):
+            diffusion_coefficient(np.zeros(10), 0.0)
+
+
+class TestVACF:
+    def test_starts_at_one(self):
+        rng = make_rng(3)
+        v = rng.standard_normal((6, 40, 3))
+        vacf = velocity_autocorrelation(v)
+        assert vacf[0] == pytest.approx(1.0)
+
+    def test_constant_velocities_stay_correlated(self):
+        v0 = make_rng(4).standard_normal((1, 30, 3))
+        v = np.repeat(v0, 8, axis=0)
+        vacf = velocity_autocorrelation(v)
+        assert np.allclose(vacf, 1.0)
+
+    def test_independent_frames_decorrelate(self):
+        rng = make_rng(5)
+        v = rng.standard_normal((4, 5000, 3))
+        vacf = velocity_autocorrelation(v)
+        assert abs(vacf[1]) < 0.05
+
+
+class TestPressure:
+    def test_ideal_gas_limit(self):
+        """With interactions off (far-apart atoms), P = rho kT."""
+        rng = make_rng(6)
+        box = 100.0
+        n = 200
+        pos = rng.random((n, 3)) * box
+        t = 1.5
+        v = rng.standard_normal((n, 3)) * np.sqrt(t)
+        p = pressure_virial(pos, v, box, rcut=0.5)
+        kinetic_t = float((v**2).sum()) / (3 * n)
+        expected = n / box**3 * kinetic_t
+        assert p == pytest.approx(expected, rel=1e-12)
+
+    def test_compressed_solid_has_positive_excess(self):
+        pos, box = fcc_lattice(3, density=1.2)  # squeezed
+        v = np.zeros_like(pos)
+        p = pressure_virial(pos, v, box, rcut=min(2.5, box / 2))
+        assert p > 0  # repulsion dominates
+
+
+class TestThermostats:
+    def test_rescale_hits_target_exactly(self):
+        rng = make_rng(7)
+        v = rng.standard_normal((100, 3))
+        out = rescale_velocities(v, 0.9)
+        assert float((out**2).sum()) / 300 == pytest.approx(0.9)
+
+    def test_berendsen_factor_direction(self):
+        # Too cold -> scale up; too hot -> scale down.
+        assert berendsen_factor(0.5, 1.0, dt=0.01, tau=0.1) > 1.0
+        assert berendsen_factor(2.0, 1.0, dt=0.01, tau=0.1) < 1.0
+
+    def test_equilibrate_converges_to_target(self):
+        sim = MDSimulation(cells=3, temperature=0.3, dt=0.004, seed=8)
+        history = equilibrate(sim, target_temperature=0.7, steps=150,
+                              method="berendsen", tau=0.05)
+        assert history[-1] == pytest.approx(0.7, abs=0.08)
+
+    def test_rescale_method_converges_too(self):
+        sim = MDSimulation(cells=2, temperature=1.2, dt=0.004, seed=9)
+        history = equilibrate(sim, target_temperature=0.6, steps=60,
+                              method="rescale", rescale_every=5)
+        assert history[-1] == pytest.approx(0.6, abs=0.15)
+
+    def test_validation(self):
+        rng = make_rng(10)
+        with pytest.raises(ConfigurationError):
+            rescale_velocities(rng.standard_normal((10, 3)), -1.0)
+        with pytest.raises(ConfigurationError):
+            rescale_velocities(np.zeros((10, 3)), 1.0)
+        with pytest.raises(ConfigurationError):
+            berendsen_factor(1.0, 1.0, dt=0.2, tau=0.1)
+        sim = MDSimulation(cells=2)
+        with pytest.raises(ConfigurationError):
+            equilibrate(sim, 0.7, steps=5, method="nose-hoover")
+
+
+class TestPhaseBehaviour:
+    """§3.3's promised payoff: deduce material state from trajectories."""
+
+    @pytest.fixture(scope="class")
+    def solid(self):
+        sim = MDSimulation(cells=3, density=1.0, temperature=0.3, dt=0.004,
+                           seed=1, record_trajectory=True)
+        sim.step(150)
+        return sim
+
+    @pytest.fixture(scope="class")
+    def liquid(self):
+        sim = MDSimulation(cells=3, density=0.7, temperature=2.5, dt=0.004,
+                           seed=1, record_trajectory=True)
+        sim.step(150)
+        return sim
+
+    def test_solid_does_not_diffuse(self, solid):
+        msd = mean_squared_displacement(solid.trajectory_array()[50:])
+        d = diffusion_coefficient(msd, solid.dt)
+        assert abs(d) < 0.02
+
+    def test_liquid_diffuses(self, liquid):
+        msd = mean_squared_displacement(liquid.trajectory_array()[50:])
+        d = diffusion_coefficient(msd, liquid.dt)
+        assert d > 0.05
+
+    def test_structure_distinguishes_phases(self, solid, liquid):
+        _, g_solid = radial_distribution(solid.state.positions, solid.state.box)
+        _, g_liquid = radial_distribution(liquid.state.positions, liquid.state.box)
+        assert g_solid.max() > 2 * g_liquid.max()
+
+    def test_trajectory_requires_opt_in(self):
+        sim = MDSimulation(cells=2)
+        with pytest.raises(ConfigurationError):
+            sim.trajectory_array()
+
+    def test_unwrapped_trajectory_continuous(self, liquid):
+        """Unwrapping removes box jumps: per-step displacements stay
+        far below the box size."""
+        traj = liquid.trajectory_array()
+        step_moves = np.abs(np.diff(traj, axis=0)).max()
+        assert step_moves < liquid.state.box / 4

@@ -1,0 +1,194 @@
+"""Tests for metrics, exact halo accounting, AnyOf and OS noise."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.overset.connectivity import find_overlaps
+from repro.apps.overset.grids import rotor_system, turbopump_system
+from repro.apps.overset.grouping import group_blocks
+from repro.apps.overset.halo import halo_volumes
+from repro.core.metrics import (
+    comm_fraction,
+    geometric_mean,
+    gflops_rate,
+    harmonic_mean,
+    parallel_efficiency,
+    speedup,
+    weak_scaling_efficiency,
+)
+from repro.errors import CommunicationError, ConfigurationError, SimulationError
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.mpi import run_mpi
+from repro.mpi.collectives import allreduce
+from repro.sim import SimProcess, Simulator, Timeout
+from repro.sim.process import AnyOf
+
+
+class TestMetrics:
+    def test_speedup_and_efficiency(self):
+        assert speedup(100.0, 25.0) == 4.0
+        assert parallel_efficiency(100.0, 25.0, 8) == 0.5
+
+    def test_weak_scaling(self):
+        assert weak_scaling_efficiency(1.0, 1.25) == 0.8
+
+    def test_means(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 1.0]) == 1.0
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_gflops(self):
+        assert gflops_rate(2e9, 1.0) == 2.0
+
+    def test_comm_fraction(self):
+        assert comm_fraction(3.0, 10.0) == 0.3
+
+    def test_validation(self):
+        for bad in (
+            lambda: speedup(0, 1),
+            lambda: parallel_efficiency(1, 1, 0),
+            lambda: weak_scaling_efficiency(-1, 1),
+            lambda: geometric_mean([]),
+            lambda: geometric_mean([1.0, -1.0]),
+            lambda: harmonic_mean([0.0]),
+            lambda: gflops_rate(1, 0),
+            lambda: comm_fraction(5, 3),
+        ):
+            with pytest.raises(ConfigurationError):
+                bad()
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    def test_mean_inequality(self, values):
+        """harmonic <= geometric <= arithmetic, always."""
+        h = harmonic_mean(values)
+        g = geometric_mean(values)
+        a = sum(values) / len(values)
+        assert h <= g * 1.0000001 <= a * 1.0000002
+
+
+class TestHaloVolumes:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return turbopump_system(scale=0.01)
+
+    @pytest.fixture(scope="class")
+    def overlaps(self, system):
+        return find_overlaps(system)
+
+    def test_volumes_partition(self, system, overlaps):
+        a = group_blocks(system, 16, "binpack")
+        h = halo_volumes(system, a, overlaps)
+        assert h.total_bytes > 0
+        assert h.intra_group_bytes >= 0 and h.inter_group_bytes >= 0
+        assert 0.0 <= h.remote_fraction <= 1.0
+
+    def test_one_group_all_intra(self, system, overlaps):
+        a = group_blocks(system, 1, "binpack")
+        h = halo_volumes(system, a, overlaps)
+        assert h.inter_group_bytes == 0.0
+        assert h.remote_fraction == 0.0
+
+    def test_remote_fraction_grows_with_groups(self, system, overlaps):
+        fracs = []
+        for g in (2, 8, 32, 128):
+            a = group_blocks(system, g, "binpack")
+            fracs.append(halo_volumes(system, a, overlaps).remote_fraction)
+        assert fracs == sorted(fracs)
+
+    def test_connectivity_grouping_keeps_more_local(self, system, overlaps):
+        conn = group_blocks(system, 16, "binpack-connectivity", overlaps=overlaps)
+        plain = group_blocks(system, 16, "binpack")
+        h_conn = halo_volumes(system, conn, overlaps)
+        h_plain = halo_volumes(system, plain, overlaps)
+        assert h_conn.remote_fraction < h_plain.remote_fraction
+
+    def test_total_invariant_under_grouping(self, system, overlaps):
+        """Grouping moves volume between intra/inter; total is fixed."""
+        totals = {
+            g: halo_volumes(system, group_blocks(system, g, "binpack"), overlaps).total_bytes
+            for g in (1, 4, 64)
+        }
+        vals = list(totals.values())
+        assert max(vals) == pytest.approx(min(vals))
+
+    def test_closed_form_is_optimistic_for_synthetic_geometry(self):
+        """The OVERFLOW model's min(1, 1.35/blocks_per_group) closed
+        form assumes real overset hierarchies whose neighbors cluster
+        spatially; the synthetic lattice placement scatters overlaps,
+        so the measured remote fraction sits *above* the closed form
+        (connectivity-aware grouping recovers part of the gap).  This
+        test pins that relationship so a change to either side is
+        noticed."""
+        system = rotor_system(scale=0.02)
+        overlaps = find_overlaps(system)
+        for g in (64, 256, 508):
+            conn = group_blocks(system, g, "binpack-connectivity", overlaps=overlaps)
+            measured = halo_volumes(system, conn, overlaps).remote_fraction
+            closed = min(1.0, 1.35 / (system.n_blocks / g))
+            assert closed < measured <= 1.0, (g, measured, closed)
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        sim = Simulator()
+        slow = Timeout(sim, 5.0, value="slow")
+        fast = Timeout(sim, 1.0, value="fast")
+        race = AnyOf(sim, [slow, fast])
+        seen = []
+        race.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(1.0, (1, "fast"))]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            AnyOf(Simulator(), [])
+
+    def test_usable_in_process(self):
+        sim = Simulator()
+
+        def prog():
+            winner = yield AnyOf(sim, [Timeout(sim, 3.0, "a"), Timeout(sim, 2.0, "b")])
+            return winner
+
+        proc = SimProcess(sim, prog())
+        sim.run()
+        assert proc.value == (1, "b")
+        assert sim.now == 3.0  # the loser still fires; time advances past it
+
+
+class TestOSNoise:
+    def _allreduce_time(self, p, noise, seed=4):
+        def prog(comm):
+            yield comm.compute(1e-3)
+            yield from allreduce(comm, 8, 1.0)
+            return None
+
+        pl = Placement(single_node(NodeType.BX2B), n_ranks=p)
+        return run_mpi(pl, prog, os_noise=noise, noise_seed=seed).elapsed
+
+    def test_noise_slows_jobs(self):
+        assert self._allreduce_time(32, 0.2) > self._allreduce_time(32, 0.0)
+
+    def test_noise_amplified_at_scale(self):
+        """The classic OS-noise result: synchronized collectives wait
+        for the unluckiest rank, so the *relative* slowdown grows with
+        the rank count.  Averaged over seeds (a single max-draw is
+        high-variance)."""
+        def mean_slowdown(p):
+            ratios = [
+                self._allreduce_time(p, 0.3, seed=s)
+                / self._allreduce_time(p, 0.0, seed=s)
+                for s in range(6)
+            ]
+            return sum(ratios) / len(ratios)
+
+        assert mean_slowdown(256) > mean_slowdown(8)
+
+    def test_quiet_machine_deterministic(self):
+        assert self._allreduce_time(16, 0.0) == self._allreduce_time(16, 0.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(CommunicationError):
+            self._allreduce_time(4, -0.1)

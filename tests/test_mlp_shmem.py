@@ -1,0 +1,132 @@
+"""Tests for the MLP (shared arena) and SHMEM paradigm models."""
+
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.machine.cluster import multinode, single_node
+from repro.machine.node import NodeType, build_node
+from repro.machine.placement import Placement
+from repro.mlp.arena import SharedArena
+from repro.mlp.groups import MLPConfig, mlp_step_time
+from repro.openmp.scaling import OMPKernelParams
+from repro.shmem import ShmemModel
+
+PARAMS = OMPKernelParams(
+    parallel_fraction=0.72,
+    sync_cost=5e-6,
+    shared_bytes_per_second=0.0,
+)
+
+
+class TestSharedArena:
+    def test_access_time_scales_with_bytes(self):
+        arena = SharedArena(build_node(NodeType.BX2B))
+        t1 = arena.access_time(1 << 20)
+        t2 = arena.access_time(2 << 20)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_remote_fraction_costs_more(self):
+        node = build_node(NodeType.BX2B)
+        local = SharedArena(node, remote_fraction=0.0)
+        remote = SharedArena(node, remote_fraction=1.0)
+        assert remote.access_time(1 << 20) > local.access_time(1 << 20)
+
+    def test_concurrent_groups_contend(self):
+        arena = SharedArena(build_node(NodeType.BX2B), remote_fraction=1.0)
+        alone = arena.access_time(1 << 20, concurrent_groups=1)
+        crowded = arena.access_time(1 << 20, concurrent_groups=256)
+        assert crowded > alone
+
+    def test_invalid_args_rejected(self):
+        node = build_node(NodeType.BX2B)
+        with pytest.raises(ConfigurationError):
+            SharedArena(node, remote_fraction=1.5)
+        arena = SharedArena(node)
+        with pytest.raises(ConfigurationError):
+            arena.access_time(-1)
+        with pytest.raises(ConfigurationError):
+            arena.access_time(10, concurrent_groups=0)
+
+
+class TestMLPStepTime:
+    def test_groups_divide_work(self):
+        node = build_node(NodeType.BX2B)
+        t9 = mlp_step_time(3600.0, MLPConfig(9, 1), node, PARAMS, 1.0, 1 << 20)
+        t36 = mlp_step_time(3600.0, MLPConfig(36, 1), node, PARAMS, 1.0, 1 << 20)
+        assert t36 < t9 / 3.0
+
+    def test_imbalance_inflates(self):
+        node = build_node(NodeType.BX2B)
+        flat = mlp_step_time(3600.0, MLPConfig(36, 1), node, PARAMS, 1.0, 0)
+        skew = mlp_step_time(3600.0, MLPConfig(36, 1), node, PARAMS, 1.4, 0)
+        assert skew == pytest.approx(1.4 * flat)
+
+    def test_threads_help_per_amdahl(self):
+        node = build_node(NodeType.BX2B)
+        t1 = mlp_step_time(3600.0, MLPConfig(36, 1), node, PARAMS, 1.0, 0)
+        t4 = mlp_step_time(3600.0, MLPConfig(36, 4), node, PARAMS, 1.0, 0)
+        assert 1.5 < t1 / t4 < 4.0
+
+    def test_node_capacity_enforced(self):
+        node = build_node(NodeType.BX2B)
+        with pytest.raises(ConfigurationError):
+            mlp_step_time(100.0, MLPConfig(128, 8), node, PARAMS, 1.0, 0)
+
+    def test_validation(self):
+        node = build_node(NodeType.BX2B)
+        with pytest.raises(ConfigurationError):
+            MLPConfig(0, 1)
+        with pytest.raises(ConfigurationError):
+            mlp_step_time(100.0, MLPConfig(4, 1), node, PARAMS, 0.9, 0)
+        with pytest.raises(ConfigurationError):
+            mlp_step_time(-1.0, MLPConfig(4, 1), node, PARAMS, 1.0, 0)
+
+
+class TestShmem:
+    def placement(self, **kw):
+        return Placement(single_node(NodeType.BX2B), n_ranks=64, **kw)
+
+    def test_put_faster_than_mpi_for_small_messages(self):
+        """One-sided puts skip matching: lower software latency."""
+        from repro.netmodel.costs import NetworkModel
+
+        pl = self.placement()
+        shmem = ShmemModel(pl)
+        net = NetworkModel(pl)
+        assert shmem.put_time(0, 17, 64) < net.message_time(0, 17, 64)
+
+    def test_get_costs_a_round_trip(self):
+        shmem = ShmemModel(self.placement())
+        assert shmem.get_time(0, 17, 1024) > shmem.put_time(0, 17, 1024)
+
+    def test_bandwidth_unchanged(self):
+        """SHMEM rides the same NUMAlink: large transfers converge."""
+        from repro.netmodel.costs import NetworkModel
+
+        pl = self.placement()
+        shmem = ShmemModel(pl)
+        net = NetworkModel(pl)
+        big = 64 << 20
+        ratio = shmem.put_time(0, 17, big) / net.message_time(0, 17, big)
+        assert 0.95 < ratio <= 1.0
+
+    def test_refuses_infiniband(self):
+        """§2: 'communication over the InfiniBand switch requires the
+        use of MPI' — SHMEM cannot span IB."""
+        cluster = multinode(2, fabric="infiniband", n_cpus=64)
+        pl = Placement(cluster, n_ranks=128)
+        with pytest.raises(CommunicationError):
+            ShmemModel(pl)
+
+    def test_works_over_numalink4_nodes(self):
+        cluster = multinode(2, fabric="numalink4", n_cpus=64)
+        pl = Placement(cluster, n_ranks=128)
+        shmem = ShmemModel(pl)
+        assert shmem.put_time(0, 100, 1024) > 0
+
+    def test_negative_sizes_rejected(self):
+        shmem = ShmemModel(self.placement())
+        with pytest.raises(CommunicationError):
+            shmem.put_time(0, 1, -5)
+        with pytest.raises(CommunicationError):
+            shmem.get_time(0, 1, -5)

@@ -1,0 +1,220 @@
+"""Tests for the simulated MPI layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicationError, DeadlockError
+from repro.machine.cluster import multinode, single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.mpi import ANY_SOURCE, run_mpi
+from repro.mpi.collectives import allgather, allreduce, alltoall, barrier, broadcast
+
+
+def placement(n_ranks, n_cpus=256, **kw):
+    return Placement(single_node(NodeType.BX2B, n_cpus), n_ranks=n_ranks, **kw)
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 100, tag=7, payload={"x": 1})
+            else:
+                msg = yield from comm.recv(0, tag=7)
+                assert msg.payload == {"x": 1}
+                assert msg.nbytes == 100
+            return None
+
+        run_mpi(placement(2), prog)
+
+    def test_pingpong_time_is_two_one_way_latencies(self):
+        def prog(comm):
+            if comm.rank == 0:
+                t0 = comm.now
+                yield from comm.send(1, 0)
+                yield from comm.recv(1)
+                return comm.now - t0
+            yield from comm.recv(0)
+            yield from comm.send(0, 0)
+            return None
+
+        pl = placement(2)
+        rtt = run_mpi(pl, prog).values[0]
+        from repro.netmodel.costs import NetworkModel
+
+        lat = NetworkModel(pl).path(0, 1).latency
+        assert rtt == pytest.approx(2 * lat, rel=1e-6)
+
+    def test_large_message_dominated_by_bandwidth(self):
+        size = 64 * 1024 * 1024
+
+        def prog(comm):
+            if comm.rank == 0:
+                t0 = comm.now
+                yield from comm.send(1, size)
+                yield from comm.recv(1)
+                return comm.now - t0
+            yield from comm.recv(0)
+            yield from comm.send(0, size)
+            return None
+
+        pl = placement(2)
+        rtt = run_mpi(pl, prog).values[0]
+        from repro.netmodel.costs import NetworkModel
+
+        path = NetworkModel(pl).path(0, 1)
+        expected = 2 * (path.latency + size / path.bandwidth)
+        assert rtt == pytest.approx(expected, rel=1e-6)
+
+    def test_tag_matching(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10, tag=1, payload="first")
+                yield from comm.send(1, 10, tag=2, payload="second")
+            else:
+                msg2 = yield from comm.recv(0, tag=2)
+                msg1 = yield from comm.recv(0, tag=1)
+                return (msg1.payload, msg2.payload)
+            return None
+
+        result = run_mpi(placement(2), prog)
+        assert result.values[1] == ("first", "second")
+
+    def test_any_source(self):
+        def prog(comm):
+            if comm.rank == 2:
+                got = set()
+                for _ in range(2):
+                    msg = yield from comm.recv(ANY_SOURCE)
+                    got.add(msg.source)
+                return got
+            yield from comm.send(2, 8)
+            return None
+
+        result = run_mpi(placement(3), prog)
+        assert result.values[2] == {0, 1}
+
+    def test_unmatched_recv_deadlocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.recv(1)  # never sent
+            return None
+
+        with pytest.raises(DeadlockError):
+            run_mpi(placement(2), prog)
+
+    def test_bad_destination_rejected(self):
+        def prog(comm):
+            yield from comm.send(99, 10)
+
+        with pytest.raises(CommunicationError):
+            run_mpi(placement(2), prog)
+
+    def test_message_accounting(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 1000)
+            else:
+                yield from comm.recv(0)
+            return None
+
+        result = run_mpi(placement(2), prog)
+        assert result.messages_sent == 1
+        assert result.bytes_sent == 1000
+
+    def test_compute_occupies_rank(self):
+        def prog(comm):
+            yield comm.compute(1.0)
+            return comm.now
+
+        result = run_mpi(placement(4), prog)
+        assert all(v == pytest.approx(1.0) for v in result.values)
+        assert result.elapsed == pytest.approx(1.0)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("p", [1, 2, 3, 7, 8, 16, 23])
+    def test_allreduce_sums_everywhere(self, p):
+        def prog(comm):
+            v = yield from allreduce(comm, 8, value=float(comm.rank + 1))
+            return v
+
+        result = run_mpi(placement(p), prog)
+        expected = sum(range(1, p + 1))
+        assert all(v == pytest.approx(expected) for v in result.values)
+
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_broadcast_reaches_all(self, p, root):
+        if root >= p:
+            pytest.skip("root outside world")
+
+        def prog(comm):
+            v = yield from broadcast(comm, 64, root=root, payload="data" if comm.rank == root else None)
+            return v
+
+        result = run_mpi(placement(p), prog)
+        assert all(v == "data" for v in result.values)
+
+    @pytest.mark.parametrize("p", [1, 2, 6, 16])
+    def test_allgather_collects_in_order(self, p):
+        def prog(comm):
+            g = yield from allgather(comm, 8, value=comm.rank * 10)
+            return g
+
+        result = run_mpi(placement(p), prog)
+        expected = [r * 10 for r in range(p)]
+        assert all(v == expected for v in result.values)
+
+    @pytest.mark.parametrize("p", [2, 4, 9])
+    def test_barrier_synchronizes(self, p):
+        def prog(comm):
+            # Stagger arrival; everyone must leave after the latest arriver.
+            yield comm.compute(0.01 * comm.rank)
+            yield from barrier(comm)
+            return comm.now
+
+        result = run_mpi(placement(p), prog)
+        latest_arrival = 0.01 * (p - 1)
+        assert all(v >= latest_arrival for v in result.values)
+
+    def test_alltoall_message_count(self):
+        p = 8
+
+        def prog(comm):
+            yield from alltoall(comm, 100)
+            return None
+
+        result = run_mpi(placement(p), prog)
+        assert result.messages_sent == p * (p - 1)
+
+    def test_alltoall_slower_on_infiniband(self):
+        """Fig. 10/11 mechanism: dense patterns suffer on IB."""
+
+        def prog(comm):
+            yield from alltoall(comm, 64 * 1024)
+            return None
+
+        nl = Placement(multinode(2, fabric="numalink4", n_cpus=32), n_ranks=64)
+        ib = Placement(multinode(2, fabric="infiniband", n_cpus=32), n_ranks=64)
+        t_nl = run_mpi(nl, prog).elapsed
+        t_ib = run_mpi(ib, prog).elapsed
+        assert t_ib > 1.5 * t_nl
+
+
+class TestDeterminism:
+    @settings(deadline=None, max_examples=10)
+    @given(p=st.integers(2, 12))
+    def test_repeated_runs_identical(self, p):
+        def prog(comm):
+            yield comm.compute(1e-6 * comm.rank)
+            v = yield from allreduce(comm, 8, value=float(comm.rank))
+            yield from alltoall(comm, 128)
+            return v
+
+        r1 = run_mpi(placement(p), prog)
+        r2 = run_mpi(placement(p), prog)
+        assert r1.elapsed == r2.elapsed
+        assert r1.values == r2.values
+        assert r1.messages_sent == r2.messages_sent

@@ -1,0 +1,213 @@
+"""Tests for the extended collectives, tracing, export and CLI."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.core import run_experiment
+from repro.core.export import to_csv, to_json, to_markdown, to_records
+from repro.errors import CommunicationError, ConfigurationError
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.mpi import run_mpi
+from repro.mpi.collectives import gather, reduce, scan, scatter
+from repro.sim.trace import MessageTrace
+
+
+def placement(p):
+    return Placement(single_node(NodeType.BX2B, 256), n_ranks=p)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_sum_lands_on_root(self, p, root):
+        if root >= p:
+            pytest.skip("root outside world")
+
+        def prog(comm):
+            total = yield from reduce(comm, 8, float(comm.rank + 1), root=root)
+            return total
+
+        result = run_mpi(placement(p), prog)
+        expected = p * (p + 1) / 2
+        assert result.values[root] == pytest.approx(expected)
+        for r in range(p):
+            if r != root:
+                assert result.values[r] is None
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_gather_ordered(self, p):
+        def prog(comm):
+            out = yield from gather(comm, 8, comm.rank**2, root=0)
+            return out
+
+        result = run_mpi(placement(p), prog)
+        assert result.values[0] == [r**2 for r in range(p)]
+
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_scatter_delivers_elementwise(self, p):
+        def prog(comm):
+            values = [f"item{i}" for i in range(p)] if comm.rank == 0 else None
+            mine = yield from scatter(comm, 8, values, root=0)
+            return mine
+
+        result = run_mpi(placement(p), prog)
+        assert list(result.values) == [f"item{r}" for r in range(p)]
+
+    def test_scatter_wrong_length_rejected(self):
+        def prog(comm):
+            mine = yield from scatter(comm, 8, [1, 2], root=0)
+            return mine
+
+        with pytest.raises(CommunicationError):
+            run_mpi(placement(3), prog)
+
+    def test_scatter_then_gather_roundtrip(self):
+        p = 6
+
+        def prog(comm):
+            values = list(range(p)) if comm.rank == 0 else None
+            mine = yield from scatter(comm, 8, values, root=0)
+            out = yield from gather(comm, 8, mine * 2, root=0)
+            return out
+
+        result = run_mpi(placement(p), prog)
+        assert result.values[0] == [2 * i for i in range(p)]
+
+
+class TestScan:
+    @pytest.mark.parametrize("p", [1, 2, 7, 16])
+    def test_inclusive_prefix_sum(self, p):
+        def prog(comm):
+            acc = yield from scan(comm, 8, float(comm.rank + 1))
+            return acc
+
+        result = run_mpi(placement(p), prog)
+        for r in range(p):
+            assert result.values[r] == pytest.approx((r + 1) * (r + 2) / 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.integers(2, 12), seed=st.integers(0, 50))
+    def test_scan_matches_cumsum(self, p, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.random(p)
+
+        def prog(comm):
+            acc = yield from scan(comm, 8, float(values[comm.rank]))
+            return acc
+
+        result = run_mpi(placement(p), prog)
+        assert np.allclose(result.values, np.cumsum(values))
+
+
+class TestTrace:
+    def test_trace_records_messages(self):
+        trace = MessageTrace()
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 100, tag=5)
+            else:
+                yield from comm.recv(0)
+            return None
+
+        run_mpi(placement(2), prog, trace=trace)
+        assert trace.message_count == 1
+        rec = trace.records[0]
+        assert (rec.source, rec.dest, rec.tag, rec.nbytes) == (0, 1, 5, 100)
+
+    def test_traffic_matrix_and_per_rank(self):
+        trace = MessageTrace()
+
+        def prog(comm):
+            dest = (comm.rank + 1) % comm.size
+            comm.isend(dest, 64)
+            yield from comm.recv()
+            return None
+
+        run_mpi(placement(4), prog, trace=trace)
+        m = trace.traffic_matrix(4)
+        assert m.sum() == 4 * 64
+        assert all(v == 64 for v in trace.bytes_by_rank().values())
+
+    def test_size_histogram_buckets(self):
+        trace = MessageTrace()
+        trace.record(0.0, 0, 1, 0, 10)
+        trace.record(0.0, 0, 1, 0, 500)
+        trace.record(0.0, 0, 1, 0, 2_000_000)
+        hist = trace.size_histogram()
+        assert sum(hist.values()) == 3
+
+    def test_window_filters_by_time(self):
+        trace = MessageTrace()
+        trace.record(0.5, 0, 1, 0, 10)
+        trace.record(1.5, 0, 1, 0, 10)
+        assert trace.window(0.0, 1.0).message_count == 1
+        with pytest.raises(ConfigurationError):
+            trace.window(2.0, 1.0)
+
+    def test_summary_mentions_counts(self):
+        trace = MessageTrace()
+        assert "no messages" in trace.summary()
+        trace.record(0.1, 2, 3, 0, 128)
+        assert "1 messages" in trace.summary()
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table1")
+
+    def test_csv_roundtrip_headers(self, result):
+        text = to_csv(result)
+        lines = text.strip().split("\n")
+        assert lines[0].split(",")[0] == "node_type"
+        assert len(lines) == 1 + len(result.rows)
+
+    def test_markdown_has_table_syntax(self, result):
+        md = to_markdown(result)
+        assert md.startswith("### ")
+        assert "| node_type |" in md.replace("|node_type|", "| node_type |")
+
+    def test_records_keyed_by_column(self, result):
+        recs = to_records(result)
+        assert recs[0]["node_type"] == "3700"
+
+    def test_json_parses(self, result):
+        doc = json.loads(to_json(result))
+        assert doc["experiment_id"] == "table1"
+        assert len(doc["rows"]) == 3
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig11" in out
+
+    def test_run_text(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "NUMAlink4" in capsys.readouterr().out
+
+    def test_run_csv(self, capsys):
+        assert main(["run", "table5", "--format", "csv"]) == 0
+        assert capsys.readouterr().out.startswith("processors,")
+
+    def test_run_unknown_fails(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_machine(self, capsys):
+        assert main(["machine"]) == 0
+        assert "Itanium2" in capsys.readouterr().out
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        assert "anchored to" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Tests: DES-executed multi-zone steps cross-validate the analytic
+model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.npb.mz_des import des_step_time, zone_neighbors
+from repro.npb.multizone import mz_problem
+
+
+def placement(p, **kw):
+    return Placement(single_node(NodeType.BX2B), n_ranks=p, **kw)
+
+
+class TestZoneNeighbors:
+    def test_interior_zone_has_four(self):
+        problem = mz_problem("sp-mz", "C")  # 16x16 zones
+        nbrs = zone_neighbors(problem)
+        interior = 5 * 16 + 5
+        assert len(nbrs[interior]) == 4
+
+    def test_corner_zone_has_two(self):
+        problem = mz_problem("sp-mz", "C")
+        nbrs = zone_neighbors(problem)
+        assert len(nbrs[0]) == 2
+
+    def test_adjacency_symmetric(self):
+        problem = mz_problem("bt-mz", "B")
+        nbrs = zone_neighbors(problem)
+        for z, ns in nbrs.items():
+            for n in ns:
+                assert z in nbrs[n]
+
+    def test_every_zone_listed(self):
+        problem = mz_problem("bt-mz", "C")
+        assert len(zone_neighbors(problem)) == problem.spec.n_zones
+
+
+class TestDESStep:
+    @pytest.mark.parametrize("bm", ["bt-mz", "sp-mz"])
+    @pytest.mark.parametrize("p", [16, 64])
+    def test_des_matches_analytic_model(self, bm, p):
+        """The DES execution must land close to the analytic per-step
+        prediction — the model's max-bin assumption holds because the
+        step-ending reduction synchronizes everyone behind the
+        heaviest rank."""
+        r = des_step_time(bm, "C", placement(p))
+        assert 0.85 < r.ratio < 1.3
+
+    def test_exchange_messages_flow(self):
+        r = des_step_time("sp-mz", "C", placement(64))
+        assert r.messages > 64  # boundary msgs + reduction tree
+
+    def test_skew_absorbed_by_sync(self):
+        """After the allreduce every rank finishes together."""
+        r = des_step_time("bt-mz", "C", placement(32))
+        assert r.max_skew < 0.01 * r.elapsed
+
+    def test_single_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            des_step_time("bt-mz", "C", placement(1))
+
+    def test_hybrid_layout_supported(self):
+        r = des_step_time("bt-mz", "C", placement(32, threads_per_rank=2))
+        assert r.elapsed > 0

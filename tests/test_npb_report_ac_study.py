@@ -1,0 +1,77 @@
+"""Tests for the NPB result footers and the AC sub-iteration study."""
+
+import pytest
+
+from repro.apps.cfd.ac_study import subiteration_study
+from repro.errors import ConfigurationError
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.npb.report import report_model, report_real_run
+
+
+class TestNPBReport:
+    def test_real_run_footer(self):
+        rep = report_real_run("mg", "S", time_seconds=0.05, verified=True)
+        text = rep.format()
+        assert "MG Benchmark Completed." in text
+        assert "32x32x32" in text
+        assert "SUCCESSFUL" in text
+        assert rep.mops_total > 0
+
+    def test_failed_verification_reported(self):
+        rep = report_real_run("ft", "S", time_seconds=1.0, verified=False)
+        assert rep.verification == "UNSUCCESSFUL"
+
+    def test_cg_size_is_row_count(self):
+        rep = report_real_run("cg", "S", time_seconds=1.0, verified=True)
+        assert rep.size == "1400"
+
+    def test_model_footer_counts_processes(self):
+        pl = Placement(single_node(NodeType.BX2B), n_ranks=64)
+        rep = report_model("bt", "B", pl)
+        assert rep.total_processes == 64
+        assert rep.verification == "MODELED"
+        assert rep.mops_total / 64 == pytest.approx(
+            rep.mops_total / rep.total_processes
+        )
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            report_real_run("mg", "S", time_seconds=0.0, verified=True)
+
+
+class TestSubiterationStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return subiteration_study(betas=(0.2, 0.5, 8.0), n=24, seed=5)
+
+    def test_all_betas_converge(self, points):
+        assert all(p.converged for p in points)
+        assert all(p.final_divergence <= 2e-3 for p in points)
+
+    def test_count_depends_on_beta(self, points):
+        """§3.4: the sub-iteration count 'varies depending on ... the
+        artificial compressibility parameter'."""
+        counts = [p.sub_iterations for p in points]
+        assert len(set(counts)) > 1
+
+    def test_interior_beta_optimal(self, points):
+        """Too little compressibility propagates pressure slowly; too
+        much stiffens the system: the middle beta wins."""
+        low, mid, high = (p.sub_iterations for p in points)
+        assert mid < low
+        assert mid < high
+
+    def test_smaller_perturbation_recovers_faster(self):
+        gentle = subiteration_study(betas=(1.0,), n=24, perturbation=0.005, seed=5)
+        rough = subiteration_study(betas=(1.0,), n=24, perturbation=0.05, seed=5)
+        assert gentle[0].sub_iterations < rough[0].sub_iterations
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            subiteration_study(betas=())
+        with pytest.raises(ConfigurationError):
+            subiteration_study(betas=(-1.0,))
+        with pytest.raises(ConfigurationError):
+            subiteration_study(perturbation=0.0)

@@ -1,0 +1,162 @@
+"""Tests for the NPB timing model — the paper's §4.1.2 shapes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import multinode, single_node
+from repro.machine.compilers import Compiler
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement, PinningMode
+from repro.npb.timing import NPBTimingModel, npb_gflops_per_cpu
+
+
+def mpi_rate(bm, nt, p, cls="B", compiler=Compiler.V7_1):
+    pl = Placement(single_node(nt), n_ranks=p)
+    return npb_gflops_per_cpu(bm, cls, pl, "mpi", compiler)
+
+
+def omp_rate(bm, nt, t, cls="B", **kw):
+    pl = Placement(single_node(nt), n_ranks=1, threads_per_rank=t, **kw)
+    return npb_gflops_per_cpu(bm, cls, pl, "openmp")
+
+
+class TestValidation:
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError):
+            npb_gflops_per_cpu("lu", "B", Placement(single_node(NodeType.BX2B), n_ranks=4))
+
+    def test_unknown_paradigm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            npb_gflops_per_cpu(
+                "mg", "B", Placement(single_node(NodeType.BX2B), n_ranks=4), "shmem"
+            )
+
+    def test_openmp_cannot_span_nodes(self):
+        c = multinode(2, n_cpus=64)
+        pl = Placement(c, n_ranks=1, threads_per_rank=96)
+        with pytest.raises(ConfigurationError):
+            npb_gflops_per_cpu("mg", "B", pl, "openmp")
+
+    def test_rates_positive_and_sane(self):
+        for bm in ("mg", "cg", "ft", "bt"):
+            for nt in NodeType:
+                rate = mpi_rate(bm, nt, 64)
+                assert 0.01 < rate < 6.4  # below peak, above nothing
+
+
+class TestFig6Shapes:
+    def test_ft_twice_as_fast_on_bx2_at_256(self):
+        """§4.1.2: 'on 256 processors, FT runs about twice as fast on
+        BX2 than on 3700'."""
+        ratio = mpi_rate("ft", NodeType.BX2A, 256) / mpi_rate("ft", NodeType.A3700, 256)
+        assert 1.6 < ratio < 2.6
+
+    def test_ft_gap_smaller_at_low_counts(self):
+        """Bandwidth effect 'less profound until a larger number of
+        processes'."""
+        gap_small = mpi_rate("ft", NodeType.BX2A, 4) / mpi_rate("ft", NodeType.A3700, 4)
+        gap_large = mpi_rate("ft", NodeType.BX2A, 256) / mpi_rate("ft", NodeType.A3700, 256)
+        assert gap_small < gap_large
+
+    @pytest.mark.parametrize("bm", ["mg", "bt"])
+    def test_mg_bt_cache_jump_on_bx2b_at_64(self, bm):
+        """'At about 64 processors, both MG and BT exhibit a
+        performance jump (~50%) on BX2b comparing to BX2a ... a result
+        of a larger L3 cache'."""
+        jump = mpi_rate(bm, NodeType.BX2B, 64) / mpi_rate(bm, NodeType.BX2A, 64)
+        assert 1.3 < jump < 1.9
+
+    @pytest.mark.parametrize("bm", ["mg", "bt"])
+    def test_cache_jump_is_from_cache_not_clock(self, bm):
+        """At 16 CPUs the working set swamps both caches: the BX2b
+        advantage shrinks to roughly the clock ratio."""
+        jump64 = mpi_rate(bm, NodeType.BX2B, 64) / mpi_rate(bm, NodeType.BX2A, 64)
+        jump16 = mpi_rate(bm, NodeType.BX2B, 16) / mpi_rate(bm, NodeType.BX2A, 16)
+        assert jump16 < 1.2 < jump64
+
+    def test_cg_all_node_types_similar(self):
+        """CG is gather/latency bound: node type matters least."""
+        rates = [mpi_rate("cg", nt, 64) for nt in NodeType]
+        assert max(rates) / min(rates) < 1.25
+
+    def test_openmp_beats_or_matches_mpi_small_counts(self):
+        """'OpenMP versions of NPB demonstrated better performance on
+        a small number of CPUs'."""
+        for bm in ("ft", "mg", "bt"):
+            assert omp_rate(bm, NodeType.BX2B, 4) > 0.95 * mpi_rate(bm, NodeType.BX2B, 4)
+
+    def test_mpi_scales_better_than_openmp(self):
+        """'but MPI versions scaled much better'."""
+        for bm in ("mg", "cg", "ft", "bt"):
+            mpi_drop = mpi_rate(bm, NodeType.BX2B, 256) / mpi_rate(bm, NodeType.BX2B, 4)
+            omp_drop = omp_rate(bm, NodeType.BX2B, 128) / omp_rate(bm, NodeType.BX2B, 4)
+            assert omp_drop < mpi_drop * 1.05
+
+    @pytest.mark.parametrize("bm", ["ft", "bt"])
+    def test_openmp_bandwidth_sensitivity_up_to_2x(self, bm):
+        """'With 128 threads, the difference can be as large as 2x for
+        both FT and BT' (BX2 vs 3700)."""
+        ratio = omp_rate(bm, NodeType.BX2A, 128) / omp_rate(bm, NodeType.A3700, 128)
+        assert 1.35 < ratio < 2.5
+
+    def test_openmp_scaling_better_on_bx2_beyond_4_threads(self):
+        """'the four OpenMP benchmarks scaled much better on both
+        types of BX2 than on 3700 when the number of threads is four
+        or more'."""
+        for bm in ("mg", "ft"):
+            speedup_3700 = omp_rate(bm, NodeType.A3700, 64) / omp_rate(bm, NodeType.A3700, 1)
+            speedup_bx2 = omp_rate(bm, NodeType.BX2A, 64) / omp_rate(bm, NodeType.BX2A, 1)
+            assert speedup_bx2 > speedup_3700
+
+    def test_clock_speed_effect_small(self):
+        """'The impact of processor speed on performance is generally
+        small' — compare BX2a/BX2b away from the cache-transition
+        region."""
+        for bm in ("cg", "ft"):
+            ratio = mpi_rate(bm, NodeType.BX2B, 16) / mpi_rate(bm, NodeType.BX2A, 16)
+            assert ratio < 1.15
+
+
+class TestCompilerInteraction:
+    def test_compiler_80_slower_on_ft(self):
+        r71 = mpi_rate("ft", NodeType.BX2B, 64, compiler=Compiler.V7_1)
+        r80 = mpi_rate("ft", NodeType.BX2B, 64, compiler=Compiler.V8_0)
+        assert r80 < r71
+
+    def test_mg_compiler_crossover(self):
+        """Fig. 8: 8.1 beats 7.1 on MG between 32 and 128 threads,
+        loses below 32."""
+
+        def rate(compiler, t):
+            pl = Placement(single_node(NodeType.BX2B), n_ranks=1, threads_per_rank=t)
+            return npb_gflops_per_cpu("mg", "B", pl, "openmp", compiler)
+
+        assert rate(Compiler.V7_1, 16) > rate(Compiler.V8_1, 16)
+        assert rate(Compiler.V8_1, 64) > rate(Compiler.V7_1, 64)
+
+
+class TestPinningInteraction:
+    def test_unpinned_openmp_slower(self):
+        pinned = omp_rate("bt", NodeType.BX2B, 32)
+        unpinned = omp_rate("bt", NodeType.BX2B, 32, pinning=PinningMode.UNPINNED)
+        assert unpinned < 0.8 * pinned
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_total(self):
+        m = NPBTimingModel("ft", "B", Placement(single_node(NodeType.A3700), n_ranks=64))
+        b = m.breakdown()
+        assert b["compute"] + b["comm"] == pytest.approx(m.total_time())
+
+    def test_comm_share_grows_with_p(self):
+        def share(p):
+            m = NPBTimingModel("ft", "B", Placement(single_node(NodeType.A3700), n_ranks=p))
+            b = m.breakdown()
+            return b["comm"] / (b["comm"] + b["compute"])
+
+        assert share(16) < share(256)
+
+    def test_comm_volume_decreases_with_p(self):
+        m = NPBTimingModel("mg", "B", Placement(single_node(NodeType.BX2B), n_ranks=4))
+        assert m.comm_volume_per_rank(8) > m.comm_volume_per_rank(64)
+        assert m.comm_volume_per_rank(1) == 0.0

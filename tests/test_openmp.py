@@ -1,0 +1,119 @@
+"""Tests for the OpenMP models: analytic scaling and the executed team."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.node import NodeType, build_node
+from repro.openmp.scaling import OMPKernelParams, omp_region_time, omp_speedup
+from repro.openmp.team import run_parallel_for
+from repro.sim.rng import make_rng
+
+PARAMS = OMPKernelParams(
+    parallel_fraction=0.99,
+    sync_cost=5e-6,
+    shared_bytes_per_second=1e8,
+    boundary_exponent=0.67,
+)
+
+
+class TestScalingModel:
+    def test_one_thread_is_serial_time(self):
+        node = build_node(NodeType.BX2B)
+        assert omp_region_time(1.0, 1, node, PARAMS) == pytest.approx(1.0)
+
+    def test_speedup_grows_then_saturates(self):
+        node = build_node(NodeType.BX2B)
+        speedups = [omp_speedup(t, node, PARAMS, t_serial=10.0) for t in (1, 2, 8, 64)]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[1] > 1.5
+        assert speedups[3] > speedups[2] * 0.5  # saturating, not collapsing
+
+    def test_bx2_scales_better_than_3700(self):
+        """§4.1.2: OpenMP scaling is bandwidth-limited."""
+        heavy = OMPKernelParams(0.999, 5e-6, 2e9, 0.9)
+        s37 = omp_speedup(64, build_node(NodeType.A3700), heavy, t_serial=10.0)
+        sbx = omp_speedup(64, build_node(NodeType.BX2A), heavy, t_serial=10.0)
+        assert sbx > s37
+
+    def test_locality_penalty_slows_region(self):
+        node = build_node(NodeType.BX2B)
+        t_pin = omp_region_time(1.0, 16, node, PARAMS, locality_penalty=1.0)
+        t_mig = omp_region_time(1.0, 16, node, PARAMS, locality_penalty=2.0)
+        assert t_mig == pytest.approx(2.0 * t_pin)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OMPKernelParams(0.0, 1e-6, 1e8)
+        with pytest.raises(ConfigurationError):
+            OMPKernelParams(0.9, -1, 1e8)
+        node = build_node(NodeType.BX2B)
+        with pytest.raises(ConfigurationError):
+            omp_region_time(1.0, 0, node, PARAMS)
+        with pytest.raises(ConfigurationError):
+            omp_region_time(-1.0, 2, node, PARAMS)
+
+
+class TestThreadTeam:
+    def test_uniform_chunks_scale_nearly_linearly(self):
+        costs = [1e-4] * 64
+        one = run_parallel_for(costs, 1)
+        eight = run_parallel_for(costs, 8)
+        assert one.elapsed / eight.elapsed > 6.0
+
+    def test_static_suffers_on_skewed_work(self):
+        """One huge chunk + many small ones: static round-robin lands
+        everything-after-the-big-one on the same thread's lap."""
+        costs = [1e-3] + [1e-5] * 63
+        static = run_parallel_for(costs, 8, schedule="static")
+        assert static.imbalance > 3.0
+
+    def test_dynamic_rebalances_skewed_work(self):
+        costs = [1e-3] + [1e-5] * 63
+        static = run_parallel_for(costs, 8, schedule="static")
+        dynamic = run_parallel_for(costs, 8, schedule="dynamic")
+        assert dynamic.elapsed <= static.elapsed
+        assert dynamic.imbalance < static.imbalance * 1.01
+
+    def test_dynamic_pays_dispatch_overhead_on_uniform_work(self):
+        costs = [2e-6] * 256
+        static = run_parallel_for(costs, 8, schedule="static")
+        dynamic = run_parallel_for(costs, 8, schedule="dynamic")
+        assert dynamic.elapsed > static.elapsed
+
+    def test_all_chunks_executed_exactly_once(self):
+        costs = [1e-5] * 37
+        for schedule in ("static", "dynamic"):
+            r = run_parallel_for(costs, 5, schedule=schedule)
+            assert sum(r.chunks) == 37
+
+    def test_busy_time_equals_total_work(self):
+        rng = make_rng(0)
+        costs = list(rng.uniform(1e-6, 1e-4, 50))
+        r = run_parallel_for(costs, 4, schedule="dynamic")
+        assert sum(r.busy) == pytest.approx(sum(costs))
+
+    def test_efficiency_in_unit_interval(self):
+        r = run_parallel_for([1e-4] * 16, 4)
+        assert 0 < r.efficiency <= 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_parallel_for([1e-5], 0)
+        with pytest.raises(ConfigurationError):
+            run_parallel_for([1e-5], 2, schedule="guided")
+        with pytest.raises(ConfigurationError):
+            run_parallel_for([-1e-5], 2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_chunks=st.integers(1, 40),
+        n_threads=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    def test_elapsed_bounded_by_serial_and_critical_path(self, n_chunks, n_threads, seed):
+        rng = make_rng(seed)
+        costs = list(rng.uniform(1e-6, 1e-4, n_chunks))
+        r = run_parallel_for(costs, n_threads, schedule="dynamic")
+        serial = sum(costs) + n_chunks * 1e-6 + 1e-5
+        assert max(costs) <= r.elapsed <= serial + 1e-5

@@ -1,0 +1,214 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import SimEvent, SimProcess, Simulator, Timeout
+from repro.sim.process import AllOf
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_callback_after_trigger_still_fires(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        ev.succeed("x")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["x"]
+
+    def test_timeout_fires_at_right_time(self):
+        sim = Simulator()
+        ev = Timeout(sim, 2.5, value="done")
+        seen = []
+        ev.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(2.5, "done")]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(Simulator(), -1.0)
+
+    def test_allof_waits_for_every_event(self):
+        sim = Simulator()
+        evs = [Timeout(sim, t) for t in (3.0, 1.0, 2.0)]
+        combined = AllOf(sim, evs)
+        seen = []
+        combined.add_callback(lambda e: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_allof_empty_triggers_immediately(self):
+        sim = Simulator()
+        combined = AllOf(sim, [])
+        assert combined.triggered
+
+
+class TestProcesses:
+    def test_process_elapses_time(self):
+        sim = Simulator()
+
+        def prog():
+            yield Timeout(sim, 1.0)
+            yield Timeout(sim, 2.0)
+            return "finished"
+
+        proc = SimProcess(sim, prog())
+        sim.run()
+        assert sim.now == 3.0
+        assert proc.value == "finished"
+        assert proc.triggered
+
+    def test_event_value_sent_into_generator(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+
+        def prog():
+            got = yield ev
+            return got * 2
+
+        proc = SimProcess(sim, prog())
+        sim.schedule(1.0, lambda: ev.succeed(21))
+        sim.run()
+        assert proc.value == 42
+
+    def test_join_another_process(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(sim, 5.0)
+            return "child-result"
+
+        def parent(child_proc):
+            result = yield child_proc
+            return f"got {result}"
+
+        c = SimProcess(sim, child())
+        p = SimProcess(sim, parent(c))
+        sim.run()
+        assert p.value == "got child-result"
+        assert sim.now == 5.0
+
+    def test_non_generator_rejected(self):
+        with pytest.raises(SimulationError):
+            SimProcess(Simulator(), "not a generator")  # type: ignore[arg-type]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def prog():
+            yield 1.5  # wrong: must yield a SimEvent
+
+        SimProcess(sim, prog())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        never = SimEvent(sim)
+
+        def prog():
+            yield never
+
+        SimProcess(sim, prog())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_many_processes_interleave_deterministically(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+
+            def prog(i):
+                yield Timeout(sim, 0.1 * (i % 3))
+                log.append(i)
+                yield Timeout(sim, 0.05 * i)
+                log.append(-i)
+
+            for i in range(10):
+                SimProcess(sim, prog(i))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

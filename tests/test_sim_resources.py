@@ -1,0 +1,166 @@
+"""Tests for resources, links and channels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Link, Resource, SimProcess, Simulator, Timeout
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        a, b, c = res.acquire(), res.acquire(), res.acquire()
+        assert a.triggered and b.triggered and not c.triggered
+        assert res.queue_length == 1
+
+    def test_release_wakes_fifo(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.acquire()
+        w1, w2 = res.acquire(), res.acquire()
+        res.release()
+        assert w1.triggered and not w2.triggered
+        res.release()
+        assert w2.triggered
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator()).release()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_serializes_processes(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def prog(i):
+            yield res.acquire()
+            start = sim.now
+            yield Timeout(sim, 1.0)
+            res.release()
+            spans.append((i, start, sim.now))
+
+        for i in range(3):
+            SimProcess(sim, prog(i))
+        sim.run()
+        assert sim.now == 3.0
+        # Non-overlapping, back to back.
+        spans.sort(key=lambda s: s[1])
+        for (_, _, end), (_, start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+
+class TestLink:
+    def test_transfer_time_is_size_over_bandwidth(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=100.0)
+        done = []
+        link.transfer(50).add_callback(lambda e: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+    def test_transfers_queue_fifo(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=100.0)
+        done = []
+        link.transfer(100).add_callback(lambda e: done.append(("a", sim.now)))
+        link.transfer(100).add_callback(lambda e: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+    def test_idle_gap_not_charged(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=100.0)
+        done = []
+
+        def prog():
+            yield link.transfer(100)
+            yield Timeout(sim, 5.0)  # link idle
+            yield link.transfer(100)
+            done.append(sim.now)
+
+        SimProcess(sim, prog())
+        sim.run()
+        assert done == [pytest.approx(7.0)]
+
+    def test_zero_bytes_is_instant(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=10.0)
+        ev = link.transfer(0)
+        sim.run()
+        assert ev.triggered
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Link(Simulator(), bandwidth=10.0).transfer(-1)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(SimulationError):
+            Link(Simulator(), bandwidth=0.0)
+
+    def test_bytes_accounted(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth=10.0)
+        link.transfer(30)
+        link.transfer(20)
+        assert link.bytes_transferred == 50
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=20),
+        st.floats(min_value=1.0, max_value=1e9),
+    )
+    def test_total_time_is_sum_of_service_times(self, sizes, bw):
+        """Back-to-back transfers on one link take exactly sum(size)/bw."""
+        sim = Simulator()
+        link = Link(sim, bandwidth=bw)
+        for s in sizes:
+            link.transfer(s)
+        sim.run()
+        assert sim.now == pytest.approx(sum(sizes) / bw, rel=1e-9)
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        ch.put("hello")
+        ev = ch.get()
+        assert ev.triggered and ev.value == "hello"
+
+    def test_get_then_put_wakes_getter(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        ev = ch.get()
+        assert not ev.triggered
+        ch.put("late")
+        assert ev.triggered and ev.value == "late"
+
+    def test_matching_skips_non_matching(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        ch.put(("tagA", 1))
+        ch.put(("tagB", 2))
+        ev = ch.get(lambda m: m[0] == "tagB")
+        assert ev.value == ("tagB", 2)
+        assert ch.buffered == 1
+
+    def test_fifo_within_matches(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        ch.put(1)
+        ch.put(2)
+        assert ch.get().value == 1
+        assert ch.get().value == 2
+
+    def test_waiting_getters_matched_in_order(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        g1, g2 = ch.get(), ch.get()
+        ch.put("x")
+        assert g1.triggered and not g2.triggered
+        assert ch.waiting_getters == 1

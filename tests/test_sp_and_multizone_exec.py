@@ -1,0 +1,176 @@
+"""Tests for the SP kernel and the really-executing multi-zone solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.npb.multizone_exec import (
+    assemble,
+    exchange_boundaries,
+    run_multizone_diffusion,
+    run_multizone_implicit,
+    split_field,
+    split_zones,
+)
+from repro.npb.sp import penta_thomas, run_sp, sp_adi_step
+from repro.sim.rng import make_rng
+
+
+def dense_from_bands(a, b, c, d, e, l):
+    n = c.shape[1]
+    m = np.zeros((n, n))
+    for i in range(n):
+        m[i, i] = c[l, i]
+        if i >= 1:
+            m[i, i - 1] = b[l, i]
+        if i >= 2:
+            m[i, i - 2] = a[l, i]
+        if i + 1 < n:
+            m[i, i + 1] = d[l, i]
+        if i + 2 < n:
+            m[i, i + 2] = e[l, i]
+    return m
+
+
+class TestPentaThomas:
+    def test_matches_dense_solver(self):
+        rng = make_rng(1)
+        L, n = 4, 9
+        a = rng.random((L, n)) * 0.1
+        b = rng.random((L, n)) * 0.2
+        c = rng.random((L, n)) * 0.2 + 2.0
+        d = rng.random((L, n)) * 0.2
+        e = rng.random((L, n)) * 0.1
+        r = rng.random((L, n))
+        x = penta_thomas(a, b, c, d, e, r)
+        for l in range(L):
+            expected = np.linalg.solve(dense_from_bands(a, b, c, d, e, l), r[l])
+            assert np.allclose(x[l], expected, atol=1e-9)
+
+    def test_tridiagonal_special_case(self):
+        """With zero outer bands it degenerates to tridiagonal Thomas."""
+        rng = make_rng(2)
+        L, n = 2, 7
+        zero = np.zeros((L, n))
+        b = rng.random((L, n)) * 0.3
+        c = rng.random((L, n)) + 2.0
+        d = rng.random((L, n)) * 0.3
+        r = rng.random((L, n))
+        x = penta_thomas(zero, b, c, d, zero, r)
+        for l in range(L):
+            expected = np.linalg.solve(dense_from_bands(zero, b, c, d, zero, l), r[l])
+            assert np.allclose(x[l], expected, atol=1e-10)
+
+    def test_identity_system(self):
+        L, n = 2, 5
+        zero = np.zeros((L, n))
+        one = np.ones((L, n))
+        r = make_rng(3).random((L, n))
+        assert np.allclose(penta_thomas(zero, zero, one, zero, zero, r), r)
+
+    @given(n=st.integers(3, 20), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_random_diagonally_dominant_systems(self, n, seed):
+        rng = make_rng(seed)
+        L = 2
+        a = rng.uniform(-0.2, 0.2, (L, n))
+        b = rng.uniform(-0.3, 0.3, (L, n))
+        c = rng.uniform(2.0, 3.0, (L, n))
+        d = rng.uniform(-0.3, 0.3, (L, n))
+        e = rng.uniform(-0.2, 0.2, (L, n))
+        r = rng.random((L, n))
+        x = penta_thomas(a, b, c, d, e, r)
+        for l in range(L):
+            m = dense_from_bands(a, b, c, d, e, l)
+            assert np.allclose(m @ x[l], r[l], atol=1e-8)
+
+    def test_shape_mismatch_rejected(self):
+        z = np.zeros((2, 5))
+        with pytest.raises(ConfigurationError):
+            penta_thomas(z, z, z, z, z, np.zeros((2, 6)))
+        with pytest.raises(ConfigurationError):
+            penta_thomas(*([np.zeros((2, 2))] * 6))
+
+
+class TestSPKernel:
+    def test_converges_to_steady_state(self):
+        r = run_sp(10, 25)
+        assert r.converged
+        assert r.rms_history[-1] < 1e-4 * r.rms_history[0]
+
+    def test_zero_state_preserved(self):
+        u = np.zeros((6, 6, 6, 5))
+        f = np.zeros_like(u)
+        out = sp_adi_step(u, f, 0.4)
+        assert np.abs(out).max() < 1e-14
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sp(2)
+        with pytest.raises(ConfigurationError):
+            run_sp(10, 0)
+        with pytest.raises(ConfigurationError):
+            sp_adi_step(np.zeros((4, 4, 4, 3)), np.zeros((4, 4, 4, 3)), 0.1)
+
+    def test_deterministic(self):
+        a, b = run_sp(8, 10, seed=4), run_sp(8, 10, seed=4)
+        assert a.rms_history == b.rms_history
+
+
+class TestZoneLayout:
+    def test_bounds_partition_exactly(self):
+        layout = split_zones((17, 13, 4), 3, 2)
+        assert layout.x_bounds[0] == 0 and layout.x_bounds[-1] == 17
+        assert layout.y_bounds[0] == 0 and layout.y_bounds[-1] == 13
+
+    def test_split_and_assemble_roundtrip(self):
+        rng = make_rng(5)
+        u = rng.random((10, 12, 3))
+        layout = split_zones(u.shape, 2, 3)
+        zones = split_field(u, layout)
+        assert np.array_equal(assemble(zones, layout, u.shape), u)
+
+    def test_too_many_zones_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_zones((4, 4, 4), 3, 1)
+
+    def test_ghost_strips_come_from_neighbors(self):
+        rng = make_rng(6)
+        u = rng.random((8, 8, 2))
+        layout = split_zones(u.shape, 2, 2)
+        zones = split_field(u, layout)
+        ghosts = exchange_boundaries(zones, layout)
+        # Zone (0,0)'s x_hi ghost is zone (1,0)'s first x-plane.
+        x_lo, x_hi, y_lo, y_hi = ghosts[(0, 0)]
+        assert x_lo is None and y_lo is None  # physical boundaries
+        assert np.array_equal(x_hi, zones[(1, 0)][0])
+        assert np.array_equal(y_hi, zones[(0, 1)][:, 0])
+
+
+class TestMultizoneExecution:
+    @pytest.mark.parametrize("zx,zy", [(1, 1), (2, 1), (2, 2), (4, 2)])
+    def test_explicit_multizone_matches_global_exactly(self, zx, zy):
+        """The zone decomposition + exchange must be *exact* for the
+        explicit stencil — the core NPB-MZ machinery invariant."""
+        mz, ref = run_multizone_diffusion((16, 16, 4), zx, zy, steps=12, seed=1)
+        assert np.array_equal(mz, ref)
+
+    @pytest.mark.parametrize("bm", ["bt-mz", "sp-mz"])
+    def test_implicit_multizone_decays(self, bm):
+        """Per-zone real ADI kernels coupled only by boundary
+        exchange must march to the global steady state."""
+        rms0, rms_final = run_multizone_implicit(bm, (12, 12, 6), 2, 2, steps=20)
+        assert rms_final < 1e-3 * rms0
+
+    def test_more_zones_still_decay(self):
+        rms0, rms_final = run_multizone_implicit("sp-mz", (16, 16, 4), 4, 2, steps=20)
+        assert rms_final < 1e-2 * rms0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_multizone_implicit("lu-mz")
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_multizone_diffusion(steps=0)

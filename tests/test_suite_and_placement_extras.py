@@ -1,0 +1,85 @@
+"""Tests for the report generator and explicit CPU-list placement."""
+
+import pytest
+
+from repro.core.suite import write_report
+from repro.errors import ConfigurationError
+from repro.machine.cluster import multinode, single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+
+
+class TestExplicitCpuList:
+    def cluster(self):
+        return single_node(NodeType.BX2B, 64)
+
+    def test_slots_follow_the_list(self):
+        pl = Placement(self.cluster(), n_ranks=2, threads_per_rank=2,
+                       cpu_list=(10, 11, 40, 41))
+        assert pl.cpu_of(0, 0) == 10
+        assert pl.cpu_of(0, 1) == 11
+        assert pl.cpu_of(1, 0) == 40
+        assert pl.cpus() == [10, 11, 40, 41]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Placement(self.cluster(), n_ranks=2, cpu_list=(1, 2, 3))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Placement(self.cluster(), n_ranks=2, cpu_list=(5, 5))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Placement(self.cluster(), n_ranks=1, cpu_list=(64,))
+
+    def test_fsb_density_measured_from_list(self):
+        # CPUs 0 and 1 share an FSB; 0 and 2 do not.
+        dense = Placement(self.cluster(), n_ranks=2, cpu_list=(0, 1))
+        spread = Placement(self.cluster(), n_ranks=2, cpu_list=(0, 2))
+        assert dense.active_per_fsb() == 2
+        assert spread.active_per_fsb() == 1
+
+    def test_nodes_counted_from_list(self):
+        c = multinode(2, n_cpus=32)
+        pl = Placement(c, n_ranks=2, cpu_list=(0, 32))
+        assert pl.n_nodes_used() == 2
+
+    def test_dplace_equivalent_of_stride(self):
+        """An explicit list reproducing stride-2 behaves identically
+        for the memory model."""
+        strided = Placement(self.cluster(), n_ranks=4, stride=2)
+        listed = Placement(self.cluster(), n_ranks=4, cpu_list=(0, 2, 4, 6))
+        assert listed.cpus() == strided.cpus()
+        assert listed.active_per_fsb() == strided.active_per_fsb()
+
+
+class TestReportGenerator:
+    def test_writes_selected_experiments(self, tmp_path):
+        files = write_report(
+            tmp_path, fast=True,
+            experiment_ids=["table1", "table5"],
+            include_claims=False,
+        )
+        names = {f.name for f in files}
+        assert {"table1.md", "table1.csv", "table5.md", "table5.csv",
+                "machine.md", "calibration.md", "README.md"} <= names
+        index = (tmp_path / "README.md").read_text()
+        assert "table1" in index and "fig5" not in index
+
+    def test_markdown_content(self, tmp_path):
+        write_report(tmp_path, fast=True, experiment_ids=["table1"],
+                     include_claims=False)
+        md = (tmp_path / "table1.md").read_text()
+        assert md.startswith("### Table 1")
+        assert "| 3700 |" in md or "| 3700 " in md
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_report(tmp_path, experiment_ids=["tableX"])
+
+    def test_refuses_file_target(self, tmp_path):
+        target = tmp_path / "afile"
+        target.write_text("x")
+        with pytest.raises(ConfigurationError):
+            write_report(target)

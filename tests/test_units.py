@@ -1,0 +1,40 @@
+"""Tests for the unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_time_roundtrip(self):
+        assert units.to_usec(units.usec(3.2)) == pytest.approx(3.2)
+        assert units.msec(1.0) == pytest.approx(1e-3)
+
+    def test_bandwidth_roundtrip(self):
+        assert units.to_gb_per_s(units.gb_per_s(6.4)) == pytest.approx(6.4)
+        assert units.to_mb_per_s(units.mb_per_s(820)) == pytest.approx(820)
+
+    def test_flops_roundtrip(self):
+        assert units.to_gflops(units.gflops(5.75)) == pytest.approx(5.75)
+
+    def test_binary_sizes(self):
+        assert units.MIB == 1024 * 1024
+        assert units.GIB == 1024 * units.MIB
+
+    @given(st.floats(min_value=1e-9, max_value=1e9))
+    def test_usec_roundtrip_property(self, x):
+        assert units.to_usec(units.usec(x)) == pytest.approx(x, rel=1e-12)
+
+
+class TestFormatting:
+    def test_fmt_bytes_picks_unit(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(6 * units.MIB) == "6.0 MiB"
+        assert units.fmt_bytes(1.5 * units.GIB) == "1.5 GiB"
+        assert units.fmt_bytes(2 * units.TIB) == "2.0 TiB"
+
+    def test_fmt_time_picks_unit(self):
+        assert units.fmt_time(2.5) == "2.5 s"
+        assert units.fmt_time(2.5e-3) == "2.5 ms"
+        assert units.fmt_time(2.5e-6) == "2.5 us"
