@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-check bench-baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Measure the tracked kernels and refresh the "current" section of
+## BENCH_kernels.json (the committed perf record).
+bench:
+	$(PYTHON) -m benchmarks.bench_regression --write
+
+## Fail (exit 1) if any tracked kernel regressed more than 20% vs the
+## committed BENCH_kernels.json.
+bench-check:
+	$(PYTHON) -m benchmarks.bench_regression --check
+
+## Re-record the "baseline" (before) section. Only for starting a new
+## optimization cycle.
+bench-baseline:
+	$(PYTHON) -m benchmarks.bench_regression --capture-baseline

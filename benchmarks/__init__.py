@@ -1,0 +1,2 @@
+"""Benchmark scripts (pytest-benchmark microbenchmarks and the
+``bench_regression`` harness behind ``make bench``)."""

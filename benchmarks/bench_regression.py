@@ -1,0 +1,359 @@
+"""Benchmark-regression harness for the repo's hot paths.
+
+Tracks the kernels the simulated-experiment throughput actually
+depends on (the BENCH trajectory): the DES event engine, the
+per-message network cost model, and the MD force loop.  Results are
+written to ``BENCH_kernels.json`` at the repo root; ``--check``
+compares a fresh measurement against the committed numbers and fails
+if any tracked kernel regressed more than the tolerance (default
+20%), so perf wins cannot silently rot.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.bench_regression            # measure + print
+    PYTHONPATH=src python -m benchmarks.bench_regression --check    # fail on >20% regression
+    PYTHONPATH=src python -m benchmarks.bench_regression --write    # refresh the "current" section
+    PYTHONPATH=src python -m benchmarks.bench_regression --capture-baseline
+
+Kernels whose name ends in ``_per_sec`` are throughputs (higher is
+better); everything else is a time per operation (lower is better).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+#: Fractional slowdown vs the committed numbers that fails --check.
+DEFAULT_TOLERANCE = 0.20
+
+PINGPONG_RANKS = 16
+PINGPONG_ROUNDS = 150
+PINGPONG_BYTES = 1024.0
+ALLTOALL_RANKS = 64
+ALLTOALL_BYTES = 1024.0
+MD_CELLS = 6  # 4 * 6^3 = 864 atoms, the paper's §3.3 system size
+MD_STEPS = 30
+PATH_LOOKUP_CALLS = 50_000
+COLLECTIVE_RANKS = 256
+
+
+def _best_time(fn: Callable[[], object], repeats: int = 7) -> float:
+    """Best (minimum) wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    The minimum is the standard estimator for microbenchmarks (it is
+    what ``timeit`` reports): external interference — other processes,
+    frequency scaling, GC pauses — only ever adds time, so the fastest
+    observed run is the closest to the code's true cost.  This machine
+    shows run-to-run swings of 15-25%, which the median does not
+    suppress.
+    """
+    fn()  # warm-up (imports, caches that persist across runs by design)
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# -- DES workloads -----------------------------------------------------------
+
+
+def _build_pingpong(sim):
+    """Ping-pong-heavy MPI workload: 8 rank pairs exchanging messages.
+
+    This is the MPI-rendezvous-chain shape (send, matched recv, repeat)
+    whose event stream is dominated by zero-delay callbacks — the DES
+    fast-lane target.
+    """
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.mpi.comm import MPIWorld
+    from repro.netmodel.costs import NetworkModel
+    from repro.sim.process import SimProcess
+
+    placement = Placement(single_node(NodeType.BX2B), n_ranks=PINGPONG_RANKS)
+    world = MPIWorld(sim, NetworkModel(placement))
+
+    def prog(comm):
+        partner = comm.rank ^ 1
+        for _ in range(PINGPONG_ROUNDS):
+            if comm.rank < partner:
+                yield comm.isend(partner, PINGPONG_BYTES)
+                yield comm.irecv(partner)
+            else:
+                yield comm.irecv(partner)
+                yield comm.isend(partner, PINGPONG_BYTES)
+        return None
+
+    for rank in range(world.size):
+        SimProcess(sim, prog(world.comm(rank)), name=f"rank{rank}")
+    return world
+
+
+class _CountingSim:
+    """Event counter for engines without an ``events_executed`` field."""
+
+    def __new__(cls):
+        from repro.sim.engine import Simulator
+
+        if hasattr(Simulator(), "events_executed"):
+            return Simulator()
+
+        class _Counting(Simulator):  # pragma: no cover - seed engine only
+            def __init__(self):
+                super().__init__()
+                self.events_executed = 0
+
+            def step(self):
+                advanced = super().step()
+                if advanced:
+                    self.events_executed += 1
+                return advanced
+
+        return _Counting()
+
+
+def _count_pingpong_events() -> int:
+    """Total callbacks the ping-pong workload executes (deterministic)."""
+    sim = _CountingSim()
+    _build_pingpong(sim)
+    sim.run()
+    return sim.events_executed
+
+
+def bench_des_pingpong() -> dict[str, float]:
+    from repro.sim.engine import Simulator
+
+    n_events = _count_pingpong_events()
+
+    def run_once():
+        sim = Simulator()
+        _build_pingpong(sim)
+        sim.run()
+
+    wall = _best_time(run_once)
+    return {"des_pingpong_events_per_sec": n_events / wall}
+
+
+def bench_des_alltoall() -> dict[str, float]:
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.mpi import run_mpi
+    from repro.mpi.collectives import alltoall
+
+    placement = Placement(single_node(NodeType.BX2B), n_ranks=ALLTOALL_RANKS)
+
+    def prog(comm):
+        yield from alltoall(comm, ALLTOALL_BYTES)
+        return None
+
+    n_msgs = ALLTOALL_RANKS * (ALLTOALL_RANKS - 1)
+
+    def run_once():
+        result = run_mpi(placement, prog)
+        assert result.messages_sent == n_msgs
+
+    wall = _best_time(run_once)
+    return {"des_alltoall_msgs_per_sec": n_msgs / wall}
+
+
+# -- MD workloads ------------------------------------------------------------
+
+
+def bench_md() -> dict[str, float]:
+    from repro.apps.md import MDSimulation, lj_forces
+    from repro.apps.md.lattice import fcc_lattice
+
+    sim = MDSimulation(cells=MD_CELLS, seed=42)
+    assert sim.state.n_atoms == 864
+
+    # Each sample advances the same trajectory by MD_STEPS more steps;
+    # the workload per batch is identical, so best-of applies.
+    step_ms = _best_time(lambda: sim.step(MD_STEPS), repeats=3) / MD_STEPS * 1e3
+
+    positions, box = fcc_lattice(MD_CELLS)
+    forces_ms = _best_time(lambda: lj_forces(positions, box, 2.5)) * 1e3
+    return {"md_step_864_ms": step_ms, "md_forces_864_ms": forces_ms}
+
+
+# -- network cost model ------------------------------------------------------
+
+
+def bench_cost_model() -> dict[str, float]:
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.netmodel.collectives import CollectiveModel
+    from repro.netmodel.costs import NetworkModel
+
+    cluster = single_node(NodeType.BX2B)
+
+    # Cold: a fresh Placement each build (no shared route tables).
+    cold_ms = (
+        _best_time(
+            lambda: CollectiveModel(Placement(cluster, n_ranks=COLLECTIVE_RANKS)),
+            repeats=3,
+        )
+        * 1e3
+    )
+
+    # Warm: rebuild the model for one placement (sweep-loop shape).
+    placement = Placement(cluster, n_ranks=COLLECTIVE_RANKS)
+    CollectiveModel(placement)
+    warm_ms = _best_time(lambda: CollectiveModel(placement), repeats=3) * 1e3
+
+    net = NetworkModel(placement)
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, COLLECTIVE_RANKS, size=(PATH_LOOKUP_CALLS, 2))
+    pairs = [(int(a), int(b)) for a, b in pairs]
+
+    def lookup_all():
+        message_time = net.message_time
+        for a, b in pairs:
+            message_time(a, b, 4096.0)
+
+    lookup_ns = _best_time(lookup_all, repeats=3) / PATH_LOOKUP_CALLS * 1e9
+    return {
+        "collective_model_cold_ms": cold_ms,
+        "collective_model_warm_ms": warm_ms,
+        "path_lookup_ns": lookup_ns,
+    }
+
+
+# -- harness -----------------------------------------------------------------
+
+BENCHES = [bench_des_pingpong, bench_des_alltoall, bench_md, bench_cost_model]
+
+
+def measure() -> dict[str, float]:
+    kernels: dict[str, float] = {}
+    for bench in BENCHES:
+        kernels.update(bench())
+    return kernels
+
+
+def higher_is_better(name: str) -> bool:
+    return name.endswith("_per_sec")
+
+
+def regressions(
+    committed: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float,
+) -> list[str]:
+    """Human-readable descriptions of every kernel past tolerance."""
+    problems = []
+    for name, old in committed.items():
+        new = fresh.get(name)
+        if new is None:
+            problems.append(f"{name}: kernel disappeared from the harness")
+            continue
+        if higher_is_better(name):
+            change = (old - new) / old
+        else:
+            change = (new - old) / old
+        if change > tolerance:
+            problems.append(
+                f"{name}: {old:.6g} -> {new:.6g} "
+                f"({change * 100.0:.1f}% worse, tolerance {tolerance * 100.0:.0f}%)"
+            )
+    return problems
+
+
+def _meta() -> dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+    }
+
+
+def load_results() -> dict:
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text())
+    return {"schema": 1, "baseline": None, "current": None, "speedup": {}}
+
+
+def save_results(doc: dict) -> None:
+    baseline = doc.get("baseline") or {}
+    current = doc.get("current") or {}
+    doc["speedup"] = {}
+    for name, old in (baseline.get("kernels") or {}).items():
+        new = (current.get("kernels") or {}).get(name)
+        if new is None or not old or not new:
+            continue
+        factor = new / old if higher_is_better(name) else old / new
+        doc["speedup"][name] = round(factor, 3)
+    RESULTS_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) if any kernel regressed past tolerance "
+             "vs the committed BENCH_kernels.json",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="refresh the 'current' section of BENCH_kernels.json",
+    )
+    parser.add_argument(
+        "--capture-baseline", action="store_true",
+        help="record this measurement as the 'baseline' (before) section",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="fractional regression that fails --check (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = measure()
+    width = max(len(name) for name in fresh)
+    for name, value in sorted(fresh.items()):
+        print(f"{name:<{width}}  {value:,.3f}")
+
+    doc = load_results()
+    if args.capture_baseline:
+        doc["baseline"] = {"kernels": fresh, "meta": _meta()}
+    if args.write:
+        doc["current"] = {"kernels": fresh, "meta": _meta()}
+    if args.capture_baseline or args.write:
+        save_results(doc)
+        print(f"wrote {RESULTS_PATH}")
+
+    if args.check:
+        committed = (doc.get("current") or {}).get("kernels")
+        if not committed:
+            print("no committed 'current' kernels to check against", file=sys.stderr)
+            return 2
+        problems = regressions(committed, fresh, args.tolerance)
+        if problems:
+            print("\nBENCH REGRESSION:", file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nall {len(committed)} kernels within "
+              f"{args.tolerance * 100.0:.0f}% of committed numbers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ import numpy as np
 from repro.apps.md.forces import DEFAULT_RCUT, lj_forces
 from repro.apps.md.integrator import velocity_verlet_step
 from repro.apps.md.lattice import fcc_lattice, maxwell_velocities
+from repro.apps.md.neighbors import DEFAULT_SKIN, VerletList
 from repro.errors import ConfigurationError
 
 __all__ = ["MDState", "MDSimulation"]
@@ -63,6 +64,7 @@ class MDSimulation:
         dt: float = 0.004,
         seed: int | None = None,
         record_trajectory: bool = False,
+        skin: float = DEFAULT_SKIN,
     ) -> None:
         if dt <= 0:
             raise ConfigurationError(f"dt must be positive: {dt}")
@@ -72,7 +74,10 @@ class MDSimulation:
         self.rcut = min(DEFAULT_RCUT if rcut is None else rcut, box / 2.0)
         self.dt = dt
         velocities = maxwell_velocities(len(positions), temperature, seed)
-        forces, potential = lj_forces(positions, box, self.rcut)
+        #: Verlet neighbor list reused across steps; bit-identical to
+        #: the all-pairs reference path while valid (see neighbors.py).
+        self.neighbors = VerletList(box, self.rcut, skin=skin)
+        forces, potential = self.neighbors.forces(positions)
         self.state = MDState(positions, velocities, forces, potential, box)
         self.energy_history: list[float] = [self.state.total_energy]
         self.temperature_history: list[float] = [self.state.temperature]
@@ -93,7 +98,7 @@ class MDSimulation:
             old_positions = s.positions
             pos, vel, frc, pot = velocity_verlet_step(
                 s.positions, s.velocities, s.forces, self.dt,
-                lambda x: lj_forces(x, s.box, self.rcut), s.box,
+                self.neighbors.forces, s.box,
             )
             if self.record_trajectory:
                 # Unwrap: the true displacement is the minimum-image

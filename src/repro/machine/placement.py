@@ -17,6 +17,7 @@ global CPU ids on a :class:`~repro.machine.cluster.Cluster`.
 from __future__ import annotations
 
 import enum
+import itertools
 import math
 from dataclasses import dataclass, field
 
@@ -24,6 +25,11 @@ from repro.errors import ConfigurationError
 from repro.machine.cluster import Cluster
 
 __all__ = ["PinningMode", "Placement", "unpinned_penalty"]
+
+#: Source of per-instance :attr:`Placement.generation` ids.  Never
+#: recycled, so a generation uniquely identifies one placement for the
+#: lifetime of the process (no id()-reuse aliasing).
+_placement_generations = itertools.count(1)
 
 
 class PinningMode(enum.Enum):
@@ -89,6 +95,26 @@ class Placement:
                 f"x stride {self.stride} needs {needed} CPU slots but the "
                 f"cluster has {self.cluster.total_cpus}"
             )
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Process-unique id of this placement instance.
+
+        Cost-model caches (route tables, path statistics) key on this:
+        a :class:`Placement` is frozen, so "the placement changed"
+        always means a *new instance*, which gets a fresh generation —
+        cached state keyed on the old generation can never be observed
+        through the new placement.  Lazily assigned so construction
+        stays cheap; excluded from equality/hash (it is identity, not
+        value).
+        """
+        try:
+            return self.__dict__["_generation"]
+        except KeyError:
+            object.__setattr__(self, "_generation", next(_placement_generations))
+            return self.__dict__["_generation"]
 
     # -- geometry -------------------------------------------------------------
 

@@ -9,7 +9,10 @@ with ``yield from`` inside a rank program.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Generator
+
+import numpy as np
 
 from repro.errors import CommunicationError
 from repro.mpi.comm import MPIComm, Message
@@ -25,7 +28,48 @@ __all__ = [
     "gather",
     "scatter",
     "scan",
+    "expected_messages",
+    "expected_volume",
 ]
+
+def expected_messages(op: str, p: int) -> int:
+    """Messages the DES generator for ``op`` sends at ``p`` ranks.
+
+    Closed forms evaluated with numpy over rank/round arrays — the
+    bulk counterpart to running the generator, used to cost collective
+    phases (and cross-check DES message counters) without simulating
+    them.  Matches ``MPIWorld.messages_sent`` after the corresponding
+    collective exactly.
+    """
+    if p < 1:
+        raise CommunicationError(f"need >= 1 rank, got {p}")
+    if p == 1:
+        return 0
+    ranks = np.arange(p)
+    rounds = max(1, math.ceil(math.log2(p)))
+    if op == "barrier":
+        # every rank sends one message per dissemination round
+        return int(ranks.size) * rounds
+    if op in ("broadcast", "reduce", "gather", "scatter"):
+        # tree/star: every rank but the root sends (or is sent) once
+        return int(np.count_nonzero(ranks > 0))
+    if op == "allreduce":
+        # reduce phase (each non-root folds in once) + tree broadcast
+        return 2 * int(np.count_nonzero(ranks > 0))
+    if op in ("alltoall", "allgather"):
+        # every rank sends to / through every other rank
+        return int(ranks.size) * (int(ranks.size) - 1)
+    if op == "scan":
+        # round at distance d: ranks with r + d < p send
+        distances = 2 ** np.arange(rounds)
+        return int(np.maximum(p - distances, 0).sum())
+    raise CommunicationError(f"unknown collective op {op!r}")
+
+
+def expected_volume(op: str, p: int, nbytes: float) -> float:
+    """Total bytes ``op`` moves at ``p`` ranks (``nbytes`` per message)."""
+    return expected_messages(op, p) * float(nbytes)
+
 
 _BARRIER_TAG = 0x7FF0
 _BCAST_TAG = 0x7FF1

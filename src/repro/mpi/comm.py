@@ -16,8 +16,8 @@ i.e. from the machine model and the placement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Generator
+from heapq import heappush
+from typing import Any, Generator, NamedTuple
 
 from repro.errors import CommunicationError
 from repro.netmodel.costs import NetworkModel
@@ -31,9 +31,13 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass(frozen=True)
-class Message:
-    """An in-flight or delivered simulated MPI message."""
+class Message(NamedTuple):
+    """An in-flight or delivered simulated MPI message.
+
+    A named tuple rather than a dataclass: one is allocated per
+    simulated message, and tuple construction is several times
+    cheaper than a frozen dataclass ``__init__``.
+    """
 
     source: int
     dest: int
@@ -78,15 +82,21 @@ class MPIWorld:
             from repro.sim.rng import make_rng
 
             self._noise_rng = make_rng(noise_seed)
-        #: injection serialization keys: one slot per rank, or one per
-        #: (node, brick) when brick contention is on.
-        self.inject_busy_until: dict = {}
         self._inject_keys = [
             self._injection_key(rank) for rank in range(self.size)
         ]
+        #: injection serialization slots: one per rank, or one per
+        #: (node, brick) when brick contention is on.  Pre-populated so
+        #: the per-message lookup is a plain subscript.
+        self.inject_busy_until: dict = {
+            key: 0.0 for key in self._inject_keys
+        }
         #: message counters, for tests and IB connection accounting
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        #: optional MessageTrace; a real attribute (not getattr) so
+        #: the per-message check in isend is a plain load.
+        self._trace = None
 
     def _injection_key(self, rank: int):
         if not self.brick_contention:
@@ -105,11 +115,22 @@ class MPIWorld:
 class MPIComm:
     """Per-rank MPI handle passed to simulated rank programs."""
 
+    __slots__ = ("world", "rank", "_sim", "_mailbox", "_inject_key", "_paths")
+
     def __init__(self, world: MPIWorld, rank: int) -> None:
         if not 0 <= rank < world.size:
             raise CommunicationError(f"rank {rank} outside world of {world.size}")
         self.world = world
         self.rank = rank
+        # Hot-path caches: one isend/irecv runs per simulated message,
+        # so indirection through world/network is hoisted here.
+        self._sim = world.sim
+        self._mailbox = world.mailboxes[rank]
+        self._inject_key = world._inject_keys[rank]
+        #: dest -> (latency, bandwidth, mailbox put) of this rank's
+        #: outgoing paths; the bound put avoids re-creating a method
+        #: object per delivered message.
+        self._paths: dict[int, tuple] = {}
 
     @property
     def size(self) -> int:
@@ -148,30 +169,84 @@ class MPIComm:
         time.  Non-blocking in the MPI sense: the caller may yield the
         returned event later (or not at all, for fire-and-forget).
         """
-        if not 0 <= dest < self.size:
-            raise CommunicationError(f"bad destination rank {dest}")
+        world = self.world
+        path = self._paths.get(dest)
+        if path is None:
+            if not 0 <= dest < world.size:
+                raise CommunicationError(f"bad destination rank {dest}")
+            spec = world.network.path(self.rank, dest)
+            path = (spec.latency, spec.bandwidth, world.mailboxes[dest].put)
+            self._paths[dest] = path
         if nbytes < 0:
             raise CommunicationError(f"negative message size {nbytes}")
-        world = self.world
-        path = world.network.path(self.rank, dest)
+        latency, bandwidth, mailbox_put = path
         # Serialize injection: outgoing messages share this rank's (or
         # this brick's, under brick contention) link into the fabric —
         # the two directions of a ring exchange cannot each run at
         # full path bandwidth.
-        now = self.sim.now
-        key = world._inject_keys[self.rank]
-        start = max(now, world.inject_busy_until.get(key, 0.0))
-        finish = start + nbytes / path.bandwidth
-        world.inject_busy_until[key] = finish
-        arrival = (finish - now) + path.latency
-        msg = Message(self.rank, dest, tag, nbytes, payload)
+        sim = self._sim
+        now = sim.now
+        busy = world.inject_busy_until
+        key = self._inject_key
+        start = busy[key]
+        if start < now:
+            start = now
+        finish = start + nbytes / bandwidth
+        busy[key] = finish
+        inject = finish - now
         world.messages_sent += 1
         world.bytes_sent += nbytes
-        trace = getattr(world, "_trace", None)
+        trace = world._trace
         if trace is not None:
             trace.record(now, self.rank, dest, tag, nbytes)
-        self.sim.schedule(arrival, lambda: world.mailboxes[dest].put(msg))
-        return Timeout(self.sim, finish - now)
+        # Injection-completion event, built without re-entering
+        # Timeout.__init__ (one per message).
+        done = Timeout.__new__(Timeout)
+        done.sim = sim
+        done.triggered = False
+        done.value = None
+        done._callbacks = []
+        # Schedule the mailbox delivery (arg-carrying, no closure) and
+        # the completion directly through the engine's slot pool: two
+        # timed inserts per simulated message make even the
+        # schedule_call frames measurable.  Mirrors
+        # Simulator.schedule_call exactly (delays here are >= 0, and
+        # latency > 0 keeps the delivery off the zero-delay lane).
+        heap = sim._heap
+        pool = sim._pool
+        seq = sim._seq + 1
+        when = now + inject + latency
+        if pool:
+            slot = pool.pop()
+            slot[0] = when
+            slot[1] = seq
+            slot[2] = mailbox_put
+            slot[3] = Message(self.rank, dest, tag, nbytes, payload)
+        else:
+            slot = [when, seq, mailbox_put,
+                    Message(self.rank, dest, tag, nbytes, payload)]
+        heappush(heap, slot)
+        if when < sim._next_timed:
+            sim._next_timed = when
+        if inject == 0.0:
+            seq += 1
+            sim._fifo.append((seq, done._fire, None))
+        else:
+            seq += 1
+            when = now + inject
+            if pool:
+                slot = pool.pop()
+                slot[0] = when
+                slot[1] = seq
+                slot[2] = done._fire
+                slot[3] = None
+            else:
+                slot = [when, seq, done._fire, None]
+            heappush(heap, slot)
+            if when < sim._next_timed:
+                sim._next_timed = when
+        sim._seq = seq
+        return done
 
     def send(
         self, dest: int, nbytes: float, tag: int = 0, payload: Any = None
@@ -181,13 +256,7 @@ class MPIComm:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimEvent:
         """Post a receive; the event triggers with the :class:`Message`."""
-
-        def match(msg: Message) -> bool:
-            return (source in (ANY_SOURCE, msg.source)) and (
-                tag in (ANY_TAG, msg.tag)
-            )
-
-        return self.world.mailboxes[self.rank].get(match)
+        return self._mailbox.get_matching(source, tag)
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG

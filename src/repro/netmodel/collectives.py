@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.machine.placement import Placement
 from repro.netmodel.contention import cross_node_flow_factor
@@ -103,6 +105,34 @@ class CollectiveModel:
         total_bytes = (self.p - 1) * nbytes_per_pair
         # Send and receive volumes share the CPU's path to the fabric.
         return (self.p - 1) * self._stats.mean_latency + 2.0 * total_bytes / per_cpu_bw
+
+    def sweep(self, op: str, sizes, **kwargs) -> np.ndarray:
+        """Vectorized cost evaluation: ``op`` over an array of sizes.
+
+        Every per-operation formula is affine in the message size, so
+        evaluating a whole size sweep (the shape of the paper's
+        figures: cost vs. message size at fixed rank count) is a
+        handful of numpy array operations instead of one Python call
+        per point::
+
+            model.sweep("allreduce", np.logspace(0, 7, 50))
+
+        ``op`` names any costed operation (``barrier`` ignores the
+        sizes but still returns one cost per entry).  Extra keyword
+        arguments pass through (e.g. ``gamma`` for allreduce).
+        """
+        if op not in (
+            "barrier", "broadcast", "allreduce", "allgather",
+            "alltoall", "halo_exchange",
+        ):
+            raise ConfigurationError(f"unknown collective op {op!r}")
+        arr = np.asarray(sizes, dtype=float)
+        if op == "barrier":
+            return np.full(arr.shape, self.barrier())
+        fn = getattr(self, op)
+        # The formulas are elementwise numpy arithmetic; feeding the
+        # array through evaluates the entire sweep in one pass.
+        return np.asarray(fn(arr, **kwargs), dtype=float)
 
     def halo_exchange(self, nbytes_per_neighbor: float, n_neighbors: int = 6) -> float:
         """Nearest-neighbor exchange (BT/MG/MD pattern).

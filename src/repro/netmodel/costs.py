@@ -10,6 +10,7 @@ pinned to.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -20,6 +21,48 @@ from repro.machine.placement import Placement
 from repro.sim.rng import make_rng
 
 __all__ = ["PathSpec", "NetworkModel", "PathStats"]
+
+
+class _RouteTable:
+    """Shared per-placement cost-model state (paths + statistics).
+
+    Every :class:`NetworkModel` built for the same placement *instance*
+    shares one route table, so path computations and the expensive
+    :meth:`NetworkModel.stats` sampling are paid once per placement
+    rather than once per model build (the sweep-loop shape: one
+    placement, many :class:`~repro.netmodel.collectives.CollectiveModel`
+    constructions).
+    """
+
+    __slots__ = ("placement", "paths", "stats")
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        #: (lo_rank, hi_rank) -> PathSpec
+        self.paths: dict[tuple[int, int], PathSpec] = {}
+        #: (max_samples, seed) -> PathStats
+        self.stats: dict[tuple[int, int], "PathStats"] = {}
+
+
+#: LRU registry of route tables, keyed by :attr:`Placement.generation`.
+#: Generations are process-unique and never recycled, so a stale entry
+#: can only waste memory, never alias a different placement; the bound
+#: caps that waste for workloads that churn through placements.
+_route_tables: OrderedDict[int, _RouteTable] = OrderedDict()
+_MAX_ROUTE_TABLES = 32
+
+
+def _route_table(placement: Placement) -> _RouteTable:
+    gen = placement.generation
+    table = _route_tables.get(gen)
+    if table is not None:
+        _route_tables.move_to_end(gen)
+        return table
+    table = _RouteTable(placement)
+    _route_tables[gen] = table
+    if len(_route_tables) > _MAX_ROUTE_TABLES:
+        _route_tables.popitem(last=False)
+    return table
 
 
 @dataclass(frozen=True)
@@ -57,7 +100,10 @@ class NetworkModel:
     def __init__(self, placement: Placement) -> None:
         self.placement = placement
         self.cluster = placement.cluster
-        self._path_cache: dict[tuple[int, int], PathSpec] = {}
+        table = _route_table(placement)
+        #: shared with every other NetworkModel for this placement
+        self._path_cache: dict[tuple[int, int], PathSpec] = table.paths
+        self._stats_cache: dict[tuple[int, int], PathStats] = table.stats
 
     def path(self, rank_a: int, rank_b: int) -> PathSpec:
         """Path between the home CPUs of two ranks (thread 0)."""
@@ -82,13 +128,53 @@ class NetworkModel:
         """LogGP time for one message of ``nbytes``."""
         return self.path(rank_a, rank_b).time(nbytes)
 
+    def message_times(
+        self, sources, dests, nbytes: float | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`message_time` over arrays of rank pairs.
+
+        ``sources``/``dests`` are equal-length integer array-likes;
+        ``nbytes`` is a scalar or an array broadcastable against them.
+        Path parameters are gathered through the shared route table
+        (each distinct pair computed once), then the LogGP arithmetic
+        runs as two numpy operations instead of a Python loop — the
+        bulk-evaluation path for collective cost sweeps.
+        """
+        src = np.asarray(sources, dtype=np.intp).ravel()
+        dst = np.asarray(dests, dtype=np.intp).ravel()
+        if src.shape != dst.shape:
+            raise ConfigurationError(
+                f"sources/dests shape mismatch: {src.shape} vs {dst.shape}"
+            )
+        lat = np.empty(src.shape, dtype=float)
+        bw = np.empty(src.shape, dtype=float)
+        path = self.path
+        for i in range(src.size):
+            spec = path(int(src[i]), int(dst[i]))
+            lat[i] = spec.latency
+            bw[i] = spec.bandwidth
+        return lat + np.asarray(nbytes, dtype=float) / bw
+
     def stats(self, max_samples: int = 2048, seed: int = 0) -> PathStats:
         """Path statistics over rank pairs.
 
         Exact for small rank counts; deterministic sampling beyond
         ``max_samples`` pairs (all-pairs at 2048 ranks would be ~2M
-        path computations per call).
+        path computations per call).  Memoized in the placement's
+        route table: the first call per ``(max_samples, seed)`` pays
+        the sampling cost, every later call — including through a
+        different NetworkModel for the same placement — returns the
+        same :class:`PathStats` object.
         """
+        memo_key = (max_samples, seed)
+        cached = self._stats_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        result = self._compute_stats(max_samples, seed)
+        self._stats_cache[memo_key] = result
+        return result
+
+    def _compute_stats(self, max_samples: int, seed: int) -> PathStats:
         n = self.placement.n_ranks
         if n == 1:
             p = self.path(0, 0)

@@ -4,6 +4,14 @@ A :class:`Channel` is an unbounded mailbox with *matching*: receivers
 ask for a message satisfying a predicate (source/tag matching in MPI
 terms); if none is buffered the receiver blocks until a matching
 message is put.  Unmatched messages buffer (eager-send semantics).
+
+Two matching interfaces exist:
+
+* :meth:`Channel.get` takes an arbitrary predicate (general case);
+* :meth:`Channel.get_matching` takes ``(source, tag)`` with ``-1`` as
+  the wildcard and stores the pair instead of a closure — the MPI
+  hot path, where building and calling a predicate per message is
+  measurable overhead.
 """
 
 from __future__ import annotations
@@ -18,6 +26,10 @@ __all__ = ["Channel"]
 
 MatchFn = Callable[[Any], bool]
 
+#: Wildcard for :meth:`Channel.get_matching` (mirrors MPI ANY_SOURCE /
+#: ANY_TAG, which are also ``-1``).
+ANY = -1
+
 
 def _match_any(_msg: Any) -> bool:
     return True
@@ -26,19 +38,83 @@ def _match_any(_msg: Any) -> bool:
 class Channel:
     """An unbounded matching mailbox."""
 
+    __slots__ = ("sim", "_messages", "_getters")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._messages: deque[Any] = deque()
-        self._getters: deque[tuple[MatchFn, SimEvent]] = deque()
+        #: waiting receivers: (spec, event) where spec is either a
+        #: predicate or a (source, tag) pair from get_matching.
+        self._getters: deque[tuple[Any, SimEvent]] = deque()
 
     def put(self, message: Any) -> None:
         """Deliver ``message``; wakes the oldest matching getter."""
-        for i, (match, ev) in enumerate(self._getters):
-            if match(message):
-                del self._getters[i]
-                ev.succeed(message)
+        getters = self._getters
+        if getters:
+            # Fast path: a single waiting getter with a (source, tag)
+            # spec matched on the first probe — the MPI rendezvous
+            # shape, one per delivered message — with the event
+            # trigger inlined (see _succeed for the slow-path twin).
+            spec, ev = getters[0]
+            if type(spec) is tuple:
+                source, tag = spec
+                if (source == ANY or source == message.source) and (
+                    tag == ANY or tag == message.tag
+                ):
+                    getters.popleft()
+                    ev.triggered = True
+                    ev.value = message
+                    callbacks = ev._callbacks
+                    if callbacks:
+                        ev._callbacks = []
+                        sim = self.sim
+                        seq = sim._seq
+                        fifo = sim._fifo
+                        for cb in callbacks:
+                            seq += 1
+                            fifo.append((seq, cb, ev))
+                        sim._seq = seq
+                    return
+            elif spec(message):
+                getters.popleft()
+                self._succeed(ev, message)
                 return
+            # Slow path: scan the remaining getters in FIFO order.
+            for i in range(1, len(getters)):
+                spec, ev = getters[i]
+                if type(spec) is tuple:
+                    source, tag = spec
+                    if (source == ANY or source == message.source) and (
+                        tag == ANY or tag == message.tag
+                    ):
+                        del getters[i]
+                        self._succeed(ev, message)
+                        return
+                elif spec(message):
+                    del getters[i]
+                    self._succeed(ev, message)
+                    return
         self._messages.append(message)
+
+    def _succeed(self, ev: SimEvent, message: Any) -> None:
+        """Inlined ``ev.succeed(message)`` for freshly matched getters.
+
+        Getter events are created by get/get_matching and triggered at
+        most once (here), so the already-triggered guard is skipped —
+        this runs once per delivered message.
+        """
+        ev.triggered = True
+        ev.value = message
+        callbacks = ev._callbacks
+        if callbacks:
+            ev._callbacks = []
+            sim = self.sim
+            seq = sim._seq
+            fifo = sim._fifo
+            for cb in callbacks:
+                seq += 1
+                fifo.append((seq, cb, ev))
+            sim._seq = seq
 
     def get(self, match: MatchFn | None = None) -> SimEvent:
         """Request a message satisfying ``match`` (default: any).
@@ -55,6 +131,32 @@ class Channel:
                 ev.succeed(message)
                 return ev
         self._getters.append((match, ev))
+        return ev
+
+    def get_matching(self, source: int = ANY, tag: int = ANY) -> SimEvent:
+        """Request a message by ``(source, tag)``; ``-1`` is a wildcard.
+
+        Equivalent to ``get(lambda m: ...)`` but without allocating a
+        predicate, and with the pair compared inline on every buffered
+        message — the fast path :meth:`repro.mpi.comm.MPIComm.irecv`
+        uses.
+        """
+        # Inline SimEvent construction (one per posted receive).
+        ev = SimEvent.__new__(SimEvent)
+        ev.sim = self.sim
+        ev.triggered = False
+        ev.value = None
+        ev._callbacks = []
+        messages = self._messages
+        if messages:
+            for i, message in enumerate(messages):
+                if (source == ANY or source == message.source) and (
+                    tag == ANY or tag == message.tag
+                ):
+                    del messages[i]
+                    self._succeed(ev, message)
+                    return ev
+        self._getters.append(((source, tag), ev))
         return ev
 
     @property

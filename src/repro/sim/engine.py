@@ -1,21 +1,59 @@
 """The discrete-event simulator core.
 
-The :class:`Simulator` owns the clock and a heap-ordered queue of
-scheduled callbacks.  Everything else (events, processes, resources)
-is built by scheduling callbacks here.  Determinism is guaranteed by a
-monotonically increasing sequence number that breaks ties between
-callbacks scheduled for the same instant: two runs of the same program
-always execute callbacks in the same order.
+The :class:`Simulator` owns the clock and two queues of scheduled
+callbacks:
+
+* a heap-ordered queue of *timed* callbacks, whose entries are
+  reusable four-field list slots (``[when, seq, func, arg]``) drawn
+  from a free pool — the "slotted event pool" that avoids allocating
+  a fresh tuple per scheduled event;
+* a FIFO *fast lane* for zero-delay callbacks (the common case in MPI
+  rendezvous chains: event completions, process wake-ups), which
+  bypasses the heap entirely.
+
+Everything else (events, processes, resources) is built by scheduling
+callbacks here.  Determinism is guaranteed by a monotonically
+increasing sequence number shared by both queues that breaks ties
+between callbacks scheduled for the same instant: two runs of the same
+program always execute callbacks in the same order, and the order is
+identical to a single heap keyed on ``(when, seq)`` — the fast lane is
+an implementation detail, not a semantic change.
+
+``run`` batch-drains all callbacks that share a timestamp without
+re-checking the ``until`` horizon between them, falling back to the
+general two-queue arbitration only when a drained callback schedules
+new zero-delay work.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+import sys
+from collections import deque
 from typing import Any, Callable
 
 from repro.errors import DeadlockError, SimulationError
 
 __all__ = ["Simulator"]
+
+#: Sentinel meaning "call ``func`` with no argument" in a queue entry.
+#: Internal fast-lane callers pass a real ``arg`` instead, so hot
+#: paths avoid allocating a closure per scheduled callback.
+_NO_ARG = object()
+
+#: Relative tolerance for clamping sub-epsilon *negative* deltas in
+#: :meth:`Simulator.schedule_at`.  ``when - now`` can come out a few
+#: ulps negative when ``when`` was itself computed as ``now + delta``
+#: and round-tripped through floats (e.g. ``-1e-18`` at ``now ~ 1``);
+#: treating those as "schedule now" instead of raising keeps long
+#: simulations from dying on float noise while still rejecting real
+#: attempts to schedule in the past.
+_CLAMP_EPS = 4.0 * sys.float_info.epsilon
+
+#: Upper bound on the free slot pool (enough for the deepest queues the
+#: workloads build; beyond this, slots are simply dropped to the GC).
+_MAX_POOL = 4096
 
 
 class Simulator:
@@ -26,50 +64,171 @@ class Simulator:
     now:
         Current simulated time in seconds.  Starts at ``0.0`` and only
         moves forward.
+    events_executed:
+        Total callbacks executed so far (throughput metric for the
+        benchmark-regression harness).
     """
+
+    __slots__ = (
+        "now",
+        "events_executed",
+        "_heap",
+        "_fifo",
+        "_seq",
+        "_pool",
+        "_next_timed",
+        "_active_processes",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Callable[[], Any]]] = []
+        self.events_executed: int = 0
+        #: timed events: reusable ``[when, seq, func, arg]`` slots.
+        self._heap: list[list] = []
+        #: zero-delay fast lane: ``(seq, func, arg)`` tuples.
+        self._fifo: deque[tuple[int, Callable, Any]] = deque()
         self._seq: int = 0
-        #: number of simulated processes that have started but not finished;
-        #: used for deadlock detection when the event queue drains.
+        #: free slots recycled between timed events.
+        self._pool: list[list] = []
+        #: mirror of ``heap[0][0]`` (inf when empty): the run loop
+        #: tests "is a timed event due?" once per fast-lane event, and
+        #: a float compare is cheaper than two heap subscripts.
+        self._next_timed: float = math.inf
+        #: number of simulated processes that have started but not
+        #: finished; used for deadlock detection when the event queue
+        #: drains: a live process is always either queued to run or
+        #: waiting on an untriggered event, so "queue empty while
+        #: processes remain" means every one of them is blocked.
         self._active_processes: int = 0
-        self._blocked_processes: int = 0
 
     # -- scheduling ---------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> None:
         """Run ``callback`` at ``now + delay`` simulated seconds."""
+        if delay == 0.0:
+            self._seq += 1
+            self._fifo.append((self._seq, callback, _NO_ARG))
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} s in the past")
+        self._push(self.now + delay, callback, _NO_ARG)
+
+    def schedule_call(self, delay: float, func: Callable, arg: Any = _NO_ARG) -> None:
+        """Like :meth:`schedule`, but runs ``func(arg)``.
+
+        The internal fast lane: passing the argument through the queue
+        entry lets sim primitives (event completion, message delivery,
+        process start) avoid allocating a closure per event.
+        """
+        if delay == 0.0:
+            self._seq += 1
+            self._fifo.append((self._seq, func, arg))
+            return
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        # Inlined _push: one timed insert per simulated message makes
+        # the extra call frame measurable.
+        when = self.now + delay
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        pool = self._pool
+        if pool:
+            slot = pool.pop()
+            slot[0] = when
+            slot[1] = self._seq
+            slot[2] = func
+            slot[3] = arg
+        else:
+            slot = [when, self._seq, func, arg]
+        heapq.heappush(self._heap, slot)
+        if when < self._next_timed:
+            self._next_timed = when
+
+    def call_soon(self, func: Callable, arg: Any = _NO_ARG) -> None:
+        """Schedule ``func(arg)`` at the current instant (fast lane)."""
+        self._seq += 1
+        self._fifo.append((self._seq, func, arg))
 
     def schedule_at(self, when: float, callback: Callable[[], Any]) -> None:
-        """Run ``callback`` at absolute simulated time ``when``."""
-        self.schedule(when - self.now, callback)
+        """Run ``callback`` at absolute simulated time ``when``.
+
+        Sub-epsilon negative deltas (float round-trip noise of a few
+        ulps) are clamped to "now" instead of raising.
+        """
+        delta = when - self.now
+        if delta < 0.0 and -delta <= _CLAMP_EPS * max(abs(when), abs(self.now), 1.0):
+            delta = 0.0
+        self.schedule(delta, callback)
+
+    def _push(self, when: float, func: Callable, arg: Any) -> None:
+        """Heap-insert a timed event, reusing a pooled slot if one is free."""
+        self._seq += 1
+        pool = self._pool
+        if pool:
+            slot = pool.pop()
+            slot[0] = when
+            slot[1] = self._seq
+            slot[2] = func
+            slot[3] = arg
+        else:
+            slot = [when, self._seq, func, arg]
+        heapq.heappush(self._heap, slot)
+        if when < self._next_timed:
+            self._next_timed = when
 
     # -- execution ----------------------------------------------------------
+
+    def _recycle(self, slot: list) -> None:
+        """Return a popped heap slot to the free pool."""
+        slot[2] = slot[3] = None  # drop refs so pooled slots don't pin objects
+        if len(self._pool) < _MAX_POOL:
+            self._pool.append(slot)
 
     def step(self) -> bool:
         """Execute the next scheduled callback.
 
         Returns ``False`` when the queue is empty, ``True`` otherwise.
         """
-        if not self._queue:
+        fifo = self._fifo
+        heap = self._heap
+        if fifo:
+            # A timed event at the current instant with a smaller
+            # sequence number was scheduled first and must run first.
+            if heap and heap[0][0] <= self.now and heap[0][1] < fifo[0][0]:
+                return self._step_timed()
+            _, func, arg = fifo.popleft()
+            self.events_executed += 1
+            if arg is _NO_ARG:
+                func()
+            else:
+                func(arg)
+            return True
+        if not heap:
             return False
-        when, _, callback = heapq.heappop(self._queue)
+        return self._step_timed()
+
+    def _step_timed(self) -> bool:
+        heap = self._heap
+        slot = heapq.heappop(heap)
+        self._next_timed = heap[0][0] if heap else math.inf
+        when, _, func, arg = slot
         if when < self.now:
-            raise SimulationError(
-                f"time went backwards: {when} < {self.now}"
-            )
+            raise SimulationError(f"time went backwards: {when} < {self.now}")
         self.now = when
-        callback()
+        self._recycle(slot)
+        self.events_executed += 1
+        if arg is _NO_ARG:
+            func()
+        else:
+            func(arg)
         return True
 
     def run(self, until: float | None = None) -> float:
         """Run until the event queue drains (or past ``until`` seconds).
+
+        If the queue drains (or is already empty) before ``until``,
+        the clock still advances to ``until`` — ``run(until=t)``
+        always leaves ``now == t`` unless an event past ``t`` remains
+        pending.
 
         Raises
         ------
@@ -82,19 +241,96 @@ class Simulator:
         float
             The simulated time at which execution stopped.
         """
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self.now = until
-                return self.now
-            self.step()
-        if self._blocked_processes > 0:
+        fifo = self._fifo
+        heap = self._heap
+        pool = self._pool
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        inf = math.inf
+        horizon = inf if until is None else until
+        executed = 0
+        try:
+            while True:
+                if fifo:
+                    # Timed event due now?  ``_next_timed`` mirrors
+                    # ``heap[0][0]`` so the common miss is one float
+                    # compare.
+                    if self._next_timed <= self.now:
+                        if heap[0][1] < fifo[0][0]:
+                            # Scheduled before the FIFO head: it wins
+                            # the tie-break.
+                            slot = heappop(heap)
+                            self._next_timed = heap[0][0] if heap else inf
+                            func = slot[2]
+                            arg = slot[3]
+                            slot[2] = slot[3] = None
+                            if len(pool) < _MAX_POOL:
+                                pool.append(slot)
+                        else:
+                            _, func, arg = fifo.popleft()
+                        executed += 1
+                        if arg is no_arg:
+                            func()
+                        else:
+                            func(arg)
+                        continue
+                    # No timed event is due, so every timed event a
+                    # callback schedules from here (always in the
+                    # future, or at worst at ``now`` with a *larger*
+                    # seq) sorts after the entries currently queued —
+                    # the snapshot can drain with no arbitration at
+                    # all.  Entries appended *during* the drain are
+                    # re-arbitrated on the next outer iteration.
+                    popleft = fifo.popleft
+                    for _ in range(len(fifo)):
+                        _, func, arg = popleft()
+                        executed += 1
+                        if arg is no_arg:
+                            func()
+                        else:
+                            func(arg)
+                    continue
+                if not heap:
+                    break
+                when = heap[0][0]
+                if when > horizon:
+                    self.now = until  # type: ignore[assignment]
+                    return self.now
+                if when < self.now:
+                    raise SimulationError(
+                        f"time went backwards: {when} < {self.now}"
+                    )
+                self.now = when
+                # Batch-drain every timed event sharing this timestamp.
+                # A callback may schedule zero-delay work; bail to the
+                # outer loop then so the seq tie-break is arbitrated.
+                while heap and heap[0][0] == when:
+                    slot = heappop(heap)
+                    self._next_timed = heap[0][0] if heap else inf
+                    func = slot[2]
+                    arg = slot[3]
+                    slot[2] = slot[3] = None
+                    if len(pool) < _MAX_POOL:
+                        pool.append(slot)
+                    executed += 1
+                    if arg is no_arg:
+                        func()
+                    else:
+                        func(arg)
+                    if fifo:
+                        break
+        finally:
+            self.events_executed += executed
+        if self._active_processes > 0:
             raise DeadlockError(
-                f"event queue empty with {self._blocked_processes} "
+                f"event queue empty with {self._active_processes} "
                 f"blocked process(es) at t={self.now:.6g} s"
             )
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     @property
     def pending_events(self) -> int:
         """Number of callbacks currently scheduled."""
-        return len(self._queue)
+        return len(self._heap) + len(self._fifo)

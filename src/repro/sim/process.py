@@ -56,16 +56,25 @@ class SimEvent:
             raise SimulationError("event already triggered")
         self.triggered = True
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.sim.schedule(0.0, lambda cb=cb: cb(self))
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            # Inlined call_soon: waking waiters is the single hottest
+            # sim operation, so the fast-lane append happens in place.
+            sim = self.sim
+            seq = sim._seq
+            fifo = sim._fifo
+            for cb in callbacks:
+                seq += 1
+                fifo.append((seq, cb, self))
+            sim._seq = seq
         return self
 
     def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
         """Register ``callback(event)``; fires immediately if already
         triggered (scheduled at the current time, preserving order)."""
         if self.triggered:
-            self.sim.schedule(0.0, lambda: callback(self))
+            self.sim.call_soon(callback, self)
         else:
             self._callbacks.append(callback)
 
@@ -76,14 +85,33 @@ class Timeout(SimEvent):
     __slots__ = ()
 
     def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
-        super().__init__(sim)
+        # Inlined SimEvent.__init__ (one Timeout per message/compute
+        # segment makes this constructor a measured hot path).
+        self.sim = sim
+        self.triggered = False
+        self.value = None
+        self._callbacks = []
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        sim.schedule(delay, lambda: self._fire(value))
+        sim.schedule_call(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
-        if not self.triggered:
-            self.succeed(value)
+        if self.triggered:
+            return
+        # Inlined succeed() (sans the already-triggered raise, guarded
+        # above): one _fire per timed message/compute segment.
+        self.triggered = True
+        self.value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            sim = self.sim
+            seq = sim._seq
+            fifo = sim._fifo
+            for cb in callbacks:
+                seq += 1
+                fifo.append((seq, cb, self))
+            sim._seq = seq
 
 
 class AnyOf(SimEvent):
@@ -142,7 +170,7 @@ class SimProcess(SimEvent):
     processes can be joined by yielding them.
     """
 
-    __slots__ = ("_gen", "name")
+    __slots__ = ("_gen", "name", "_wake_cb", "_send")
 
     def __init__(
         self,
@@ -158,28 +186,59 @@ class SimProcess(SimEvent):
             )
         self._gen = gen
         self.name = name
+        #: bound once: every yield registers this same callback, so
+        #: rebinding the method per suspension would churn allocations.
+        self._wake_cb = self._wake
+        #: likewise for the generator's send (one call per resume).
+        self._send = gen.send
         sim._active_processes += 1
         # Start the process at the current simulated time.
-        sim.schedule(0.0, lambda: self._resume(None))
+        sim.call_soon(self._resume, None)
 
     def _resume(self, send_value: Any) -> None:
         sim = self.sim
         try:
-            target = self._gen.send(send_value)
+            target = self._send(send_value)
         except StopIteration as stop:
             sim._active_processes -= 1
             self.succeed(stop.value)
             return
-        if not isinstance(target, SimEvent):
+        # Inlined target.add_callback(self._wake_cb), with the yield
+        # target validated by attribute probe instead of isinstance
+        # (one registration per yield makes both measurable).
+        try:
+            triggered = target.triggered
+            callbacks = target._callbacks
+        except AttributeError:
             sim._active_processes -= 1
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}; "
                 "expected a SimEvent/Timeout/SimProcess"
-            )
-        sim._blocked_processes += 1
+            ) from None
+        if triggered:
+            sim.call_soon(self._wake_cb, target)
+        else:
+            callbacks.append(self._wake_cb)
 
-        def wake(ev: SimEvent) -> None:
-            sim._blocked_processes -= 1
-            self._resume(ev.value)
-
-        target.add_callback(wake)
+    def _wake(self, ev: SimEvent) -> None:
+        sim = self.sim
+        # Inlined _resume(ev.value) — the per-message wake-up path.
+        try:
+            target = self._send(ev.value)
+        except StopIteration as stop:
+            sim._active_processes -= 1
+            self.succeed(stop.value)
+            return
+        try:
+            triggered = target.triggered
+            callbacks = target._callbacks
+        except AttributeError:
+            sim._active_processes -= 1
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "expected a SimEvent/Timeout/SimProcess"
+            ) from None
+        if triggered:
+            sim.call_soon(self._wake_cb, target)
+        else:
+            callbacks.append(self._wake_cb)

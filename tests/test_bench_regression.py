@@ -1,0 +1,67 @@
+"""The benchmark-regression harness: comparison logic (always on) and
+the real wall-clock check (opt-in via ``--bench-regression``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import bench_regression as br
+
+
+class TestComparisonLogic:
+    def test_direction_awareness(self):
+        committed = {"x_per_sec": 100.0, "y_ms": 10.0}
+        # throughput down 50%, latency up 50%: both regressions
+        problems = br.regressions(committed, {"x_per_sec": 50.0, "y_ms": 15.0}, 0.2)
+        assert len(problems) == 2
+        # throughput up, latency down: improvements, never flagged
+        assert br.regressions(committed, {"x_per_sec": 200.0, "y_ms": 5.0}, 0.2) == []
+
+    def test_tolerance_boundary(self):
+        committed = {"y_ms": 10.0}
+        assert br.regressions(committed, {"y_ms": 11.9}, 0.2) == []
+        assert len(br.regressions(committed, {"y_ms": 12.1}, 0.2)) == 1
+
+    def test_missing_kernel_is_a_problem(self):
+        assert len(br.regressions({"gone_ms": 1.0}, {}, 0.2)) == 1
+
+    def test_higher_is_better_convention(self):
+        assert br.higher_is_better("des_pingpong_events_per_sec")
+        assert not br.higher_is_better("md_step_864_ms")
+
+    def test_speedup_table(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(br, "RESULTS_PATH", tmp_path / "BENCH_kernels.json")
+        doc = {
+            "schema": 1,
+            "baseline": {"kernels": {"a_per_sec": 100.0, "b_ms": 20.0}},
+            "current": {"kernels": {"a_per_sec": 300.0, "b_ms": 10.0}},
+        }
+        br.save_results(doc)
+        saved = json.loads((tmp_path / "BENCH_kernels.json").read_text())
+        assert saved["speedup"] == {"a_per_sec": 3.0, "b_ms": 2.0}
+
+
+class TestCommittedResults:
+    def test_committed_file_is_well_formed(self):
+        doc = br.load_results()
+        assert doc.get("baseline"), "BENCH_kernels.json must carry a baseline"
+        kernels = doc["baseline"]["kernels"]
+        assert "des_pingpong_events_per_sec" in kernels
+        assert "md_step_864_ms" in kernels
+        assert all(v > 0 for v in kernels.values())
+
+
+@pytest.mark.bench_regression
+class TestWallClock:
+    """Real measurements — only with ``--bench-regression``."""
+
+    def test_fresh_measurement_vs_committed(self):
+        fresh = br.measure()
+        doc = br.load_results()
+        committed = (doc.get("current") or {}).get("kernels")
+        assert committed, "no committed 'current' kernels; run --write first"
+        problems = br.regressions(committed, fresh, br.DEFAULT_TOLERANCE)
+        assert not problems, "\n".join(problems)

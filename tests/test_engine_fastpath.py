@@ -1,0 +1,182 @@
+"""Fast-path behavior of the DES core: zero-delay FIFO lane, slotted
+event pool, batch drain, and the two scheduling bug fixes (sub-epsilon
+clamping in ``schedule_at``, clock advance on ``run(until=...)`` with
+an empty queue).
+
+The ordering tests pin the documented invariant: execution order is
+identical to a single heap keyed on ``(when, seq)``, fast lane or not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import _MAX_POOL, Simulator
+
+
+class TestScheduleAtClamping:
+    def test_sub_epsilon_negative_delta_is_clamped(self):
+        """`when - now` a few ulps negative (float round-trip noise)
+        must schedule at "now" instead of raising."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        fired = []
+        sim.schedule_at(sim.now - 1e-18, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_one_ulp_behind_now_is_clamped(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        import math
+
+        just_behind = math.nextafter(sim.now, 0.0)
+        fired = []
+        sim.schedule_at(just_behind, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_genuinely_past_times_still_raise(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.9, lambda: None)
+
+    def test_exact_now_schedules_fast_lane(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(0.0, lambda: fired.append(True))
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [True]
+
+
+class TestRunUntilEmptyQueue:
+    def test_empty_queue_advances_clock_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+
+    def test_queue_drained_before_until_still_advances(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+
+    def test_pending_event_past_horizon_stops_at_until(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        assert sim.run(until=3.0) == 3.0
+        assert sim.pending_events == 1
+        # the later event is still runnable
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_until_in_the_present_is_a_no_op(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.run(until=1.0) == 2.0  # never moves backwards
+
+
+class TestOrderingInvariant:
+    def test_zero_delay_and_timed_interleave_by_seq(self):
+        """Events due at the same instant run in schedule order, no
+        matter which queue (heap or fast lane) carried them."""
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("t1"))  # seq 1
+        sim.schedule(1.0, lambda: order.append("t2"))  # seq 2
+
+        def at_t1():
+            # runs inside t=1: mixes fast-lane and heap entries due now
+            sim.schedule(0.0, lambda: order.append("z1"))  # seq 4
+            sim.schedule_at(1.0, lambda: order.append("t3"))  # seq 5, fast lane
+            sim.schedule(0.0, lambda: order.append("z2"))  # seq 6
+
+        sim.schedule(1.0, at_t1)  # seq 3
+        sim.run()
+        assert order == ["t1", "t2", "z1", "t3", "z2"]
+
+    def test_batch_drain_yields_to_newly_scheduled_zero_delay(self):
+        """A same-timestamp heap batch must pause when a callback adds
+        fast-lane work with a smaller seq than later heap entries...
+        which cannot happen — but later *zero-delay* work scheduled by
+        an earlier event must not leapfrog remaining heap entries."""
+        sim = Simulator()
+        order = []
+
+        def a():
+            order.append("a")
+            sim.schedule(0.0, lambda: order.append("a-soon"))
+
+        sim.schedule(2.0, a)  # seq 1
+        sim.schedule(2.0, lambda: order.append("b"))  # seq 2
+        sim.run()
+        # a (seq 1), b (seq 2), then a's zero-delay child (seq 3)
+        assert order == ["a", "b", "a-soon"]
+
+    def test_step_matches_run_order(self):
+        def build(sim, order):
+            sim.schedule(1.0, lambda: order.append(1))
+            sim.schedule(0.5, lambda: order.append(0))
+            sim.schedule(1.0, lambda: (order.append(2),
+                                       sim.schedule(0.0, lambda: order.append(3))))
+
+        s1, o1 = Simulator(), []
+        build(s1, o1)
+        s1.run()
+        s2, o2 = Simulator(), []
+        build(s2, o2)
+        while s2.step():
+            pass
+        assert o1 == o2
+        assert s1.events_executed == s2.events_executed
+
+    def test_call_soon_runs_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.call_soon(order.append, "a")
+        sim.call_soon(order.append, "b")
+        sim.schedule(0.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEventPool:
+    def test_slots_are_recycled(self):
+        sim = Simulator()
+        for _ in range(3):
+            for i in range(100):
+                sim.schedule(0.1 * (i + 1), lambda: None)
+            sim.run()
+        assert 0 < len(sim._pool) <= _MAX_POOL
+
+    def test_pool_is_bounded(self):
+        sim = Simulator()
+        n = _MAX_POOL + 500
+        for i in range(n):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert len(sim._pool) <= _MAX_POOL
+        assert sim.events_executed == n
+
+    def test_pooled_slots_drop_references(self):
+        """Recycled slots must not pin callbacks/args alive."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert all(slot[2] is None and slot[3] is None for slot in sim._pool)
+
+    def test_events_executed_counts_both_lanes(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.call_soon(lambda _: None, None)
+        sim.run()
+        assert sim.events_executed == 3
