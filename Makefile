@@ -20,3 +20,17 @@ bench-check:
 ## optimization cycle.
 bench-baseline:
 	$(PYTHON) -m benchmarks.bench_regression --capture-baseline
+
+SMOKE_CACHE := /tmp/repro-smoke-cache
+
+## End-to-end cold-then-warm run of the whole characterization: the
+## second pass must be served >= 90% from the cell result cache.
+.PHONY: smoke
+smoke:
+	rm -rf $(SMOKE_CACHE)
+	$(PYTHON) -m repro all --fast --jobs auto --cache-dir $(SMOKE_CACHE) >/dev/null
+	$(PYTHON) -m repro all --fast --jobs auto --cache-dir $(SMOKE_CACHE) >/dev/null 2>$(SMOKE_CACHE)/stats.txt
+	@cat $(SMOKE_CACHE)/stats.txt
+	@$(PYTHON) -c "import re,sys; t=open('$(SMOKE_CACHE)/stats.txt').read(); m=re.search(r'(\d+) total, (\d+) cached', t); ok=bool(m) and int(m.group(2)) >= 0.9*int(m.group(1)); sys.exit(0 if ok else 1)" \
+	  || { echo 'smoke FAILED: warm pass below 90% cache hits'; exit 1; }
+	@echo "smoke ok: warm pass served >=90% from cache"

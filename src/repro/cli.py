@@ -12,6 +12,15 @@ Commands
     Print the Columbia configuration (Table 1).
 ``calibration``
     Print the calibration provenance index.
+
+``run``, ``all`` and ``report`` share the run-pipeline options:
+``--jobs N|auto`` executes cells on a process pool (output is
+row-for-row identical to sequential), ``--cache-dir DIR`` points the
+content-addressed cell cache somewhere specific (default
+``.repro-cache``, or ``$REPRO_CACHE_DIR``), and ``--no-cache``
+disables reuse entirely.  A warm cache makes ``repro all`` nearly
+instant: only cells whose scenario, calibration fingerprint, or
+package version changed are re-simulated.
 """
 
 from __future__ import annotations
@@ -38,6 +47,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", default="1", metavar="N",
+            help="cells to run in parallel (a number, or 'auto' for "
+                 "one per CPU); default 1 (sequential)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="ignore and don't update the cell result cache",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cell cache directory (default .repro-cache or "
+                 "$REPRO_CACHE_DIR)",
+        )
+
     sub.add_parser("list", help="list all experiments")
 
     run_p = sub.add_parser("run", help="run one experiment")
@@ -49,9 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "csv", "markdown", "json", "chart"),
         help="output rendering ('chart' draws the figure as ASCII)",
     )
+    add_runner_options(run_p)
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--fast", action="store_true")
+    add_runner_options(all_p)
 
     sub.add_parser("machine", help="print the machine configuration")
     sub.add_parser("calibration", help="print calibration provenance")
@@ -68,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--fast", action="store_true", default=True)
     report_p.add_argument("--full", dest="fast", action="store_false",
                           help="full sweeps (slow: minutes of DES)")
+    add_runner_options(report_p)
 
     advise_p = sub.add_parser(
         "advise", help="lint a job layout against the paper's lessons"
@@ -107,6 +135,17 @@ def _render(result, fmt: str) -> str:
     return result.format()
 
 
+def _build_runner(args):
+    """A :class:`repro.run.Runner` from the shared CLI options."""
+    from repro.run import ResultCache, Runner
+
+    cache = (
+        None if args.no_cache
+        else ResultCache(cache_dir=args.cache_dir)
+    )
+    return Runner(jobs=args.jobs, cache=cache)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -115,13 +154,21 @@ def main(argv: list[str] | None = None) -> int:
             for eid, desc in list_experiments():
                 print(f"{eid:<20} {desc}")
         elif args.command == "run":
-            result = run_experiment(args.experiment_id, fast=args.fast)
+            runner = _build_runner(args)
+            result = run_experiment(
+                args.experiment_id, fast=args.fast, runner=runner
+            )
             print(_render(result, args.format))
         elif args.command == "all":
+            runner = _build_runner(args)
             for eid, _desc in list_experiments():
-                result = run_experiment(eid, fast=args.fast)
+                result = run_experiment(eid, fast=args.fast, runner=runner)
                 print(result.format())
                 print()
+            # Machine-readable cell accounting (parsed by `make smoke`).
+            print(runner.stats.summary(), file=sys.stderr)
+            if runner.stats.errors:
+                return 1
         elif args.command == "machine":
             from repro.machine.topology import topology_report
 
@@ -140,7 +187,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "report":
             from repro.core.suite import write_report
 
-            files = write_report(args.output, fast=args.fast)
+            files = write_report(
+                args.output, fast=args.fast, runner=_build_runner(args)
+            )
             print(f"wrote {len(files)} files to {args.output}")
         elif args.command == "advise":
             from repro.machine.advisor import advise

@@ -1,6 +1,10 @@
 """One module per reproduced table/figure.
 
-Every module exposes ``run(fast: bool = False) -> ExperimentResult``.
-``fast=True`` trims CPU-count sweeps and DES sizes for test/benchmark
-loops; the default regenerates the full table/figure.
+Every module declares its cells as :class:`repro.run.Scenario` sweeps
+(``scenarios(fast)``) and exposes
+``run(fast: bool = False, runner: Runner | None = None)`` returning an
+:class:`~repro.core.experiment.ExperimentResult`.  ``fast=True`` trims
+CPU-count sweeps and DES sizes for test/benchmark loops; the default
+regenerates the full table/figure.  The shared runner handles
+caching and parallel cell execution (``repro all --jobs N``).
 """

@@ -14,26 +14,72 @@ the full 10,240-CPU machine.
 
 from __future__ import annotations
 
-import math
-
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import columbia
-from repro.machine.placement import Placement
-from repro.npb.hybrid import MZTimingModel
-from repro.npb.multizone import MZ_CLASSES, mz_problem
-from repro.units import TERA
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("ext_class_f.capacity")
+def _capacity_cell(npb_class: str) -> list[tuple]:
+    import math
+
+    from repro.npb.multizone import mz_problem
+    from repro.units import TERA
+
+    problem = mz_problem("bt-mz", npb_class)
+    tb = problem.memory_bytes / TERA
+    min_nodes = max(1, math.ceil(problem.memory_bytes / (1.0 * TERA)))
+    return [(
+        "capacity", "-",
+        f"class {npb_class}: {tb:.2f} TB, >= {min_nodes} node(s)",
+        "-", "-", "-", "-",
+    )]
+
+
+@workload("ext_class_f.run")
+def _run_cell(benchmark: str, threads: int) -> list[tuple]:
+    # Class F across the whole machine: 20 nodes x 512 CPUs over IB.
+    # The §2 cap at 20 nodes is sqrt(8*64K/19) = 166 processes/node,
+    # so full nodes need >= 4 threads per process.
+    from repro.machine.cluster import columbia
+    from repro.machine.placement import Placement
+    from repro.npb.hybrid import MZTimingModel
+
+    full = columbia(fabric="infiniband")
+    ranks_per_node = 512 // threads
+    full.infiniband.check_pure_mpi(len(full.nodes), ranks_per_node)
+    ranks = ranks_per_node * len(full.nodes)
+    pl = Placement(full, n_ranks=ranks, threads_per_rank=threads,
+                   spread_nodes=True)
+    m = MZTimingModel(benchmark, "F", pl)
+    return [(
+        "run", benchmark, "20n InfiniBand", 10240,
+        f"{ranks}x{threads}",
+        round(m.gflops_per_cpu(), 3), round(m.total_gflops(), 0),
+    )]
+
+
+def scenarios(fast: bool = False):
+    cells = sweep("ext_class_f.capacity", {"npb_class": ("C", "D", "E", "F")})
+    if not fast:
+        cells += sweep(
+            "ext_class_f.run",
+            {"benchmark": ("bt-mz", "sp-mz"), "threads": (4, 8)},
+        )
+    return cells
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="ext_class_f",
         title="Extension: NPB-MZ Class F — capacity ledger and the full Columbia",
         columns=(
             "row_kind", "benchmark", "detail", "cpus", "layout",
             "gflops_per_cpu", "total_gflops",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="Capacity rows: memory footprint per class and the "
               "minimum 1 TB nodes it needs — Class F exceeds the "
               "whole 4-node NUMAlink4 subsystem, which is why the "
@@ -41,32 +87,3 @@ def run(fast: bool = False) -> ExperimentResult:
               "Class F across all 20 nodes over InfiniBand (hybrid "
               "layouts per the §2 connection limit).",
     )
-    # Capacity ledger.
-    for cls in ("C", "D", "E", "F"):
-        problem = mz_problem("bt-mz", cls)
-        tb = problem.memory_bytes / TERA
-        min_nodes = max(1, math.ceil(problem.memory_bytes / (1.0 * TERA)))
-        result.add(
-            "capacity", "-", f"class {cls}: {tb:.2f} TB, >= {min_nodes} node(s)",
-            "-", "-", "-", "-",
-        )
-    if fast:
-        return result
-    # Class F across the whole machine: 20 nodes x 512 CPUs over IB.
-    # The §2 cap at 20 nodes is sqrt(8*64K/19) = 166 processes/node,
-    # so full nodes need >= 4 threads per process.
-    full = columbia(fabric="infiniband")
-    for bm in ("bt-mz", "sp-mz"):
-        for threads in (4, 8):
-            ranks_per_node = 512 // threads
-            full.infiniband.check_pure_mpi(len(full.nodes), ranks_per_node)
-            ranks = ranks_per_node * len(full.nodes)
-            pl = Placement(full, n_ranks=ranks, threads_per_rank=threads,
-                           spread_nodes=True)
-            m = MZTimingModel(bm, "F", pl)
-            result.add(
-                "run", bm, "20n InfiniBand", 10240,
-                f"{ranks}x{threads}",
-                round(m.gflops_per_cpu(), 3), round(m.total_gflops(), 0),
-            )
-    return result

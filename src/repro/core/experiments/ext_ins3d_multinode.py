@@ -8,24 +8,74 @@ fabric matters.
 
 from __future__ import annotations
 
-from repro.apps.ins3d import INS3DModel
-from repro.apps.ins3d_multinode import INS3DMultinodeModel
 from repro.core.experiment import ExperimentResult
-from repro.errors import CommunicationError, ConfigurationError
-from repro.machine.cluster import multinode
-from repro.machine.node import NodeType
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("ext_ins3d.single")
+def _single_cell(groups: int, threads: int) -> list[tuple]:
+    from repro.apps.ins3d import INS3DModel
+    from repro.machine.node import NodeType
+
+    single = INS3DModel(node_type=NodeType.BX2B)
+    return [(
+        1, "-", groups, threads, groups * threads,
+        round(single.step_time(groups, threads), 1),
+    )]
+
+
+@workload("ext_ins3d.multi")
+def _multi_cell(fabric: str, nodes: int, groups_per_node: int,
+                threads: int) -> list[tuple]:
+    from repro.apps.ins3d_multinode import INS3DMultinodeModel
+    from repro.errors import CommunicationError, ConfigurationError
+    from repro.machine.cluster import multinode
+
+    model = INS3DMultinodeModel(cluster=multinode(nodes, fabric=fabric))
+    try:
+        t = model.step_time(groups_per_node, threads)
+    except (ConfigurationError, CommunicationError):
+        # Layout doesn't fit this cluster: a skipped point, not a
+        # failed cell (mirrors the paper's sparse measurement grid).
+        return []
+    return [(
+        nodes, fabric, groups_per_node, threads,
+        nodes * groups_per_node * threads, round(t, 1),
+    )]
+
+
+def scenarios(fast: bool = False):
+    from repro.run import scenario
+
+    cells = tuple(
+        scenario("ext_ins3d.single", groups=groups, threads=threads)
+        for groups, threads in ((36, 14), (63, 8))
+    )
+    cells += sweep(
+        "ext_ins3d.multi",
+        {
+            "fabric": ("numalink4",) if fast else ("numalink4", "infiniband"),
+            "nodes": (2,) if fast else (2, 4),
+            "groups_per_node": (32, 63),
+            "threads": (4, 8),
+        },
+        where=lambda p: p["groups_per_node"] * p["threads"] <= 508,
+    )
+    return cells
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="ext_ins3d_multinode",
         title="Extension (§5): multinode INS3D across BX2b nodes",
         columns=(
             "nodes", "fabric", "groups_per_node", "threads",
             "total_cpus", "step_time_s",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="One-node rows use the calibrated Table 2 model.  The "
               "turbopump's 267 zones saturate around ~128 groups (the "
               "largest zone bounds the balance), so two nodes buy "
@@ -33,28 +83,3 @@ def run(fast: bool = False) -> ExperimentResult:
               "matters, echoing the paper's OVERFLOW-D multinode "
               "finding.",
     )
-    # Single node baselines.
-    single = INS3DModel(node_type=NodeType.BX2B)
-    for groups, threads in ((36, 14), (63, 8)):
-        result.add(
-            1, "-", groups, threads, groups * threads,
-            round(single.step_time(groups, threads), 1),
-        )
-    fabrics = ("numalink4",) if fast else ("numalink4", "infiniband")
-    node_counts = (2,) if fast else (2, 4)
-    for fabric in fabrics:
-        for n in node_counts:
-            model = INS3DMultinodeModel(cluster=multinode(n, fabric=fabric))
-            for groups_per_node in (32, 63):
-                for threads in (4, 8):
-                    if groups_per_node * threads > 508:
-                        continue
-                    try:
-                        t = model.step_time(groups_per_node, threads)
-                    except (ConfigurationError, CommunicationError):
-                        continue
-                    result.add(
-                        n, fabric, groups_per_node, threads,
-                        n * groups_per_node * threads, round(t, 1),
-                    )
-    return result

@@ -11,13 +11,9 @@ counts, quiet vs noisy, averaged over seeds.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
-from repro.mpi import run_mpi
-from repro.mpi.collectives import allreduce
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 RANK_COUNTS = (8, 32, 128, 512)
 FAST_RANK_COUNTS = (8, 64)
@@ -26,6 +22,12 @@ SEEDS = 5
 
 
 def _step_time(p: int, noise: float, seed: int) -> float:
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.mpi import run_mpi
+    from repro.mpi.collectives import allreduce
+
     def prog(comm):
         yield comm.compute(1e-3)
         yield from allreduce(comm, 8, 1.0)
@@ -35,24 +37,35 @@ def _step_time(p: int, noise: float, seed: int) -> float:
     return run_mpi(placement, prog, os_noise=noise, noise_seed=seed).elapsed
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("ext_noise.cell")
+def _cell(ranks: int, noise: float, n_seeds: int) -> list[tuple]:
+    seeds = range(n_seeds)
+    quiet = sum(_step_time(ranks, 0.0, s) for s in seeds) / n_seeds
+    noisy = sum(_step_time(ranks, noise, s) for s in seeds) / n_seeds
+    return [(
+        ranks, round(quiet * 1e3, 4), round(noisy * 1e3, 4),
+        round(noisy / quiet, 2),
+    )]
+
+
+def scenarios(fast: bool = False):
+    return sweep(
+        "ext_noise.cell",
+        {"ranks": FAST_RANK_COUNTS if fast else RANK_COUNTS},
+        base={"noise": NOISE, "n_seeds": 2 if fast else SEEDS},
+    )
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="ext_noise",
         title="Extension: OS-noise amplification of a synchronized step",
         columns=("ranks", "quiet_ms", "noisy_ms", "slowdown"),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes=f"Noise: compute segments stretched by 1 + Exp({NOISE}); "
               f"averaged over {SEEDS} seeds.  The relative cost of the "
               "same per-rank interference grows with the job width — "
               "the general mechanism behind the §4.6.2 boot-cpuset "
               "observation.",
     )
-    counts = FAST_RANK_COUNTS if fast else RANK_COUNTS
-    seeds = range(2 if fast else SEEDS)
-    for p in counts:
-        quiet = sum(_step_time(p, 0.0, s) for s in seeds) / len(list(seeds))
-        noisy = sum(_step_time(p, NOISE, s) for s in seeds) / len(list(seeds))
-        result.add(
-            p, round(quiet * 1e3, 4), round(noisy * 1e3, 4),
-            round(noisy / quiet, 2),
-        )
-    return result

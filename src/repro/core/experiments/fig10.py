@@ -7,13 +7,9 @@ Latency and bandwidth for ping-pong / natural ring / random ring at
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.hpcc import natural_ring, pingpong, random_ring
-from repro.machine.cluster import multinode, single_node
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
-from repro.units import to_gb_per_s, to_usec
+from repro.run import MachineSpec, PlacementSpec, build_result, sweep, workload
 
-__all__ = ["run", "CONFIGS"]
+__all__ = ["run", "scenarios", "CONFIGS"]
 
 #: (label, n_nodes, fabric) — one node has no inter-node fabric.
 CONFIGS = (
@@ -28,37 +24,70 @@ CPU_COUNTS = (64, 256, 512, 1024, 2048)
 FAST_CPU_COUNTS = (64, 512)
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+def _fits(point: dict) -> bool:
+    cpus, n_nodes = point["cpus"], point["n_nodes"]
+    if cpus > n_nodes * 512:
+        return False
+    return not (n_nodes > 1 and cpus < n_nodes)
+
+
+@workload("fig10.cell")
+def _cell(placement, config: str, n_nodes: int, fabric: str | None,
+          cpus: int, max_pairs: int, trials: int) -> list[tuple]:
+    from repro.hpcc import natural_ring, pingpong, random_ring
+    from repro.units import to_gb_per_s, to_usec
+
+    pp = pingpong(placement, max_pairs=max_pairs)
+    nr = natural_ring(placement)
+    rr = random_ring(placement, trials=trials)
+    return [
+        (config, cpus, "pingpong",
+         round(to_usec(pp.avg_latency), 2),
+         round(to_gb_per_s(pp.avg_bandwidth), 3)),
+        (config, cpus, "natural_ring",
+         round(to_usec(nr.latency), 2),
+         round(to_gb_per_s(nr.bandwidth_per_cpu), 3)),
+        (config, cpus, "random_ring",
+         round(to_usec(rr.latency), 2),
+         round(to_gb_per_s(rr.bandwidth_per_cpu), 3)),
+    ]
+
+
+def _machine(point: dict) -> MachineSpec:
+    if point["n_nodes"] == 1:
+        return MachineSpec(node_type="BX2b")
+    return MachineSpec(
+        node_type="BX2b", n_nodes=point["n_nodes"], fabric=point["fabric"]
+    )
+
+
+def scenarios(fast: bool = False):
+    cells = []
+    for label, n_nodes, fabric in CONFIGS:
+        cells.extend(sweep(
+            "fig10.cell",
+            {"cpus": FAST_CPU_COUNTS if fast else CPU_COUNTS},
+            base={
+                "config": label, "n_nodes": n_nodes, "fabric": fabric,
+                "max_pairs": 8 if fast else 16,
+                "trials": 1 if fast else 2,
+            },
+            where=_fits,
+            machine=_machine,
+            placement=lambda p: PlacementSpec(
+                n_ranks=p["cpus"], spread_nodes=p["n_nodes"] > 1
+            ),
+        ))
+    return tuple(cells)
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="fig10",
         title="Fig. 10: multinode b_eff, NUMAlink4 vs InfiniBand (BX2b nodes)",
         columns=(
             "config", "cpus", "pattern", "latency_us", "bandwidth_gb_s",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
     )
-    counts = FAST_CPU_COUNTS if fast else CPU_COUNTS
-    for label, n_nodes, fabric in CONFIGS:
-        cluster = (
-            single_node(NodeType.BX2B)
-            if n_nodes == 1
-            else multinode(n_nodes, fabric=fabric)
-        )
-        for p in counts:
-            if p > cluster.total_cpus:
-                continue
-            if n_nodes > 1 and p < n_nodes:
-                continue
-            pl = Placement(cluster, n_ranks=p, spread_nodes=n_nodes > 1)
-            pp = pingpong(pl, max_pairs=8 if fast else 16)
-            result.add(label, p, "pingpong",
-                       round(to_usec(pp.avg_latency), 2),
-                       round(to_gb_per_s(pp.avg_bandwidth), 3))
-            nr = natural_ring(pl)
-            result.add(label, p, "natural_ring",
-                       round(to_usec(nr.latency), 2),
-                       round(to_gb_per_s(nr.bandwidth_per_cpu), 3))
-            rr = random_ring(pl, trials=1 if fast else 2)
-            result.add(label, p, "random_ring",
-                       round(to_usec(rr.latency), 2),
-                       round(to_gb_per_s(rr.bandwidth_per_cpu), 3))
-    return result

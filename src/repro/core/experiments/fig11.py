@@ -10,65 +10,90 @@ SP-MZ.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import multinode, single_node
-from repro.machine.infiniband import MPTVersion
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
-from repro.npb.hybrid import MZTimingModel
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run", "CPU_COUNTS"]
+__all__ = ["run", "scenarios", "CPU_COUNTS"]
 
 CPU_COUNTS = (256, 512, 768, 1024, 1536, 2048)
 FAST_CPU_COUNTS = (256, 1024)
 
+#: (label, fabric, mpt) — fabric None means a single BX2b node.
 NETWORKS = (
     ("in-node", None, None),
     ("NUMAlink4", "numalink4", None),
-    ("InfiniBand(beta)", "infiniband", MPTVersion.MPT_1_11B),
-    ("InfiniBand(released)", "infiniband", MPTVersion.MPT_1_11R),
+    ("InfiniBand(beta)", "infiniband", "mpt1.11b"),
+    ("InfiniBand(released)", "infiniband", "mpt1.11r"),
 )
 
 
-def _cluster(network, mpt):
-    if network is None:
-        return single_node(NodeType.BX2B)
-    if network == "numalink4":
-        return multinode(4, fabric="numalink4")
-    return multinode(4, fabric="infiniband", mpt=mpt)
+def _fits(point: dict) -> bool:
+    total = 512 if point["fabric"] is None else 4 * 512
+    cpus, threads = point["cpus"], point["threads"]
+    if cpus > total:
+        return False
+    ranks = cpus // threads
+    if ranks * threads != cpus or ranks < 1:
+        return False
+    return ranks <= 4096  # class E zone count
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("fig11.cell")
+def _cell(benchmark: str, network: str, fabric: str | None,
+          mpt: str | None, cpus: int, threads: int) -> list[tuple]:
+    from repro.machine.cluster import multinode, single_node
+    from repro.machine.infiniband import MPTVersion
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.hybrid import MZTimingModel
+
+    if fabric is None:
+        cluster = single_node(NodeType.BX2B)
+    elif fabric == "numalink4":
+        cluster = multinode(4, fabric="numalink4")
+    else:
+        cluster = multinode(4, fabric="infiniband", mpt=MPTVersion(mpt))
+    ranks = cpus // threads
+    pl = Placement(
+        cluster, n_ranks=ranks, threads_per_rank=threads,
+        spread_nodes=fabric is not None,
+    )
+    m = MZTimingModel(benchmark, "E", pl)
+    return [(
+        benchmark, network, cpus, threads,
+        round(m.gflops_per_cpu(), 3),
+        round(m.total_gflops(), 1),
+    )]
+
+
+def scenarios(fast: bool = False):
+    cells = []
+    for bm in ("bt-mz", "sp-mz"):
+        for label, fabric, mpt in NETWORKS:
+            cells.extend(sweep(
+                "fig11.cell",
+                {
+                    "cpus": FAST_CPU_COUNTS if fast else CPU_COUNTS,
+                    "threads": (1, 2),
+                },
+                base={
+                    "benchmark": bm, "network": label,
+                    "fabric": fabric, "mpt": mpt,
+                },
+                where=_fits,
+            ))
+    return tuple(cells)
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="fig11",
         title="Fig. 11: NPB-MZ Class E per-CPU Gflop/s under three networks",
         columns=(
             "benchmark", "network", "cpus", "threads",
             "gflops_per_cpu", "total_gflops",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="'in-node' rows exist only up to 512 CPUs; 512-CPU "
               "in-node runs include the boot-cpuset penalty (§4.6.2).",
     )
-    counts = FAST_CPU_COUNTS if fast else CPU_COUNTS
-    for bm in ("bt-mz", "sp-mz"):
-        for label, network, mpt in NETWORKS:
-            cluster = _cluster(network, mpt)
-            for cpus in counts:
-                if cpus > cluster.total_cpus:
-                    continue
-                for threads in (1, 2):
-                    ranks = cpus // threads
-                    if ranks * threads != cpus or ranks < 1:
-                        continue
-                    if ranks > 4096:  # class E zone count
-                        continue
-                    pl = Placement(
-                        cluster, n_ranks=ranks, threads_per_rank=threads,
-                        spread_nodes=network is not None,
-                    )
-                    m = MZTimingModel(bm, "E", pl)
-                    result.add(
-                        bm, label, cpus, threads,
-                        round(m.gflops_per_cpu(), 3),
-                        round(m.total_gflops(), 1),
-                    )
-    return result

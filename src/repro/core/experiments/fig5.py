@@ -8,41 +8,56 @@ interconnect comparison.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.hpcc import natural_ring, pingpong, random_ring
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
-from repro.units import to_gb_per_s, to_usec
+from repro.run import MachineSpec, PlacementSpec, build_result, sweep, workload
 
-__all__ = ["run", "CPU_COUNTS"]
+__all__ = ["run", "scenarios", "CPU_COUNTS"]
 
 CPU_COUNTS = (4, 8, 16, 32, 64, 128, 256, 512)
 FAST_CPU_COUNTS = (4, 16, 64)
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("fig5.cell")
+def _cell(placement, node_type: str, cpus: int, max_pairs: int,
+          trials: int) -> list[tuple]:
+    from repro.hpcc import natural_ring, pingpong, random_ring
+    from repro.units import to_gb_per_s, to_usec
+
+    pp = pingpong(placement, max_pairs=max_pairs)
+    nr = natural_ring(placement)
+    rr = random_ring(placement, trials=trials)
+    return [
+        (node_type, cpus, "pingpong",
+         round(to_usec(pp.avg_latency), 2),
+         round(to_gb_per_s(pp.avg_bandwidth), 2)),
+        (node_type, cpus, "natural_ring",
+         round(to_usec(nr.latency), 2),
+         round(to_gb_per_s(nr.bandwidth_per_cpu), 2)),
+        (node_type, cpus, "random_ring",
+         round(to_usec(rr.latency), 2),
+         round(to_gb_per_s(rr.bandwidth_per_cpu), 2)),
+    ]
+
+
+def scenarios(fast: bool = False):
+    return sweep(
+        "fig5.cell",
+        {
+            "node_type": ("3700", "BX2a", "BX2b"),
+            "cpus": FAST_CPU_COUNTS if fast else CPU_COUNTS,
+        },
+        base={"max_pairs": 8 if fast else 16, "trials": 1 if fast else 3},
+        machine=lambda p: MachineSpec(node_type=p["node_type"]),
+        placement=lambda p: PlacementSpec(n_ranks=p["cpus"]),
+    )
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="fig5",
         title="Fig. 5: b_eff latency (us) and bandwidth (GB/s) per node type",
         columns=(
             "node_type", "cpus", "pattern", "latency_us", "bandwidth_gb_s",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
     )
-    counts = FAST_CPU_COUNTS if fast else CPU_COUNTS
-    for nt in NodeType:
-        cluster = single_node(nt)
-        for p in counts:
-            pl = Placement(cluster, n_ranks=p)
-            pp = pingpong(pl, max_pairs=8 if fast else 16)
-            result.add(nt.value, p, "pingpong",
-                       round(to_usec(pp.avg_latency), 2),
-                       round(to_gb_per_s(pp.avg_bandwidth), 2))
-            nr = natural_ring(pl)
-            result.add(nt.value, p, "natural_ring",
-                       round(to_usec(nr.latency), 2),
-                       round(to_gb_per_s(nr.bandwidth_per_cpu), 2))
-            rr = random_ring(pl, trials=1 if fast else 3)
-            result.add(nt.value, p, "random_ring",
-                       round(to_usec(rr.latency), 2),
-                       round(to_gb_per_s(rr.bandwidth_per_cpu), 2))
-    return result

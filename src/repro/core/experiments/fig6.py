@@ -3,12 +3,9 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
-from repro.npb.timing import npb_gflops_per_cpu
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run", "BENCHMARK_CLASSES"]
+__all__ = ["run", "scenarios", "BENCHMARK_CLASSES"]
 
 #: The paper runs class B/C problems for these comparisons; class B
 #: is the size every CPU count in Fig. 6 can hold.
@@ -18,26 +15,47 @@ CPU_COUNTS = (4, 8, 16, 32, 64, 128, 256)
 FAST_CPU_COUNTS = (4, 32, 256)
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("fig6.cell")
+def _cell(benchmark: str, npb_class: str, node_type: str, cpus: int) -> list[tuple]:
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.timing import npb_gflops_per_cpu
+
+    cluster = single_node(NodeType(node_type))
+    mpi = npb_gflops_per_cpu(
+        benchmark, npb_class, Placement(cluster, n_ranks=cpus), "mpi"
+    )
+    rows = [(benchmark, "mpi", node_type, cpus, round(mpi, 3))]
+    if cpus <= 256:  # OpenMP swept to 256 threads in Fig. 6
+        omp = npb_gflops_per_cpu(
+            benchmark, npb_class,
+            Placement(cluster, n_ranks=1, threads_per_rank=cpus),
+            "openmp",
+        )
+        rows.append((benchmark, "openmp", node_type, cpus, round(omp, 3)))
+    return rows
+
+
+def scenarios(fast: bool = False):
+    cells = []
+    for bm, cls in BENCHMARK_CLASSES.items():
+        cells.extend(sweep(
+            "fig6.cell",
+            {
+                "node_type": ("3700", "BX2a", "BX2b"),
+                "cpus": FAST_CPU_COUNTS if fast else CPU_COUNTS,
+            },
+            base={"benchmark": bm, "npb_class": cls},
+        ))
+    return tuple(cells)
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="fig6",
         title="Fig. 6: NPB per-CPU Gflop/s (MPI and OpenMP) per node type",
         columns=("benchmark", "paradigm", "node_type", "cpus", "gflops_per_cpu"),
+        scenarios=scenarios(fast),
+        runner=runner,
     )
-    counts = FAST_CPU_COUNTS if fast else CPU_COUNTS
-    for bm, cls in BENCHMARK_CLASSES.items():
-        for nt in NodeType:
-            cluster = single_node(nt)
-            for p in counts:
-                mpi = npb_gflops_per_cpu(
-                    bm, cls, Placement(cluster, n_ranks=p), "mpi"
-                )
-                result.add(bm, "mpi", nt.value, p, round(mpi, 3))
-                if p <= 256:  # OpenMP swept to 256 threads in Fig. 6
-                    omp = npb_gflops_per_cpu(
-                        bm, cls,
-                        Placement(cluster, n_ranks=1, threads_per_rank=p),
-                        "openmp",
-                    )
-                    result.add(bm, "openmp", nt.value, p, round(omp, 3))
-    return result

@@ -9,37 +9,53 @@ until load imbalance).  Right panel: fixed processes, sweep threads
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
-from repro.npb.hybrid import MZTimingModel
-from repro.npb.multizone import MZ_CLASSES
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 PROCESS_COUNTS = (1, 4, 16, 64, 256)
 THREAD_COUNTS = (1, 2, 4, 8, 16)
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+def _fits(point: dict) -> bool:
+    from repro.npb.multizone import MZ_CLASSES
+
+    p, t = point["processes"], point["threads"]
+    return p <= MZ_CLASSES["C"].n_zones and p * t <= 512
+
+
+@workload("fig9.cell")
+def _cell(processes: int, threads: int) -> list[tuple]:
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.hybrid import MZTimingModel
+
+    cluster = single_node(NodeType.BX2B)
+    m = MZTimingModel(
+        "bt-mz", "C",
+        Placement(cluster, n_ranks=processes, threads_per_rank=threads),
+    )
+    return [(processes, threads, processes * threads,
+             round(m.total_gflops(), 1), round(m.imbalance(), 2))]
+
+
+def scenarios(fast: bool = False):
+    return sweep(
+        "fig9.cell",
+        {
+            "processes": PROCESS_COUNTS[1:4] if fast else PROCESS_COUNTS,
+            "threads": THREAD_COUNTS[:3] if fast else THREAD_COUNTS,
+        },
+        where=_fits,
+    )
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="fig9",
         title="Fig. 9: BT-MZ Class C total Gflop/s for process x thread combinations (BX2b)",
         columns=("processes", "threads", "total_cpus", "total_gflops", "imbalance"),
+        scenarios=scenarios(fast),
+        runner=runner,
     )
-    cluster = single_node(NodeType.BX2B)
-    procs = PROCESS_COUNTS[1:4] if fast else PROCESS_COUNTS
-    threads = THREAD_COUNTS[:3] if fast else THREAD_COUNTS
-    n_zones = MZ_CLASSES["C"].n_zones
-    for p in procs:
-        if p > n_zones:
-            continue
-        for t in threads:
-            if p * t > 512:
-                continue
-            m = MZTimingModel(
-                "bt-mz", "C", Placement(cluster, n_ranks=p, threads_per_rank=t)
-            )
-            result.add(p, t, p * t, round(m.total_gflops(), 1),
-                       round(m.imbalance(), 2))
-    return result

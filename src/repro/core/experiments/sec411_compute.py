@@ -9,43 +9,49 @@ a role in DGEMM and none in STREAM.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.hpcc import predict_dgemm, predict_stream
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType, build_node
-from repro.machine.placement import Placement
+from repro.run import build_result, scenario, sweep, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("sec411.cell")
+def _cell(node_type: str, setting: str) -> list[tuple]:
+    from repro.hpcc import predict_dgemm, predict_stream
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType, build_node
+    from repro.machine.placement import Placement
+
+    nt = NodeType(node_type)
+    node = build_node(nt)
+    dense = Placement(single_node(nt), n_ranks=8)
+    d = predict_dgemm(node, dense, internode=(setting == "internode"))
+    s = predict_stream(node, dense)
+    return [(node_type, setting, round(d.gflops_per_cpu, 2),
+             round(s.copy, 2), round(s.scale, 2), round(s.add, 2),
+             round(s.triad, 2))]
+
+
+def scenarios(fast: bool = False):
+    # Dense runs on every node type, then the §4.6.1 internode check
+    # (interconnect <0.5% for DGEMM, nothing for STREAM) on the BX2b.
+    return sweep(
+        "sec411.cell",
+        {"node_type": ("3700", "BX2a", "BX2b")},
+        base={"setting": "dense"},
+    ) + (scenario("sec411.cell", node_type="BX2b", setting="internode"),)
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="sec411_compute",
         title="§4.1.1: DGEMM and STREAM per CPU on 3700 / BX2a / BX2b",
         columns=(
             "node_type", "setting", "dgemm_gflops",
             "stream_copy", "stream_scale", "stream_add", "stream_triad",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="STREAM columns in GB/s per CPU; 'dense' = both CPUs of "
               "each FSB active, 'internode' = across NUMAlink4-coupled "
               "nodes (§4.6.1).",
     )
-    for nt in NodeType:
-        node = build_node(nt)
-        cluster = single_node(nt)
-        dense = Placement(cluster, n_ranks=8)
-        d = predict_dgemm(node, dense)
-        s = predict_stream(node, dense)
-        result.add(nt.value, "dense", round(d.gflops_per_cpu, 2),
-                   round(s.copy, 2), round(s.scale, 2), round(s.add, 2),
-                   round(s.triad, 2))
-    # Internode runs (§4.6.1): interconnect plays <0.5% for DGEMM,
-    # nothing for STREAM.
-    node = build_node(NodeType.BX2B)
-    cluster = single_node(NodeType.BX2B)
-    dense = Placement(cluster, n_ranks=8)
-    d = predict_dgemm(node, dense, internode=True)
-    s = predict_stream(node, dense)
-    result.add("BX2b", "internode", round(d.gflops_per_cpu, 2),
-               round(s.copy, 2), round(s.scale, 2), round(s.add, 2),
-               round(s.triad, 2))
-    return result

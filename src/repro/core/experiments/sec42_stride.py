@@ -9,17 +9,57 @@ inconclusive (small latency improvement, none for bandwidth).
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.hpcc import natural_ring, pingpong, predict_dgemm, predict_stream, random_ring
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType, build_node
-from repro.machine.placement import Placement
-from repro.units import to_gb_per_s, to_usec
+from repro.run import MachineSpec, PlacementSpec, build_result, sweep, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("sec42.cell")
+def _cell(placement, stride: int, n_ranks: int, max_pairs: int,
+          trials: int) -> list[tuple]:
+    from repro.hpcc import (
+        natural_ring, pingpong, predict_dgemm, predict_stream, random_ring,
+    )
+    from repro.machine.node import NodeType, build_node
+    from repro.units import to_gb_per_s, to_usec
+
+    node = build_node(NodeType.BX2B)
+    d = predict_dgemm(node, placement)
+    s = predict_stream(node, placement)
+    pp = pingpong(placement, max_pairs=max_pairs)
+    nr = natural_ring(placement)
+    rr = random_ring(placement, trials=trials)
+    return [(
+        stride,
+        round(d.gflops_per_cpu, 3),
+        round(s.triad, 2),
+        round(to_usec(pp.avg_latency), 2),
+        round(to_gb_per_s(pp.avg_bandwidth), 2),
+        round(to_usec(nr.latency), 2),
+        round(to_gb_per_s(nr.bandwidth_per_cpu), 2),
+        round(to_usec(rr.latency), 2),
+        round(to_gb_per_s(rr.bandwidth_per_cpu), 2),
+    )]
+
+
+def scenarios(fast: bool = False):
+    return sweep(
+        "sec42.cell",
+        {"stride": (1, 2, 4)},
+        base={
+            "n_ranks": 16 if fast else 64,
+            "max_pairs": 8 if fast else 24,
+            "trials": 1 if fast else 3,
+        },
+        machine=MachineSpec(node_type="BX2b"),
+        placement=lambda p: PlacementSpec(
+            n_ranks=p["n_ranks"], stride=p["stride"]
+        ),
+    )
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="sec42_stride",
         title="§4.2: HPCC at CPU stride 1 / 2 / 4 (BX2b)",
         columns=(
@@ -28,26 +68,6 @@ def run(fast: bool = False) -> ExperimentResult:
             "natring_lat_us", "natring_bw_gb_s",
             "rndring_lat_us", "rndring_bw_gb_s",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
     )
-    node = build_node(NodeType.BX2B)
-    cluster = single_node(NodeType.BX2B)
-    n_ranks = 16 if fast else 64
-    for stride in (1, 2, 4):
-        pl = Placement(cluster, n_ranks=n_ranks, stride=stride)
-        d = predict_dgemm(node, pl)
-        s = predict_stream(node, pl)
-        pp = pingpong(pl, max_pairs=8 if fast else 24)
-        nr = natural_ring(pl)
-        rr = random_ring(pl, trials=1 if fast else 3)
-        result.add(
-            stride,
-            round(d.gflops_per_cpu, 3),
-            round(s.triad, 2),
-            round(to_usec(pp.avg_latency), 2),
-            round(to_gb_per_s(pp.avg_bandwidth), 2),
-            round(to_usec(nr.latency), 2),
-            round(to_gb_per_s(nr.bandwidth_per_cpu), 2),
-            round(to_usec(rr.latency), 2),
-            round(to_gb_per_s(rr.bandwidth_per_cpu), 2),
-        )
-    return result

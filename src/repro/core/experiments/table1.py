@@ -3,13 +3,31 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
-from repro.machine.specs import table1_rows
+from repro.run import build_result, scenario, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("table1.rows")
+def _rows() -> list[tuple]:
+    from repro.machine.specs import table1_rows
+
+    return [
+        (
+            r.node_type.value, r.n_processors, r.cpus_per_rack,
+            r.clock_ghz, r.l3_mb, r.interconnect, r.bandwidth_gb_s,
+            round(r.peak_tflops, 2), r.memory_tb,
+        )
+        for r in table1_rows()
+    ]
+
+
+def scenarios(fast: bool = False):
+    return (scenario("table1.rows"),)
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="table1",
         title="Table 1: Characteristics of the Altix nodes used in Columbia",
         columns=(
@@ -17,11 +35,6 @@ def run(fast: bool = False) -> ExperimentResult:
             "l3_mb", "interconnect", "bandwidth_gb_s", "peak_tflops",
             "memory_tb",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
     )
-    for r in table1_rows():
-        result.add(
-            r.node_type.value, r.n_processors, r.cpus_per_rack,
-            r.clock_ghz, r.l3_mb, r.interconnect, r.bandwidth_gb_s,
-            round(r.peak_tflops, 2), r.memory_tb,
-        )
-    return result

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from repro.apps.ins3d import INS3DModel
 from repro.core.experiment import ExperimentResult
-from repro.machine.node import NodeType
+from repro.run import build_result, scenario, workload
 
-__all__ = ["run", "LAYOUTS"]
+__all__ = ["run", "scenarios", "LAYOUTS"]
 
 #: Table 2's layouts: (groups, threads, total CPUs).
 LAYOUTS = (
@@ -20,22 +19,36 @@ LAYOUTS = (
 )
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("table2.cell")
+def _cell(groups: int, threads: int, cpus: int) -> list[tuple]:
+    from repro.apps.ins3d import INS3DModel
+    from repro.machine.node import NodeType
+
+    m37 = INS3DModel(node_type=NodeType.A3700)
+    mbx = INS3DModel(node_type=NodeType.BX2B)
+    return [(
+        cpus,
+        f"{groups}x{threads}",
+        round(m37.step_time(groups, threads), 1),
+        round(mbx.step_time(groups, threads), 1),
+    )]
+
+
+def scenarios(fast: bool = False):
+    return tuple(
+        scenario("table2.cell", groups=groups, threads=threads, cpus=cpus)
+        for groups, threads, cpus in LAYOUTS
+    )
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="table2",
         title="Table 2: INS3D runtime per iteration (s), 3700 vs BX2b",
         columns=("cpus", "layout", "t_3700_s", "t_bx2b_s"),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="Layouts are MLP-groups x OpenMP-threads; the paper "
               "reports the 36x12 point only on the 3700 and 36x14 only "
               "on the BX2b.",
     )
-    m37 = INS3DModel(node_type=NodeType.A3700)
-    mbx = INS3DModel(node_type=NodeType.BX2B)
-    for groups, threads, cpus in LAYOUTS:
-        result.add(
-            cpus,
-            f"{groups}x{threads}",
-            round(m37.step_time(groups, threads), 1),
-            round(mbx.step_time(groups, threads), 1),
-        )
-    return result

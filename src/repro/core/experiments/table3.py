@@ -3,18 +3,40 @@
 
 from __future__ import annotations
 
-from repro.apps.overflow import OverflowModel
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run", "CPU_COUNTS"]
+__all__ = ["run", "scenarios", "CPU_COUNTS"]
 
 CPU_COUNTS = (32, 64, 128, 256, 508)
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("table3.cell")
+def _cell(cpus: int) -> list[tuple]:
+    from repro.apps.overflow import OverflowModel
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+
+    m37 = OverflowModel(cluster=single_node(NodeType.A3700))
+    mbx = OverflowModel(cluster=single_node(NodeType.BX2B))
+    s37 = m37.best_step_time(cpus)
+    sbx = mbx.best_step_time(cpus)
+    return [(
+        cpus,
+        round(s37.comm, 2), round(s37.exec, 2),
+        round(m37.efficiency(cpus), 3),
+        round(sbx.comm, 2), round(sbx.exec, 2),
+        round(mbx.efficiency(cpus), 3),
+    )]
+
+
+def scenarios(fast: bool = False):
+    counts = CPU_COUNTS[:3] if fast else CPU_COUNTS
+    return sweep("table3.cell", {"cpus": counts})
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="table3",
         title="Table 3: OVERFLOW-D per-step times (s), 3700 vs BX2b",
         columns=(
@@ -22,20 +44,8 @@ def run(fast: bool = False) -> ExperimentResult:
             "comm_3700_s", "exec_3700_s", "eff_3700",
             "comm_bx2b_s", "exec_bx2b_s", "eff_bx2b",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="Best process/thread combination per CPU count, as the "
               "paper reports; a production run needs ~50,000 steps.",
     )
-    m37 = OverflowModel(cluster=single_node(NodeType.A3700))
-    mbx = OverflowModel(cluster=single_node(NodeType.BX2B))
-    counts = CPU_COUNTS[:3] if fast else CPU_COUNTS
-    for cpus in counts:
-        s37 = m37.best_step_time(cpus)
-        sbx = mbx.best_step_time(cpus)
-        result.add(
-            cpus,
-            round(s37.comm, 2), round(s37.exec, 2),
-            round(m37.efficiency(cpus), 3),
-            round(sbx.comm, 2), round(sbx.exec, 2),
-            round(mbx.efficiency(cpus), 3),
-        )
-    return result

@@ -2,36 +2,54 @@
 
 from __future__ import annotations
 
-from repro.apps.ins3d import INS3DModel
-from repro.apps.overflow import OverflowModel
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import single_node
-from repro.machine.compilers import Compiler
-from repro.machine.node import NodeType
+from repro.run import build_result, scenario, sweep, workload
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("table4.ins3d")
+def _ins3d_cell() -> list[tuple]:
+    from repro.apps.ins3d import INS3DModel
+    from repro.machine.compilers import Compiler
+    from repro.machine.node import NodeType
+
+    # INS3D: negligible difference.
+    t71 = INS3DModel(node_type=NodeType.BX2B, compiler=Compiler.V7_1).step_time(36, 4)
+    t81 = INS3DModel(node_type=NodeType.BX2B, compiler=Compiler.V8_1).step_time(36, 4)
+    return [("INS3D", 144, round(t71, 1), round(t81, 1), round(t81 / t71, 3))]
+
+
+@workload("table4.overflow")
+def _overflow_cell(cpus: int) -> list[tuple]:
+    from repro.apps.overflow import OverflowModel
+    from repro.machine.cluster import single_node
+    from repro.machine.compilers import Compiler
+    from repro.machine.node import NodeType
+
+    # OVERFLOW-D on the 3700: 7.1 wins 20-40% below 64 CPUs.  The
+    # compiler factor keys off the job size; build a cluster just big
+    # enough so small runs register as small.
+    cluster = single_node(NodeType.A3700, max(32, cpus))
+    t71 = OverflowModel(cluster=cluster, compiler=Compiler.V7_1).best_step_time(cpus).exec
+    t81 = OverflowModel(cluster=cluster, compiler=Compiler.V8_1).best_step_time(cpus).exec
+    return [("OVERFLOW-D", cpus, round(t71, 2), round(t81, 2), round(t81 / t71, 3))]
+
+
+def scenarios(fast: bool = False):
+    counts = (16, 32) if fast else (16, 32, 64, 128, 256)
+    return (scenario("table4.ins3d"),) + sweep(
+        "table4.overflow", {"cpus": counts}
+    )
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="table4",
         title="Table 4: INS3D and OVERFLOW-D with Fortran 7.1 vs 8.1",
         columns=("application", "cpus", "t_71_s", "t_81_s", "ratio_81_over_71"),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="INS3D on the BX2b (36 groups x 4 threads); OVERFLOW-D "
               "on the 3700, as in the paper.",
     )
-    # INS3D: negligible difference.
-    for compiler_pair in [(Compiler.V7_1, Compiler.V8_1)]:
-        t71 = INS3DModel(node_type=NodeType.BX2B, compiler=compiler_pair[0]).step_time(36, 4)
-        t81 = INS3DModel(node_type=NodeType.BX2B, compiler=compiler_pair[1]).step_time(36, 4)
-        result.add("INS3D", 144, round(t71, 1), round(t81, 1), round(t81 / t71, 3))
-    # OVERFLOW-D on the 3700: 7.1 wins 20-40% below 64 CPUs.
-    counts = (16, 32) if fast else (16, 32, 64, 128, 256)
-    for cpus in counts:
-        # The compiler factor keys off the job size; build a cluster
-        # just big enough so small runs register as small.
-        cluster = single_node(NodeType.A3700, max(32, cpus))
-        t71 = OverflowModel(cluster=cluster, compiler=Compiler.V7_1).best_step_time(cpus).exec
-        t81 = OverflowModel(cluster=cluster, compiler=Compiler.V8_1).best_step_time(cpus).exec
-        result.add("OVERFLOW-D", cpus, round(t71, 2), round(t81, 2), round(t81 / t71, 3))
-    return result

@@ -2,33 +2,46 @@
 
 from __future__ import annotations
 
-from repro.apps.md.scaling import MDScalingModel
 from repro.core.experiment import ExperimentResult
+from repro.run import build_result, sweep, workload
 
-__all__ = ["run", "PROC_COUNTS"]
+__all__ = ["run", "scenarios", "PROC_COUNTS"]
 
 PROC_COUNTS = (1, 8, 64, 252, 504, 1020, 2040)
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
-        experiment_id="table5",
-        title="Table 5: MD weak scaling (64,000 atoms per CPU, 100 steps, NUMAlink4)",
-        columns=(
-            "processors", "particles", "time_per_step_s",
-            "total_time_s", "efficiency",
-        ),
-        notes="§4.6.3: 'almost perfect scalability all the way up to "
-              "2040 processors'; 130.56 million atoms at the top end.",
-    )
+@workload("table5.cell")
+def _cell(processors: int, steps: int) -> list[tuple]:
+    from repro.apps.md.scaling import MDScalingModel
+
     model = MDScalingModel()
-    counts = PROC_COUNTS[::3] if fast else PROC_COUNTS
-    for row in model.table5(proc_counts=counts, steps=100):
-        result.add(
+    return [
+        (
             row["processors"],
             row["particles"],
             round(row["time_per_step"], 3),
             round(row["total_time"], 1),
             round(row["efficiency"], 3),
         )
-    return result
+        for row in model.table5(proc_counts=(processors,), steps=steps)
+    ]
+
+
+def scenarios(fast: bool = False):
+    counts = PROC_COUNTS[::3] if fast else PROC_COUNTS
+    return sweep("table5.cell", {"processors": counts}, base={"steps": 100})
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
+        experiment_id="table5",
+        title="Table 5: MD weak scaling (64,000 atoms per CPU, 100 steps, NUMAlink4)",
+        columns=(
+            "processors", "particles", "time_per_step_s",
+            "total_time_s", "efficiency",
+        ),
+        scenarios=scenarios(fast),
+        runner=runner,
+        notes="§4.6.3: 'almost perfect scalability all the way up to "
+              "2040 processors'; 130.56 million atoms at the top end.",
+    )

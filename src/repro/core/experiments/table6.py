@@ -3,11 +3,10 @@ InfiniBand."""
 
 from __future__ import annotations
 
-from repro.apps.overflow import OverflowModel
 from repro.core.experiment import ExperimentResult
-from repro.machine.cluster import multinode
+from repro.run import build_result, scenario, workload
 
-__all__ = ["run", "CONFIGS"]
+__all__ = ["run", "scenarios", "CONFIGS"]
 
 #: (n_nodes, total CPU counts measured) — up to four BX2b nodes.
 CONFIGS = (
@@ -16,28 +15,41 @@ CONFIGS = (
 )
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = ExperimentResult(
+@workload("table6.cell")
+def _cell(nodes: int, cpus: int) -> list[tuple]:
+    from repro.apps.overflow import OverflowModel
+    from repro.machine.cluster import multinode
+
+    nl = OverflowModel(cluster=multinode(nodes, fabric="numalink4"))
+    ib = OverflowModel(cluster=multinode(nodes, fabric="infiniband"))
+    s_nl = nl.reported(cpus)
+    s_ib = ib.reported(cpus)
+    return [(
+        nodes, cpus,
+        round(s_nl.comm, 2), round(s_nl.exec, 2),
+        round(s_ib.comm, 2), round(s_ib.exec, 2),
+    )]
+
+
+def scenarios(fast: bool = False):
+    return tuple(
+        scenario("table6.cell", nodes=n_nodes, cpus=cpus)
+        for n_nodes, cpu_counts in CONFIGS
+        for cpus in (cpu_counts[:1] if fast else cpu_counts)
+    )
+
+
+def run(fast: bool = False, runner=None) -> ExperimentResult:
+    return build_result(
         experiment_id="table6",
         title="Table 6: OVERFLOW-D per-step times across BX2b nodes, NUMAlink4 vs InfiniBand",
         columns=(
             "nodes", "cpus",
             "nl4_comm_s", "nl4_exec_s", "ib_comm_s", "ib_exec_s",
         ),
+        scenarios=scenarios(fast),
+        runner=runner,
         notes="NUMAlink4 execution ~10% better; InfiniBand's *reported* "
               "communication lower (asynchronous RDMA completes "
               "off-CPU) — the §4.6.4 inversion.",
     )
-    for n_nodes, cpu_counts in CONFIGS:
-        nl = OverflowModel(cluster=multinode(n_nodes, fabric="numalink4"))
-        ib = OverflowModel(cluster=multinode(n_nodes, fabric="infiniband"))
-        counts = cpu_counts[:1] if fast else cpu_counts
-        for cpus in counts:
-            s_nl = nl.reported(cpus)
-            s_ib = ib.reported(cpus)
-            result.add(
-                n_nodes, cpus,
-                round(s_nl.comm, 2), round(s_nl.exec, 2),
-                round(s_ib.comm, 2), round(s_ib.exec, 2),
-            )
-    return result

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 from repro.core.experiment import ExperimentResult
@@ -64,16 +65,30 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
 }
 
 
-def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
-    """Run one registered experiment and return its result."""
+def run_experiment(
+    experiment_id: str, fast: bool = False, runner=None
+) -> ExperimentResult:
+    """Run one registered experiment and return its result.
+
+    ``runner`` is an optional :class:`repro.run.Runner` controlling
+    caching and parallelism; by default a shared sequential runner
+    with an in-memory cell cache is used.
+    """
     try:
-        _, runner = EXPERIMENTS[experiment_id]
+        _, run_fn = EXPERIMENTS[experiment_id]
     except KeyError:
+        close = difflib.get_close_matches(
+            experiment_id, EXPERIMENTS, n=3, cutoff=0.5
+        )
+        hint = (
+            f"; did you mean {' or '.join(repr(c) for c in close)}?"
+            if close
+            else f"; known: {sorted(EXPERIMENTS)}"
+        )
         raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; "
-            f"known: {sorted(EXPERIMENTS)}"
+            f"unknown experiment {experiment_id!r}{hint}"
         ) from None
-    return runner(fast=fast)
+    return run_fn(fast=fast, runner=runner)
 
 
 def list_experiments() -> list[tuple[str, str]]:

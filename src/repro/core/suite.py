@@ -32,8 +32,14 @@ def write_report(
     fast: bool = True,
     experiment_ids: list[str] | None = None,
     include_claims: bool = True,
+    runner=None,
 ) -> list[Path]:
-    """Generate the report; returns the files written."""
+    """Generate the report; returns the files written.
+
+    ``runner`` (a :class:`repro.run.Runner`) is shared across every
+    experiment, so ``--jobs``/cache settings apply to the whole
+    report generation.
+    """
     out = Path(output_dir)
     if out.exists() and not out.is_dir():
         raise ConfigurationError(f"{out} exists and is not a directory")
@@ -58,7 +64,7 @@ def write_report(
         "",
     ]
     for eid, desc in selected:
-        result = run_experiment(eid, fast=fast)
+        result = run_experiment(eid, fast=fast, runner=runner)
         md = out / f"{eid}.md"
         md.write_text(to_markdown(result) + "\n")
         csv = out / f"{eid}.csv"

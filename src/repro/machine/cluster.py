@@ -20,7 +20,7 @@ from repro.machine.infiniband import INFINIBAND, InfiniBandSpec, MPTVersion
 from repro.machine.interconnect import NUMALINK4
 from repro.machine.node import NODE_CPUS, AltixNode, NodeType, build_node
 
-__all__ = ["Cluster", "columbia", "single_node", "multinode"]
+__all__ = ["Cluster", "columbia", "custom_bx2", "single_node", "multinode"]
 
 #: Valid inter-node fabric names.
 FABRICS = ("numalink4", "infiniband")
@@ -138,6 +138,48 @@ def multinode(
         )
     nodes = tuple(build_node(node_type, n_cpus) for _ in range(n_nodes))
     return Cluster(nodes=nodes, fabric=fabric, mpt=mpt)
+
+
+def custom_bx2(clock_ghz: float, l3_mb: int, n_cpus: int = NODE_CPUS) -> Cluster:
+    """A hypothetical single-node BX2 variant with the given clock and
+    L3 size.
+
+    The real BX2b differs from the BX2a in *both* clock (1.6 vs 1.5
+    GHz) and L3 (9 vs 6 MB); the ablation experiments build the two
+    intermediate machines (1.5/9 and 1.6/6) to separate the effects.
+    This is the canonical builder for those variants — the ablation
+    cells and the Scenario layer's ``MachineSpec`` overrides both
+    route through it.
+    """
+    from repro.machine.brick import CBrick
+    from repro.machine.memory import ALTIX_FSB
+    from repro.machine.node import AltixNode
+    from repro.machine.processor import ProcessorSpec, _itanium2_caches
+    from repro.units import TERA
+
+    proc = ProcessorSpec(
+        name=f"Itanium2 {clock_ghz}GHz/{l3_mb}MB",
+        clock_hz=clock_ghz * 1e9,
+        flops_per_cycle=4,
+        fp_registers=128,
+        caches=_itanium2_caches(l3_mb),
+    )
+    template = build_node(NodeType.BX2A)
+    brick = CBrick(
+        cpus=template.brick.cpus,
+        memory_bytes=template.brick.memory_bytes,
+        processor=proc,
+        fsb=ALTIX_FSB,
+        shubs=template.brick.shubs,
+    )
+    node = AltixNode(
+        node_type=NodeType.BX2A,
+        n_cpus=n_cpus,
+        brick=brick,
+        interconnect=NUMALINK4,
+        memory_bytes=1.0 * TERA,
+    )
+    return Cluster(nodes=(node,))
 
 
 def columbia(fabric: str = "infiniband", mpt: MPTVersion = MPTVersion.MPT_1_11B) -> Cluster:

@@ -1,0 +1,179 @@
+"""Content-addressed result cache for scenario cells.
+
+A cell's cache key combines three ingredients, and *only* these three
+— the explicit invalidation contract:
+
+1. the scenario content hash (:meth:`Scenario.key`): workload id,
+   parameters, machine/placement spec;
+2. the calibration fingerprint: a hash over every
+   :data:`repro.core.calibration.CALIBRATION` entry, so retuning any
+   documented constant invalidates every cached cell;
+3. the package version (``repro.__version__``), so a release bump
+   starts from a cold cache.
+
+Anything else — editing an unrelated module, reordering experiments,
+re-running on another day — leaves keys unchanged and cells reusable.
+A model-code change that alters results *must* therefore show up in
+the calibration index or the version; that is already the repo's
+documentation rule for tuned constants, and the cache turns it into a
+correctness rule.
+
+The cache is two-level: a per-process dict in front of a JSON
+file-per-cell directory (``<dir>/<key[:2]>/<key>.json``).  Writes are
+atomic (tmp file + rename) so parallel runners never read torn cells.
+``memory_only=True`` keeps everything in-process — the default for
+library use, so tests stay hermetic; the CLI passes a directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.run.scenario import Scenario
+
+__all__ = ["ResultCache", "calibration_fingerprint", "default_cache_dir"]
+
+#: Environment override for the CLI's on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Where the CLI keeps its cell cache unless told otherwise."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(".repro-cache")
+
+
+def calibration_fingerprint() -> str:
+    """Hash of every calibrated constant's provenance entry.
+
+    The calibration index names each tuned constant *with its value*
+    (e.g. ``"DGEMM_EFFICIENCY = 0.90"``), so retuning the model and
+    updating its audit trail — the repo's standing rule — changes this
+    fingerprint and flushes stale cells.
+    """
+    from repro.core.calibration import CALIBRATION
+
+    blob = "\n".join(
+        f"{c.name}|{c.module}|{c.anchored_to}" for c in CALIBRATION
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _package_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+class ResultCache:
+    """Two-level (memory + disk) cache of cell rows.
+
+    ``get``/``put`` speak :class:`Scenario` in and row lists out; the
+    key derivation and serialization live entirely here.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        memory_only: bool = False,
+    ) -> None:
+        self.memory_only = memory_only
+        self.cache_dir = None if memory_only else Path(
+            cache_dir if cache_dir is not None else default_cache_dir()
+        )
+        self._memory: dict[str, list[tuple]] = {}
+        self.stats = CacheStats()
+        # Computed once per cache instance: the fingerprint is pure
+        # code/config state, constant for the process lifetime.
+        self._context = (
+            f"{_package_version()}|{calibration_fingerprint()}"
+        )
+
+    # -- keys -----------------------------------------------------------------
+
+    def key_for(self, scenario: Scenario) -> str:
+        """Full cache key: scenario hash x calibration x version."""
+        blob = f"{scenario.key()}|{self._context}"
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, scenario: Scenario) -> list[tuple] | None:
+        """Cached rows for ``scenario``, or None on a miss."""
+        key = self.key_for(scenario)
+        rows = self._memory.get(key)
+        if rows is None and self.cache_dir is not None:
+            rows = self._read_disk(key)
+            if rows is not None:
+                self._memory[key] = rows
+        if rows is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return list(rows)
+
+    def put(self, scenario: Scenario, rows: list[tuple]) -> None:
+        """Store ``rows`` for ``scenario`` (memory, then disk)."""
+        key = self.key_for(scenario)
+        rows = [tuple(r) for r in rows]
+        self._memory[key] = rows
+        self.stats.writes += 1
+        if self.cache_dir is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "workload": scenario.workload,
+            "cell": scenario.describe(),
+            "rows": [list(r) for r in rows],
+        }
+        # Atomic publish: a parallel reader sees the old file or the
+        # new one, never a partial write.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _read_disk(self, key: str) -> list[tuple] | None:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            return [tuple(r) for r in payload["rows"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing or corrupt cell: treat as a miss; a fresh run
+            # will overwrite it.
+            return None
+
+    def clear(self) -> None:
+        """Drop every cached cell (memory and disk)."""
+        self._memory.clear()
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return
+        for sub in self.cache_dir.iterdir():
+            if sub.is_dir() and len(sub.name) == 2:
+                for cell in sub.glob("*.json"):
+                    cell.unlink(missing_ok=True)

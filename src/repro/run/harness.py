@@ -1,0 +1,49 @@
+"""Glue from scenario records back to :class:`ExperimentResult`.
+
+Every experiment module declares its cells as scenarios and calls
+:func:`build_result`; the hand-rolled build-machine/run/add-row loops
+that used to live in each module now exist exactly once, here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.experiment import ExperimentResult
+from repro.run.runner import Runner, default_runner
+from repro.run.scenario import Scenario
+
+__all__ = ["build_result"]
+
+
+def build_result(
+    experiment_id: str,
+    title: str,
+    columns: tuple[str, ...],
+    scenarios: Sequence[Scenario],
+    runner: Runner | None = None,
+    notes: str = "",
+) -> ExperimentResult:
+    """Run the cells and assemble the experiment's result table.
+
+    Failed cells do not abort the sweep: their rows are absent and a
+    FAILED note naming each bad cell (with its error) is appended to
+    the result, so a partial table still renders and the failure is
+    visible in every output format.
+    """
+    runner = runner if runner is not None else default_runner()
+    records = runner.run(list(scenarios))
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title, columns=columns, notes=notes
+    )
+    failures = []
+    for record in records:
+        if not record.ok:
+            failures.append(f"{record.scenario.describe()}: {record.error}")
+            continue
+        for row in record.rows:
+            result.add(*row)
+    if failures:
+        note = "FAILED cells:\n" + "\n".join(f"  {f}" for f in failures)
+        result.notes = f"{result.notes}\n\n{note}" if result.notes else note
+    return result

@@ -1,0 +1,212 @@
+"""The scenario runner: one shared harness for every experiment cell.
+
+``Runner.run(scenarios)`` returns one :class:`RunRecord` per scenario
+**in input order**, regardless of cache state, backend, or completion
+order — the property that makes ``--jobs N`` output row-for-row
+identical to sequential runs.
+
+Execution backends:
+
+* sequential (``jobs=1``, the default) — cells run in-process;
+* ``ProcessPoolExecutor`` (``jobs>1`` or ``jobs="auto"``) — cache
+  misses fan out to worker processes; scenarios are pure data, so
+  they pickle cleanly, and workers resolve workload ids through
+  :func:`repro.run.workloads.resolve` (which lazily imports the
+  experiment registry in a fresh interpreter).
+
+A failing cell never kills the sweep: the exception is captured into
+``RunRecord.error`` and the remaining cells proceed; the reporting
+layer decides how loudly to complain.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.run.cache import ResultCache
+from repro.run.scenario import SCALARS, Scenario
+from repro.run.workloads import resolve
+
+__all__ = ["RunRecord", "Runner", "RunStats", "default_runner", "execute_scenario"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The outcome of one scenario cell."""
+
+    scenario: Scenario
+    rows: tuple[tuple, ...]
+    error: str | None = None
+    cached: bool = False
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class RunStats:
+    """Aggregate cell accounting across a runner's lifetime."""
+
+    executed: int = 0
+    cached: int = 0
+    errors: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"cells: {self.total} total, {self.cached} cached, "
+            f"{self.executed} executed, {self.errors} failed "
+            f"({100.0 * self.hit_rate:.1f}% cache hits)"
+        )
+
+
+def _normalize_rows(scenario: Scenario, rows) -> tuple[tuple, ...]:
+    """Validate a cell's return value: rows of JSON-safe scalars."""
+    if rows is None:
+        raise ConfigurationError(
+            f"{scenario.describe()}: cell returned None (want rows)"
+        )
+    out = []
+    for row in rows:
+        row = tuple(row)
+        for v in row:
+            if not isinstance(v, SCALARS):
+                raise ConfigurationError(
+                    f"{scenario.describe()}: row value {v!r} is not a "
+                    f"JSON-safe scalar"
+                )
+        out.append(row)
+    return tuple(out)
+
+
+def execute_scenario(scenario: Scenario) -> tuple[tuple, ...]:
+    """Run one cell: resolve the workload, build machine state, call.
+
+    When the scenario declares a machine spec, the built cluster is
+    passed as ``cluster=`` — or, if a placement spec is declared too,
+    a built ``placement=`` (which carries the cluster on it).
+    """
+    fn = resolve(scenario.workload)
+    kwargs = scenario.kwargs()
+    if scenario.machine is not None:
+        cluster = scenario.machine.build()
+        if scenario.placement is not None:
+            kwargs["placement"] = scenario.placement.build(cluster)
+        else:
+            kwargs["cluster"] = cluster
+    elif scenario.placement is not None:
+        raise ConfigurationError(
+            f"{scenario.describe()}: placement spec without machine spec"
+        )
+    return _normalize_rows(scenario, fn(**kwargs))
+
+
+def _run_cell(scenario: Scenario):
+    """Worker entry point: never raises (errors travel in-band)."""
+    start = time.perf_counter()
+    try:
+        rows = execute_scenario(scenario)
+        return rows, None, time.perf_counter() - start
+    except Exception as exc:  # per-cell capture: one bad cell reports
+        err = f"{type(exc).__name__}: {exc}"
+        return None, err, time.perf_counter() - start
+
+
+def _resolve_jobs(jobs) -> int:
+    if jobs in ("auto", None):
+        return max(1, os.cpu_count() or 1)
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"--jobs must be an integer >= 1 or 'auto', got {jobs!r}"
+        ) from None
+    if jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1 or 'auto', got {jobs}")
+    return jobs
+
+
+class Runner:
+    """Executes scenario cells through the cache and a backend.
+
+    One runner can serve many experiments (the CLI shares a single
+    runner across ``repro all``); ``stats`` accumulates over its
+    lifetime.
+    """
+
+    def __init__(
+        self,
+        jobs: int | str = 1,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.jobs = _resolve_jobs(jobs)
+        self.cache = cache
+        self.stats = RunStats()
+
+    def run(self, scenarios: Sequence[Scenario]) -> list[RunRecord]:
+        """All cells, as records in input order."""
+        scenarios = list(scenarios)
+        records: list[RunRecord | None] = [None] * len(scenarios)
+
+        pending: list[int] = []
+        for i, sc in enumerate(scenarios):
+            rows = self.cache.get(sc) if self.cache is not None else None
+            if rows is not None:
+                records[i] = RunRecord(sc, tuple(rows), cached=True)
+                self.stats.cached += 1
+            else:
+                pending.append(i)
+
+        if len(pending) > 1 and self.jobs > 1:
+            outcomes = self._run_parallel([scenarios[i] for i in pending])
+        else:
+            outcomes = [_run_cell(scenarios[i]) for i in pending]
+
+        for i, (rows, error, dt) in zip(pending, outcomes):
+            sc = scenarios[i]
+            self.stats.executed += 1
+            if error is not None:
+                self.stats.errors += 1
+                records[i] = RunRecord(sc, (), error=error, duration_s=dt)
+                continue
+            records[i] = RunRecord(sc, rows, duration_s=dt)
+            if self.cache is not None:
+                self.cache.put(sc, list(rows))
+        return records  # type: ignore[return-value]
+
+    def _run_parallel(self, scenarios: list[Scenario]):
+        """Fan cells out to a process pool; results in input order."""
+        workers = min(self.jobs, len(scenarios))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_cell, sc) for sc in scenarios]
+            # Futures are awaited in submission order, so the outcome
+            # list is ordered no matter which worker finishes first.
+            return [f.result() for f in futures]
+
+
+#: Process-wide default: sequential, memory-only cache.  Library
+#: callers (and the test suite) get deterministic, hermetic behavior
+#: with intra-process memoization; the CLI builds its own disk-backed
+#: runner and threads it through explicitly.
+_default_runner: Runner | None = None
+
+
+def default_runner() -> Runner:
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = Runner(jobs=1, cache=ResultCache(memory_only=True))
+    return _default_runner

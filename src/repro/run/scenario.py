@@ -1,0 +1,214 @@
+"""Declarative scenario specs: *what* to run, separated from *how*.
+
+A :class:`Scenario` is a frozen, hashable, picklable description of
+one experiment cell: a registered workload callable (by id) plus its
+parameters, and optionally a declarative machine/placement spec that
+the runner materializes before the cell executes.  Because a scenario
+is pure data, it can be
+
+* content-hashed (:meth:`Scenario.key`) for the result cache,
+* pickled to a ``ProcessPoolExecutor`` worker, and
+* expanded from cartesian grids with :func:`sweep` instead of
+  hand-rolled nested loops.
+
+Parameter values must be JSON-representable scalars (str, int, float,
+bool, None) or tuples thereof — the same restriction the cache's
+on-disk format needs, enforced at construction so a bad scenario
+fails loudly at declaration time, not at cache-write time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MachineSpec",
+    "PlacementSpec",
+    "Scenario",
+    "scenario",
+    "sweep",
+]
+
+#: Scalar types a scenario parameter (and a cached row value) may hold.
+SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_value(name: str, value: Any) -> Any:
+    """Validate one parameter value (scalars or tuples of scalars)."""
+    if isinstance(value, SCALARS):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_check_value(name, v) for v in value)
+    raise ConfigurationError(
+        f"scenario parameter {name}={value!r} is not a JSON-safe scalar "
+        f"(allowed: str/int/float/bool/None and tuples of them)"
+    )
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A declarative cluster description the runner can build.
+
+    Mirrors the :mod:`repro.machine.cluster` builders: one or more
+    identical nodes of ``node_type`` joined by ``fabric``.  The
+    optional ``clock_ghz``/``l3_mb`` overrides build the hypothetical
+    BX2 variants the ablation experiments study — routed through the
+    same :func:`repro.machine.cluster.custom_bx2` helper.
+    """
+
+    node_type: str = "BX2b"
+    n_nodes: int = 1
+    n_cpus: int = 512
+    fabric: str = "numalink4"
+    mpt: str = "mpt1.11b"
+    clock_ghz: float | None = None
+    l3_mb: int | None = None
+
+    def build(self):
+        """Materialize the :class:`~repro.machine.cluster.Cluster`."""
+        from repro.machine.cluster import custom_bx2, multinode, single_node
+        from repro.machine.infiniband import MPTVersion
+        from repro.machine.node import NodeType
+
+        if (self.clock_ghz is None) != (self.l3_mb is None):
+            raise ConfigurationError(
+                "clock_ghz and l3_mb must be overridden together"
+            )
+        if self.clock_ghz is not None:
+            if self.n_nodes != 1:
+                raise ConfigurationError(
+                    "custom clock/L3 variants are single-node only"
+                )
+            return custom_bx2(self.clock_ghz, self.l3_mb, n_cpus=self.n_cpus)
+        node_type = NodeType(self.node_type)
+        if self.n_nodes == 1:
+            return single_node(node_type, n_cpus=self.n_cpus)
+        return multinode(
+            self.n_nodes, node_type=node_type, fabric=self.fabric,
+            n_cpus=self.n_cpus, mpt=MPTVersion(self.mpt),
+        )
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """A declarative rank/thread layout, built against a cluster."""
+
+    n_ranks: int
+    threads_per_rank: int = 1
+    stride: int = 1
+    pinned: bool = True
+    spread_nodes: bool = False
+
+    def build(self, cluster):
+        """Materialize the :class:`~repro.machine.placement.Placement`."""
+        from repro.machine.placement import Placement, PinningMode
+
+        return Placement(
+            cluster,
+            n_ranks=self.n_ranks,
+            threads_per_rank=self.threads_per_rank,
+            stride=self.stride,
+            pinning=(PinningMode.PINNED if self.pinned
+                     else PinningMode.UNPINNED),
+            spread_nodes=self.spread_nodes,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of an experiment: workload id + params (+ machine).
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so equal
+    parameter sets always hash equally regardless of declaration
+    order.  Use :func:`scenario` to build one from keyword arguments.
+    """
+
+    workload: str
+    params: tuple[tuple[str, Any], ...] = ()
+    machine: MachineSpec | None = None
+    placement: PlacementSpec | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in self.params:
+            _check_value(name, value)
+
+    def kwargs(self) -> dict[str, Any]:
+        """The params as a keyword dict for the workload callable."""
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """Short human-readable cell label (for error reports)."""
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.workload}({inner})"
+
+    def key(self) -> str:
+        """Stable content hash of this scenario (hex digest).
+
+        Two scenarios share a key iff they describe the same cell:
+        same workload id, same parameters, same machine/placement
+        spec.  The cache combines this with the calibration
+        fingerprint and package version (see :mod:`repro.run.cache`).
+        """
+        payload = {
+            "workload": self.workload,
+            "params": [[k, v] for k, v in self.params],
+            "machine": None if self.machine is None else vars(self.machine),
+            "placement": (
+                None if self.placement is None else vars(self.placement)
+            ),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def scenario(
+    workload: str,
+    machine: MachineSpec | None = None,
+    placement: PlacementSpec | None = None,
+    **params: Any,
+) -> Scenario:
+    """Build one :class:`Scenario` from keyword parameters."""
+    items = tuple(sorted((k, _check_value(k, v)) for k, v in params.items()))
+    return Scenario(
+        workload=workload, params=items, machine=machine, placement=placement
+    )
+
+
+def sweep(
+    workload: str,
+    axes: Mapping[str, Iterable[Any]],
+    base: Mapping[str, Any] | None = None,
+    where: Callable[[dict[str, Any]], bool] | None = None,
+    machine: MachineSpec | Callable[[dict[str, Any]], MachineSpec] | None = None,
+    placement: PlacementSpec | Callable[[dict[str, Any]], PlacementSpec] | None = None,
+) -> tuple[Scenario, ...]:
+    """Expand a cartesian grid of parameters into scenarios.
+
+    ``axes`` maps parameter names to the values to sweep; the grid is
+    expanded in axes-declaration order (first axis outermost), so the
+    scenario order — and therefore result-row order — is deterministic.
+    ``base`` supplies fixed parameters every cell shares.  ``where``
+    filters grid points (it sees the full point dict, base included).
+    ``machine``/``placement`` may be static specs or callables mapping
+    a grid point to a spec, for sweeps whose topology varies by cell.
+    """
+    base = dict(base or {})
+    names = list(axes)
+    cells = []
+    for combo in itertools.product(*(tuple(axes[n]) for n in names)):
+        point = dict(base)
+        point.update(zip(names, combo))
+        if where is not None and not where(point):
+            continue
+        mspec = machine(point) if callable(machine) else machine
+        pspec = placement(point) if callable(placement) else placement
+        cells.append(
+            scenario(workload, machine=mspec, placement=pspec, **point)
+        )
+    return tuple(cells)

@@ -1,0 +1,71 @@
+"""The workload registry: cell callables by stable id.
+
+A :class:`~repro.run.scenario.Scenario` names its workload by string
+id so scenarios stay pure data (hashable, picklable).  Experiment
+modules register their cell functions at import time with the
+:func:`workload` decorator; the runner resolves ids back to callables
+— including inside ``ProcessPoolExecutor`` workers, where
+:func:`resolve` lazily imports the experiment registry to repopulate
+the table in a fresh interpreter.
+
+A cell callable takes its scenario's parameters as keyword arguments
+(plus ``cluster=``/``placement=`` when the scenario declares a
+machine spec) and returns a list of row tuples of JSON-safe scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["workload", "resolve", "list_workloads"]
+
+_WORKLOADS: dict[str, Callable] = {}
+
+
+def workload(workload_id: str) -> Callable[[Callable], Callable]:
+    """Register a cell function under ``workload_id``.
+
+    Re-registering the same id with the same function is a no-op (the
+    module was simply re-imported); a different function is an error —
+    two cells silently sharing an id would poison the result cache.
+    """
+
+    def register(fn: Callable) -> Callable:
+        existing = _WORKLOADS.get(workload_id)
+        if existing is not None and existing.__qualname__ != fn.__qualname__:
+            raise ConfigurationError(
+                f"workload id {workload_id!r} already registered "
+                f"to {existing.__qualname__}"
+            )
+        _WORKLOADS[workload_id] = fn
+        return fn
+
+    return register
+
+
+def resolve(workload_id: str) -> Callable:
+    """The cell function for ``workload_id``.
+
+    On a miss, imports :mod:`repro.core.registry` (which imports every
+    experiment module, populating the table) and retries — this is
+    what makes scenarios executable in worker processes that have not
+    imported the experiment layer yet.
+    """
+    fn = _WORKLOADS.get(workload_id)
+    if fn is None:
+        import repro.core.registry  # noqa: F401  (import side effect)
+
+        fn = _WORKLOADS.get(workload_id)
+    if fn is None:
+        raise ConfigurationError(
+            f"unknown workload {workload_id!r}; "
+            f"known: {sorted(_WORKLOADS)}"
+        )
+    return fn
+
+
+def list_workloads() -> list[str]:
+    """All registered workload ids."""
+    return sorted(_WORKLOADS)

@@ -1,0 +1,246 @@
+"""The run pipeline: scenarios, sweeps, cache correctness, runner
+parallelism, and CLI integration."""
+
+import pytest
+
+from repro.core import run_experiment
+from repro.errors import ConfigurationError
+from repro.run import (
+    MachineSpec,
+    PlacementSpec,
+    ResultCache,
+    Runner,
+    build_result,
+    execute_scenario,
+    scenario,
+    sweep,
+    workload,
+)
+
+
+@workload("test.echo")
+def _echo_cell(x=0, y=0):
+    return [(x, y, x + y)]
+
+
+@workload("test.boom")
+def _boom_cell(x=0):
+    raise ValueError(f"cell exploded at x={x}")
+
+
+@workload("test.geometry")
+def _geometry_cell(placement=None, cluster=None):
+    if placement is not None:
+        return [(placement.n_ranks, placement.cluster.total_cpus)]
+    return [(0, cluster.total_cpus)]
+
+
+class TestScenario:
+    def test_params_sorted_and_hashable(self):
+        a = scenario("test.echo", y=2, x=1)
+        b = scenario("test.echo", x=1, y=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_params_and_workload(self):
+        base = scenario("test.echo", x=1, y=2)
+        assert base.key() != scenario("test.echo", x=1, y=3).key()
+        assert base.key() != scenario("test.other", x=1, y=2).key()
+
+    def test_key_distinguishes_machine_spec(self):
+        a = scenario("test.geometry", machine=MachineSpec(node_type="BX2b"))
+        b = scenario("test.geometry", machine=MachineSpec(node_type="3700"))
+        assert a.key() != b.key()
+
+    def test_rejects_non_scalar_params(self):
+        with pytest.raises(ConfigurationError):
+            scenario("test.echo", x=object())
+
+    def test_sweep_expands_cartesian_in_order(self):
+        cells = sweep("test.echo", {"x": (1, 2), "y": (10, 20)})
+        points = [s.kwargs() for s in cells]
+        assert points == [
+            {"x": 1, "y": 10}, {"x": 1, "y": 20},
+            {"x": 2, "y": 10}, {"x": 2, "y": 20},
+        ]
+
+    def test_sweep_where_and_base(self):
+        cells = sweep(
+            "test.echo", {"x": (1, 2, 3)}, base={"y": 5},
+            where=lambda p: p["x"] != 2,
+        )
+        assert [s.kwargs()["x"] for s in cells] == [1, 3]
+        assert all(s.kwargs()["y"] == 5 for s in cells)
+
+    def test_machine_and_placement_materialized(self):
+        sc = scenario(
+            "test.geometry",
+            machine=MachineSpec(node_type="BX2b", n_cpus=64),
+            placement=PlacementSpec(n_ranks=8),
+        )
+        assert execute_scenario(sc) == ((8, 64),)
+
+    def test_machine_only_passes_cluster(self):
+        sc = scenario(
+            "test.geometry", machine=MachineSpec(node_type="3700", n_cpus=32)
+        )
+        assert execute_scenario(sc) == ((0, 32),)
+
+    def test_custom_bx2_override_routes_through_builder(self):
+        spec = MachineSpec(clock_ghz=1.5, l3_mb=9)
+        cluster = spec.build()
+        proc = cluster.nodes[0].brick.processor
+        assert proc.clock_hz == pytest.approx(1.5e9)
+        assert "9MB" in proc.name
+
+
+class TestCache:
+    def test_same_scenario_hits(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        sc = scenario("test.echo", x=1, y=2)
+        assert cache.get(sc) is None
+        cache.put(sc, [(1, 2, 3)])
+        assert cache.get(sc) == [(1, 2, 3)]
+        # A fresh cache instance reads the same cell back from disk
+        # (and restores tuple rows from the JSON lists).
+        again = ResultCache(cache_dir=tmp_path)
+        assert again.get(sc) == [(1, 2, 3)]
+
+    def test_changed_param_misses(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(scenario("test.echo", x=1, y=2), [(1, 2, 3)])
+        assert cache.get(scenario("test.echo", x=1, y=9)) is None
+
+    def test_changed_calibration_fingerprint_misses(self, tmp_path, monkeypatch):
+        cache = ResultCache(cache_dir=tmp_path)
+        sc = scenario("test.echo", x=1, y=2)
+        cache.put(sc, [(1, 2, 3)])
+        monkeypatch.setattr(
+            "repro.run.cache.calibration_fingerprint", lambda: "retuned"
+        )
+        assert ResultCache(cache_dir=tmp_path).get(sc) is None
+
+    def test_changed_package_version_misses(self, tmp_path, monkeypatch):
+        cache = ResultCache(cache_dir=tmp_path)
+        sc = scenario("test.echo", x=1, y=2)
+        cache.put(sc, [(1, 2, 3)])
+        monkeypatch.setattr("repro.run.cache._package_version", lambda: "99.0")
+        assert ResultCache(cache_dir=tmp_path).get(sc) is None
+
+    def test_memory_only_writes_nothing(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, memory_only=True)
+        cache.put(scenario("test.echo", x=1, y=2), [(1, 2, 3)])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_cell_is_a_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        sc = scenario("test.echo", x=1, y=2)
+        cache.put(sc, [(1, 2, 3)])
+        for cell in tmp_path.rglob("*.json"):
+            cell.write_text("{not json")
+        assert ResultCache(cache_dir=tmp_path).get(sc) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        sc = scenario("test.echo", x=1, y=2)
+        cache.put(sc, [(1, 2, 3)])
+        cache.clear()
+        assert ResultCache(cache_dir=tmp_path).get(sc) is None
+
+
+class TestRunner:
+    def test_records_in_input_order_with_cache_mix(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        warm = scenario("test.echo", x=5, y=5)
+        cache.put(warm, [(5, 5, 10)])
+        runner = Runner(jobs=1, cache=cache)
+        cold = scenario("test.echo", x=1, y=1)
+        records = runner.run([cold, warm, scenario("test.echo", x=2, y=2)])
+        assert [r.rows for r in records] == [
+            ((1, 1, 2),), ((5, 5, 10),), ((2, 2, 4),),
+        ]
+        assert [r.cached for r in records] == [False, True, False]
+        assert runner.stats.cached == 1 and runner.stats.executed == 2
+
+    def test_failing_cell_reports_instead_of_killing_sweep(self):
+        runner = Runner(jobs=1)
+        records = runner.run([
+            scenario("test.echo", x=1, y=1),
+            scenario("test.boom", x=7),
+            scenario("test.echo", x=2, y=2),
+        ])
+        assert records[0].ok and records[2].ok
+        assert not records[1].ok
+        assert "cell exploded at x=7" in records[1].error
+        assert runner.stats.errors == 1
+
+    def test_build_result_notes_failures(self):
+        result = build_result(
+            "test_exp", "title", ("x", "y", "sum"),
+            [scenario("test.echo", x=1, y=1), scenario("test.boom", x=3)],
+            runner=Runner(jobs=1),
+        )
+        assert result.rows == [(1, 1, 2)]
+        assert "FAILED cells" in result.notes
+        assert "test.boom" in result.notes
+
+    def test_unknown_workload(self):
+        runner = Runner(jobs=1)
+        (record,) = runner.run([scenario("test.does_not_exist")])
+        assert not record.ok
+        assert "unknown workload" in record.error
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Runner(jobs=0)
+        with pytest.raises(ConfigurationError):
+            Runner(jobs="many")
+        assert Runner(jobs="auto").jobs >= 1
+
+
+class TestParallelMatchesSequential:
+    @pytest.mark.parametrize("eid", ["table2", "fig8", "ablation_ibcards"])
+    def test_jobs2_row_for_row_identical(self, eid):
+        seq = run_experiment(eid, fast=True, runner=Runner(jobs=1))
+        par = run_experiment(eid, fast=True, runner=Runner(jobs=2))
+        assert par.columns == seq.columns
+        assert par.rows == seq.rows
+
+    def test_warm_cache_replays_identically(self, tmp_path):
+        cold_runner = Runner(jobs=1, cache=ResultCache(cache_dir=tmp_path))
+        cold = run_experiment("table5", fast=True, runner=cold_runner)
+        warm_runner = Runner(jobs=1, cache=ResultCache(cache_dir=tmp_path))
+        warm = run_experiment("table5", fast=True, runner=warm_runner)
+        assert warm.rows == cold.rows
+        assert warm_runner.stats.cached == warm_runner.stats.total > 0
+        assert warm_runner.stats.executed == 0
+
+
+class TestCLIIntegration:
+    def test_unknown_id_suggests_close_match(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "tabel2"])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "table2" in err
+        assert "Traceback" not in err
+
+    def test_all_fast_warm_cache_hits(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cells")
+        assert main(["run", "table1", "--cache-dir", cache_dir]) == 0
+        out_cold = capsys.readouterr().out
+        assert main(["run", "table1", "--cache-dir", cache_dir]) == 0
+        assert capsys.readouterr().out == out_cold
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cells")
+        assert main(
+            ["run", "table1", "--no-cache", "--cache-dir", cache_dir]
+        ) == 0
+        assert not (tmp_path / "cells").exists()
