@@ -21,6 +21,18 @@ bench-check:
 bench-baseline:
 	$(PYTHON) -m benchmarks.bench_regression --capture-baseline
 
+TRACE_SMOKE_DIR := /tmp/repro-trace-smoke
+
+## Capture one representative trace (fast DES cell), then validate the
+## written file against the Chrome trace-event schema.
+.PHONY: trace-smoke
+trace-smoke:
+	rm -rf $(TRACE_SMOKE_DIR)
+	$(PYTHON) -m repro trace fig9 --trace $(TRACE_SMOKE_DIR)
+	@$(PYTHON) -c "import sys; from repro.obs.export import main; sys.exit(main(['$(TRACE_SMOKE_DIR)/fig9.trace.json']))" \
+	  || { echo 'trace-smoke FAILED: invalid Chrome trace'; exit 1; }
+	@echo "trace-smoke ok"
+
 SMOKE_CACHE := /tmp/repro-smoke-cache
 
 ## End-to-end cold-then-warm run of the whole characterization: the

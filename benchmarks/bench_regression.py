@@ -38,6 +38,12 @@ RESULTS_PATH = REPO_ROOT / "BENCH_kernels.json"
 #: Fractional slowdown vs the committed numbers that fails --check.
 DEFAULT_TOLERANCE = 0.20
 
+#: Per-kernel overrides of the --check tolerance.  The DES ping-pong
+#: path carries the null-tracer observability hooks, whose budget is
+#: "within 5% of the committed baseline" — a tighter guard than the
+#: general perf-rot tolerance.
+TIGHT_TOLERANCES = {"des_pingpong_events_per_sec": 0.05}
+
 PINGPONG_RANKS = 16
 PINGPONG_ROUNDS = 150
 PINGPONG_BYTES = 1024.0
@@ -269,10 +275,11 @@ def regressions(
             change = (old - new) / old
         else:
             change = (new - old) / old
-        if change > tolerance:
+        tol = min(tolerance, TIGHT_TOLERANCES.get(name, tolerance))
+        if change > tol:
             problems.append(
                 f"{name}: {old:.6g} -> {new:.6g} "
-                f"({change * 100.0:.1f}% worse, tolerance {tolerance * 100.0:.0f}%)"
+                f"({change * 100.0:.1f}% worse, tolerance {tol * 100.0:.0f}%)"
             )
     return problems
 

@@ -12,6 +12,10 @@ Commands
     Print the Columbia configuration (Table 1).
 ``calibration``
     Print the calibration provenance index.
+``trace <id> [--trace DIR]``
+    Run the experiment's representative DES cell under the tracer and
+    write a Perfetto-loadable Chrome trace + spans CSV, printing the
+    compute/comm/wait decomposition and the critical path.
 
 ``run``, ``all`` and ``report`` share the run-pipeline options:
 ``--jobs N|auto`` executes cells on a process pool (output is
@@ -62,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="cell cache directory (default .repro-cache or "
                  "$REPRO_CACHE_DIR)",
         )
+        p.add_argument(
+            "--trace", default=None, metavar="DIR", dest="trace_dir",
+            help="write a per-cell Chrome/Perfetto trace JSON into DIR "
+                 "(forces cell execution; cached results are bypassed)",
+        )
+        p.add_argument(
+            "--keep-going", action="store_true",
+            help="exit 0 even when cells failed (failures still print)",
+        )
 
     sub.add_parser("list", help="list all experiments")
 
@@ -79,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--fast", action="store_true")
     add_runner_options(all_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace one experiment's representative cell "
+             "(Perfetto JSON + decomposition)",
+    )
+    trace_p.add_argument("experiment_id", help="e.g. fig9, fig7")
+    trace_p.add_argument(
+        "--trace", default="out", metavar="DIR", dest="trace_dir",
+        help="directory for the trace JSON + spans CSV (default ./out)",
+    )
 
     sub.add_parser("machine", help="print the machine configuration")
     sub.add_parser("calibration", help="print calibration provenance")
@@ -143,7 +167,16 @@ def _build_runner(args):
         None if args.no_cache
         else ResultCache(cache_dir=args.cache_dir)
     )
-    return Runner(jobs=args.jobs, cache=cache)
+    return Runner(jobs=args.jobs, cache=cache, trace_dir=args.trace_dir)
+
+
+def _report_failures(runner, args) -> int:
+    """Print ``FAILED <scenario-id>: <error>`` lines; pick exit code."""
+    for line in runner.stats.failure_lines():
+        print(line, file=sys.stderr)
+    if runner.stats.errors and not args.keep_going:
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.experiment_id, fast=args.fast, runner=runner
             )
             print(_render(result, args.format))
+            return _report_failures(runner, args)
         elif args.command == "all":
             runner = _build_runner(args)
             for eid, _desc in list_experiments():
@@ -167,8 +201,11 @@ def main(argv: list[str] | None = None) -> int:
                 print()
             # Machine-readable cell accounting (parsed by `make smoke`).
             print(runner.stats.summary(), file=sys.stderr)
-            if runner.stats.errors:
-                return 1
+            return _report_failures(runner, args)
+        elif args.command == "trace":
+            from repro.obs.trace_run import trace_experiment
+
+            print(trace_experiment(args.experiment_id, args.trace_dir).report())
         elif args.command == "machine":
             from repro.machine.topology import topology_report
 
@@ -187,10 +224,10 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "report":
             from repro.core.suite import write_report
 
-            files = write_report(
-                args.output, fast=args.fast, runner=_build_runner(args)
-            )
+            runner = _build_runner(args)
+            files = write_report(args.output, fast=args.fast, runner=runner)
             print(f"wrote {len(files)} files to {args.output}")
+            return _report_failures(runner, args)
         elif args.command == "advise":
             from repro.machine.advisor import advise
             from repro.machine.cluster import multinode, single_node

@@ -18,6 +18,17 @@ re-targeted at the simulated Columbia:
 """
 
 from repro.core.experiment import ExperimentResult
-from repro.core.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.core.registry import (
+    EXPERIMENTS,
+    list_experiments,
+    resolve_experiment,
+    run_experiment,
+)
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "list_experiments", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "list_experiments",
+    "resolve_experiment",
+    "run_experiment",
+]

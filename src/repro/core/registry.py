@@ -29,7 +29,12 @@ from repro.core.experiments import (
 )
 from repro.errors import ConfigurationError
 
-__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "list_experiments",
+    "resolve_experiment",
+    "run_experiment",
+]
 
 #: experiment id -> (description, runner).
 EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
@@ -65,17 +70,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
 }
 
 
-def run_experiment(
-    experiment_id: str, fast: bool = False, runner=None
-) -> ExperimentResult:
-    """Run one registered experiment and return its result.
+def resolve_experiment(experiment_id: str) -> tuple[str, Callable]:
+    """``(description, run_fn)`` for a registered experiment id.
 
-    ``runner`` is an optional :class:`repro.run.Runner` controlling
-    caching and parallelism; by default a shared sequential runner
-    with an in-memory cell cache is used.
+    Unknown ids raise :class:`~repro.errors.ConfigurationError` with
+    close-match suggestions — shared by ``run_experiment`` and the
+    ``trace`` CLI verb so both complain identically.
     """
     try:
-        _, run_fn = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         close = difflib.get_close_matches(
             experiment_id, EXPERIMENTS, n=3, cutoff=0.5
@@ -88,6 +91,18 @@ def run_experiment(
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}{hint}"
         ) from None
+
+
+def run_experiment(
+    experiment_id: str, fast: bool = False, runner=None
+) -> ExperimentResult:
+    """Run one registered experiment and return its result.
+
+    ``runner`` is an optional :class:`repro.run.Runner` controlling
+    caching and parallelism; by default a shared sequential runner
+    with an in-memory cell cache is used.
+    """
+    _, run_fn = resolve_experiment(experiment_id)
     return run_fn(fast=fast, runner=runner)
 
 

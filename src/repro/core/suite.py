@@ -94,6 +94,13 @@ def write_report(
         n_pass = sum(r.passed for r in results)
         index.append(f"* [claims.md](claims.md) — {n_pass}/{len(results)} claims pass")
 
+    if runner is not None and runner.stats.failures:
+        index.append("")
+        index.append("## Failed cells")
+        index.append("")
+        for line in runner.stats.failure_lines():
+            index.append(f"* `{line}`")
+
     index_md = out / "README.md"
     index_md.write_text("\n".join(index) + "\n")
     written.append(index_md)

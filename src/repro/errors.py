@@ -29,3 +29,8 @@ class CommunicationError(ReproError):
 
 class VerificationError(ReproError):
     """A workload's numerical verification failed."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the tracing/counter layer (mismatched span begin/end,
+    unknown span category, exporting an empty trace, ...)."""

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.machine.node import AltixNode
 from repro.mlp.arena import SharedArena
+from repro.obs.spans import current_tracer
 from repro.openmp.scaling import OMPKernelParams, omp_region_time
 
 __all__ = ["MLPConfig", "mlp_step_time"]
@@ -50,6 +51,8 @@ def mlp_step_time(
     group_imbalance: float,
     boundary_bytes: float,
     locality_penalty: float = 1.0,
+    tracer: "object | None" = None,
+    t_offset: float = 0.0,
 ) -> float:
     """Wall time of one solver step under MLP.
 
@@ -62,6 +65,12 @@ def mlp_step_time(
         comes from the workload's zone-to-group partition.
     boundary_bytes:
         Total overset boundary data archived in the arena per step.
+    tracer / t_offset:
+        When a tracer is active (explicit or ambient), the step is
+        recorded per group — an ``omp_region`` span for the group's
+        compute and a ``collective`` span for the arena exchange —
+        starting at simulated time ``t_offset``, one trace "rank" per
+        group.  Tracing never changes the returned time.
     """
     if serial_step_time < 0 or boundary_bytes < 0:
         raise ConfigurationError("times and sizes must be non-negative")
@@ -85,4 +94,23 @@ def mlp_step_time(
     exchange = arena.access_time(
         boundary_bytes / max(1, config.groups), concurrent_groups=config.groups
     )
+    if tracer is None:
+        tracer = current_tracer()
+    if tracer is not None and tracer.enabled:
+        per_group_bytes = boundary_bytes / max(1, config.groups)
+        for group in range(config.groups):
+            tracer.complete(
+                group, "omp_region", "mlp_group_compute",
+                t_offset, t_offset + compute, thread=0,
+                args={"threads": config.threads,
+                      "imbalance": group_imbalance},
+            )
+            tracer.complete(
+                group, "collective", "arena_exchange",
+                t_offset + compute, t_offset + compute + exchange, thread=0,
+                args={"bytes": per_group_bytes},
+            )
+        tracer.counters.add(
+            "mlp.arena_bytes", boundary_bytes, t_offset + compute + exchange
+        )
     return compute + exchange

@@ -82,7 +82,7 @@ _SCATTER_TAG = 0x7FF7
 _SCAN_TAG = 0x7FF8
 
 
-def barrier(comm: MPIComm) -> Generator[SimEvent, Any, None]:
+def _barrier_impl(comm: MPIComm) -> Generator[SimEvent, Any, None]:
     """Dissemination barrier: log2(P) rounds of 1-byte exchanges."""
     p, r = comm.size, comm.rank
     if p == 1:
@@ -98,7 +98,7 @@ def barrier(comm: MPIComm) -> Generator[SimEvent, Any, None]:
         round_no += 1
 
 
-def broadcast(
+def _broadcast_impl(
     comm: MPIComm, nbytes: float, root: int = 0, payload: Any = None
 ) -> Generator[SimEvent, Any, Any]:
     """Binomial-tree broadcast; returns the payload on every rank."""
@@ -131,7 +131,7 @@ def broadcast(
     return payload
 
 
-def allreduce(
+def _allreduce_impl(
     comm: MPIComm, nbytes: float, value: float = 0.0
 ) -> Generator[SimEvent, Any, float]:
     """Allreduce (sum) of a scalar via binomial-tree reduce to rank 0
@@ -157,11 +157,11 @@ def allreduce(
             acc += float(msg.payload)
         mask *= 2
     # Broadcast phase reuses the tree broadcast.
-    result = yield from broadcast(comm, nbytes, root=0, payload=acc)
+    result = yield from _broadcast_impl(comm, nbytes, root=0, payload=acc)
     return float(result)
 
 
-def alltoall(
+def _alltoall_impl(
     comm: MPIComm, nbytes_per_pair: float
 ) -> Generator[SimEvent, Any, None]:
     """Pairwise-exchange all-to-all (timing only, no payloads)."""
@@ -175,7 +175,7 @@ def alltoall(
         yield comm.irecv(src, tag=_ALLTOALL_TAG + step)
 
 
-def allgather(
+def _allgather_impl(
     comm: MPIComm, nbytes_per_rank: float, value: Any = None
 ) -> Generator[SimEvent, Any, list]:
     """Ring allgather; returns the list of every rank's value."""
@@ -198,7 +198,7 @@ def allgather(
     return gathered
 
 
-def reduce(
+def _reduce_impl(
     comm: MPIComm, nbytes: float, value: float = 0.0, root: int = 0
 ) -> Generator[SimEvent, Any, float | None]:
     """Binomial-tree reduction (sum) to ``root``.
@@ -227,7 +227,7 @@ def reduce(
     return acc
 
 
-def gather(
+def _gather_impl(
     comm: MPIComm, nbytes_per_rank: float, value: Any = None, root: int = 0
 ) -> Generator[SimEvent, Any, list | None]:
     """Direct gather to ``root`` (each rank one message).
@@ -248,7 +248,7 @@ def gather(
     return None
 
 
-def scatter(
+def _scatter_impl(
     comm: MPIComm, nbytes_per_rank: float, values: list | None = None,
     root: int = 0,
 ) -> Generator[SimEvent, Any, Any]:
@@ -273,7 +273,7 @@ def scatter(
     return msg.payload
 
 
-def scan(
+def _scan_impl(
     comm: MPIComm, nbytes: float, value: float = 0.0
 ) -> Generator[SimEvent, Any, float]:
     """Inclusive prefix sum over ranks (Hillis-Steele doubling)."""
@@ -293,3 +293,110 @@ def scan(
         distance *= 2
         round_no += 1
     return acc
+
+# -- tracing dispatch ---------------------------------------------------------
+#
+# The public collectives are plain functions returning the underlying
+# generator: when tracing is off they add zero generator frames to the
+# hot path (``yield from barrier(comm)`` drives ``_barrier_impl``
+# directly); when the world holds a tracer, the generator is wrapped
+# once so the whole operation appears as one ``collective`` span on
+# the rank's main flow (nested collectives — allreduce's broadcast
+# phase stays inside the impl, so one operation is one span).
+
+
+def _traced(obs, op: str, comm: MPIComm, gen, args: dict | None = None):
+    handle = obs.begin(comm.rank, "collective", op, comm._sim.now, args=args)
+    try:
+        result = yield from gen
+    finally:
+        obs.end(handle, comm._sim.now)
+    return result
+
+
+def barrier(comm: MPIComm) -> Generator[SimEvent, Any, None]:
+    """Dissemination barrier: log2(P) rounds of 1-byte exchanges."""
+    gen = _barrier_impl(comm)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(obs, "barrier", comm, gen)
+
+
+def broadcast(
+    comm: MPIComm, nbytes: float, root: int = 0, payload: Any = None
+) -> Generator[SimEvent, Any, Any]:
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    gen = _broadcast_impl(comm, nbytes, root, payload)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "broadcast", comm, gen, {"bytes": nbytes, "root": root})
+
+
+def allreduce(
+    comm: MPIComm, nbytes: float, value: float = 0.0
+) -> Generator[SimEvent, Any, float]:
+    """Allreduce (sum): binomial-tree reduce + binomial-tree broadcast."""
+    gen = _allreduce_impl(comm, nbytes, value)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "allreduce", comm, gen, {"bytes": nbytes})
+
+
+def alltoall(
+    comm: MPIComm, nbytes_per_pair: float
+) -> Generator[SimEvent, Any, None]:
+    """Pairwise-exchange all-to-all (timing only, no payloads)."""
+    gen = _alltoall_impl(comm, nbytes_per_pair)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "alltoall", comm, gen, {"bytes": nbytes_per_pair})
+
+
+def allgather(
+    comm: MPIComm, nbytes_per_rank: float, value: Any = None
+) -> Generator[SimEvent, Any, list]:
+    """Ring allgather; returns the list of every rank's value."""
+    gen = _allgather_impl(comm, nbytes_per_rank, value)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "allgather", comm, gen, {"bytes": nbytes_per_rank})
+
+
+def reduce(
+    comm: MPIComm, nbytes: float, value: float = 0.0, root: int = 0
+) -> Generator[SimEvent, Any, float | None]:
+    """Binomial-tree reduction (sum) to ``root``."""
+    gen = _reduce_impl(comm, nbytes, value, root)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "reduce", comm, gen, {"bytes": nbytes, "root": root})
+
+
+def gather(
+    comm: MPIComm, nbytes_per_rank: float, value: Any = None, root: int = 0
+) -> Generator[SimEvent, Any, list | None]:
+    """Direct gather to ``root`` (each rank one message)."""
+    gen = _gather_impl(comm, nbytes_per_rank, value, root)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "gather", comm, gen, {"bytes": nbytes_per_rank, "root": root})
+
+
+def scatter(
+    comm: MPIComm, nbytes_per_rank: float, values: list | None = None,
+    root: int = 0,
+) -> Generator[SimEvent, Any, Any]:
+    """Direct scatter from ``root``; returns this rank's element."""
+    gen = _scatter_impl(comm, nbytes_per_rank, values, root)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "scatter", comm, gen, {"bytes": nbytes_per_rank, "root": root})
+
+
+def scan(
+    comm: MPIComm, nbytes: float, value: float = 0.0
+) -> Generator[SimEvent, Any, float]:
+    """Inclusive prefix sum over ranks (Hillis-Steele doubling)."""
+    gen = _scan_impl(comm, nbytes, value)
+    obs = comm.world._obs
+    return gen if obs is None else _traced(
+        obs, "scan", comm, gen, {"bytes": nbytes})

@@ -21,6 +21,7 @@ from typing import Any, Generator, NamedTuple
 
 from repro.errors import CommunicationError
 from repro.netmodel.costs import NetworkModel
+from repro.obs.spans import current_tracer
 from repro.sim.channel import Channel
 from repro.sim.engine import Simulator
 from repro.sim.process import SimEvent, Timeout
@@ -97,6 +98,44 @@ class MPIWorld:
         #: optional MessageTrace; a real attribute (not getattr) so
         #: the per-message check in isend is a plain load.
         self._trace = None
+        #: optional :class:`repro.obs.spans.Tracer` recording spans,
+        #: message edges and counters.  Defaults to the ambient tracer
+        #: (:func:`repro.obs.spans.use_tracer`), so per-cell trace
+        #: capture needs no signature changes anywhere; ``None`` keeps
+        #: every per-message check a plain load + branch.  A disabled
+        #: tracer (NullTracer) normalizes to ``None`` so "off" is off.
+        obs = current_tracer()
+        self._obs = obs if (obs is not None and obs.enabled) else None
+
+    def link_info(self, rank_a: int, rank_b: int) -> tuple[str, int]:
+        """``(link_class, router_hops)`` between two ranks' home CPUs.
+
+        Classes: ``self`` (same rank), ``intra_brick``, ``intra_node``
+        (crossing NUMAlink routers inside a node), ``inter_node``.
+        InfiniBand crossings report 0 hops — the switch is not a
+        NUMAlink router.
+        """
+        if rank_a == rank_b:
+            return ("self", 0)
+        placement = self.network.placement
+        cluster = placement.cluster
+        cpu_a = placement.cpu_of(rank_a)
+        cpu_b = placement.cpu_of(rank_b)
+        na = cluster.node_of(cpu_a)
+        nb = cluster.node_of(cpu_b)
+        if na != nb:
+            if cluster.fabric == "numalink4":
+                from repro.machine.router import tree_depth
+
+                hops = tree_depth(cluster.nodes[na].n_bricks) + tree_depth(
+                    cluster.nodes[nb].n_bricks
+                )
+            else:
+                hops = 0
+            return ("inter_node", hops)
+        node = cluster.nodes[na]
+        hops = node.hops(cluster.local_cpu(cpu_a), cluster.local_cpu(cpu_b))
+        return ("intra_brick" if hops == 0 else "intra_node", hops)
 
     def _injection_key(self, rank: int):
         if not self.brick_contention:
@@ -115,7 +154,8 @@ class MPIWorld:
 class MPIComm:
     """Per-rank MPI handle passed to simulated rank programs."""
 
-    __slots__ = ("world", "rank", "_sim", "_mailbox", "_inject_key", "_paths")
+    __slots__ = ("world", "rank", "_sim", "_mailbox", "_inject_key", "_paths",
+                 "_links")
 
     def __init__(self, world: MPIWorld, rank: int) -> None:
         if not 0 <= rank < world.size:
@@ -131,6 +171,8 @@ class MPIComm:
         #: outgoing paths; the bound put avoids re-creating a method
         #: object per delivered message.
         self._paths: dict[int, tuple] = {}
+        #: dest -> (link_class, hops), filled only while tracing.
+        self._links: dict[int, tuple] = {}
 
     @property
     def size(self) -> int:
@@ -156,6 +198,10 @@ class MPIComm:
         world = self.world
         if world._noise_rng is not None and seconds > 0:
             seconds *= 1.0 + world._noise_rng.exponential(world.os_noise)
+        obs = world._obs
+        if obs is not None:
+            now = self._sim.now
+            obs.complete(self.rank, "compute", "compute", now, now + seconds)
         return Timeout(self.sim, seconds)
 
     # -- point to point ------------------------------------------------------
@@ -177,6 +223,12 @@ class MPIComm:
             spec = world.network.path(self.rank, dest)
             path = (spec.latency, spec.bandwidth, world.mailboxes[dest].put)
             self._paths[dest] = path
+            obs = world._obs
+            if obs is not None:
+                now = self._sim.now
+                obs.instant(self.rank, "cache_lookup", f"path_miss->{dest}",
+                            now, args={"dest": dest})
+                obs.counters.add("mpi.path_cache_miss", 1, now)
         if nbytes < 0:
             raise CommunicationError(f"negative message size {nbytes}")
         latency, bandwidth, mailbox_put = path
@@ -199,6 +251,17 @@ class MPIComm:
         trace = world._trace
         if trace is not None:
             trace.record(now, self.rank, dest, tag, nbytes)
+        obs = world._obs
+        if obs is not None:
+            # Link classification is only priced when tracing is on —
+            # tree-depth/topology math has no place on the untraced
+            # per-message path.
+            link = self._links.get(dest)
+            if link is None:
+                link = self._links[dest] = world.link_info(self.rank, dest)
+            obs.record_send(now, self.rank, dest, tag, nbytes,
+                            start, finish, finish + latency,
+                            link[0], link[1])
         # Injection-completion event, built without re-entering
         # Timeout.__init__ (one per message).
         done = Timeout.__new__(Timeout)
@@ -256,7 +319,11 @@ class MPIComm:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimEvent:
         """Post a receive; the event triggers with the :class:`Message`."""
-        return self._mailbox.get_matching(source, tag)
+        event = self._mailbox.get_matching(source, tag)
+        obs = self.world._obs
+        if obs is not None:
+            obs.on_recv_posted(self.rank, source, tag, self._sim.now, event)
+        return event
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG

@@ -50,6 +50,7 @@ def run_mpi(
     brick_contention: bool = False,
     os_noise: float = 0.0,
     noise_seed: int = 0,
+    tracer: "object | None" = None,
 ) -> MPIJobResult:
     """Execute ``rank_program`` on every rank of ``placement``.
 
@@ -60,6 +61,10 @@ def run_mpi(
     to record every injected message; ``brick_contention=True`` makes
     all CPUs of a C-Brick share one injection link; ``os_noise > 0``
     stretches compute segments by random system interference.
+
+    ``tracer`` — an :class:`repro.obs.spans.Tracer` recording full
+    spans/counters; defaults to the ambient tracer installed by
+    :func:`repro.obs.spans.use_tracer` (``None`` = tracing off).
     """
     sim = Simulator()
     net = network if network is not None else NetworkModel(placement)
@@ -69,6 +74,11 @@ def run_mpi(
     )
     if trace is not None:
         world._trace = trace
+    if tracer is not None:
+        world._obs = tracer if tracer.enabled else None
+    obs = world._obs  # explicit arg or the ambient tracer from __init__
+    if obs is not None:
+        obs.attach_engine(sim)
 
     finish_times = [0.0] * world.size
 

@@ -67,9 +67,21 @@ def des_step_time(
     cls: str,
     placement: Placement,
     compiler: Compiler = Compiler.V7_1,
+    tracer: "object | None" = None,
 ) -> DESStepResult:
     """Execute one BT-MZ/SP-MZ step on the DES and compare with the
-    analytic per-step model."""
+    analytic per-step model.
+
+    With a tracer active (explicit or ambient via
+    :func:`repro.obs.spans.use_tracer`), each rank's compute segment
+    additionally records its OpenMP zone-loop structure: a throwaway
+    :func:`~repro.openmp.team.run_parallel_for` over the rank's
+    per-zone costs is rescaled onto the segment
+    (``target_elapsed=compute[r]``), so the trace shows zone chunks
+    and thread imbalance while ``comm.compute`` stays authoritative
+    for simulated time — traced and untraced runs take identical
+    simulated wall time.
+    """
     model = MZTimingModel(benchmark, cls, placement, compiler)
     problem = model.problem
     assignment = model.assignment
@@ -103,8 +115,28 @@ def des_step_time(
                 rank_neighbors[rz].add(rn)
                 boundary_bytes[rz] += problem.zones[z].boundary_points * 20.0
 
+    if tracer is None:
+        from repro.obs.spans import current_tracer
+
+        tracer = current_tracer()
+    if tracer is not None and not tracer.enabled:
+        tracer = None
+    zone_costs = None
+    if tracer is not None:
+        zone_costs = [
+            [per_point * problem.zones[z].points / rate for z in members]
+            for members in assignment.bins
+        ]
+
     def program(comm):
         r = comm.rank
+        if zone_costs is not None and zone_costs[r]:
+            from repro.openmp.team import run_parallel_for
+
+            run_parallel_for(
+                zone_costs[r], threads, tracer=tracer, rank=r,
+                t_offset=comm.now, target_elapsed=compute[r],
+            )
         yield comm.compute(compute[r])
         nbrs = sorted(rank_neighbors[r])
         per_msg = boundary_bytes[r] / max(1, len(nbrs))
@@ -115,7 +147,7 @@ def des_step_time(
         yield from allreduce(comm, 8, 0.0)
         return None
 
-    job = run_mpi(placement, program)
+    job = run_mpi(placement, program, tracer=tracer)
     return DESStepResult(
         elapsed=job.elapsed,
         analytic=model.total_time_per_step(),

@@ -1,0 +1,66 @@
+"""``repro.obs`` — observability for the simulated machine.
+
+Simulated-time tracing and analysis, in four layers:
+
+* :mod:`repro.obs.spans` — the :class:`~repro.obs.spans.Tracer`:
+  nested spans per (rank, thread) track, message records, and the
+  ambient-tracer mechanism (:func:`~repro.obs.spans.use_tracer`) the
+  instrumented layers (MPI, collectives, OpenMP, MLP, the DES engine)
+  pick up;
+* :mod:`repro.obs.counters` — monotonic counters and gauges sampled
+  on simulated-time intervals;
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON and
+  CSV exporters plus a schema validator;
+* :mod:`repro.obs.critical_path` — per-rank compute/comm/wait
+  decomposition and the critical-path walk over the span/message
+  graph.
+
+Tracing is strictly *observational*: traced and untraced runs take
+identical simulated time, and with no tracer installed the
+instrumented hot paths cost one attribute load and branch.
+"""
+
+from repro.obs.counters import CounterSet, EngineSampler
+from repro.obs.critical_path import (
+    Decomposition,
+    RankBreakdown,
+    critical_path,
+    decompose,
+    format_critical_path,
+)
+from repro.obs.export import (
+    spans_to_csv,
+    to_chrome_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.messages import MessageRecord
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CounterSet",
+    "Decomposition",
+    "EngineSampler",
+    "MessageRecord",
+    "NULL_TRACER",
+    "NullTracer",
+    "RankBreakdown",
+    "Span",
+    "Tracer",
+    "critical_path",
+    "current_tracer",
+    "decompose",
+    "format_critical_path",
+    "spans_to_csv",
+    "to_chrome_json",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,114 @@
+"""Monotonic counters and gauges sampled on simulated time.
+
+A :class:`CounterSet` holds named time series: *counters* accumulate
+deltas (bytes per link class, messages, router hops, OpenMP chunks)
+and *gauges* record point-in-time values (queue depth, events
+executed).  Every update carries the simulated timestamp; the set
+keeps at most one sample per ``interval`` of simulated time per
+series (``interval=0`` keeps one sample per distinct timestamp), so a
+long run produces a bounded, plottable series rather than one point
+per event.
+
+:class:`EngineSampler` is the bridge to the DES core: attached as
+``Simulator.observer`` it snapshots engine gauges (pending events,
+events executed) whenever the simulated clock crosses the next sample
+boundary — the engine itself only pays a ``None``-check per timestamp
+batch when no sampler is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CounterSeries", "CounterSet", "EngineSampler"]
+
+
+@dataclass
+class CounterSeries:
+    """One named series: a running value plus (time, value) samples."""
+
+    name: str
+    kind: str = "counter"  # "counter" (monotonic) or "gauge"
+    value: float = 0.0
+    samples: list[tuple[float, float]] = field(default_factory=list)
+    #: next simulated time at which a sample may be appended.
+    _next_sample: float = field(default=float("-inf"), repr=False)
+
+
+class CounterSet:
+    """Named counters/gauges with interval-limited sampling."""
+
+    __slots__ = ("interval", "_series")
+
+    def __init__(self, interval: float = 0.0) -> None:
+        self.interval = interval
+        self._series: dict[str, CounterSeries] = {}
+
+    def _record(self, series: CounterSeries, t: float) -> None:
+        if t >= series._next_sample:
+            series.samples.append((t, series.value))
+            series._next_sample = t + self.interval
+        else:
+            # Within the current sample window: fold into the last
+            # sample so the series always ends on the latest value.
+            series.samples[-1] = (series.samples[-1][0], series.value)
+
+    def add(self, name: str, delta: float, t: float) -> None:
+        """Accumulate ``delta`` into counter ``name`` at time ``t``."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = CounterSeries(name, "counter")
+        series.value += delta
+        self._record(series, t)
+
+    def set(self, name: str, value: float, t: float) -> None:
+        """Record gauge ``name`` = ``value`` at time ``t``."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = CounterSeries(name, "gauge")
+        series.value = value
+        self._record(series, t)
+
+    def get(self, name: str) -> float:
+        """Current value of a series (0 if never touched)."""
+        series = self._series.get(name)
+        return series.value if series is not None else 0.0
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """The (time, value) samples of one series."""
+        series = self._series.get(name)
+        return list(series.samples) if series is not None else []
+
+    def totals(self) -> dict[str, float]:
+        """Final value of every series, by name."""
+        return {name: s.value for name, s in sorted(self._series.items())}
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class EngineSampler:
+    """Samples DES engine gauges when the simulated clock advances.
+
+    Attach via ``sim.observer = EngineSampler(counters)``; the engine
+    calls :meth:`sample` whenever ``sim.now`` crosses
+    ``next_sample``.  The sampler never schedules events of its own,
+    so it cannot keep a drained queue alive or perturb determinism.
+    """
+
+    __slots__ = ("counters", "interval", "next_sample")
+
+    def __init__(self, counters: CounterSet, interval: float = 0.0) -> None:
+        self.counters = counters
+        self.interval = interval
+        self.next_sample = float("-inf")
+
+    def sample(self, sim) -> None:
+        now = sim.now
+        counters = self.counters
+        counters.set("engine.pending_events", sim.pending_events, now)
+        counters.set("engine.events_executed", sim.events_executed, now)
+        self.next_sample = now + self.interval

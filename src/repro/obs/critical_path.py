@@ -1,0 +1,223 @@
+"""Critical-path extraction and time decomposition over a span trace.
+
+Two analyses, both in the style the paper uses to *explain* its
+numbers (why BT-MZ outruns SP-MZ, where b_eff time goes at scale):
+
+* :func:`decompose` — per-rank compute / communication / wait totals
+  and fractions.  Compute is the exclusive time of ``compute`` and
+  ``omp_region`` spans on a rank's main flow (OpenMP worker-lane
+  chunks are detail *inside* that time, not extra); communication is
+  send-injection time plus the exclusive (own) time of collective
+  spans; wait is receive/queue waiting plus barriers.
+
+* :func:`critical_path` — the dependency chain that determined the
+  run's elapsed time, walked backward from the last span to finish:
+  within a rank, to the latest span ending at or before the current
+  one starts; across ranks, from a receive-wait span to the send span
+  of the message that satisfied it (the tracer pairs them FIFO, the
+  same order the mailbox matches).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.obs.spans import SEND_LANE, Span, Tracer
+
+__all__ = [
+    "Decomposition",
+    "RankBreakdown",
+    "critical_path",
+    "decompose",
+    "format_critical_path",
+]
+
+#: span category -> decomposition bucket.
+BUCKET_OF = {
+    "compute": "compute",
+    "omp_region": "compute",
+    "send": "comm",
+    "collective": "comm",
+    "cache_lookup": "comm",
+    "recv": "wait",
+    "wait": "wait",
+    "barrier": "wait",
+}
+
+#: Relative slack when chaining spans whose float endpoints should
+#: coincide (an event scheduled at t can execute at t + a few ulps).
+_EPS = 1e-9
+
+
+def _exclusive_times(spans: list[Span]) -> dict[str, float]:
+    """Category -> exclusive (self, minus children) time for one track.
+
+    Spans on a track are properly nested by construction, so a
+    start-sorted stack sweep attributes every instant to the innermost
+    covering span.
+    """
+    out: dict[str, float] = defaultdict(float)
+    stack: list[Span] = []
+    for span in sorted(spans, key=lambda s: (s.t0, -s.t1)):
+        while stack and stack[-1].t1 <= span.t0 + _EPS * max(1.0, abs(span.t0)):
+            stack.pop()
+        if stack:
+            # span is nested: its duration is not the parent's own time.
+            out[stack[-1].cat] -= span.t1 - span.t0
+        out[span.cat] += span.t1 - span.t0
+        stack.append(span)
+    return dict(out)
+
+
+@dataclass(frozen=True)
+class RankBreakdown:
+    """One rank's time decomposition (seconds)."""
+
+    rank: int
+    compute: float
+    comm: float
+    wait: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm + self.wait
+
+    def fraction(self, bucket: str) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return getattr(self, bucket) / total
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Per-rank breakdowns plus trace-wide aggregates."""
+
+    ranks: tuple[RankBreakdown, ...]
+    elapsed: float
+
+    def totals(self) -> RankBreakdown:
+        """All-rank sums (rank = -1)."""
+        return RankBreakdown(
+            rank=-1,
+            compute=sum(r.compute for r in self.ranks),
+            comm=sum(r.comm for r in self.ranks),
+            wait=sum(r.wait for r in self.ranks),
+        )
+
+    def fraction(self, bucket: str) -> float:
+        """Trace-wide fraction of ``bucket`` in compute+comm+wait."""
+        return self.totals().fraction(bucket)
+
+    def format(self) -> str:
+        """The text decomposition table the ``trace`` verb prints."""
+        lines = [
+            f"{'rank':>5}  {'compute':>11}  {'comm':>11}  {'wait':>11}"
+            f"  {'comp%':>6}  {'comm%':>6}  {'wait%':>6}"
+        ]
+        rows = list(self.ranks) + ([self.totals()] if len(self.ranks) > 1 else [])
+        for row in rows:
+            label = "all" if row.rank < 0 else str(row.rank)
+            lines.append(
+                f"{label:>5}  {row.compute:11.6f}  {row.comm:11.6f}"
+                f"  {row.wait:11.6f}"
+                f"  {100 * row.fraction('compute'):6.1f}"
+                f"  {100 * row.fraction('comm'):6.1f}"
+                f"  {100 * row.fraction('wait'):6.1f}"
+            )
+        lines.append(f"elapsed: {self.elapsed:.6f} s (simulated)")
+        return "\n".join(lines)
+
+
+def decompose(tracer: Tracer) -> Decomposition:
+    """Per-rank compute/comm/wait decomposition of a recorded trace."""
+    per_track: dict[tuple[int, int], list[Span]] = defaultdict(list)
+    for span in tracer.spans:
+        per_track[(span.rank, span.thread)].append(span)
+
+    buckets: dict[int, dict[str, float]] = defaultdict(
+        lambda: {"compute": 0.0, "comm": 0.0, "wait": 0.0}
+    )
+    for (rank, thread), spans in per_track.items():
+        if 0 < thread < SEND_LANE:
+            # OpenMP worker lanes: per-chunk detail inside the rank's
+            # compute time, already counted on the main flow.
+            continue
+        for cat, seconds in _exclusive_times(spans).items():
+            bucket = BUCKET_OF.get(cat)
+            if bucket is not None:
+                buckets[rank][bucket] += seconds
+
+    ranks = tuple(
+        RankBreakdown(rank=r, **buckets[r]) for r in sorted(buckets)
+    )
+    return Decomposition(ranks=ranks, elapsed=tracer.elapsed)
+
+
+def critical_path(tracer: Tracer, max_len: int = 100_000) -> list[Span]:
+    """The backward dependency chain ending at the last span to finish.
+
+    Returned in forward (time) order.  ``max_len`` bounds the walk as
+    a safety net on degenerate traces.
+    """
+    spans = list(tracer.spans)
+    if not spans:
+        return []
+    by_rank: dict[int, list[Span]] = defaultdict(list)
+    msg_send: dict[int, Span] = {}
+    for span in spans:
+        by_rank[span.rank].append(span)
+        if span.cat == "send" and span.args and "msg" in span.args:
+            msg_send[span.args["msg"]] = span
+    ends: dict[int, list[float]] = {}
+    for rank, rank_spans in by_rank.items():
+        rank_spans.sort(key=lambda s: (s.t1, s.t0))
+        ends[rank] = [s.t1 for s in rank_spans]
+
+    # Start at the globally last (innermost, on ties) span to end.
+    current = max(spans, key=lambda s: (s.t1, s.t0))
+    path = [current]
+    seen = {id(current)}
+    while len(path) < max_len:
+        nxt: Span | None = None
+        # Cross-rank hop: a wait span chains to the send that fed it.
+        if current.cat == "wait" and current.args and current.args.get("msg") is not None:
+            nxt = msg_send.get(current.args["msg"])
+        if nxt is None or id(nxt) in seen:
+            # Same-rank hop: latest span ending at/before our start.
+            rank_spans = by_rank[current.rank]
+            slack = _EPS * max(1.0, abs(current.t0))
+            i = bisect_right(ends[current.rank], current.t0 + slack) - 1
+            while i >= 0 and id(rank_spans[i]) in seen:
+                i -= 1
+            nxt = rank_spans[i] if i >= 0 else None
+        if nxt is None:
+            break
+        path.append(nxt)
+        seen.add(id(nxt))
+        current = nxt
+    path.reverse()
+    return path
+
+
+def format_critical_path(path: list[Span], limit: int = 20) -> str:
+    """A readable rendering of a critical path (longest spans first
+    elided to ``limit`` chronological entries)."""
+    if not path:
+        return "critical path: empty trace"
+    total = path[-1].t1 - path[0].t0
+    lines = [
+        f"critical path: {len(path)} spans, "
+        f"{total:.6f} s from t={path[0].t0:.6f} to t={path[-1].t1:.6f}"
+    ]
+    shown = path if len(path) <= limit else path[:limit]
+    for span in shown:
+        lines.append(
+            f"  [{span.cat:<11}] rank {span.rank:<3} {span.name:<18} "
+            f"{span.t0:.6f} -> {span.t1:.6f} ({span.t1 - span.t0:.6f} s)"
+        )
+    if len(path) > limit:
+        lines.append(f"  ... {len(path) - limit} more spans")
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Trace exporters: Chrome trace-event / Perfetto JSON and CSV.
+
+``write_chrome_trace(tracer, path)`` produces a JSON file that loads
+directly in `ui.perfetto.dev <https://ui.perfetto.dev>`_ (or Chrome's
+``about:tracing``): one process per simulated rank, one thread per
+compute thread plus the send/receive lanes, complete (``ph: "X"``)
+events for spans, flow arrows (``ph: "s"``/``"f"``) following each
+message from sender to receiver, and counter tracks (``ph: "C"``).
+Simulated seconds map to trace microseconds.
+
+The module doubles as a validator::
+
+    python -m repro.obs.export --validate trace.json
+
+checks a file against the trace-event schema (the same checks the
+``make trace-smoke`` target and the golden-file test run).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import RECV_LANE, SEND_LANE, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "spans_to_csv",
+    "to_chrome_json",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Simulated seconds -> trace-event timestamp units (microseconds).
+_US = 1e6
+
+
+def _lane_name(thread: int) -> str:
+    if thread >= SEND_LANE:
+        if thread % 2 == SEND_LANE % 2:
+            return f"mpi-send{(thread - SEND_LANE) // 2 or ''}"
+        return f"mpi-recv{(thread - RECV_LANE) // 2 or ''}"
+    return f"thread {thread}"
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The trace-event list for ``tracer`` (metadata first, then spans
+    sorted by start time, then message flows, then counters)."""
+    events: list[dict] = []
+    threads_per_rank: dict[int, set[int]] = {}
+    for s in tracer.spans:
+        threads_per_rank.setdefault(s.rank, set()).add(s.thread)
+
+    for rank in sorted(threads_per_rank):
+        events.append({
+            "ph": "M", "pid": rank, "tid": 0, "name": "process_name",
+            "args": {"name": f"rank {rank}"},
+        })
+        for thread in sorted(threads_per_rank[rank]):
+            events.append({
+                "ph": "M", "pid": rank, "tid": thread, "name": "thread_name",
+                "args": {"name": _lane_name(thread)},
+            })
+
+    for s in sorted(tracer.spans, key=lambda s: (s.t0, -s.t1, s.rank, s.thread)):
+        event = {
+            "ph": "X", "pid": s.rank, "tid": s.thread,
+            "cat": s.cat, "name": s.name,
+            "ts": s.t0 * _US, "dur": (s.t1 - s.t0) * _US,
+        }
+        if s.args:
+            event["args"] = dict(sorted(s.args.items()))
+        events.append(event)
+
+    # Flow arrows bind to the enclosing slice at (pid, tid, ts), so
+    # look up the lane each message's send / recv-wait span landed on
+    # (sends and overlapping receives spill across lanes).
+    send_lane: dict[int, int] = {}
+    recv_lane: dict[int, int] = {}
+    for s in tracer.spans:
+        if s.args and "msg" in s.args:
+            if s.cat == "send":
+                send_lane[s.args["msg"]] = s.thread
+            elif s.cat == "wait" and s.name.startswith("recv"):
+                recv_lane[s.args["msg"]] = s.thread
+
+    for msg_id, m in enumerate(tracer.messages):
+        if m.arrival < 0:
+            continue  # legacy record without an arrival time
+        common = {"cat": "msg", "name": f"msg{m.tag}", "id": msg_id}
+        events.append({
+            "ph": "s", "pid": m.source,
+            "tid": send_lane.get(msg_id, SEND_LANE),
+            "ts": m.time * _US, **common,
+        })
+        events.append({
+            "ph": "f", "bp": "e", "pid": m.dest,
+            "tid": recv_lane.get(msg_id, RECV_LANE),
+            "ts": m.arrival * _US, **common,
+        })
+
+    for name in tracer.counters.names():
+        for t, value in tracer.counters.series(name):
+            events.append({
+                "ph": "C", "pid": 0, "tid": 0, "name": name,
+                "ts": t * _US, "args": {"value": value},
+            })
+    return events
+
+
+def to_chrome_json(tracer: Tracer, indent: int | None = None) -> str:
+    """The full Chrome trace JSON document as a string."""
+    doc = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(tracer),
+        "otherData": {
+            "spans": len(tracer.spans),
+            "dropped_spans": tracer.dropped_spans,
+            "messages": len(tracer.messages),
+        },
+    }
+    return json.dumps(doc, sort_keys=True, indent=indent)
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write the Perfetto-loadable JSON for ``tracer`` to ``path``."""
+    if not tracer.spans and not tracer.messages:
+        raise ObservabilityError(
+            "refusing to export an empty trace (no spans, no messages)"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_chrome_json(tracer, indent=1) + "\n")
+    return path
+
+
+def spans_to_csv(tracer: Tracer) -> str:
+    """Spans as CSV (rank, thread, category, name, t0, t1, duration)."""
+    import csv
+
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["rank", "thread", "cat", "name", "t0_s", "t1_s", "dur_s"])
+    for s in sorted(tracer.spans, key=lambda s: (s.t0, -s.t1, s.rank, s.thread)):
+        writer.writerow(
+            [s.rank, s.thread, s.cat, s.name,
+             repr(s.t0), repr(s.t1), repr(s.t1 - s.t0)]
+        )
+    return buf.getvalue()
+
+
+# -- validation ---------------------------------------------------------------
+
+#: Required fields per event phase (beyond pid/ts common to all).
+_PHASE_FIELDS = {
+    "X": ("name", "dur"),
+    "M": ("name", "args"),
+    "C": ("name", "args"),
+    "s": ("name", "id"),
+    "f": ("name", "id"),
+}
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Schema problems in a parsed Chrome trace document (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, want object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASE_FIELDS:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: pid missing or not an integer")
+        if ph != "M" and not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: ts missing or not a number")
+        for field in _PHASE_FIELDS[ph]:
+            if field not in event:
+                problems.append(f"{where}: phase {ph!r} needs {field!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if isinstance(dur, (int, float)) and dur < 0:
+                problems.append(f"{where}: negative duration {dur}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Validate a Chrome trace-event JSON file."
+    )
+    parser.add_argument("path", help="trace JSON file to validate")
+    parser.add_argument("--validate", action="store_true",
+                        help="(default action; flag kept for readability)")
+    args = parser.parse_args(argv)
+    try:
+        doc = json.loads(Path(args.path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"invalid: {p}", file=sys.stderr)
+        return 1
+    n = len(doc["traceEvents"])
+    print(f"{args.path}: valid Chrome trace ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

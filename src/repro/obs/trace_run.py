@@ -1,0 +1,105 @@
+"""``repro trace <experiment-id>``: capture one representative trace.
+
+Running a whole experiment sweep under the tracer would interleave
+hundreds of cells into one unreadable timeline, so the ``trace`` verb
+instead executes one *representative DES cell* for the experiment —
+a multi-zone step with the process/thread shape the experiment
+studies — and writes its Perfetto-loadable Chrome trace plus a spans
+CSV.  The id is validated against the experiment registry (same
+close-match suggestions as ``repro run``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.critical_path import (
+    critical_path,
+    decompose,
+    format_critical_path,
+)
+from repro.obs.export import spans_to_csv, write_chrome_trace
+from repro.obs.spans import Tracer
+
+__all__ = ["TraceRunResult", "trace_experiment"]
+
+
+@dataclass(frozen=True)
+class TraceRunResult:
+    """Everything ``repro trace`` needs to print and report."""
+
+    experiment_id: str
+    cell: str
+    tracer: Tracer
+    trace_path: Path
+    csv_path: Path
+
+    def report(self) -> str:
+        """Decomposition table + critical path + written files."""
+        d = decompose(self.tracer)
+        path = critical_path(self.tracer)
+        lines = [
+            f"traced cell: {self.cell}",
+            "",
+            d.format(),
+            "",
+            format_critical_path(path),
+            "",
+            f"wrote {self.trace_path} "
+            f"({self.tracer.span_count} spans, "
+            f"{len(self.tracer.messages)} messages; "
+            f"load at https://ui.perfetto.dev)",
+            f"wrote {self.csv_path}",
+        ]
+        return "\n".join(lines)
+
+
+#: experiment id -> (benchmark, class, ranks, threads) of the
+#: representative DES multi-zone cell.  Ids not listed trace the
+#: default BT-MZ shape.
+_SPECS: dict[str, tuple[str, str, int, int]] = {
+    "fig7": ("sp-mz", "W", 8, 2),   # SP-MZ pinning study
+    "fig9": ("bt-mz", "W", 8, 2),   # BT-MZ process x thread grid
+    "fig11": ("bt-mz", "W", 16, 1), # NPB-MZ across networks
+    "fig6": ("bt-mz", "W", 8, 1),   # NPB per-CPU rates
+}
+_DEFAULT_SPEC = ("bt-mz", "W", 8, 2)
+
+
+def trace_experiment(experiment_id: str, out_dir: str | Path) -> TraceRunResult:
+    """Run the representative traced cell for ``experiment_id``.
+
+    Returns the live tracer plus the written file paths; raises
+    :class:`~repro.errors.ConfigurationError` for unknown ids.
+    """
+    from repro.core.registry import resolve_experiment
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.npb.mz_des import des_step_time
+
+    resolve_experiment(experiment_id)  # unknown ids fail here
+    benchmark, cls, ranks, threads = _SPECS.get(experiment_id, _DEFAULT_SPEC)
+
+    cluster = single_node(NodeType.BX2B)
+    placement = Placement(
+        cluster=cluster, n_ranks=ranks, threads_per_rank=threads
+    )
+    tracer = Tracer()
+    des_step_time(benchmark, cls, placement, tracer=tracer)
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(tracer, out / f"{experiment_id}.trace.json")
+    csv_path = out / f"{experiment_id}.spans.csv"
+    csv_path.write_text(spans_to_csv(tracer))
+
+    cell = f"{benchmark} class {cls}, {ranks} ranks x {threads} threads (DES step)"
+    return TraceRunResult(
+        experiment_id=experiment_id,
+        cell=cell,
+        tracer=tracer,
+        trace_path=trace_path,
+        csv_path=csv_path,
+    )

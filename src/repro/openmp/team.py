@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.spans import current_tracer
 from repro.sim.engine import Simulator
 from repro.sim.process import SimEvent, SimProcess, Timeout
 
@@ -56,6 +57,10 @@ def run_parallel_for(
     chunk_costs: Sequence[float],
     n_threads: int,
     schedule: str = "static",
+    tracer: "object | None" = None,
+    rank: int = 0,
+    t_offset: float = 0.0,
+    target_elapsed: float | None = None,
 ) -> TeamResult:
     """Execute a parallel loop whose iterations cost ``chunk_costs``.
 
@@ -64,6 +69,16 @@ def run_parallel_for(
     threads pull the next chunk from a shared queue, paying a small
     dispatch cost per chunk — trading overhead for balance, exactly
     the decision the NPB-MZ codes face with uneven zones.
+
+    When a tracer is active (explicit ``tracer``, or the ambient one
+    from :func:`repro.obs.spans.use_tracer`), the region is recorded
+    as an ``omp_region`` span on ``rank``'s main flow starting at
+    simulated time ``t_offset``, with per-chunk ``compute`` spans on
+    the worker-thread lanes.  ``target_elapsed`` rescales the recorded
+    detail to a known region duration — how the DES workloads embed
+    OpenMP structure inside an already-timed compute segment without
+    perturbing simulated time.  Tracing never changes the returned
+    :class:`TeamResult`.
     """
     if n_threads < 1:
         raise ConfigurationError(f"need >= 1 thread, got {n_threads}")
@@ -71,6 +86,11 @@ def run_parallel_for(
         raise ConfigurationError(f"unknown schedule {schedule!r}")
     if any(c < 0 for c in chunk_costs):
         raise ConfigurationError("chunk costs must be non-negative")
+    if tracer is None:
+        tracer = current_tracer()
+    if tracer is not None and not tracer.enabled:
+        tracer = None
+    record: list | None = [] if tracer is not None else None
     sim = Simulator()
     busy = [0.0] * n_threads
     counts = [0] * n_threads
@@ -80,9 +100,12 @@ def run_parallel_for(
         yield Timeout(sim, FORK_JOIN_COST / 2)
         for idx in range(tid, len(chunk_costs), n_threads):
             cost = chunk_costs[idx]
+            start = sim.now
             yield Timeout(sim, cost)
             busy[tid] += cost
             counts[tid] += 1
+            if record is not None:
+                record.append((tid, idx, start, sim.now))
         yield Timeout(sim, FORK_JOIN_COST / 2)
 
     def dynamic_thread(tid: int):
@@ -91,13 +114,32 @@ def run_parallel_for(
             idx = queue.pop(0)
             yield Timeout(sim, DYNAMIC_DISPATCH_COST)
             cost = chunk_costs[idx]
+            start = sim.now
             yield Timeout(sim, cost)
             busy[tid] += cost
             counts[tid] += 1
+            if record is not None:
+                record.append((tid, idx, start, sim.now))
         yield Timeout(sim, FORK_JOIN_COST / 2)
 
     thread_fn = static_thread if schedule == "static" else dynamic_thread
     for tid in range(n_threads):
         SimProcess(sim, thread_fn(tid), name=f"omp{tid}")
     elapsed = sim.run()
+    if tracer is not None:
+        scale = 1.0
+        if target_elapsed is not None and elapsed > 0:
+            scale = target_elapsed / elapsed
+        end = t_offset + elapsed * scale
+        tracer.complete(
+            rank, "omp_region", f"parallel_for[{schedule}]",
+            t_offset, end, thread=0,
+            args={"threads": n_threads, "chunks": len(chunk_costs)},
+        )
+        for tid, idx, c0, c1 in record:
+            tracer.complete(
+                rank, "compute", f"chunk{idx}",
+                t_offset + c0 * scale, t_offset + c1 * scale, thread=tid,
+            )
+        tracer.counters.add("omp.chunks", len(chunk_costs), end)
     return TeamResult(elapsed=elapsed, busy=tuple(busy), chunks=tuple(counts))

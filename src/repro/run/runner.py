@@ -57,6 +57,8 @@ class RunStats:
     executed: int = 0
     cached: int = 0
     errors: int = 0
+    #: ``"<scenario-id>: <error>"`` per failed cell, sweep order.
+    failures: list[str] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -72,6 +74,10 @@ class RunStats:
             f"{self.executed} executed, {self.errors} failed "
             f"({100.0 * self.hit_rate:.1f}% cache hits)"
         )
+
+    def failure_lines(self) -> list[str]:
+        """``FAILED <scenario-id>: <error>`` per failed cell."""
+        return [f"FAILED {f}" for f in self.failures]
 
 
 def _normalize_rows(scenario: Scenario, rows) -> tuple[tuple, ...]:
@@ -115,11 +121,34 @@ def execute_scenario(scenario: Scenario) -> tuple[tuple, ...]:
     return _normalize_rows(scenario, fn(**kwargs))
 
 
-def _run_cell(scenario: Scenario):
-    """Worker entry point: never raises (errors travel in-band)."""
+def _trace_path(trace_dir: str, scenario: Scenario):
+    from pathlib import Path
+
+    return Path(trace_dir) / f"{scenario.workload}-{scenario.key()[:12]}.trace.json"
+
+
+def _run_cell(scenario: Scenario, trace_dir: str | None = None):
+    """Worker entry point: never raises (errors travel in-band).
+
+    With ``trace_dir`` set, the cell runs under a fresh ambient
+    :class:`~repro.obs.spans.Tracer` and its Chrome trace is written
+    to ``<trace_dir>/<workload>-<key12>.trace.json`` (cells whose
+    workloads never touch an instrumented layer record nothing and
+    write nothing).
+    """
     start = time.perf_counter()
     try:
-        rows = execute_scenario(scenario)
+        if trace_dir is None:
+            rows = execute_scenario(scenario)
+        else:
+            from repro.obs.export import write_chrome_trace
+            from repro.obs.spans import Tracer, use_tracer
+
+            tracer = Tracer()
+            with use_tracer(tracer):
+                rows = execute_scenario(scenario)
+            if tracer.spans or tracer.messages:
+                write_chrome_trace(tracer, _trace_path(trace_dir, scenario))
         return rows, None, time.perf_counter() - start
     except Exception as exc:  # per-cell capture: one bad cell reports
         err = f"{type(exc).__name__}: {exc}"
@@ -152,9 +181,13 @@ class Runner:
         self,
         jobs: int | str = 1,
         cache: ResultCache | None = None,
+        trace_dir: str | None = None,
     ) -> None:
         self.jobs = _resolve_jobs(jobs)
         self.cache = cache
+        #: when set, every *executed* cell writes a per-cell Chrome
+        #: trace here (cached cells are not re-run, hence not traced).
+        self.trace_dir = trace_dir
         self.stats = RunStats()
 
     def run(self, scenarios: Sequence[Scenario]) -> list[RunRecord]:
@@ -164,7 +197,13 @@ class Runner:
 
         pending: list[int] = []
         for i, sc in enumerate(scenarios):
-            rows = self.cache.get(sc) if self.cache is not None else None
+            # Tracing forces execution: a cache hit would skip the
+            # instrumented layers and record nothing.
+            rows = (
+                self.cache.get(sc)
+                if self.cache is not None and self.trace_dir is None
+                else None
+            )
             if rows is not None:
                 records[i] = RunRecord(sc, tuple(rows), cached=True)
                 self.stats.cached += 1
@@ -174,13 +213,16 @@ class Runner:
         if len(pending) > 1 and self.jobs > 1:
             outcomes = self._run_parallel([scenarios[i] for i in pending])
         else:
-            outcomes = [_run_cell(scenarios[i]) for i in pending]
+            outcomes = [
+                _run_cell(scenarios[i], self.trace_dir) for i in pending
+            ]
 
         for i, (rows, error, dt) in zip(pending, outcomes):
             sc = scenarios[i]
             self.stats.executed += 1
             if error is not None:
                 self.stats.errors += 1
+                self.stats.failures.append(f"{sc.describe()}: {error}")
                 records[i] = RunRecord(sc, (), error=error, duration_s=dt)
                 continue
             records[i] = RunRecord(sc, rows, duration_s=dt)
@@ -192,7 +234,9 @@ class Runner:
         """Fan cells out to a process pool; results in input order."""
         workers = min(self.jobs, len(scenarios))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_cell, sc) for sc in scenarios]
+            futures = [
+                pool.submit(_run_cell, sc, self.trace_dir) for sc in scenarios
+            ]
             # Futures are awaited in submission order, so the outcome
             # list is ordered no matter which worker finishes first.
             return [f.result() for f in futures]

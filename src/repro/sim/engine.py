@@ -72,6 +72,7 @@ class Simulator:
     __slots__ = (
         "now",
         "events_executed",
+        "observer",
         "_heap",
         "_fifo",
         "_seq",
@@ -83,6 +84,11 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self.events_executed: int = 0
+        #: optional engine observer (an
+        #: :class:`~repro.obs.counters.EngineSampler`): sampled when
+        #: the clock advances past ``observer.next_sample``.  ``None``
+        #: (the default) costs one branch per timestamp batch.
+        self.observer = None
         #: timed events: reusable ``[when, seq, func, arg]`` slots.
         self._heap: list[list] = []
         #: zero-delay fast lane: ``(seq, func, arg)`` tuples.
@@ -214,6 +220,9 @@ class Simulator:
         if when < self.now:
             raise SimulationError(f"time went backwards: {when} < {self.now}")
         self.now = when
+        observer = self.observer
+        if observer is not None and when >= observer.next_sample:
+            observer.sample(self)
         self._recycle(slot)
         self.events_executed += 1
         if arg is _NO_ARG:
@@ -301,6 +310,9 @@ class Simulator:
                         f"time went backwards: {when} < {self.now}"
                     )
                 self.now = when
+                observer = self.observer
+                if observer is not None and when >= observer.next_sample:
+                    observer.sample(self)
                 # Batch-drain every timed event sharing this timestamp.
                 # A callback may schedule zero-delay work; bail to the
                 # outer loop then so the seq tie-break is arbitrated.

@@ -1,45 +1,54 @@
-"""Message tracing and communication statistics.
+"""Message tracing and communication statistics (legacy front-end).
 
 Attach a :class:`MessageTrace` to an :class:`~repro.mpi.comm.MPIWorld`
 (via :func:`trace_world`) and every injected message is recorded with
-its simulated send time, endpoints, tag and size.  The summary methods
-answer the questions a performance analyst asks of a real trace:
-message-size histogram, per-rank traffic, pairwise traffic matrix,
-temporal phases.
+its simulated send time, endpoints, tag and size.
+
+This module is now a thin compatibility shim over
+:mod:`repro.obs.messages`: the record type is an alias of
+:class:`~repro.obs.messages.MessageRecord` and every statistic
+delegates to the free functions there, shared with the full
+:class:`~repro.obs.spans.Tracer`.  New code should use ``repro.obs``
+directly — it additionally records spans, arrival times and counters.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.errors import ConfigurationError
+from repro.obs import messages as _stats
+from repro.obs.messages import SIZE_EDGES, MessageRecord
 
 __all__ = ["TraceRecord", "MessageTrace", "trace_world"]
 
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One recorded message injection."""
-
-    time: float
-    source: int
-    dest: int
-    tag: int
-    nbytes: float
+#: Legacy name for one recorded message injection.  An alias — code
+#: that constructed ``TraceRecord(time, source, dest, tag, nbytes)``
+#: keeps working, and gains the optional ``arrival`` field.
+TraceRecord = MessageRecord
 
 
-@dataclass
 class MessageTrace:
     """A growing list of message records plus analysis helpers."""
 
-    records: list[TraceRecord] = field(default_factory=list)
+    __slots__ = ("records", "_total_bytes")
+
+    def __init__(self, records: list | None = None) -> None:
+        self.records: list[MessageRecord] = list(records) if records else []
+        #: running byte total, maintained by :meth:`record` so the
+        #: per-message hot path never re-sums the whole list.
+        self._total_bytes: float = sum(r.nbytes for r in self.records)
 
     def record(self, time: float, source: int, dest: int, tag: int,
                nbytes: float) -> None:
-        self.records.append(TraceRecord(time, source, dest, tag, nbytes))
+        self.records.append(MessageRecord(time, source, dest, tag, nbytes))
+        self._total_bytes += nbytes
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MessageTrace):
+            return NotImplemented
+        return self.records == other.records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MessageTrace({self.records!r})"
 
     # -- statistics -----------------------------------------------------------
 
@@ -49,58 +58,29 @@ class MessageTrace:
 
     @property
     def total_bytes(self) -> float:
-        return sum(r.nbytes for r in self.records)
+        return self._total_bytes
 
     def bytes_by_rank(self) -> dict[int, float]:
         """Bytes injected per source rank."""
-        out: dict[int, float] = defaultdict(float)
-        for r in self.records:
-            out[r.source] += r.nbytes
-        return dict(out)
+        return _stats.bytes_by_rank(self.records)
 
-    def traffic_matrix(self, n_ranks: int) -> np.ndarray:
+    def traffic_matrix(self, n_ranks: int):
         """Bytes sent from each rank to each rank."""
-        if n_ranks < 1:
-            raise ConfigurationError(f"n_ranks must be >= 1: {n_ranks}")
-        m = np.zeros((n_ranks, n_ranks))
-        for r in self.records:
-            m[r.source, r.dest] += r.nbytes
-        return m
+        return _stats.traffic_matrix(self.records, n_ranks)
 
-    def size_histogram(self, edges=(0, 64, 1024, 65536, 1 << 20, float("inf"))):
+    def size_histogram(self, edges=SIZE_EDGES):
         """Message counts per size bucket."""
-        counts = Counter()
-        labels = [
-            f"[{int(lo)}, {'inf' if hi == float('inf') else int(hi)})"
-            for lo, hi in zip(edges, edges[1:])
-        ]
-        for r in self.records:
-            for label, lo, hi in zip(labels, edges, edges[1:]):
-                if lo <= r.nbytes < hi:
-                    counts[label] += 1
-                    break
-        return {label: counts.get(label, 0) for label in labels}
+        return _stats.size_histogram(self.records, edges)
 
     def window(self, t0: float, t1: float) -> "MessageTrace":
         """Records whose send time falls in [t0, t1)."""
         if t1 < t0:
             raise ConfigurationError(f"empty window [{t0}, {t1})")
-        return MessageTrace(
-            [r for r in self.records if t0 <= r.time < t1]
-        )
+        return MessageTrace(_stats.window(self.records, t0, t1))
 
     def summary(self) -> str:
         """One-paragraph human-readable digest."""
-        if not self.records:
-            return "trace: no messages"
-        times = [r.time for r in self.records]
-        return (
-            f"trace: {self.message_count} messages, "
-            f"{self.total_bytes:.3g} bytes total, "
-            f"t in [{min(times):.3g}, {max(times):.3g}] s, "
-            f"busiest sender rank "
-            f"{max(self.bytes_by_rank().items(), key=lambda kv: kv[1])[0]}"
-        )
+        return _stats.summary(self.records, total_bytes=self._total_bytes)
 
 
 def trace_world(world) -> MessageTrace:

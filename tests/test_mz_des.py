@@ -66,3 +66,26 @@ class TestDESStep:
     def test_hybrid_layout_supported(self):
         r = des_step_time("bt-mz", "C", placement(32, threads_per_rank=2))
         assert r.elapsed > 0
+
+    def test_decomposition_bt_vs_sp(self):
+        """Traced compute/comm/wait split of one step, per benchmark.
+
+        Both are compute-dominated on a single BX2b node, but BT-MZ's
+        deliberately uneven zone sizes leave the lighter ranks idling
+        behind the heaviest bin, so its wait share must exceed SP-MZ's
+        (whose equal zones balance almost perfectly)."""
+        from tests.trace_asserts import assert_decomposition
+
+        from repro.obs import Tracer
+
+        splits = {}
+        for bm in ("bt-mz", "sp-mz"):
+            tracer = Tracer()
+            des_step_time(bm, "C", placement(16), tracer=tracer)
+            splits[bm] = assert_decomposition(
+                tracer, compute_frac_min=0.9, comm_frac_max=0.05
+            )
+        assert (splits["bt-mz"].fraction("wait")
+                > splits["sp-mz"].fraction("wait"))
+        assert (splits["sp-mz"].fraction("compute")
+                > splits["bt-mz"].fraction("compute"))

@@ -1,0 +1,81 @@
+"""Golden-file test: the Chrome trace of a fixed 4-rank ping-pong.
+
+The exported trace-event JSON is part of the subsystem's contract —
+Perfetto has to keep loading it, and downstream tooling may parse it —
+so a byte-deterministic workload is compared against a committed
+golden file.  If an intentional schema/layout change breaks this test,
+regenerate the golden with::
+
+    PYTHONPATH=src python tests/test_obs_export_golden.py --regen
+"""
+
+import json
+from pathlib import Path
+
+from repro.machine.cluster import single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement
+from repro.mpi import run_mpi
+from repro.obs import Tracer, to_chrome_json, use_tracer, validate_chrome_trace
+
+GOLDEN = Path(__file__).parent / "golden" / "pingpong_trace.json"
+
+ROUNDS = 3
+NBYTES = 2048.0
+
+
+def pingpong_trace() -> Tracer:
+    """Trace of a fixed 4-rank pairwise ping-pong (fully deterministic:
+    no noise, fixed placement, fixed message sizes)."""
+
+    def prog(comm):
+        partner = comm.rank ^ 1
+        for i in range(ROUNDS):
+            if comm.rank < partner:
+                yield comm.isend(partner, NBYTES, tag=i)
+                yield comm.irecv(partner, tag=i)
+            else:
+                yield comm.irecv(partner, tag=i)
+                yield comm.isend(partner, NBYTES, tag=i)
+
+    tracer = Tracer()
+    placement = Placement(single_node(NodeType.BX2B), n_ranks=4)
+    with use_tracer(tracer):
+        run_mpi(placement, prog)
+    return tracer
+
+
+def test_pingpong_trace_matches_golden():
+    doc = json.loads(to_chrome_json(pingpong_trace()))
+    golden = json.loads(GOLDEN.read_text())
+    assert doc == golden, (
+        "exported trace differs from tests/golden/pingpong_trace.json — "
+        "if the schema change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_obs_export_golden.py --regen`"
+    )
+
+
+def test_golden_is_schema_valid():
+    assert validate_chrome_trace(json.loads(GOLDEN.read_text())) == []
+
+
+def test_pingpong_trace_shape():
+    tracer = pingpong_trace()
+    # 4 ranks x 3 rounds, one message each way per round.
+    assert len(tracer.messages) == 4 * ROUNDS
+    cats = tracer.by_category()
+    assert cats["send"] == 4 * ROUNDS
+    assert cats["wait"] >= 4 * ROUNDS  # every recv waits; sends may queue
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(
+            to_chrome_json(pingpong_trace(), indent=1) + "\n"
+        )
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

@@ -244,3 +244,89 @@ class TestCLIIntegration:
             ["run", "table1", "--no-cache", "--cache-dir", cache_dir]
         ) == 0
         assert not (tmp_path / "cells").exists()
+
+
+@workload("test.mpi_ring")
+def _mpi_ring_cell(n=4):
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+    from repro.mpi import run_mpi
+
+    def prog(comm):
+        comm.isend((comm.rank + 1) % comm.size, 64.0)
+        yield comm.irecv((comm.rank - 1) % comm.size)
+
+    job = run_mpi(Placement(single_node(NodeType.BX2B), n_ranks=n), prog)
+    return [(n, job.elapsed)]
+
+
+class TestTraceCapture:
+    def test_traced_cell_writes_perfetto_file(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        sc = scenario("test.mpi_ring", n=4)
+        runner = Runner(jobs=1, trace_dir=str(tmp_path))
+        (record,) = runner.run([sc])
+        assert record.ok
+        (trace_file,) = tmp_path.glob("*.trace.json")
+        assert trace_file.name == f"test.mpi_ring-{sc.key()[:12]}.trace.json"
+        doc = json.loads(trace_file.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["messages"] == 4
+
+    def test_tracing_bypasses_warm_cache(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path / "cells", memory_only=False)
+        sc = scenario("test.mpi_ring", n=4)
+        Runner(jobs=1, cache=cache).run([sc])
+        traced = Runner(jobs=1, cache=cache, trace_dir=str(tmp_path / "tr"))
+        traced.run([sc])
+        assert traced.stats.executed == 1 and traced.stats.cached == 0
+        assert list((tmp_path / "tr").glob("*.trace.json"))
+
+    def test_uninstrumented_cell_writes_nothing(self, tmp_path):
+        runner = Runner(jobs=1, trace_dir=str(tmp_path))
+        (record,) = runner.run([scenario("test.echo", x=1, y=2)])
+        assert record.ok
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestFailureReporting:
+    def _failed_runner(self):
+        runner = Runner(jobs=1)
+        runner.run([scenario("test.boom", x=7), scenario("test.echo", x=1)])
+        return runner
+
+    def test_failures_recorded_with_scenario_id(self):
+        runner = self._failed_runner()
+        (line,) = runner.stats.failure_lines()
+        assert line.startswith("FAILED test.boom(")
+        assert "cell exploded at x=7" in line
+
+    def test_report_failures_exit_codes(self, capsys):
+        import argparse
+
+        from repro.cli import _report_failures
+
+        runner = self._failed_runner()
+        strict = argparse.Namespace(keep_going=False)
+        assert _report_failures(runner, strict) == 1
+        assert "FAILED test.boom(" in capsys.readouterr().err
+
+        lenient = argparse.Namespace(keep_going=True)
+        assert _report_failures(runner, lenient) == 0
+        # Failures still print even when tolerated.
+        assert "FAILED test.boom(" in capsys.readouterr().err
+
+    def test_clean_run_exits_zero(self, capsys):
+        import argparse
+
+        from repro.cli import _report_failures
+
+        runner = Runner(jobs=1)
+        runner.run([scenario("test.echo", x=1, y=1)])
+        args = argparse.Namespace(keep_going=False)
+        assert _report_failures(runner, args) == 0
+        assert capsys.readouterr().err == ""

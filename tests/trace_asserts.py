@@ -1,0 +1,43 @@
+"""Shared trace assertions for the test suite.
+
+``assert_decomposition`` turns a recorded trace into its
+compute/comm/wait decomposition and checks fraction bounds, failing
+with the full decomposition table so a violated bound is debuggable
+from the pytest output alone.
+"""
+
+from __future__ import annotations
+
+from repro.obs.critical_path import Decomposition, decompose
+
+__all__ = ["assert_decomposition"]
+
+
+def assert_decomposition(
+    tracer,
+    *,
+    compute_frac_min: float | None = None,
+    compute_frac_max: float | None = None,
+    comm_frac_min: float | None = None,
+    comm_frac_max: float | None = None,
+    wait_frac_min: float | None = None,
+    wait_frac_max: float | None = None,
+) -> Decomposition:
+    """Check trace-wide bucket-fraction bounds; returns the decomposition."""
+    d = decompose(tracer)
+    bounds = [
+        ("compute", compute_frac_min, compute_frac_max),
+        ("comm", comm_frac_min, comm_frac_max),
+        ("wait", wait_frac_min, wait_frac_max),
+    ]
+    for bucket, lo, hi in bounds:
+        frac = d.fraction(bucket)
+        if lo is not None:
+            assert frac >= lo, (
+                f"{bucket} fraction {frac:.3f} < required {lo:.3f}\n{d.format()}"
+            )
+        if hi is not None:
+            assert frac <= hi, (
+                f"{bucket} fraction {frac:.3f} > allowed {hi:.3f}\n{d.format()}"
+            )
+    return d
