@@ -33,6 +33,29 @@ trace-smoke:
 	  || { echo 'trace-smoke FAILED: invalid Chrome trace'; exit 1; }
 	@echo "trace-smoke ok"
 
+FAULTS_SMOKE_DIR := /tmp/repro-faults-smoke
+
+## Injected-fault sweep with a checkpoint journal, then a second pass
+## that must resume entirely from the journal (0 cells re-executed)
+## and render byte-identical output.
+.PHONY: faults-smoke
+faults-smoke:
+	rm -rf $(FAULTS_SMOKE_DIR) && mkdir -p $(FAULTS_SMOKE_DIR)
+	$(PYTHON) -m repro run fig9 --fast --no-cache \
+	  --faults "drop:probability=0.02;jitter:amplitude=0.001;seed=7" \
+	  --checkpoint $(FAULTS_SMOKE_DIR)/sweep.jsonl \
+	  >$(FAULTS_SMOKE_DIR)/cold.txt 2>$(FAULTS_SMOKE_DIR)/cold_stats.txt
+	$(PYTHON) -m repro run fig9 --fast --no-cache \
+	  --faults "drop:probability=0.02;jitter:amplitude=0.001;seed=7" \
+	  --checkpoint $(FAULTS_SMOKE_DIR)/sweep.jsonl \
+	  >$(FAULTS_SMOKE_DIR)/warm.txt 2>$(FAULTS_SMOKE_DIR)/warm_stats.txt
+	@cat $(FAULTS_SMOKE_DIR)/warm_stats.txt
+	@diff $(FAULTS_SMOKE_DIR)/cold.txt $(FAULTS_SMOKE_DIR)/warm.txt \
+	  || { echo 'faults-smoke FAILED: resumed run differs from original'; exit 1; }
+	@$(PYTHON) -c "import re,sys; t=open('$(FAULTS_SMOKE_DIR)/warm_stats.txt').read(); m=re.search(r'(\d+) total, (\d+) cached, (\d+) executed', t); ok=bool(m) and int(m.group(2)) == int(m.group(1)) and int(m.group(3)) == 0; sys.exit(0 if ok else 1)" \
+	  || { echo 'faults-smoke FAILED: resume re-executed cells instead of replaying the journal'; exit 1; }
+	@echo "faults-smoke ok: faulted sweep completed and resumed from checkpoint"
+
 SMOKE_CACHE := /tmp/repro-smoke-cache
 
 ## End-to-end cold-then-warm run of the whole characterization: the

@@ -157,6 +157,33 @@ def bench_des_pingpong() -> dict[str, float]:
     return {"des_pingpong_events_per_sec": n_events / wall}
 
 
+def bench_des_pingpong_faulted() -> dict[str, float]:
+    """The same ping-pong workload under an injected fault spec.
+
+    Tracks the cost of the faulted send path (drop draws, retry spans,
+    jitter) so fault-injection overhead cannot silently grow; the
+    faults-off number above guards the healthy path staying free.
+    """
+    from repro.faults import FaultSpec, MessageDrop, OsJitter, use_faults
+    from repro.sim.engine import Simulator
+
+    spec = FaultSpec(
+        (MessageDrop(probability=0.02), OsJitter(amplitude=0.001)), seed=7
+    )
+
+    def run_once():
+        sim = Simulator()
+        with use_faults(spec, salt="bench"):
+            _build_pingpong(sim)
+        sim.run()
+
+    # Event count varies slightly with retry draws; use the healthy
+    # count as the (deterministic) normalizer so runs are comparable.
+    n_events = _count_pingpong_events()
+    wall = _best_time(run_once)
+    return {"des_pingpong_faulted_events_per_sec": n_events / wall}
+
+
 def bench_des_alltoall() -> dict[str, float]:
     from repro.machine.cluster import single_node
     from repro.machine.node import NodeType
@@ -245,7 +272,13 @@ def bench_cost_model() -> dict[str, float]:
 
 # -- harness -----------------------------------------------------------------
 
-BENCHES = [bench_des_pingpong, bench_des_alltoall, bench_md, bench_cost_model]
+BENCHES = [
+    bench_des_pingpong,
+    bench_des_pingpong_faulted,
+    bench_des_alltoall,
+    bench_md,
+    bench_cost_model,
+]
 
 
 def measure() -> dict[str, float]:

@@ -114,9 +114,7 @@ class INS3DMultinodeModel:
         )
         per_node = cross_bytes / self.n_nodes
         if self.cluster.fabric == "infiniband":
-            lat, bw = self.cluster.infiniband.point_to_point(
-                self.n_nodes, self.cluster.mpt
-            )
+            lat, bw = self.cluster.infiniband.point_to_point(self.n_nodes)
             channels = self.cluster.infiniband.cards_per_node
         else:
             from repro.netmodel.contention import NUMALINK4_UPLINKS_PER_NODE

@@ -228,7 +228,7 @@ class OverflowModel:
         cross = cross_node_flow_factor(placement, concurrent_fraction=0.5)
         if self.cluster.fabric == "infiniband":
             ib = self.cluster.infiniband
-            _, bw_inter = ib.point_to_point(len(self.cluster.nodes), self.cluster.mpt)
+            _, bw_inter = ib.point_to_point(len(self.cluster.nodes))
             bw_inter /= cross
             transfer_inter = volume_per_rank * inter_share / (bw_inter * FRINGE_EFF)
             exposed = max(0.0, transfer_inter - IB_OVERLAP_FRACTION * compute)

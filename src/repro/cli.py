@@ -75,6 +75,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--keep-going", action="store_true",
             help="exit 0 even when cells failed (failures still print)",
         )
+        p.add_argument(
+            "--faults", default=None, metavar="SPEC",
+            help="inject machine faults into every cell, e.g. "
+                 "'degrade:link_class=inter_node,latency_factor=2; "
+                 "drop:probability=0.01; seed=1' (see docs/architecture.md)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="re-run a failed cell up to N times with exponential "
+                 "backoff before recording the failure",
+        )
+        p.add_argument(
+            "--checkpoint", default=None, metavar="FILE",
+            help="journal completed cells to FILE (JSONL); a re-run "
+                 "resumes from it instead of re-executing finished cells",
+        )
 
     sub.add_parser("list", help="list all experiments")
 
@@ -167,7 +183,16 @@ def _build_runner(args):
         None if args.no_cache
         else ResultCache(cache_dir=args.cache_dir)
     )
-    return Runner(jobs=args.jobs, cache=cache, trace_dir=args.trace_dir)
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import parse_faults
+
+        faults = parse_faults(args.faults)
+    return Runner(
+        jobs=args.jobs, cache=cache, trace_dir=args.trace_dir,
+        faults=faults, retries=getattr(args, "retries", 0),
+        checkpoint=getattr(args, "checkpoint", None),
+    )
 
 
 def _report_failures(runner, args) -> int:
@@ -192,6 +217,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.experiment_id, fast=args.fast, runner=runner
             )
             print(_render(result, args.format))
+            # Machine-readable cell accounting (parsed by `make faults-smoke`).
+            print(runner.stats.summary(), file=sys.stderr)
             return _report_failures(runner, args)
         elif args.command == "all":
             runner = _build_runner(args)

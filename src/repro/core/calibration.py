@@ -51,11 +51,16 @@ CALIBRATION: tuple[CalibratedConstant, ...] = (
         "Fig. 10: IB latency/bandwidth penalties, worse at four nodes",
     ),
     CalibratedConstant(
-        "mpt_anomaly_overhead; MZ anomaly = 0.40*(256/P)", "repro.machine.infiniband / repro.npb.hybrid",
-        "§4.6.2: released MPT 40% slower for SP-MZ over IB at 256 CPUs",
+        "MPT_ANOMALY_LATENCY = 1.4e-05", "repro.faults.spec",
+        "§4.6.2: released MPT extra per-message latency over IB",
     ),
     CalibratedConstant(
-        "boot_cpuset_penalty = 1.12", "repro.machine.placement",
+        "MPT_ANOMALY_EXCESS = 0.4", "repro.faults.spec",
+        "§4.6.2: released MPT 40% slower for SP-MZ over IB at 256 CPUs "
+        "(MZ step excess = 0.40*(256/P))",
+    ),
+    CalibratedConstant(
+        "BOOT_CPUSET_PENALTY = 1.12", "repro.faults.spec",
         "§4.6.2: full-512-CPU runs dropped 10-15%",
     ),
     CalibratedConstant(

@@ -211,6 +211,11 @@ def _spmz_dips():
 
 
 def _mpt_anomaly():
+    # The anomaly is a degraded mode, reproduced through fault
+    # injection (the paper never root-caused it): COLUMBIA_DEGRADED
+    # carries the released-MPT fault, and the model gates where it
+    # bites (SP-MZ, multi-node, IB, mpt1.11r).
+    from repro.faults import COLUMBIA_DEGRADED, use_faults
     from repro.machine.cluster import multinode
     from repro.machine.infiniband import MPTVersion
     from repro.machine.placement import Placement
@@ -222,18 +227,21 @@ def _mpt_anomaly():
             "sp-mz", "E", Placement(c, n_ranks=256, spread_nodes=True)
         )
 
-    rel, beta = rate(MPTVersion.MPT_1_11R), rate(MPTVersion.MPT_1_11B)
+    with use_faults(COLUMBIA_DEGRADED):
+        rel, beta = rate(MPTVersion.MPT_1_11R), rate(MPTVersion.MPT_1_11B)
     deficit = 1 - rel / beta
     return 0.2 < deficit < 0.5, f"released MPT {deficit * 100:.0f}% slower"
 
 
 def _boot_cpuset():
+    from repro.faults import COLUMBIA_DEGRADED, use_faults
     from repro.machine.cluster import single_node
     from repro.machine.node import NodeType
     from repro.machine.placement import Placement
 
-    full = Placement(single_node(NodeType.BX2B), n_ranks=512).boot_cpuset_penalty()
-    reduced = Placement(single_node(NodeType.BX2B), n_ranks=508).boot_cpuset_penalty()
+    with use_faults(COLUMBIA_DEGRADED):
+        full = Placement(single_node(NodeType.BX2B), n_ranks=512).boot_cpuset_penalty()
+        reduced = Placement(single_node(NodeType.BX2B), n_ranks=508).boot_cpuset_penalty()
     return full > 1.05 and reduced == 1.0, f"512-CPU penalty {full:.2f}x, 508: none"
 
 

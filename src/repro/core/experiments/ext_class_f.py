@@ -15,6 +15,7 @@ the full 10,240-CPU machine.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.faults import COLUMBIA_DEGRADED
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios"]
@@ -66,6 +67,9 @@ def scenarios(fast: bool = False):
         cells += sweep(
             "ext_class_f.run",
             {"benchmark": ("bt-mz", "sp-mz"), "threads": (4, 8)},
+            # Full-machine runs fill every node: the boot-cpuset
+            # contention (§4.6.2) applies, as on the real Columbia.
+            faults=COLUMBIA_DEGRADED,
         )
     return cells
 

@@ -9,6 +9,7 @@ until load imbalance).  Right panel: fixed processes, sweep threads
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.faults import COLUMBIA_DEGRADED
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios"]
@@ -48,6 +49,10 @@ def scenarios(fast: bool = False):
             "threads": THREAD_COUNTS[:3] if fast else THREAD_COUNTS,
         },
         where=_fits,
+        # Full-node (512-CPU) combinations pay the boot-cpuset
+        # contention the paper's Columbia had (§4.6.2) — injected, so
+        # a healthy-machine sweep of the same grid shows none of it.
+        faults=COLUMBIA_DEGRADED,
     )
 
 

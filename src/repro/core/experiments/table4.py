@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.faults import COLUMBIA_DEGRADED
 from repro.run import build_result, scenario, sweep, workload
 
 __all__ = ["run", "scenarios"]
@@ -38,8 +39,10 @@ def _overflow_cell(cpus: int) -> list[tuple]:
 
 def scenarios(fast: bool = False):
     counts = (16, 32) if fast else (16, 32, 64, 128, 256)
+    # The paper's 3700 runs filled their nodes, so the boot-cpuset
+    # contention (§4.6.2) was in every measurement: injected here.
     return (scenario("table4.ins3d"),) + sweep(
-        "table4.overflow", {"cpus": counts}
+        "table4.overflow", {"cpus": counts}, faults=COLUMBIA_DEGRADED
     )
 
 

@@ -1,0 +1,62 @@
+"""Deterministic fault injection for the simulated machine.
+
+The paper characterized Columbia *while it misbehaved* (§4.6.2: the
+released-MPT InfiniBand anomaly, the boot-cpuset penalty).  This
+package models degraded modes as injectable, seed-deterministic fault
+specs instead of constants baked into the cost formulas:
+
+* :mod:`repro.faults.spec` — frozen fault dataclasses + the
+  ``--faults`` mini-language;
+* :mod:`repro.faults.injector` — applies a spec to path costs,
+  compute spans and the MPI send path;
+* :mod:`repro.faults.context` — the ambient ``use_faults()`` context
+  the run pipeline installs per cell.
+"""
+
+from repro.faults.context import current_injector, use_faults
+from repro.faults.injector import FaultInjector, build_injector
+from repro.faults.spec import (
+    BOOT_CPUSET_PENALTY,
+    COLUMBIA_DEGRADED,
+    MPT_ANOMALY_EXCESS,
+    MPT_ANOMALY_LATENCY,
+    MPT_ANOMALY_REFERENCE_CPUS,
+    BootCpuset,
+    Fault,
+    FaultSpec,
+    LinkDegradation,
+    LinkFlap,
+    MessageDrop,
+    MptAnomaly,
+    OsJitter,
+    RouterFailover,
+    Straggler,
+    columbia_degraded,
+    format_faults,
+    parse_faults,
+)
+
+__all__ = [
+    "BOOT_CPUSET_PENALTY",
+    "COLUMBIA_DEGRADED",
+    "MPT_ANOMALY_EXCESS",
+    "MPT_ANOMALY_LATENCY",
+    "MPT_ANOMALY_REFERENCE_CPUS",
+    "BootCpuset",
+    "Fault",
+    "FaultInjector",
+    "FaultSpec",
+    "LinkDegradation",
+    "LinkFlap",
+    "MessageDrop",
+    "MptAnomaly",
+    "OsJitter",
+    "RouterFailover",
+    "Straggler",
+    "build_injector",
+    "columbia_degraded",
+    "current_injector",
+    "format_faults",
+    "parse_faults",
+    "use_faults",
+]

@@ -1,0 +1,53 @@
+"""Ambient fault context: which injector (if any) is active.
+
+Mirrors :func:`repro.obs.spans.use_tracer`: installing an injector
+process-wide means the machine model, the network cost model, and the
+MPI layer pick it up at construction time without signature changes
+anywhere.  ``current_injector()`` returns ``None`` on a healthy
+machine, so every per-call check stays a plain load + branch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["use_faults", "current_injector"]
+
+_current: Optional["FaultInjector"] = None  # noqa: F821 - forward ref
+
+
+def current_injector():
+    """The active :class:`~repro.faults.injector.FaultInjector`, or
+    ``None`` when the machine is healthy."""
+    return _current
+
+
+@contextmanager
+def use_faults(faults, salt: str = "") -> Iterator:
+    """Install a fault context for the duration of the ``with`` block.
+
+    ``faults`` may be a :class:`~repro.faults.spec.FaultSpec` (an
+    injector is built from it, seeded deterministically with ``salt``
+    — typically the scenario key, so every cell draws an independent
+    but reproducible stream), an already-built
+    :class:`~repro.faults.injector.FaultInjector`, or ``None``/an
+    empty spec (both leave the machine healthy).  Yields the installed
+    injector (or ``None``).  Re-entrant: the previous context is
+    restored on exit.
+    """
+    global _current
+    from repro.faults.injector import FaultInjector
+
+    if faults is None:
+        injector = None
+    elif isinstance(faults, FaultInjector):
+        injector = faults
+    else:
+        injector = FaultInjector(faults, salt=salt) if faults.faults else None
+    previous = _current
+    _current = injector
+    try:
+        yield injector
+    finally:
+        _current = previous

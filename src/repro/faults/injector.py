@@ -1,0 +1,216 @@
+"""The fault injector: applies a :class:`FaultSpec` to a simulation.
+
+One injector is built per experiment cell (see
+:func:`repro.run.runner.execute_scenario`), seeded from
+``sha256(spec payload | salt | spec.seed)`` — the same ``(scenario,
+fault spec, seed)`` always draws the same random stream, so injected
+runs are bit-identical between sequential and parallel sweeps.
+
+Hook points (all no-ops on a healthy machine, where the ambient
+injector is ``None`` and none of this code runs):
+
+* :meth:`adjust_path` — static path faults (link degradation, router
+  failover, the released-MPT latency), applied once per computed path
+  in :meth:`repro.netmodel.costs.NetworkModel.path`;
+* :meth:`compute_seconds` — stragglers and OS jitter, applied per
+  compute span in :meth:`repro.mpi.comm.MPIComm.compute`;
+* :meth:`flap_factor` / :meth:`send_plan` — time-dependent link flaps
+  and drop-with-retry, applied per message in the MPI send path;
+* :meth:`boot_cpuset_penalty` / :meth:`mpt_anomaly` — the §4.6.2
+  degraded modes consumed by the analytic timing models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+
+from repro.errors import CommunicationError
+from repro.faults.spec import (
+    BootCpuset,
+    FaultSpec,
+    LinkDegradation,
+    LinkFlap,
+    MessageDrop,
+    MptAnomaly,
+    OsJitter,
+    RouterFailover,
+    Straggler,
+)
+
+__all__ = ["FaultInjector", "build_injector"]
+
+#: Process-unique injector serials; the network cost model keys its
+#: shared route tables on ``(placement.generation, injector.serial)``
+#: so fault-adjusted paths never leak into healthy contexts (or into
+#: differently-faulted ones).
+_injector_serials = itertools.count(1)
+
+
+def _derive_seed(spec: FaultSpec, salt: str) -> int:
+    blob = json.dumps(spec.payload(), sort_keys=True) + "|" + salt
+    return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:8], "big")
+
+
+class FaultInjector:
+    """Deterministic application of one :class:`FaultSpec`."""
+
+    def __init__(self, spec: FaultSpec, salt: str = "") -> None:
+        self.spec = spec
+        self.salt = salt
+        self.serial = next(_injector_serials)
+        self._rng = None  # built lazily: most faults never draw
+        self._path_faults = tuple(
+            f for f in spec.faults
+            if isinstance(f, (LinkDegradation, RouterFailover, MptAnomaly))
+        )
+        self._flaps = tuple(f for f in spec.faults if isinstance(f, LinkFlap))
+        self._stragglers = tuple(
+            f for f in spec.faults if isinstance(f, Straggler)
+        )
+        self._jitters = tuple(f for f in spec.faults if isinstance(f, OsJitter))
+        self._drops = tuple(
+            f for f in spec.faults if isinstance(f, MessageDrop)
+        )
+        self._boot = next(
+            (f for f in spec.faults if isinstance(f, BootCpuset)), None
+        )
+        self._mpt = next(
+            (f for f in spec.faults if isinstance(f, MptAnomaly)), None
+        )
+        #: observability: totals a workload (or test) can read back.
+        self.retries = 0
+        self.dropped_messages = 0
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def has_path_faults(self) -> bool:
+        """Does this injector change static path costs?"""
+        return bool(self._path_faults)
+
+    @property
+    def has_des_faults(self) -> bool:
+        """Does this injector act on the DES per-message/compute path?"""
+        return bool(
+            self._flaps or self._stragglers or self._jitters or self._drops
+        )
+
+    def rng(self):
+        if self._rng is None:
+            from repro.sim.rng import make_rng
+
+            self._rng = make_rng(_derive_seed(self.spec, self.salt))
+        return self._rng
+
+    # -- static path faults ----------------------------------------------------
+
+    def adjust_path(
+        self, cluster, cpu_a: int, cpu_b: int, latency: float, bandwidth: float
+    ) -> tuple[float, float]:
+        """Fault-adjusted ``(latency, bandwidth)`` of one path.
+
+        Called once per *computed* path (results are cached in the
+        injector-keyed route table), so the classification cost here
+        is off the per-message path.
+        """
+        na = cluster.node_of(cpu_a)
+        nb = cluster.node_of(cpu_b)
+        if na != nb:
+            link = "inter_node"
+        else:
+            hops = cluster.nodes[na].hops(
+                cluster.local_cpu(cpu_a), cluster.local_cpu(cpu_b)
+            )
+            link = "intra_brick" if hops == 0 else "intra_node"
+        for fault in self._path_faults:
+            if isinstance(fault, LinkDegradation):
+                if fault.link_class in ("any", link):
+                    latency = latency * fault.latency_factor + fault.extra_latency
+                    bandwidth = bandwidth * fault.bandwidth_factor
+            elif isinstance(fault, RouterFailover):
+                if fault.node in (na, nb) and (na != nb or link == "intra_node"):
+                    # The detour takes extra hops through this node's
+                    # router fabric, priced with its per-hop parameters.
+                    ic = cluster.nodes[fault.node % len(cluster.nodes)].interconnect
+                    latency += fault.extra_hops * ic.per_hop_latency
+                    bandwidth /= 1.0 + fault.extra_hops * ic.per_hop_bw_derate
+            else:  # MptAnomaly
+                if link == "inter_node" and cluster.fabric == "infiniband":
+                    from repro.machine.infiniband import MPTVersion
+
+                    if cluster.mpt is MPTVersion.MPT_1_11R:
+                        latency += fault.extra_latency
+        return latency, bandwidth
+
+    # -- §4.6.2 degraded modes (analytic models) -------------------------------
+
+    def boot_cpuset_penalty(self) -> float:
+        """Compute multiplier for a placement that occupies the boot
+        cpuset (the occupancy condition is the placement's to check)."""
+        return self._boot.penalty if self._boot is not None else 1.0
+
+    def mpt_anomaly(self) -> MptAnomaly | None:
+        """The released-MPT anomaly spec, if injected."""
+        return self._mpt
+
+    # -- DES hooks -------------------------------------------------------------
+
+    def compute_seconds(self, world, rank: int, seconds: float) -> float:
+        """Stretch one compute span by straggler factors and jitter."""
+        for fault in self._stragglers:
+            if fault.rank is not None:
+                if fault.rank == rank:
+                    seconds *= fault.factor
+            else:
+                placement = world.network.placement
+                node = placement.cluster.node_of(placement.cpu_of(rank))
+                if node == fault.node:
+                    seconds *= fault.factor
+        if self._jitters and seconds > 0:
+            rng = self.rng()
+            for fault in self._jitters:
+                seconds *= 1.0 + rng.exponential(fault.amplitude)
+        return seconds
+
+    def flap_factor(self, link_class: str, now: float) -> float:
+        """Latency multiplier from flaps currently in a down window."""
+        factor = 1.0
+        for fault in self._flaps:
+            if fault.link_class in ("any", link_class) and fault.is_down(now):
+                factor *= fault.latency_factor
+        return factor
+
+    def send_plan(self, nbytes: float) -> tuple[float, ...]:
+        """Per-failed-attempt wait times for one message (empty: no drop).
+
+        Draws the per-attempt drop lottery; each failed attempt waits
+        ``timeout * backoff**attempt`` before the retransmission.  A
+        message that exhausts ``max_retries`` raises
+        :class:`~repro.errors.CommunicationError` (the cell fails, and
+        the runner reports it).
+        """
+        delays: list[float] = []
+        for fault in self._drops:
+            if fault.probability <= 0.0:
+                continue
+            rng = self.rng()
+            fails = 0
+            while rng.random() < fault.probability:
+                if fails >= fault.max_retries:
+                    self.dropped_messages += 1
+                    raise CommunicationError(
+                        f"message of {nbytes:.0f} bytes dropped after "
+                        f"{fault.max_retries} retries (MessageDrop "
+                        f"p={fault.probability})"
+                    )
+                delays.append(fault.timeout * fault.backoff ** fails)
+                fails += 1
+        self.retries += len(delays)
+        return tuple(delays)
+
+
+def build_injector(spec: FaultSpec, salt: str = "") -> FaultInjector:
+    """Convenience constructor (mirrors the context-manager path)."""
+    return FaultInjector(spec, salt=salt)

@@ -63,7 +63,9 @@ def advise(placement: Placement, bandwidth_bound: bool = False) -> list[Advice]:
         )
 
     # -- §4.6.2 boot cpuset --------------------------------------------------------
-    if placement.boot_cpuset_penalty() > 1.0:
+    # Advise on the occupancy condition itself, not the injected
+    # penalty: the lint should fire on a healthy machine too.
+    if placement.uses_boot_cpuset():
         out.append(
             Advice(
                 rule="leave-the-boot-cpuset",

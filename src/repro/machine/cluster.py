@@ -96,7 +96,7 @@ class Cluster:
             node_a, node_b = self.nodes[na], self.nodes[nb]
             hops = tree_depth(node_a.n_bricks) + tree_depth(node_b.n_bricks)
             return NUMALINK4.point_to_point(hops, internode=True)
-        return self.infiniband.point_to_point(len(self.nodes), self.mpt)
+        return self.infiniband.point_to_point(len(self.nodes))
 
     def crosses_nodes(self, cpu_a: int, cpu_b: int) -> bool:
         return self.node_of(cpu_a) != self.node_of(cpu_b)

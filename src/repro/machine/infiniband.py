@@ -13,8 +13,9 @@ most three Altix nodes; four or more need a hybrid paradigm.
 §4.6.2 reports an SP-MZ anomaly with the released SGI MPT runtime
 (mpt1.11r) — InfiniBand 40% slower than NUMAlink4 at 256 CPUs,
 recovering at higher counts — that disappears with the beta library
-(mpt1.11b).  The anomaly is modeled as an extra per-message software
-overhead that shrinks as the per-process message count grows.
+(mpt1.11b).  The anomaly is a *fault*, not a property of the healthy
+switch: it lives in :class:`repro.faults.MptAnomaly` and is injected
+by the experiments that reproduce the degraded-mode tables.
 """
 
 from __future__ import annotations
@@ -57,9 +58,6 @@ class InfiniBandSpec:
     cards_per_node: int
     #: Connections supported per card (paper §2: 64K).
     connections_per_card: int
-    #: Extra per-message overhead (seconds) charged by the released
-    #: MPT library; zero for the beta.
-    mpt_anomaly_overhead: float
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0 or self.base_latency < 0:
@@ -67,19 +65,21 @@ class InfiniBandSpec:
         if self.cards_per_node < 1 or self.connections_per_card < 1:
             raise ConfigurationError(f"{self.name}: bad connection limits")
 
-    def point_to_point(
-        self, n_nodes: int, mpt: MPTVersion = MPTVersion.MPT_1_11B
-    ) -> tuple[float, float]:
+    def point_to_point(self, n_nodes: int) -> tuple[float, float]:
         """(latency_s, bandwidth_Bps) for a cross-node path when
-        ``n_nodes`` Altix nodes participate in the job."""
+        ``n_nodes`` Altix nodes participate in the job.
+
+        This is the *healthy* switch: the released MPT library's
+        per-message overhead is a fault
+        (:class:`repro.faults.MptAnomaly`), injected by the §4.6.2
+        experiments and applied at the path-pricing layer.
+        """
         if n_nodes < 2:
             raise ConfigurationError(
                 "InfiniBand paths only exist between distinct nodes"
             )
         extra = n_nodes - 2
         latency = self.base_latency + extra * self.per_extra_node_latency
-        if mpt is MPTVersion.MPT_1_11R:
-            latency += self.mpt_anomaly_overhead
         bandwidth = self.bandwidth / (1.0 + extra * self.per_extra_node_bw_derate)
         return latency, bandwidth
 
@@ -130,5 +130,4 @@ INFINIBAND = InfiniBandSpec(
     per_extra_node_bw_derate=0.16,
     cards_per_node=8,
     connections_per_card=64 * 1024,
-    mpt_anomaly_overhead=usec(14.0),
 )

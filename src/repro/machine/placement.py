@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.faults.context import current_injector
 from repro.machine.cluster import Cluster
 
 __all__ = ["PinningMode", "Placement", "unpinned_penalty"]
@@ -198,9 +199,9 @@ class Placement:
         last_cpu = self.cpu_of(self.n_ranks - 1, self.threads_per_rank - 1)
         return self.cluster.node_of(last_cpu) + 1
 
-    def boot_cpuset_penalty(self) -> float:
-        """Interference multiplier when a job occupies *every* CPU of
-        a node.
+    def uses_boot_cpuset(self) -> bool:
+        """Does this layout occupy *every* CPU of some node — i.e.
+        also the CPUs reserved for system software (the boot cpuset)?
 
         §4.6.2: "the performance of 512-processor runs in a single
         node dropped by 10-15%, primarily because these runs also used
@@ -216,7 +217,23 @@ class Placement:
                     if ranks_on_node0 else 0)
         else:
             used = min(self.total_cpus_used, per_node)
-        return 1.12 if used >= per_node else 1.0
+        return used >= per_node
+
+    def boot_cpuset_penalty(self) -> float:
+        """Interference multiplier for occupying the boot cpuset.
+
+        The *condition* (full-node occupancy, :meth:`uses_boot_cpuset`)
+        is this placement's geometry; the *penalty* is a property of
+        the degraded machine the paper measured, so it comes from the
+        ambient fault context (:class:`repro.faults.BootCpuset`) —
+        a healthy machine pays nothing.
+        """
+        if not self.uses_boot_cpuset():
+            return 1.0
+        injector = current_injector()
+        if injector is None:
+            return 1.0
+        return injector.boot_cpuset_penalty()
 
     def locality_penalty(self) -> float:
         """Multiplier (>= 1) on computation time from thread migration.

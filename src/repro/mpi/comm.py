@@ -20,6 +20,7 @@ from heapq import heappush
 from typing import Any, Generator, NamedTuple
 
 from repro.errors import CommunicationError
+from repro.faults.context import current_injector
 from repro.netmodel.costs import NetworkModel
 from repro.obs.spans import current_tracer
 from repro.sim.channel import Channel
@@ -106,6 +107,19 @@ class MPIWorld:
         #: tracer (NullTracer) normalizes to ``None`` so "off" is off.
         obs = current_tracer()
         self._obs = obs if (obs is not None and obs.enabled) else None
+        #: optional :class:`repro.faults.FaultInjector` acting on the
+        #: DES per-message/compute path (drops, flaps, stragglers,
+        #: jitter).  Same normalization discipline as the tracer: an
+        #: injector with no DES-relevant faults becomes ``None``, so
+        #: the healthy hot path pays one load + branch.  Static path
+        #: faults don't need this hook — they arrive pre-applied in
+        #: the NetworkModel's route table.
+        faults = current_injector()
+        self._faults = (
+            faults
+            if faults is not None and faults.has_des_faults
+            else None
+        )
 
     def link_info(self, rank_a: int, rank_b: int) -> tuple[str, int]:
         """``(link_class, router_hops)`` between two ranks' home CPUs.
@@ -198,6 +212,8 @@ class MPIComm:
         world = self.world
         if world._noise_rng is not None and seconds > 0:
             seconds *= 1.0 + world._noise_rng.exponential(world.os_noise)
+        if world._faults is not None:
+            seconds = world._faults.compute_seconds(world, self.rank, seconds)
         obs = world._obs
         if obs is not None:
             now = self._sim.now
@@ -216,6 +232,8 @@ class MPIComm:
         returned event later (or not at all, for fire-and-forget).
         """
         world = self.world
+        if world._faults is not None:
+            return self._isend_faulted(dest, nbytes, tag, payload)
         path = self._paths.get(dest)
         if path is None:
             if not 0 <= dest < world.size:
@@ -310,6 +328,85 @@ class MPIComm:
                 sim._next_timed = when
         sim._seq = seq
         return done
+
+    def _isend_faulted(
+        self, dest: int, nbytes: float, tag: int = 0, payload: Any = None
+    ) -> SimEvent:
+        """isend under an active DES fault injector.
+
+        Kept out of :meth:`isend` so the healthy path stays one load +
+        branch; this variant trades the inlined scheduling for
+        readability and adds, per message:
+
+        * link flaps — the path latency is scaled while a matching
+          flap is in its down window at send time;
+        * drop-with-retry — each dropped attempt waits out its timeout
+          (exponential backoff) before the retransmission; the waits
+          delay both the sender's completion and the delivery, and are
+          surfaced as ``retry`` spans plus an ``mpi.retries`` counter
+          when tracing is on.  A message that exhausts its retries
+          raises :class:`~repro.errors.CommunicationError`.
+        """
+        world = self.world
+        faults = world._faults
+        path = self._paths.get(dest)
+        if path is None:
+            if not 0 <= dest < world.size:
+                raise CommunicationError(f"bad destination rank {dest}")
+            spec = world.network.path(self.rank, dest)
+            path = (spec.latency, spec.bandwidth, world.mailboxes[dest].put)
+            self._paths[dest] = path
+            obs = world._obs
+            if obs is not None:
+                now = self._sim.now
+                obs.instant(self.rank, "cache_lookup", f"path_miss->{dest}",
+                            now, args={"dest": dest})
+                obs.counters.add("mpi.path_cache_miss", 1, now)
+        if nbytes < 0:
+            raise CommunicationError(f"negative message size {nbytes}")
+        latency, bandwidth, mailbox_put = path
+        sim = self._sim
+        now = sim.now
+        link = self._links.get(dest)
+        if link is None:
+            link = self._links[dest] = world.link_info(self.rank, dest)
+        latency *= faults.flap_factor(link[0], now)
+        # The drop lottery runs before injection starts: every failed
+        # attempt waits out its timeout, so the payload's injection
+        # slot (and hence its delivery) is pushed back by the total.
+        retry_delays = faults.send_plan(nbytes)  # may raise
+        retry_wait = 0.0
+        obs = world._obs
+        for wait in retry_delays:
+            if obs is not None:
+                t = now + retry_wait
+                obs.complete(self.rank, "retry", f"retry->{dest}", t, t + wait)
+            retry_wait += wait
+        if retry_delays and obs is not None:
+            obs.counters.add("mpi.retries", len(retry_delays), now)
+        busy = world.inject_busy_until
+        key = self._inject_key
+        start = busy[key]
+        if start < now:
+            start = now
+        start += retry_wait
+        finish = start + nbytes / bandwidth
+        busy[key] = finish
+        inject = finish - now
+        world.messages_sent += 1
+        world.bytes_sent += nbytes
+        trace = world._trace
+        if trace is not None:
+            trace.record(now, self.rank, dest, tag, nbytes)
+        if obs is not None:
+            obs.record_send(now, self.rank, dest, tag, nbytes,
+                            start, finish, finish + latency,
+                            link[0], link[1])
+        sim.schedule_call(
+            inject + latency, mailbox_put,
+            Message(self.rank, dest, tag, nbytes, payload),
+        )
+        return Timeout(sim, inject)
 
     def send(
         self, dest: int, nbytes: float, tag: int = 0, payload: Any = None

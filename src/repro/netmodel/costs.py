@@ -17,6 +17,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.context import current_injector
 from repro.machine.placement import Placement
 from repro.sim.rng import make_rng
 
@@ -44,22 +45,25 @@ class _RouteTable:
         self.stats: dict[tuple[int, int], "PathStats"] = {}
 
 
-#: LRU registry of route tables, keyed by :attr:`Placement.generation`.
-#: Generations are process-unique and never recycled, so a stale entry
-#: can only waste memory, never alias a different placement; the bound
-#: caps that waste for workloads that churn through placements.
-_route_tables: OrderedDict[int, _RouteTable] = OrderedDict()
+#: LRU registry of route tables, keyed by ``(Placement.generation,
+#: FaultInjector.serial)`` (serial 0 = healthy machine).  Generations
+#: and injector serials are process-unique and never recycled, so a
+#: stale entry can only waste memory, never alias a different
+#: placement — and fault-adjusted paths can never be observed through
+#: a healthy (or differently-faulted) context; the bound caps that
+#: waste for workloads that churn through placements.
+_route_tables: OrderedDict[tuple[int, int], _RouteTable] = OrderedDict()
 _MAX_ROUTE_TABLES = 32
 
 
-def _route_table(placement: Placement) -> _RouteTable:
-    gen = placement.generation
-    table = _route_tables.get(gen)
+def _route_table(placement: Placement, injector_serial: int) -> _RouteTable:
+    key = (placement.generation, injector_serial)
+    table = _route_tables.get(key)
     if table is not None:
-        _route_tables.move_to_end(gen)
+        _route_tables.move_to_end(key)
         return table
     table = _RouteTable(placement)
-    _route_tables[gen] = table
+    _route_tables[key] = table
     if len(_route_tables) > _MAX_ROUTE_TABLES:
         _route_tables.popitem(last=False)
     return table
@@ -100,8 +104,22 @@ class NetworkModel:
     def __init__(self, placement: Placement) -> None:
         self.placement = placement
         self.cluster = placement.cluster
-        table = _route_table(placement)
+        # Static path faults (degraded links, router failover, the
+        # released-MPT overhead) are priced here — both the analytic
+        # collective models and the DES MPI layer buy their paths from
+        # this model, so one hook covers both.  Captured at build time
+        # from the ambient fault context; None on a healthy machine.
+        injector = current_injector()
+        self._faults = (
+            injector
+            if injector is not None and injector.has_path_faults
+            else None
+        )
+        table = _route_table(
+            placement, 0 if self._faults is None else self._faults.serial
+        )
         #: shared with every other NetworkModel for this placement
+        #: (built under the same fault context)
         self._path_cache: dict[tuple[int, int], PathSpec] = table.paths
         self._stats_cache: dict[tuple[int, int], PathStats] = table.stats
 
@@ -109,7 +127,8 @@ class NetworkModel:
         """Path between the home CPUs of two ranks (thread 0)."""
         if rank_a == rank_b:
             # Self-messages move through shared memory: model as the
-            # best same-brick path.
+            # best same-brick path (link faults describe the fabric,
+            # so they leave the in-memory copy alone).
             cpu = self.placement.cpu_of(rank_a)
             node = self.cluster.nodes[self.cluster.node_of(cpu)]
             lat, bw = node.interconnect.point_to_point(0)
@@ -120,6 +139,10 @@ class NetworkModel:
             cpu_a = self.placement.cpu_of(rank_a)
             cpu_b = self.placement.cpu_of(rank_b)
             lat, bw = self.cluster.point_to_point(cpu_a, cpu_b)
+            if self._faults is not None:
+                lat, bw = self._faults.adjust_path(
+                    self.cluster, cpu_a, cpu_b, lat, bw
+                )
             spec = PathSpec(lat, bw)
             self._path_cache[key] = spec
         return spec

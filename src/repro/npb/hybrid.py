@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.faults.context import current_injector
 from repro.machine.compilers import Compiler, compiler_factor
 from repro.machine.infiniband import MPTVersion
 from repro.machine.placement import Placement
@@ -139,10 +140,16 @@ class MZTimingModel:
     def _mpt_anomaly_time(self) -> float:
         """§4.6.2: SP-MZ over InfiniBand with the released MPT library
         (mpt1.11r) ran 40% slower at 256 CPUs, improving as CPU count
-        grows; absent with the beta (mpt1.11b) and for BT-MZ.  Carried
-        as an empirical per-step overhead, since the paper itself had
+        grows; absent with the beta (mpt1.11b) and for BT-MZ.  The
+        overhead itself is a fault (:class:`repro.faults.MptAnomaly`,
+        injected by the §4.6.2 experiments), since the paper itself had
         not found the root cause ("We are actively working with SGI
-        engineers to find the true cause of the anomaly")."""
+        engineers to find the true cause of the anomaly"); the gating
+        below says *where* the released runtime's bug bites."""
+        injector = current_injector()
+        anomaly = None if injector is None else injector.mpt_anomaly()
+        if anomaly is None:
+            return 0.0
         cluster = self.placement.cluster
         if (
             self.benchmark == "sp-mz"
@@ -150,7 +157,8 @@ class MZTimingModel:
             and cluster.fabric == "infiniband"
             and cluster.mpt is MPTVersion.MPT_1_11R
         ):
-            return 0.40 * (256.0 / self.placement.total_cpus) * self.compute_time_per_step()
+            excess = anomaly.step_excess(self.placement.total_cpus)
+            return excess * self.compute_time_per_step()
         return 0.0
 
     # -- results ----------------------------------------------------------------

@@ -59,7 +59,7 @@ __all__ = [
 #: Span categories the exporters and the critical-path walk understand.
 CATEGORIES = frozenset(
     ("compute", "send", "recv", "wait", "collective", "omp_region",
-     "barrier", "cache_lookup")
+     "barrier", "cache_lookup", "retry")
 )
 
 #: First per-rank lane (Perfetto ``tid``) carrying send-injection

@@ -34,7 +34,8 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.run.scenario import Scenario
+from repro.errors import ConfigurationError
+from repro.run.scenario import Scenario, canonical_value
 
 __all__ = ["ResultCache", "calibration_fingerprint", "default_cache_dir"]
 
@@ -130,9 +131,15 @@ class ResultCache:
         return list(rows)
 
     def put(self, scenario: Scenario, rows: list[tuple]) -> None:
-        """Store ``rows`` for ``scenario`` (memory, then disk)."""
+        """Store ``rows`` for ``scenario`` (memory, then disk).
+
+        Rows are canonicalized (nested sequences to nested tuples)
+        *before* the memory store, so a warm in-process hit returns
+        exactly what a cold disk hit would after the JSON round-trip —
+        callers never see type drift between the two levels.
+        """
         key = self.key_for(scenario)
-        rows = [tuple(r) for r in rows]
+        rows = [canonical_value(r, "cached row value ") for r in rows]
         self._memory[key] = rows
         self.stats.writes += 1
         if self.cache_dir is None:
@@ -162,8 +169,8 @@ class ResultCache:
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-            return [tuple(r) for r in payload["rows"]]
-        except (OSError, ValueError, KeyError, TypeError):
+            return [canonical_value(r) for r in payload["rows"]]
+        except (OSError, ValueError, KeyError, TypeError, ConfigurationError):
             # Missing or corrupt cell: treat as a miss; a fresh run
             # will overwrite it.
             return None

@@ -16,23 +16,55 @@ Execution backends:
 
 A failing cell never kills the sweep: the exception is captured into
 ``RunRecord.error`` and the remaining cells proceed; the reporting
-layer decides how loudly to complain.
+layer decides how loudly to complain.  That contract extends to dead
+*workers*: a cell that takes its worker process down with it (OOM
+kill, segfaulting extension, ``os._exit``) surfaces as a
+:class:`RunRecord` error — the pool's ``BrokenProcessPool`` is caught,
+the surviving cells are re-dispatched, and only the culprit is
+reported failed.
+
+Resilience knobs (all off by default):
+
+* ``retries=N`` — re-run a failed cell up to N times with exponential
+  backoff before recording the failure (transient-failure hygiene);
+* ``checkpoint=PATH`` — journal every completed cell to an
+  append-only JSONL file; a re-run after a crash (or a ``kill -9``)
+  resumes from the journal instead of re-executing finished cells;
+* ``faults=SPEC`` — overlay a :class:`~repro.faults.FaultSpec` onto
+  every scenario (merged with any cell-level spec), the CLI's
+  ``--faults`` path.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.faults.context import use_faults
+from repro.faults.spec import FaultSpec
 from repro.run.cache import ResultCache
-from repro.run.scenario import SCALARS, Scenario
+from repro.run.scenario import Scenario, canonical_value
 from repro.run.workloads import resolve
 
-__all__ = ["RunRecord", "Runner", "RunStats", "default_runner", "execute_scenario"]
+__all__ = [
+    "RunRecord",
+    "Runner",
+    "RunStats",
+    "SweepCheckpoint",
+    "default_runner",
+    "execute_scenario",
+]
+
+#: Error string recorded for a cell whose worker process died; tested
+#: for by the reporting layer and the robustness tests.
+WORKER_DIED = "worker process died (BrokenProcessPool)"
 
 
 @dataclass(frozen=True)
@@ -81,22 +113,17 @@ class RunStats:
 
 
 def _normalize_rows(scenario: Scenario, rows) -> tuple[tuple, ...]:
-    """Validate a cell's return value: rows of JSON-safe scalars."""
+    """Canonicalize a cell's return value: rows of JSON-safe scalars
+    (nested sequences become nested tuples — the cache's one normal
+    form, so fresh rows compare equal to cache-round-tripped ones)."""
     if rows is None:
         raise ConfigurationError(
             f"{scenario.describe()}: cell returned None (want rows)"
         )
-    out = []
-    for row in rows:
-        row = tuple(row)
-        for v in row:
-            if not isinstance(v, SCALARS):
-                raise ConfigurationError(
-                    f"{scenario.describe()}: row value {v!r} is not a "
-                    f"JSON-safe scalar"
-                )
-        out.append(row)
-    return tuple(out)
+    what = f"{scenario.describe()}: row value "
+    return tuple(
+        tuple(canonical_value(v, what) for v in row) for row in rows
+    )
 
 
 def execute_scenario(scenario: Scenario) -> tuple[tuple, ...]:
@@ -105,20 +132,26 @@ def execute_scenario(scenario: Scenario) -> tuple[tuple, ...]:
     When the scenario declares a machine spec, the built cluster is
     passed as ``cluster=`` — or, if a placement spec is declared too,
     a built ``placement=`` (which carries the cluster on it).
+
+    The cell runs under its scenario's fault context
+    (:func:`repro.faults.use_faults`), salted with the scenario key —
+    every layer that prices a degraded machine picks the injector up
+    ambiently, and the same cell always draws the same fault stream.
     """
     fn = resolve(scenario.workload)
     kwargs = scenario.kwargs()
-    if scenario.machine is not None:
-        cluster = scenario.machine.build()
-        if scenario.placement is not None:
-            kwargs["placement"] = scenario.placement.build(cluster)
-        else:
-            kwargs["cluster"] = cluster
-    elif scenario.placement is not None:
-        raise ConfigurationError(
-            f"{scenario.describe()}: placement spec without machine spec"
-        )
-    return _normalize_rows(scenario, fn(**kwargs))
+    with use_faults(scenario.faults, salt=scenario.key()):
+        if scenario.machine is not None:
+            cluster = scenario.machine.build()
+            if scenario.placement is not None:
+                kwargs["placement"] = scenario.placement.build(cluster)
+            else:
+                kwargs["cluster"] = cluster
+        elif scenario.placement is not None:
+            raise ConfigurationError(
+                f"{scenario.describe()}: placement spec without machine spec"
+            )
+        return _normalize_rows(scenario, fn(**kwargs))
 
 
 def _trace_path(trace_dir: str, scenario: Scenario):
@@ -169,12 +202,92 @@ def _resolve_jobs(jobs) -> int:
     return jobs
 
 
+class SweepCheckpoint:
+    """Append-only JSONL journal that lets a crashed sweep resume.
+
+    Line 1 is a header binding the journal to the calibration
+    fingerprint and package version (the result cache's invalidation
+    contract); each later line is one completed cell::
+
+        {"key": "<scenario key>", "rows": [[...], ...]}
+
+    Lines are flushed as written, so a sweep killed mid-flight loses
+    at most the cell in progress.  Failures are *not* journaled — a
+    resumed sweep re-runs them.  A journal written under a different
+    calibration or version is ignored and truncated on first write.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        from repro.run.cache import calibration_fingerprint, _package_version
+
+        self.path = Path(path)
+        self._context = f"{_package_version()}|{calibration_fingerprint()}"
+        self._rows: dict[str, tuple[tuple, ...]] = {}
+        self._fh = None
+        self._valid = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return
+        if header.get("context") != self._context:
+            return
+        self._valid = True
+        for line in lines[1:]:
+            try:
+                cell = json.loads(line)
+                self._rows[cell["key"]] = tuple(
+                    canonical_value(r) for r in cell["rows"]
+                )
+            except (ValueError, KeyError, TypeError, ConfigurationError):
+                # Torn tail line from the crash: everything before it
+                # is intact (lines are flushed whole).
+                continue
+
+    def get(self, key: str) -> tuple[tuple, ...] | None:
+        """Journaled rows for a scenario key, or None."""
+        return self._rows.get(key)
+
+    def put(self, key: str, rows) -> None:
+        """Journal one completed cell (idempotent per key)."""
+        if key in self._rows:
+            return
+        rows = tuple(canonical_value(r) for r in rows)
+        self._rows[key] = rows
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            mode = "a" if self._valid and self.path.exists() else "w"
+            self._fh = open(self.path, mode)
+            if mode == "w":
+                self._fh.write(
+                    json.dumps({"checkpoint": 1, "context": self._context})
+                    + "\n"
+                )
+                self._valid = True
+        self._fh.write(json.dumps({"key": key, "rows": rows}) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
 class Runner:
     """Executes scenario cells through the cache and a backend.
 
     One runner can serve many experiments (the CLI shares a single
     runner across ``repro all``); ``stats`` accumulates over its
-    lifetime.
+    lifetime.  See the module docstring for the resilience knobs
+    (``retries``, ``checkpoint``, ``faults``).
     """
 
     def __init__(
@@ -182,28 +295,56 @@ class Runner:
         jobs: int | str = 1,
         cache: ResultCache | None = None,
         trace_dir: str | None = None,
+        faults: FaultSpec | None = None,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+        checkpoint: str | Path | SweepCheckpoint | None = None,
     ) -> None:
         self.jobs = _resolve_jobs(jobs)
         self.cache = cache
         #: when set, every *executed* cell writes a per-cell Chrome
         #: trace here (cached cells are not re-run, hence not traced).
         self.trace_dir = trace_dir
+        #: fault overlay merged onto every scenario (CLI ``--faults``).
+        self.faults = faults if faults else None
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0: {retries}")
+        self.retries = int(retries)
+        self.retry_backoff = retry_backoff
+        self.checkpoint = (
+            checkpoint
+            if checkpoint is None or isinstance(checkpoint, SweepCheckpoint)
+            else SweepCheckpoint(checkpoint)
+        )
         self.stats = RunStats()
+
+    def _with_faults(self, sc: Scenario) -> Scenario:
+        if self.faults is None:
+            return sc
+        merged = (
+            self.faults if sc.faults is None else sc.faults.merge(self.faults)
+        )
+        return replace(sc, faults=merged)
 
     def run(self, scenarios: Sequence[Scenario]) -> list[RunRecord]:
         """All cells, as records in input order."""
-        scenarios = list(scenarios)
+        scenarios = [self._with_faults(sc) for sc in scenarios]
         records: list[RunRecord | None] = [None] * len(scenarios)
 
         pending: list[int] = []
         for i, sc in enumerate(scenarios):
-            # Tracing forces execution: a cache hit would skip the
-            # instrumented layers and record nothing.
-            rows = (
-                self.cache.get(sc)
-                if self.cache is not None and self.trace_dir is None
-                else None
-            )
+            # Tracing forces execution: a cache (or checkpoint) hit
+            # would skip the instrumented layers and record nothing.
+            rows = None
+            if self.trace_dir is None:
+                if self.cache is not None:
+                    rows = self.cache.get(sc)
+                if rows is None and self.checkpoint is not None:
+                    rows = self.checkpoint.get(sc.key())
+                    if rows is not None and self.cache is not None:
+                        # Promote the journaled cell so later runs hit
+                        # the cache without the journal.
+                        self.cache.put(sc, list(rows))
             if rows is not None:
                 records[i] = RunRecord(sc, tuple(rows), cached=True)
                 self.stats.cached += 1
@@ -214,7 +355,7 @@ class Runner:
             outcomes = self._run_parallel([scenarios[i] for i in pending])
         else:
             outcomes = [
-                _run_cell(scenarios[i], self.trace_dir) for i in pending
+                self._run_with_retries(scenarios[i]) for i in pending
             ]
 
         for i, (rows, error, dt) in zip(pending, outcomes):
@@ -228,18 +369,78 @@ class Runner:
             records[i] = RunRecord(sc, rows, duration_s=dt)
             if self.cache is not None:
                 self.cache.put(sc, list(rows))
+            if self.checkpoint is not None:
+                self.checkpoint.put(sc.key(), rows)
         return records  # type: ignore[return-value]
 
+    def _run_with_retries(self, sc: Scenario, isolated: bool = False):
+        """One cell, re-attempted with exponential backoff on failure."""
+        outcome = (
+            self._run_isolated(sc) if isolated
+            else _run_cell(sc, self.trace_dir)
+        )
+        for attempt in range(self.retries):
+            if outcome[1] is None:
+                break
+            time.sleep(self.retry_backoff * (2.0 ** attempt))
+            rows, err, dt = (
+                self._run_isolated(sc) if isolated
+                else _run_cell(sc, self.trace_dir)
+            )
+            outcome = (rows, err, outcome[2] + dt)
+        return outcome
+
+    def _run_isolated(self, sc: Scenario):
+        """One cell in its own single-worker pool.
+
+        The quarantine backend for cells suspected of killing their
+        worker: an innocent cell completes normally; a culprit breaks
+        only its private pool and is reported as :data:`WORKER_DIED`
+        instead of taking neighbors down with it.
+        """
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            try:
+                return pool.submit(_run_cell, sc, self.trace_dir).result()
+            except BrokenProcessPool:
+                return None, WORKER_DIED, time.perf_counter() - start
+
     def _run_parallel(self, scenarios: list[Scenario]):
-        """Fan cells out to a process pool; results in input order."""
+        """Fan cells out to a process pool; results in input order.
+
+        A worker death poisons the shared pool: the culprit's future
+        *and* every future still queued behind it raise
+        ``BrokenProcessPool``, and the executor cannot say which cell
+        pulled the trigger.  All affected cells are therefore re-run
+        quarantined (one fresh single-worker pool each) — innocents
+        complete on the retry, the culprit fails alone, and the sweep
+        always returns one outcome per cell.
+        """
         workers = min(self.jobs, len(scenarios))
+        outcomes: list = [None] * len(scenarios)
+        suspects: list[int] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(_run_cell, sc, self.trace_dir) for sc in scenarios
             ]
             # Futures are awaited in submission order, so the outcome
             # list is ordered no matter which worker finishes first.
-            return [f.result() for f in futures]
+            for i, future in enumerate(futures):
+                try:
+                    outcomes[i] = future.result()
+                except BrokenProcessPool:
+                    suspects.append(i)
+        for i in suspects:
+            outcomes[i] = self._run_with_retries(scenarios[i], isolated=True)
+        if self.retries:
+            outcomes = [
+                (
+                    outcome if outcome[1] is None or i in suspects
+                    else self._run_with_retries(scenarios[i], isolated=True)
+                )
+                for i, outcome in enumerate(outcomes)
+            ]
+        return outcomes
 
 
 #: Process-wide default: sequential, memory-only cache.  Library

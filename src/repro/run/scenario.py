@@ -26,11 +26,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
 
 __all__ = [
     "MachineSpec",
     "PlacementSpec",
     "Scenario",
+    "canonical_value",
     "scenario",
     "sweep",
 ]
@@ -39,16 +41,28 @@ __all__ = [
 SCALARS = (str, int, float, bool, type(None))
 
 
-def _check_value(name: str, value: Any) -> Any:
-    """Validate one parameter value (scalars or tuples of scalars)."""
+def canonical_value(value: Any, what: str = "value ") -> Any:
+    """Canonicalize to the one normal form scenarios and cached rows
+    share: scalars pass through, sequences become (nested) tuples.
+
+    Both the scenario constructor and every cache read/write funnel
+    through this, so a value compares equal no matter which side of a
+    JSON round-trip it is on (JSON turns tuples into lists; this turns
+    them back).
+    """
     if isinstance(value, SCALARS):
         return value
     if isinstance(value, (tuple, list)):
-        return tuple(_check_value(name, v) for v in value)
+        return tuple(canonical_value(v, what) for v in value)
     raise ConfigurationError(
-        f"scenario parameter {name}={value!r} is not a JSON-safe scalar "
+        f"{what}{value!r} is not a JSON-safe scalar "
         f"(allowed: str/int/float/bool/None and tuples of them)"
     )
+
+
+def _check_value(name: str, value: Any) -> Any:
+    """Validate one parameter value (scalars or tuples of scalars)."""
+    return canonical_value(value, f"scenario parameter {name}=")
 
 
 @dataclass(frozen=True)
@@ -133,10 +147,20 @@ class Scenario:
     params: tuple[tuple[str, Any], ...] = ()
     machine: MachineSpec | None = None
     placement: PlacementSpec | None = None
+    #: degraded-machine conditions the cell runs under
+    #: (:mod:`repro.faults`); ``None`` — the common case — is a
+    #: healthy machine and leaves the cache key byte-identical to
+    #: pre-faults builds.
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         for name, value in self.params:
             _check_value(name, value)
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ConfigurationError(
+                f"scenario faults must be a FaultSpec, "
+                f"got {type(self.faults).__name__}"
+            )
 
     def kwargs(self) -> dict[str, Any]:
         """The params as a keyword dict for the workload callable."""
@@ -163,6 +187,11 @@ class Scenario:
                 None if self.placement is None else vars(self.placement)
             ),
         }
+        if self.faults:
+            # Only present when faults are: fault-free scenarios keep
+            # the keys (and disk caches) they had before the fault
+            # layer existed.
+            payload["faults"] = self.faults.payload()
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -171,12 +200,14 @@ def scenario(
     workload: str,
     machine: MachineSpec | None = None,
     placement: PlacementSpec | None = None,
+    faults: FaultSpec | None = None,
     **params: Any,
 ) -> Scenario:
     """Build one :class:`Scenario` from keyword parameters."""
     items = tuple(sorted((k, _check_value(k, v)) for k, v in params.items()))
     return Scenario(
-        workload=workload, params=items, machine=machine, placement=placement
+        workload=workload, params=items, machine=machine,
+        placement=placement, faults=faults,
     )
 
 
@@ -187,6 +218,7 @@ def sweep(
     where: Callable[[dict[str, Any]], bool] | None = None,
     machine: MachineSpec | Callable[[dict[str, Any]], MachineSpec] | None = None,
     placement: PlacementSpec | Callable[[dict[str, Any]], PlacementSpec] | None = None,
+    faults: FaultSpec | Callable[[dict[str, Any]], FaultSpec | None] | None = None,
 ) -> tuple[Scenario, ...]:
     """Expand a cartesian grid of parameters into scenarios.
 
@@ -195,8 +227,9 @@ def sweep(
     scenario order — and therefore result-row order — is deterministic.
     ``base`` supplies fixed parameters every cell shares.  ``where``
     filters grid points (it sees the full point dict, base included).
-    ``machine``/``placement`` may be static specs or callables mapping
-    a grid point to a spec, for sweeps whose topology varies by cell.
+    ``machine``/``placement``/``faults`` may be static specs or
+    callables mapping a grid point to a spec, for sweeps whose
+    topology (or degradation) varies by cell.
     """
     base = dict(base or {})
     names = list(axes)
@@ -208,7 +241,9 @@ def sweep(
             continue
         mspec = machine(point) if callable(machine) else machine
         pspec = placement(point) if callable(placement) else placement
+        fspec = faults(point) if callable(faults) else faults
         cells.append(
-            scenario(workload, machine=mspec, placement=pspec, **point)
+            scenario(workload, machine=mspec, placement=pspec,
+                     faults=fspec, **point)
         )
     return tuple(cells)

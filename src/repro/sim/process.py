@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, _CLAMP_EPS
 
 __all__ = ["SimEvent", "Timeout", "SimProcess", "AllOf", "AnyOf"]
 
@@ -92,7 +92,15 @@ class Timeout(SimEvent):
         self.value = None
         self._callbacks = []
         if delay < 0:
-            raise SimulationError(f"negative timeout: {delay}")
+            # Mirror Simulator.schedule_at: cost-model float noise can
+            # produce delays a few ulps below zero (e.g. a duration
+            # reconstructed as the difference of two nearby
+            # timestamps); clamp those, but keep rejecting genuinely
+            # negative delays.
+            if -delay <= _CLAMP_EPS * max(abs(sim.now), 1.0):
+                delay = 0.0
+            else:
+                raise SimulationError(f"negative timeout: {delay}")
         sim.schedule_call(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:

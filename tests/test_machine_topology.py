@@ -136,11 +136,32 @@ class TestCluster:
         assert bw_ib < bw_nl / 2
 
     def test_mpt_release_adds_latency(self):
+        from repro.faults import COLUMBIA_DEGRADED, MPT_ANOMALY_LATENCY, use_faults
+        from repro.machine.placement import Placement
+        from repro.netmodel.costs import NetworkModel
+
         rel = multinode(2, fabric="infiniband", n_cpus=64, mpt=MPTVersion.MPT_1_11R)
         beta = multinode(2, fabric="infiniband", n_cpus=64, mpt=MPTVersion.MPT_1_11B)
+        # A healthy machine prices both libraries identically — the
+        # released library's extra latency is a fault, not a property
+        # of the fabric.
         lat_rel, _ = rel.point_to_point(0, 64)
         lat_beta, _ = beta.point_to_point(0, 64)
-        assert lat_rel > lat_beta
+        assert lat_rel == lat_beta
+        # Under the Columbia degraded spec the released-MPT inter-node
+        # path picks up the +14us; the beta library does not.
+        with use_faults(COLUMBIA_DEGRADED):
+            # spread placements round-robin ranks over nodes, so rank
+            # 0 -> node 0 and rank 1 -> node 1: an inter-node pair.
+            p_rel = NetworkModel(
+                Placement(rel, n_ranks=128, spread_nodes=True)
+            ).path(0, 1)
+            p_beta = NetworkModel(
+                Placement(beta, n_ranks=128, spread_nodes=True)
+            ).path(0, 1)
+        assert p_rel.latency == pytest.approx(
+            p_beta.latency + MPT_ANOMALY_LATENCY
+        )
 
     def test_ib_degrades_with_node_count(self):
         two = multinode(2, fabric="infiniband", n_cpus=64)
