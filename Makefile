@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-check bench-baseline
+.PHONY: test bench bench-check bench-baseline check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## The default verification path: unit tests, perf guard, and every
+## end-to-end smoke (cache, tracing, faults, serving).
+check: test bench-check smoke trace-smoke faults-smoke serve-smoke
+	@echo "check ok: tests, bench guard and all smokes passed"
 
 ## Measure the tracked kernels and refresh the "current" section of
 ## BENCH_kernels.json (the committed perf record).
@@ -55,6 +60,14 @@ faults-smoke:
 	@$(PYTHON) -c "import re,sys; t=open('$(FAULTS_SMOKE_DIR)/warm_stats.txt').read(); m=re.search(r'(\d+) total, (\d+) cached, (\d+) executed', t); ok=bool(m) and int(m.group(2)) == int(m.group(1)) and int(m.group(3)) == 0; sys.exit(0 if ok else 1)" \
 	  || { echo 'faults-smoke FAILED: resume re-executed cells instead of replaying the journal'; exit 1; }
 	@echo "faults-smoke ok: faulted sweep completed and resumed from checkpoint"
+
+## Boot the scenario service on an ephemeral TCP port, fire 20
+## concurrent requests (duplicates included) through ServeClient, and
+## assert coalescing happened and responses are byte-identical to
+## direct Runner execution.  Details in src/repro/serve/smoke.py.
+.PHONY: serve-smoke
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke
 
 SMOKE_CACHE := /tmp/repro-smoke-cache
 

@@ -53,6 +53,7 @@ MD_CELLS = 6  # 4 * 6^3 = 864 atoms, the paper's §3.3 system size
 MD_STEPS = 30
 PATH_LOOKUP_CALLS = 50_000
 COLLECTIVE_RANKS = 256
+SERVE_CELLS = 256
 
 
 def _best_time(fn: Callable[[], object], repeats: int = 7) -> float:
@@ -270,6 +271,38 @@ def bench_cost_model() -> dict[str, float]:
     }
 
 
+# -- scenario service --------------------------------------------------------
+
+
+def _serve_noop_cell(i: int = 0) -> list:
+    """Near-zero-work cell: the measurement is scheduler overhead."""
+    return [(i,)]
+
+
+def bench_serve() -> dict[str, float]:
+    """End-to-end submission throughput of the serve scheduler.
+
+    Pushes SERVE_CELLS distinct cells through an in-process
+    :class:`~repro.serve.ScenarioService` (queue, coalescing index,
+    batch formation, ``run_batch`` hand-off) with a no-op workload, so
+    the cells/sec number is the scheduler's own overhead ceiling —
+    not simulation time.
+    """
+    from repro.run import Runner, scenario, workload
+    from repro.serve import submit
+
+    # Idempotent: re-registering the same function is a no-op.
+    workload("bench.serve_noop")(_serve_noop_cell)
+    cells = [scenario("bench.serve_noop", i=i) for i in range(SERVE_CELLS)]
+
+    def run_once():
+        results = submit(cells, runner=Runner(jobs=1, cache=None))
+        assert all(r.ok for r in results)
+
+    wall = _best_time(run_once, repeats=5)
+    return {"serve_submit_cells_per_sec": SERVE_CELLS / wall}
+
+
 # -- harness -----------------------------------------------------------------
 
 BENCHES = [
@@ -278,6 +311,7 @@ BENCHES = [
     bench_des_alltoall,
     bench_md,
     bench_cost_model,
+    bench_serve,
 ]
 
 

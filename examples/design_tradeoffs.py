@@ -11,7 +11,7 @@ beyond the paper: how many InfiniBand cards would pure MPI on all 20
 nodes need, and what would the §5 SHMEM port of INS3D's exchanges buy?
 """
 
-from repro.core import run_experiment
+from repro.api import run_experiment
 
 
 def main() -> None:

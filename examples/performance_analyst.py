@@ -13,22 +13,19 @@ reach for when *using* this library rather than reproducing the paper:
 
 import numpy as np
 
-from repro.core import run_experiment
+from repro.api import NodeType, Placement, Tracer, run_experiment, single_node
 from repro.core.claims import format_claims, verify_claims
 from repro.core.series import chart_experiment
-from repro.machine.cluster import single_node
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
 from repro.mpi import run_mpi
 from repro.mpi.collectives import allreduce, alltoall
-from repro.sim.trace import MessageTrace
+from repro.obs import messages as mstats
 
 
 def main() -> None:
     # -- 1. trace a job ---------------------------------------------------------
     print("1. Tracing a 32-rank job (one all-to-all + one allreduce):")
     placement = Placement(single_node(NodeType.BX2B), n_ranks=32)
-    trace = MessageTrace()
+    tracer = Tracer()
 
     def program(comm):
         yield comm.compute(1e-5)
@@ -36,11 +33,11 @@ def main() -> None:
         total = yield from allreduce(comm, 8, float(comm.rank))
         return total
 
-    job = run_mpi(placement, program, trace=trace)
-    print(f"   {trace.summary()}")
+    job = run_mpi(placement, program, tracer=tracer)
+    print(f"   {mstats.summary(tracer.messages)}")
     print(f"   simulated wall-clock: {job.elapsed * 1e6:.1f} us")
-    print(f"   size histogram: {trace.size_histogram()}")
-    matrix = trace.traffic_matrix(32)
+    print(f"   size histogram: {mstats.size_histogram(tracer.messages)}")
+    matrix = mstats.traffic_matrix(tracer.messages, 32)
     print(f"   traffic matrix: {matrix.sum():.0f} bytes total, "
           f"row sums uniform: {np.allclose(matrix.sum(1), matrix.sum(1)[0])}")
     print()

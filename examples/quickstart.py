@@ -11,11 +11,15 @@ Walks through the three layers of the library:
 3. the characterization harness (a full paper table by id).
 """
 
-from repro.core import list_experiments, run_experiment
+from repro.api import (
+    NodeType,
+    Placement,
+    list_experiments,
+    multinode,
+    run_experiment,
+    single_node,
+)
 from repro.hpcc import pingpong
-from repro.machine.cluster import multinode, single_node
-from repro.machine.node import NodeType
-from repro.machine.placement import Placement
 from repro.machine.specs import format_table1
 from repro.npb import run_mg
 from repro.units import to_gb_per_s, to_usec

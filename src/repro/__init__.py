@@ -12,34 +12,54 @@ The package provides:
   workloads: HPC Challenge microbenchmarks, NAS Parallel Benchmarks
   (incl. multi-zone), molecular dynamics, INS3D and OVERFLOW-D;
 * :mod:`repro.core` — the characterization harness reproducing every
-  table and figure of the paper's evaluation.
+  table and figure of the paper's evaluation;
+* :mod:`repro.serve` — the scenario service (queueing, request
+  coalescing, micro-batching over the shared cache);
+* :mod:`repro.api` — **the supported import surface**.  Program
+  against it::
 
-Quickstart::
+      from repro.api import run_experiment
+      print(run_experiment("table2").format())
 
-    from repro.core import run_experiment
-    result = run_experiment("table2")
-    print(result.format())
+Root attributes resolve lazily (PEP 562): ``import repro`` stays
+cheap, pulling in neither the experiment registry nor the serve
+stack until first touched.
 """
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
 
 __version__ = "1.0.0"
 
-from repro.machine import (
-    Cluster,
-    NodeType,
-    Placement,
-    PinningMode,
-    columbia,
-    multinode,
-)
-from repro.machine.cluster import single_node
+#: attribute -> providing module; resolved on first access.
+_LAZY_EXPORTS = {
+    "api": "repro.api",
+    "Cluster": "repro.machine",
+    "NodeType": "repro.machine",
+    "Placement": "repro.machine",
+    "PinningMode": "repro.machine",
+    "columbia": "repro.machine",
+    "multinode": "repro.machine",
+    "single_node": "repro.machine.cluster",
+}
 
-__all__ = [
-    "Cluster",
-    "NodeType",
-    "Placement",
-    "PinningMode",
-    "columbia",
-    "multinode",
-    "single_node",
-    "__version__",
-]
+__all__ = [*sorted(_LAZY_EXPORTS), "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+    module = importlib.import_module(module_name)
+    value = module if name == "api" else getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,106 @@
+"""The supported public API, in one import.
+
+Everything a consumer of the reproduction needs — building scenarios,
+running them, registering experiments, injecting faults, tracing, and
+talking to (or embedding) the scenario service — re-exported from one
+place::
+
+    from repro.api import Runner, run_experiment, sweep
+
+This facade is the compatibility contract: the symbols in ``__all__``
+and their signatures are snapshot-tested (``tests/test_api_surface.py``
+against ``tests/golden/api_surface.txt``), so any change to the
+surface is a deliberate, reviewed act.  Internal module layout under
+:mod:`repro` may shift between PRs; imports written against
+:mod:`repro.api` keep working.
+
+The facade groups five seams:
+
+* **scenarios & execution** — :class:`Scenario`, :func:`scenario`,
+  :func:`sweep`, :class:`Runner`, :class:`RunRecord`,
+  :class:`ResultCache`, :func:`workload`;
+* **experiments** — :func:`run_experiment`, :func:`list_experiments`,
+  :class:`ExperimentSpec`, :func:`experiment`,
+  :func:`experiment_specs`, :class:`ExperimentResult`;
+* **faults** — :class:`FaultSpec`, :func:`parse_faults`,
+  :func:`use_faults`;
+* **observability** — :class:`Tracer`, :func:`use_tracer`,
+  :class:`CounterSet`;
+* **serving** — :class:`ServeClient`, :class:`ServeResult`,
+  :func:`submit` (in-process one-shot), :class:`ScenarioService`.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import (
+    ExperimentSpec,
+    experiment,
+    experiment_specs,
+    list_experiments,
+    resolve_experiment,
+    run_experiment,
+)
+from repro.faults.context import use_faults
+from repro.faults.spec import FaultSpec, parse_faults
+from repro.machine.cluster import Cluster, columbia, multinode, single_node
+from repro.machine.node import NodeType
+from repro.machine.placement import Placement, PinningMode
+from repro.obs.counters import CounterSet
+from repro.obs.spans import Tracer, use_tracer
+from repro.run.cache import ResultCache
+from repro.run.runner import RunRecord, Runner
+from repro.run.scenario import (
+    MachineSpec,
+    PlacementSpec,
+    Scenario,
+    scenario,
+    sweep,
+)
+from repro.run.workloads import workload
+from repro.serve import (
+    ScenarioService,
+    ServeClient,
+    ServeReply,
+    ServeResult,
+    submit,
+)
+
+__all__ = sorted(
+    [
+        "Cluster",
+        "CounterSet",
+        "ExperimentResult",
+        "ExperimentSpec",
+        "FaultSpec",
+        "MachineSpec",
+        "NodeType",
+        "Placement",
+        "PinningMode",
+        "PlacementSpec",
+        "ResultCache",
+        "RunRecord",
+        "Runner",
+        "Scenario",
+        "ScenarioService",
+        "ServeClient",
+        "ServeReply",
+        "ServeResult",
+        "Tracer",
+        "columbia",
+        "experiment",
+        "experiment_specs",
+        "list_experiments",
+        "multinode",
+        "parse_faults",
+        "resolve_experiment",
+        "run_experiment",
+        "scenario",
+        "single_node",
+        "submit",
+        "sweep",
+        "use_faults",
+        "use_tracer",
+        "workload",
+    ]
+)

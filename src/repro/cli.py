@@ -16,6 +16,11 @@ Commands
     Run the experiment's representative DES cell under the tracer and
     write a Perfetto-loadable Chrome trace + spans CSV, printing the
     compute/comm/wait decomposition and the critical path.
+``serve [--host H] [--port P] [--max-queue N] [--max-batch N]``
+    Long-lived scenario service (JSON lines over TCP): queues,
+    coalesces and micro-batches scenario cells against the shared
+    cache.  See docs/api.md for the protocol and
+    :class:`repro.serve.ServeClient`.
 
 ``run``, ``all`` and ``report`` share the run-pipeline options:
 ``--jobs N|auto`` executes cells on a process pool (output is
@@ -32,7 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import list_experiments, run_experiment
+from repro.core import experiment_specs, run_experiment
 from repro.core.calibration import calibration_report
 from repro.core.export import to_csv, to_json, to_markdown
 from repro.errors import ReproError
@@ -158,6 +163,31 @@ def build_parser() -> argparse.ArgumentParser:
     hpcc_p.add_argument("--node-type", default="BX2b",
                         choices=("3700", "BX2a", "BX2b"))
     hpcc_p.add_argument("--cpus", type=int, default=64)
+
+    serve_p = sub.add_parser(
+        "serve", help="long-lived scenario service (JSON lines over TCP)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1)")
+    serve_p.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 7447; 0 lets the OS pick)",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=1024, metavar="N",
+        help="queued cells before admission control rejects "
+             "with a retry-after hint (default 1024)",
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=32, metavar="N",
+        help="most cells packed into one runner batch (default 32)",
+    )
+    serve_p.add_argument(
+        "--batch-wait", type=float, default=0.0, metavar="SECONDS",
+        help="linger before forming a batch so request bursts pack "
+             "together (default 0: dispatch immediately)",
+    )
+    add_runner_options(serve_p)
     return parser
 
 
@@ -209,8 +239,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            for eid, desc in list_experiments():
-                print(f"{eid:<20} {desc}")
+            for spec in experiment_specs():
+                print(
+                    f"{spec.experiment_id:<20} {spec.anchor:<10} {spec.title}"
+                )
         elif args.command == "run":
             runner = _build_runner(args)
             result = run_experiment(
@@ -222,8 +254,8 @@ def main(argv: list[str] | None = None) -> int:
             return _report_failures(runner, args)
         elif args.command == "all":
             runner = _build_runner(args)
-            for eid, _desc in list_experiments():
-                result = run_experiment(eid, fast=args.fast, runner=runner)
+            for spec in experiment_specs():
+                result = spec.run(fast=args.fast, runner=runner)
                 print(result.format())
                 print()
             # Machine-readable cell accounting (parsed by `make smoke`).
@@ -283,6 +315,17 @@ def main(argv: list[str] | None = None) -> int:
                 print("layout looks clean — no paper lessons apply")
             for a in advice:
                 print(f"[{a.severity:<7}] {a.rule} ({a.paper_ref}): {a.message}")
+        elif args.command == "serve":
+            from repro.serve import DEFAULT_PORT, serve_forever
+
+            return serve_forever(
+                _build_runner(args),
+                host=args.host,
+                port=DEFAULT_PORT if args.port is None else args.port,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                batch_wait=args.batch_wait,
+            )
         elif args.command == "hpcc":
             from repro.hpcc.report import hpcc_summary
             from repro.machine.node import NodeType

@@ -20,6 +20,9 @@ re-targeted at the simulated Columbia:
 from repro.core.experiment import ExperimentResult
 from repro.core.registry import (
     EXPERIMENTS,
+    ExperimentSpec,
+    experiment,
+    experiment_specs,
     list_experiments,
     resolve_experiment,
     run_experiment,
@@ -27,7 +30,10 @@ from repro.core.registry import (
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentSpec",
     "EXPERIMENTS",
+    "experiment",
+    "experiment_specs",
     "list_experiments",
     "resolve_experiment",
     "run_experiment",

@@ -14,6 +14,7 @@ per-node card count, and the §5 future-work SHMEM port.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = [
@@ -58,6 +59,12 @@ def cache_scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'ablation_cache',
+    title='L3 size at fixed clock',
+    anchor='ablation',
+    scenarios=cache_scenarios,
+)
 def run_cache_ablation(fast: bool = False, runner=None) -> ExperimentResult:
     """L3 6 MB -> 9 MB at fixed 1.5 GHz: the pure cache effect."""
     return build_result(
@@ -81,6 +88,12 @@ def clock_scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'ablation_clock',
+    title='Clock at fixed L3 size',
+    anchor='ablation',
+    scenarios=clock_scenarios,
+)
 def run_clock_ablation(fast: bool = False, runner=None) -> ExperimentResult:
     """1.5 -> 1.6 GHz at fixed 6 MB L3: the pure clock effect."""
     return build_result(
@@ -115,6 +128,12 @@ def grouping_scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'ablation_grouping',
+    title='Grouping strategies vs imbalance',
+    anchor='ablation',
+    scenarios=grouping_scenarios,
+)
 def run_grouping_ablation(fast: bool = False, runner=None) -> ExperimentResult:
     """OVERFLOW-D grouping strategies: the paper's bin-packing with
     connectivity test vs pure LPT vs round-robin (§3.5 / ref [5])."""
@@ -141,6 +160,12 @@ def ibcards_scenarios(fast: bool = False):
     return sweep("ablation.ibcards", {"nodes": (2, 3, 4, 6, 8, 12, 20)})
 
 
+@experiment(
+    'ablation_ibcards',
+    title='IB card count vs MPI process cap',
+    anchor='ablation',
+    scenarios=ibcards_scenarios,
+)
 def run_ibcards_ablation(fast: bool = False, runner=None) -> ExperimentResult:
     """The §2 InfiniBand connection limit vs per-node card count."""
     return build_result(
@@ -177,6 +202,12 @@ def shmem_scenarios(fast: bool = False):
     return sweep("ablation.shmem", {"message_bytes": sizes})
 
 
+@experiment(
+    'ablation_shmem',
+    title='§5 future work: SHMEM vs MPI',
+    anchor='§5',
+    scenarios=shmem_scenarios,
+)
 def run_shmem_ablation(fast: bool = False, runner=None) -> ExperimentResult:
     """§5 future work: port INS3D's exchanges to SHMEM.
 

@@ -15,6 +15,7 @@ the full 10,240-CPU machine.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.faults import COLUMBIA_DEGRADED
 from repro.run import build_result, sweep, workload
 
@@ -74,6 +75,13 @@ def scenarios(fast: bool = False):
     return cells
 
 
+@experiment(
+    'ext_class_f',
+    title='Extension: Class F on the full Columbia',
+    anchor='extension',
+    scenarios=scenarios,
+    faults=COLUMBIA_DEGRADED,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="ext_class_f",

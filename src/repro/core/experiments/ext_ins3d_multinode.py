@@ -9,6 +9,7 @@ fabric matters.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios"]
@@ -66,6 +67,12 @@ def scenarios(fast: bool = False):
     return cells
 
 
+@experiment(
+    'ext_ins3d_multinode',
+    title='§5 future work: multinode INS3D',
+    anchor='§5',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="ext_ins3d_multinode",

@@ -11,6 +11,7 @@ counts, quiet vs noisy, averaged over seeds.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios"]
@@ -56,6 +57,12 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'ext_noise',
+    title='Extension: OS-noise amplification at scale',
+    anchor='extension',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="ext_noise",

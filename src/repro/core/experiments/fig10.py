@@ -7,6 +7,7 @@ Latency and bandwidth for ping-pong / natural ring / random ring at
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import MachineSpec, PlacementSpec, build_result, sweep, workload
 
 __all__ = ["run", "scenarios", "CONFIGS"]
@@ -81,6 +82,12 @@ def scenarios(fast: bool = False):
     return tuple(cells)
 
 
+@experiment(
+    'fig10',
+    title='Multinode b_eff: NUMAlink4 vs InfiniBand',
+    anchor='Fig. 10',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="fig10",

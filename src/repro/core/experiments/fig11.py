@@ -10,6 +10,7 @@ SP-MZ.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.faults import COLUMBIA_DEGRADED
 from repro.run import build_result, sweep, workload
 
@@ -90,6 +91,13 @@ def scenarios(fast: bool = False):
     return tuple(cells)
 
 
+@experiment(
+    'fig11',
+    title='NPB-MZ Class E under three networks',
+    anchor='Fig. 11',
+    scenarios=scenarios,
+    faults=COLUMBIA_DEGRADED,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="fig11",

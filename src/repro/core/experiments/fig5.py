@@ -8,6 +8,7 @@ interconnect comparison.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import MachineSpec, PlacementSpec, build_result, sweep, workload
 
 __all__ = ["run", "scenarios", "CPU_COUNTS"]
@@ -51,6 +52,12 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'fig5',
+    title='b_eff latency/bandwidth per node type',
+    anchor='Fig. 5',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="fig5",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios", "BENCHMARK_CLASSES"]
@@ -51,6 +52,12 @@ def scenarios(fast: bool = False):
     return tuple(cells)
 
 
+@experiment(
+    'fig6',
+    title='NPB per-CPU rates, MPI and OpenMP',
+    anchor='Fig. 6',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="fig6",

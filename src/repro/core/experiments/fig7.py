@@ -9,6 +9,7 @@ threads; pure process mode (Px1) is least affected.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios", "TOTAL_CPUS", "THREAD_COUNTS"]
@@ -62,6 +63,12 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'fig7',
+    title='SP-MZ pinning vs no pinning',
+    anchor='Fig. 7',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     from repro.npb.multizone import MZ_CLASSES
 

@@ -4,6 +4,7 @@ NPBs (BX2b, -O3 -openmp)."""
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios", "THREAD_COUNTS"]
@@ -41,6 +42,12 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'fig8',
+    title='Four compiler versions on OpenMP NPB',
+    anchor='Fig. 8',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="fig8",

@@ -9,6 +9,7 @@ until load imbalance).  Right panel: fixed processes, sweep threads
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.faults import COLUMBIA_DEGRADED
 from repro.run import build_result, sweep, workload
 
@@ -56,6 +57,13 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'fig9',
+    title='BT-MZ process x thread combinations',
+    anchor='Fig. 9',
+    scenarios=scenarios,
+    faults=COLUMBIA_DEGRADED,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="fig9",

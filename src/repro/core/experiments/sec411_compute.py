@@ -9,6 +9,7 @@ a role in DGEMM and none in STREAM.
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, scenario, sweep, workload
 
 __all__ = ["run", "scenarios"]
@@ -41,6 +42,12 @@ def scenarios(fast: bool = False):
     ) + (scenario("sec411.cell", node_type="BX2b", setting="internode"),)
 
 
+@experiment(
+    'sec411_compute',
+    title='§4.1.1 DGEMM + STREAM per node type',
+    anchor='§4.1.1',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="sec411_compute",

@@ -9,6 +9,7 @@ inconclusive (small latency improvement, none for bandwidth).
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import MachineSpec, PlacementSpec, build_result, sweep, workload
 
 __all__ = ["run", "scenarios"]
@@ -58,6 +59,12 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'sec42_stride',
+    title='§4.2 CPU stride effects on HPCC',
+    anchor='§4.2',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="sec42_stride",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, scenario, workload
 
 __all__ = ["run", "scenarios"]
@@ -26,6 +27,12 @@ def scenarios(fast: bool = False):
     return (scenario("table1.rows"),)
 
 
+@experiment(
+    'table1',
+    title='Node characteristics (3700/BX2a/BX2b)',
+    anchor='Table 1',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="table1",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, scenario, workload
 
 __all__ = ["run", "scenarios", "LAYOUTS"]
@@ -41,6 +42,12 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'table2',
+    title='INS3D MLP groups x OpenMP threads',
+    anchor='Table 2',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="table2",

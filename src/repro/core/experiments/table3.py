@@ -4,6 +4,7 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios", "CPU_COUNTS"]
@@ -35,6 +36,12 @@ def scenarios(fast: bool = False):
     return sweep("table3.cell", {"cpus": counts})
 
 
+@experiment(
+    'table3',
+    title='OVERFLOW-D 3700 vs BX2b scaling',
+    anchor='Table 3',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="table3",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.faults import COLUMBIA_DEGRADED
 from repro.run import build_result, scenario, sweep, workload
 
@@ -46,6 +47,13 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'table4',
+    title='INS3D/OVERFLOW-D under Fortran 7.1 vs 8.1',
+    anchor='Table 4',
+    scenarios=scenarios,
+    faults=COLUMBIA_DEGRADED,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="table4",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, sweep, workload
 
 __all__ = ["run", "scenarios", "PROC_COUNTS"]
@@ -32,6 +33,12 @@ def scenarios(fast: bool = False):
     return sweep("table5.cell", {"processors": counts}, base={"steps": 100})
 
 
+@experiment(
+    'table5',
+    title='MD weak scaling to 2040 CPUs',
+    anchor='Table 5',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="table5",

@@ -4,6 +4,7 @@ InfiniBand."""
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
 from repro.run import build_result, scenario, workload
 
 __all__ = ["run", "scenarios", "CONFIGS"]
@@ -39,6 +40,12 @@ def scenarios(fast: bool = False):
     )
 
 
+@experiment(
+    'table6',
+    title='OVERFLOW-D multinode NL4 vs InfiniBand',
+    anchor='Table 6',
+    scenarios=scenarios,
+)
 def run(fast: bool = False, runner=None) -> ExperimentResult:
     return build_result(
         experiment_id="table6",

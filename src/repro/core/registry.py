@@ -1,77 +1,106 @@
-"""The experiment registry: every table/figure by id."""
+"""The experiment registry: every table/figure by id.
+
+Each experiment registers itself with the :func:`experiment`
+decorator, which wraps the module's ``run(fast=, runner=)`` entry
+point in a frozen :class:`ExperimentSpec` carrying the things every
+consumer used to fish out of module attributes: the paper anchor, the
+human title, the scenario sweep factory and the default fault
+overlay.  ``repro run``/``repro trace``, the suite report and the
+serve smoke harness all consume the spec — the modules themselves are
+an implementation detail.
+
+The experiment modules are imported at the *bottom* of this module,
+in the paper's presentation order: importing the registry populates
+it, and iteration order everywhere (CLI listing, ``repro all``, the
+suite report) is that curated order.
+"""
 
 from __future__ import annotations
 
 import difflib
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.experiment import ExperimentResult
-from repro.core.experiments import (
-    ablations,
-    ext_class_f,
-    ext_ins3d_multinode,
-    ext_noise,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    sec42_stride,
-    sec411_compute,
-    table1,
-    table2,
-    table3,
-    table4,
-    table5,
-    table6,
-)
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
 
 __all__ = [
     "EXPERIMENTS",
+    "ExperimentSpec",
+    "experiment",
+    "experiment_specs",
     "list_experiments",
     "resolve_experiment",
     "run_experiment",
 ]
 
-#: experiment id -> (description, runner).
-EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
-    "table1": ("Node characteristics (3700/BX2a/BX2b)", table1.run),
-    "sec411_compute": ("§4.1.1 DGEMM + STREAM per node type", sec411_compute.run),
-    "fig5": ("b_eff latency/bandwidth per node type", fig5.run),
-    "fig6": ("NPB per-CPU rates, MPI and OpenMP", fig6.run),
-    "table2": ("INS3D MLP groups x OpenMP threads", table2.run),
-    "table3": ("OVERFLOW-D 3700 vs BX2b scaling", table3.run),
-    "sec42_stride": ("§4.2 CPU stride effects on HPCC", sec42_stride.run),
-    "fig7": ("SP-MZ pinning vs no pinning", fig7.run),
-    "fig8": ("Four compiler versions on OpenMP NPB", fig8.run),
-    "table4": ("INS3D/OVERFLOW-D under Fortran 7.1 vs 8.1", table4.run),
-    "fig9": ("BT-MZ process x thread combinations", fig9.run),
-    "fig10": ("Multinode b_eff: NUMAlink4 vs InfiniBand", fig10.run),
-    "fig11": ("NPB-MZ Class E under three networks", fig11.run),
-    "table5": ("MD weak scaling to 2040 CPUs", table5.run),
-    "table6": ("OVERFLOW-D multinode NL4 vs InfiniBand", table6.run),
-    "ablation_cache": ("L3 size at fixed clock", ablations.run_cache_ablation),
-    "ablation_clock": ("Clock at fixed L3 size", ablations.run_clock_ablation),
-    "ablation_grouping": ("Grouping strategies vs imbalance", ablations.run_grouping_ablation),
-    "ablation_ibcards": ("IB card count vs MPI process cap", ablations.run_ibcards_ablation),
-    "ablation_shmem": ("§5 future work: SHMEM vs MPI", ablations.run_shmem_ablation),
-    "ext_ins3d_multinode": (
-        "§5 future work: multinode INS3D", ext_ins3d_multinode.run,
-    ),
-    "ext_class_f": (
-        "Extension: Class F on the full Columbia", ext_class_f.run,
-    ),
-    "ext_noise": (
-        "Extension: OS-noise amplification at scale", ext_noise.run,
-    ),
-}
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment, fully described.
+
+    ``run(fast=, runner=)`` produces the
+    :class:`~repro.core.experiment.ExperimentResult`; ``scenarios``
+    (``fast=`` keyword) yields the raw sweep cells for callers that
+    drive the Runner or the serve layer directly.  ``faults`` is the
+    default fault overlay the sweep bakes in (informational — the
+    factory applies it itself), shown by ``repro list``.
+    """
+
+    experiment_id: str
+    title: str
+    #: where in the paper this reproduces ("Fig. 9", "Table 4",
+    #: "§4.1.1"), or "extension" for beyond-the-paper studies.
+    anchor: str
+    run: Callable[..., ExperimentResult] = field(repr=False, compare=False)
+    scenarios: Callable | None = field(
+        default=None, repr=False, compare=False
+    )
+    faults: FaultSpec | None = None
 
 
-def resolve_experiment(experiment_id: str) -> tuple[str, Callable]:
-    """``(description, run_fn)`` for a registered experiment id.
+#: experiment id -> spec, in registration (= paper presentation) order.
+EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+
+def experiment(
+    experiment_id: str,
+    title: str,
+    anchor: str,
+    scenarios: Callable | None = None,
+    faults: FaultSpec | None = None,
+) -> Callable:
+    """Register the decorated ``run`` function as an experiment.
+
+    Re-decorating the same function (module reimport) is a no-op;
+    two *different* functions claiming one id is a bug and raises.
+    """
+
+    def register(run_fn: Callable[..., ExperimentResult]) -> Callable:
+        existing = EXPERIMENTS.get(experiment_id)
+        if existing is not None:
+            if existing.run.__qualname__ == run_fn.__qualname__:
+                return run_fn
+            raise ConfigurationError(
+                f"experiment id {experiment_id!r} registered twice: "
+                f"{existing.run.__qualname__} and {run_fn.__qualname__}"
+            )
+        EXPERIMENTS[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            anchor=anchor,
+            run=run_fn,
+            scenarios=scenarios,
+            faults=faults,
+        )
+        return run_fn
+
+    return register
+
+
+def resolve_experiment(experiment_id: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` for a registered experiment id.
 
     Unknown ids raise :class:`~repro.errors.ConfigurationError` with
     close-match suggestions — shared by ``run_experiment`` and the
@@ -102,10 +131,39 @@ def run_experiment(
     caching and parallelism; by default a shared sequential runner
     with an in-memory cell cache is used.
     """
-    _, run_fn = resolve_experiment(experiment_id)
-    return run_fn(fast=fast, runner=runner)
+    return resolve_experiment(experiment_id).run(fast=fast, runner=runner)
 
 
 def list_experiments() -> list[tuple[str, str]]:
-    """(id, description) pairs for every registered experiment."""
-    return [(eid, desc) for eid, (desc, _) in EXPERIMENTS.items()]
+    """(id, title) pairs for every registered experiment."""
+    return [(spec.experiment_id, spec.title) for spec in EXPERIMENTS.values()]
+
+
+def experiment_specs() -> list[ExperimentSpec]:
+    """Every registered spec, in paper presentation order."""
+    return list(EXPERIMENTS.values())
+
+
+# Populate the registry.  Import order IS presentation order; these
+# sit at the bottom because each module imports the decorator above.
+from repro.core.experiments import (  # noqa: E402,F401
+    table1,
+    sec411_compute,
+    fig5,
+    fig6,
+    table2,
+    table3,
+    sec42_stride,
+    fig7,
+    fig8,
+    table4,
+    fig9,
+    fig10,
+    fig11,
+    table5,
+    table6,
+    ablations,
+    ext_ins3d_multinode,
+    ext_class_f,
+    ext_noise,
+)

@@ -19,7 +19,7 @@ from pathlib import Path
 from repro.core.calibration import calibration_report
 from repro.core.claims import format_claims, verify_claims
 from repro.core.export import to_csv, to_markdown
-from repro.core.registry import list_experiments, run_experiment
+from repro.core.registry import experiment_specs
 from repro.errors import ConfigurationError
 from repro.machine.specs import format_table1
 from repro.machine.topology import topology_report
@@ -46,13 +46,15 @@ def write_report(
     out.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
 
-    selected = list_experiments()
+    selected = experiment_specs()
     if experiment_ids is not None:
-        known = {eid for eid, _ in selected}
+        known = {spec.experiment_id for spec in selected}
         unknown = [e for e in experiment_ids if e not in known]
         if unknown:
             raise ConfigurationError(f"unknown experiments: {unknown}")
-        selected = [(eid, d) for eid, d in selected if eid in experiment_ids]
+        selected = [
+            spec for spec in selected if spec.experiment_id in experiment_ids
+        ]
 
     index = [
         "# Columbia characterization report",
@@ -63,14 +65,15 @@ def write_report(
         "## Experiments",
         "",
     ]
-    for eid, desc in selected:
-        result = run_experiment(eid, fast=fast, runner=runner)
+    for spec in selected:
+        eid = spec.experiment_id
+        result = spec.run(fast=fast, runner=runner)
         md = out / f"{eid}.md"
         md.write_text(to_markdown(result) + "\n")
         csv = out / f"{eid}.csv"
         csv.write_text(to_csv(result))
         written.extend([md, csv])
-        index.append(f"* [{eid}]({eid}.md) — {desc}")
+        index.append(f"* [{eid}]({eid}.md) — {spec.title} ({spec.anchor})")
 
     machine_md = out / "machine.md"
     machine_md.write_text(

@@ -7,11 +7,13 @@ that used to live in each module now exist exactly once, here.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.core.experiment import ExperimentResult
 from repro.run.runner import Runner, default_runner
 from repro.run.scenario import Scenario
+
+if TYPE_CHECKING:  # imported lazily below: repro.core imports repro.run
+    from repro.core.experiment import ExperimentResult
 
 __all__ = ["build_result"]
 
@@ -23,7 +25,7 @@ def build_result(
     scenarios: Sequence[Scenario],
     runner: Runner | None = None,
     notes: str = "",
-) -> ExperimentResult:
+) -> "ExperimentResult":
     """Run the cells and assemble the experiment's result table.
 
     Failed cells do not abort the sweep: their rows are absent and a
@@ -31,6 +33,8 @@ def build_result(
     the result, so a partial table still renders and the failure is
     visible in every output format.
     """
+    from repro.core.experiment import ExperimentResult
+
     runner = runner if runner is not None else default_runner()
     records = runner.run(list(scenarios))
     result = ExperimentResult(

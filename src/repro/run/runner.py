@@ -33,6 +33,13 @@ Resilience knobs (all off by default):
 * ``faults=SPEC`` — overlay a :class:`~repro.faults.FaultSpec` onto
   every scenario (merged with any cell-level spec), the CLI's
   ``--faults`` path.
+
+Long-lived callers (the :mod:`repro.serve` scenario service) use
+:meth:`Runner.run_batch` instead of :meth:`Runner.run`: same cache,
+retry and ordering contract, but cache misses fan out to a
+*persistent* process pool kept across batches, so per-batch pool
+startup cost does not dominate a stream of small batches.  Call
+:meth:`Runner.close` to release it.
 """
 
 from __future__ import annotations
@@ -317,8 +324,14 @@ class Runner:
             else SweepCheckpoint(checkpoint)
         )
         self.stats = RunStats()
+        #: persistent pool for :meth:`run_batch`; built lazily.
+        self._pool: ProcessPoolExecutor | None = None
 
-    def _with_faults(self, sc: Scenario) -> Scenario:
+    def effective_scenario(self, sc: Scenario) -> Scenario:
+        """The scenario as this runner will actually execute it: the
+        runner-level fault overlay merged in.  The serve layer keys
+        its coalescing map on ``effective_scenario(sc).key()`` so two
+        requests coalesce iff they would produce the same cell."""
         if self.faults is None:
             return sc
         merged = (
@@ -328,7 +341,53 @@ class Runner:
 
     def run(self, scenarios: Sequence[Scenario]) -> list[RunRecord]:
         """All cells, as records in input order."""
-        scenarios = [self._with_faults(sc) for sc in scenarios]
+        return self._run(scenarios, reuse_pool=False, trace_dir=self.trace_dir)
+
+    def run_batch(
+        self,
+        scenarios: Sequence[Scenario],
+        trace_dir: str | None = None,
+    ) -> list[RunRecord]:
+        """Batch-submit entry point for long-lived callers.
+
+        Identical contract to :meth:`run` — records in input order,
+        cache/checkpoint consulted, per-cell error capture — but cache
+        misses fan out to a persistent process pool reused across
+        calls (created lazily, released by :meth:`close`; a pool
+        poisoned by a dying worker is discarded and rebuilt on the
+        next batch).  ``trace_dir`` overrides the runner-level trace
+        directory for this batch only, which is how the serve layer
+        honors per-request ``--trace``.  Not thread-safe: one batch at
+        a time per runner (the serve dispatcher is the single caller).
+        """
+        return self._run(
+            scenarios, reuse_pool=True,
+            trace_dir=trace_dir if trace_dir is not None else self.trace_dir,
+        )
+
+    def close(self) -> None:
+        """Release the persistent pool and the checkpoint journal."""
+        self._discard_pool()
+        if self.checkpoint is not None:
+            self.checkpoint.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _run(
+        self,
+        scenarios: Sequence[Scenario],
+        reuse_pool: bool,
+        trace_dir: str | None,
+    ) -> list[RunRecord]:
+        scenarios = [self.effective_scenario(sc) for sc in scenarios]
         records: list[RunRecord | None] = [None] * len(scenarios)
 
         pending: list[int] = []
@@ -336,7 +395,7 @@ class Runner:
             # Tracing forces execution: a cache (or checkpoint) hit
             # would skip the instrumented layers and record nothing.
             rows = None
-            if self.trace_dir is None:
+            if trace_dir is None:
                 if self.cache is not None:
                     rows = self.cache.get(sc)
                 if rows is None and self.checkpoint is not None:
@@ -352,10 +411,13 @@ class Runner:
                 pending.append(i)
 
         if len(pending) > 1 and self.jobs > 1:
-            outcomes = self._run_parallel([scenarios[i] for i in pending])
+            outcomes = self._run_parallel(
+                [scenarios[i] for i in pending], trace_dir, reuse_pool
+            )
         else:
             outcomes = [
-                self._run_with_retries(scenarios[i]) for i in pending
+                self._run_with_retries(scenarios[i], trace_dir=trace_dir)
+                for i in pending
             ]
 
         for i, (rows, error, dt) in zip(pending, outcomes):
@@ -373,24 +435,29 @@ class Runner:
                 self.checkpoint.put(sc.key(), rows)
         return records  # type: ignore[return-value]
 
-    def _run_with_retries(self, sc: Scenario, isolated: bool = False):
+    def _run_with_retries(
+        self,
+        sc: Scenario,
+        isolated: bool = False,
+        trace_dir: str | None = None,
+    ):
         """One cell, re-attempted with exponential backoff on failure."""
         outcome = (
-            self._run_isolated(sc) if isolated
-            else _run_cell(sc, self.trace_dir)
+            self._run_isolated(sc, trace_dir) if isolated
+            else _run_cell(sc, trace_dir)
         )
         for attempt in range(self.retries):
             if outcome[1] is None:
                 break
             time.sleep(self.retry_backoff * (2.0 ** attempt))
             rows, err, dt = (
-                self._run_isolated(sc) if isolated
-                else _run_cell(sc, self.trace_dir)
+                self._run_isolated(sc, trace_dir) if isolated
+                else _run_cell(sc, trace_dir)
             )
             outcome = (rows, err, outcome[2] + dt)
         return outcome
 
-    def _run_isolated(self, sc: Scenario):
+    def _run_isolated(self, sc: Scenario, trace_dir: str | None = None):
         """One cell in its own single-worker pool.
 
         The quarantine backend for cells suspected of killing their
@@ -401,11 +468,16 @@ class Runner:
         start = time.perf_counter()
         with ProcessPoolExecutor(max_workers=1) as pool:
             try:
-                return pool.submit(_run_cell, sc, self.trace_dir).result()
+                return pool.submit(_run_cell, sc, trace_dir).result()
             except BrokenProcessPool:
                 return None, WORKER_DIED, time.perf_counter() - start
 
-    def _run_parallel(self, scenarios: list[Scenario]):
+    def _run_parallel(
+        self,
+        scenarios: list[Scenario],
+        trace_dir: str | None,
+        reuse_pool: bool = False,
+    ):
         """Fan cells out to a process pool; results in input order.
 
         A worker death poisons the shared pool: the culprit's future
@@ -414,29 +486,55 @@ class Runner:
         pulled the trigger.  All affected cells are therefore re-run
         quarantined (one fresh single-worker pool each) — innocents
         complete on the retry, the culprit fails alone, and the sweep
-        always returns one outcome per cell.
+        always returns one outcome per cell.  With ``reuse_pool`` a
+        poisoned persistent pool is additionally discarded so the next
+        batch starts on a fresh one.
         """
-        workers = min(self.jobs, len(scenarios))
         outcomes: list = [None] * len(scenarios)
         suspects: list[int] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_cell, sc, self.trace_dir) for sc in scenarios
-            ]
+        pool = (
+            self._ensure_pool() if reuse_pool
+            else ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(scenarios))
+            )
+        )
+        broken = False
+        try:
+            try:
+                futures = [
+                    pool.submit(_run_cell, sc, trace_dir) for sc in scenarios
+                ]
+            except BrokenProcessPool:
+                # The pool died mid-submission (only possible for a
+                # reused pool poisoned since its last batch): every
+                # cell goes through the quarantine path below.
+                broken = True
+                suspects = [i for i in range(len(scenarios))]
+                futures = []
             # Futures are awaited in submission order, so the outcome
             # list is ordered no matter which worker finishes first.
             for i, future in enumerate(futures):
                 try:
                     outcomes[i] = future.result()
                 except BrokenProcessPool:
+                    broken = True
                     suspects.append(i)
+        finally:
+            if not reuse_pool:
+                pool.shutdown()
+            elif broken:
+                self._discard_pool()
         for i in suspects:
-            outcomes[i] = self._run_with_retries(scenarios[i], isolated=True)
+            outcomes[i] = self._run_with_retries(
+                scenarios[i], isolated=True, trace_dir=trace_dir
+            )
         if self.retries:
             outcomes = [
                 (
                     outcome if outcome[1] is None or i in suspects
-                    else self._run_with_retries(scenarios[i], isolated=True)
+                    else self._run_with_retries(
+                        scenarios[i], isolated=True, trace_dir=trace_dir
+                    )
                 )
                 for i, outcome in enumerate(outcomes)
             ]

@@ -1,0 +1,91 @@
+"""Scenario serving: queue, coalesce and batch requests to a Runner.
+
+The package splits along the classic service seam:
+
+* :mod:`repro.serve.service` — the asyncio scheduler
+  (:class:`ScenarioService`): bounded priority queue, admission
+  control with ``retry_after`` backpressure, in-flight request
+  coalescing by scenario content hash, micro-batching into
+  :meth:`Runner.run_batch`;
+* :mod:`repro.serve.protocol` — the JSON-lines wire format;
+* :mod:`repro.serve.server` — the TCP front end and the ``repro
+  serve`` loop;
+* :mod:`repro.serve.client` — the blocking :class:`ServeClient`.
+
+For one-shot in-process use (no sockets), :func:`submit` runs a list
+of scenarios through a short-lived service and returns the results in
+input order — same coalescing and batching semantics as the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Sequence
+
+from repro.run.runner import Runner
+from repro.run.scenario import Scenario
+from repro.serve.client import ServeClient, ServeReply
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    scenario_from_wire,
+    scenario_to_wire,
+)
+from repro.serve.server import BackgroundServer, ScenarioServer, serve_forever
+from repro.serve.service import ScenarioService, ServeRejected, ServeResult
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "BackgroundServer",
+    "ScenarioServer",
+    "ScenarioService",
+    "ServeClient",
+    "ServeRejected",
+    "ServeReply",
+    "ServeResult",
+    "scenario_from_wire",
+    "scenario_to_wire",
+    "serve_forever",
+    "submit",
+]
+
+
+def submit(
+    scenarios: Iterable[Scenario],
+    runner: Runner | None = None,
+    priority: int = 0,
+    max_queue: int | None = None,
+    max_batch: int = 32,
+    batch_wait: float = 0.0,
+) -> list[ServeResult]:
+    """Run scenarios through an in-process service, results in order.
+
+    Duplicates in the input coalesce to one execution each, exactly as
+    they would against a live server.  ``max_queue`` defaults to at
+    least the submission count so a one-shot call never rejects
+    itself.
+    """
+    cells: Sequence[Scenario] = list(scenarios)
+    if max_queue is None:
+        max_queue = max(1024, len(cells))
+    owned = runner is None
+    active = Runner() if owned else runner
+
+    async def _main() -> list[ServeResult]:
+        service = ScenarioService(
+            active, max_queue=max_queue,
+            max_batch=max_batch, batch_wait=batch_wait,
+        )
+        async with service:
+            return list(
+                await asyncio.gather(
+                    *(service.submit(sc, priority=priority) for sc in cells)
+                )
+            )
+
+    try:
+        return asyncio.run(_main())
+    finally:
+        if owned:
+            active.close()

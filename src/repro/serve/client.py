@@ -1,0 +1,220 @@
+"""Blocking TCP client for the scenario service.
+
+:class:`ServeClient` is deliberately plain: a socket, a line reader
+and a request counter — it has no asyncio of its own, so it drops into
+scripts, notebooks and the smoke harness unchanged.  Pipelining comes
+from the protocol: :meth:`ServeClient.submit_many` writes every
+request before reading any response, letting the server coalesce and
+batch the burst, then collects replies (which arrive in completion
+order) back into submission order.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import CommunicationError
+from repro.run.scenario import Scenario, canonical_value
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    decode_line,
+    encode_line,
+    scenario_to_wire,
+)
+
+__all__ = ["ServeClient", "ServeReply"]
+
+
+@dataclass(frozen=True)
+class ServeReply:
+    """One response from the service, wire fields normalized.
+
+    ``rows`` are re-canonicalized (nested tuples), so they compare
+    equal — and serialize byte-identically — to the rows a local
+    :class:`~repro.run.runner.Runner` would have produced.
+    """
+
+    status: str
+    rows: tuple[tuple, ...] = ()
+    error: str | None = None
+    retry_after: float = 0.0
+    cached: bool = False
+    coalesced: bool = False
+    duration_s: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class ServeClient:
+    """Talk to a running ``repro serve`` endpoint.
+
+    Usable as a context manager.  Rejected submissions (backpressure)
+    are retried automatically after the server's ``retry_after`` hint
+    unless ``retry=False``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise CommunicationError(
+                f"cannot reach repro serve at {host}:{port}: {exc}"
+            ) from None
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        #: responses read while waiting for a different request id.
+        self._stash: dict[int, dict[str, Any]] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _send(self, message: dict[str, Any]) -> int:
+        self._next_id += 1
+        message["id"] = self._next_id
+        try:
+            self._sock.sendall(encode_line(message))
+        except OSError as exc:
+            raise CommunicationError(f"serve connection lost: {exc}") from None
+        return self._next_id
+
+    def _wait(self, rid: int) -> dict[str, Any]:
+        """Read responses (stashing strays) until ``rid`` answers."""
+        while rid not in self._stash:
+            try:
+                line = self._file.readline()
+            except OSError as exc:
+                raise CommunicationError(
+                    f"serve connection lost: {exc}"
+                ) from None
+            if not line:
+                raise CommunicationError(
+                    "serve connection closed before response"
+                )
+            message = decode_line(line)
+            got = message.get("id")
+            if isinstance(got, int):
+                self._stash[got] = message
+        return self._stash.pop(rid)
+
+    @staticmethod
+    def _reply(message: dict[str, Any]) -> ServeReply:
+        return ServeReply(
+            status=str(message.get("status")),
+            rows=tuple(
+                canonical_value(row) for row in message.get("rows") or ()
+            ),
+            error=message.get("error"),
+            retry_after=float(message.get("retry_after") or 0.0),
+            cached=bool(message.get("cached")),
+            coalesced=bool(message.get("coalesced")),
+            duration_s=float(message.get("duration_s") or 0.0),
+            latency_s=float(message.get("latency_s") or 0.0),
+        )
+
+    def _submit_message(
+        self,
+        sc: Scenario,
+        priority: int,
+        faults: str | None,
+        trace: str | None,
+    ) -> dict[str, Any]:
+        message: dict[str, Any] = {
+            "op": "submit",
+            "scenario": scenario_to_wire(sc),
+            "priority": priority,
+        }
+        if faults:
+            message["faults"] = faults
+        if trace:
+            message["trace"] = trace
+        return message
+
+    # -- requests -------------------------------------------------------------
+
+    def submit(
+        self,
+        sc: Scenario,
+        priority: int = 0,
+        faults: str | None = None,
+        trace: str | None = None,
+        retry: bool = True,
+    ) -> ServeReply:
+        """Run one cell; blocks until its result streams back."""
+        while True:
+            rid = self._send(self._submit_message(sc, priority, faults, trace))
+            reply = self._reply(self._wait(rid))
+            if reply.status == "rejected" and retry:
+                time.sleep(max(0.05, reply.retry_after))
+                continue
+            return reply
+
+    def submit_many(
+        self,
+        scenarios: Iterable[Scenario],
+        priority: int = 0,
+        faults: str | None = None,
+        trace: str | None = None,
+        retry: bool = True,
+    ) -> list[ServeReply]:
+        """Pipeline a burst of cells; results in submission order.
+
+        All requests hit the wire before the first response is read —
+        duplicates in the burst coalesce server-side, distinct cells
+        pack into batches.
+        """
+        cells: Sequence[Scenario] = list(scenarios)
+        rids = [
+            self._send(self._submit_message(sc, priority, faults, trace))
+            for sc in cells
+        ]
+        replies: list[ServeReply] = []
+        for i, rid in enumerate(rids):
+            reply = self._reply(self._wait(rid))
+            while reply.status == "rejected" and retry:
+                time.sleep(max(0.05, reply.retry_after))
+                again = self._send(
+                    self._submit_message(cells[i], priority, faults, trace)
+                )
+                reply = self._reply(self._wait(again))
+            replies.append(reply)
+        return replies
+
+    def stats(self) -> dict[str, float]:
+        """Live service counters (queue depth, coalesce hits, ...)."""
+        rid = self._send({"op": "stats"})
+        message = self._wait(rid)
+        if message.get("status") != "stats":
+            raise CommunicationError(f"bad stats response: {message!r}")
+        return dict(message.get("stats") or {})
+
+    def ping(self) -> int:
+        """Round-trip liveness check; returns the protocol version."""
+        rid = self._send({"op": "ping"})
+        message = self._wait(rid)
+        if message.get("status") != "pong":
+            raise CommunicationError(f"bad ping response: {message!r}")
+        return int(message.get("protocol") or 0)

@@ -1,0 +1,146 @@
+"""Wire protocol of the scenario service: JSON lines over TCP.
+
+One request or response per ``\n``-terminated line, each a single
+JSON object — no third-party framing, a ``netcat`` session is a valid
+client.  Requests carry an ``op`` plus a client-chosen ``id``; the
+server streams responses back *as they complete*, so responses arrive
+out of order and are matched to requests by ``id``.
+
+Requests
+--------
+``{"op": "submit", "id": 1, "scenario": {...}, "priority": 0,
+  "faults": "jitter:amplitude=1ms;seed=3" | null, "trace": DIR | null}``
+    Run one scenario cell.  ``priority`` sorts the queue (lower runs
+    first); ``faults`` is a ``--faults`` grammar string merged onto
+    the scenario's own spec; ``trace`` asks for a per-cell Chrome
+    trace written server-side into DIR (forces execution).
+``{"op": "stats", "id": 2}``
+    Snapshot of the service counters (queue depth, coalesce hits,
+    batch occupancy, latency percentiles).
+``{"op": "ping", "id": 3}``
+    Liveness check.
+
+Responses
+---------
+``{"id": 1, "status": "ok", "rows": [[...], ...], "cached": false,
+  "coalesced": false, "duration_s": 0.01, "latency_s": 0.02}``
+``{"id": 1, "status": "error", "error": "..."}``
+``{"id": 1, "status": "rejected", "retry_after": 0.25}``
+    Admission control: the queue is full; retry after the hinted
+    delay (:class:`~repro.serve.client.ServeClient` does this
+    automatically).
+``{"id": 2, "status": "stats", "stats": {...}}``
+``{"id": 3, "status": "pong", "protocol": 1}``
+
+The scenario wire form mirrors :class:`~repro.run.scenario.Scenario`
+field for field (``params`` as ``[[name, value], ...]`` pairs,
+machine/placement specs as flat dicts, faults as the canonical
+:meth:`~repro.faults.spec.FaultSpec.payload` JSON), so a decoded
+scenario content-hashes identically to the one the client held —
+the property request coalescing and the result cache both key on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
+from repro.run.scenario import (
+    MachineSpec,
+    PlacementSpec,
+    Scenario,
+    canonical_value,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "decode_line",
+    "encode_line",
+    "scenario_from_wire",
+    "scenario_to_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 7447
+
+
+def encode_line(message: dict[str, Any]) -> bytes:
+    """One protocol message as a compact JSON line."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one protocol line; raises ConfigurationError on junk."""
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad protocol line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ConfigurationError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def scenario_to_wire(sc: Scenario) -> dict[str, Any]:
+    """JSON-safe dict for one scenario (inverse of
+    :func:`scenario_from_wire`)."""
+    return {
+        "workload": sc.workload,
+        "params": [[k, v] for k, v in sc.params],
+        "machine": None if sc.machine is None else vars(sc.machine),
+        "placement": None if sc.placement is None else vars(sc.placement),
+        "faults": None if not sc.faults else sc.faults.payload(),
+    }
+
+
+def scenario_from_wire(payload: Any) -> Scenario:
+    """Rebuild a :class:`Scenario` from its wire form.
+
+    Validation rides on the scenario constructor itself (parameter
+    scalars, fault kinds): a malformed request fails loudly with a
+    :class:`~repro.errors.ConfigurationError` the server turns into an
+    error response for that request only.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"scenario payload must be an object, got {type(payload).__name__}"
+        )
+    try:
+        workload = payload["workload"]
+    except KeyError:
+        raise ConfigurationError("scenario payload missing 'workload'") from None
+    params = []
+    for pair in payload.get("params") or ():
+        try:
+            name, value = pair
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"scenario params must be [name, value] pairs, got {pair!r}"
+            ) from None
+        params.append(
+            (str(name), canonical_value(value, f"scenario parameter {name}="))
+        )
+    machine = payload.get("machine")
+    placement = payload.get("placement")
+    faults = payload.get("faults")
+    try:
+        mspec = None if machine is None else MachineSpec(**machine)
+        pspec = None if placement is None else PlacementSpec(**placement)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad machine/placement spec: {exc}") from None
+    fspec = None if faults is None else FaultSpec.from_payload(faults)
+    return Scenario(
+        workload=str(workload),
+        params=tuple(sorted(params)),
+        machine=mspec,
+        placement=pspec,
+        faults=fspec,
+    )

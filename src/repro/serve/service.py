@@ -1,0 +1,371 @@
+"""The async batching scheduler behind ``repro serve``.
+
+:class:`ScenarioService` fronts a :class:`~repro.run.runner.Runner`
+with the three mechanisms a long-lived scenario service needs:
+
+* **admission control** — a bounded priority queue; once ``max_queue``
+  distinct cells are waiting, new work is rejected with a
+  ``retry_after`` hint derived from the observed service rate
+  (:class:`ServeRejected`), so a traffic burst degrades into client
+  backoff instead of unbounded memory growth;
+* **request coalescing** — requests are keyed by the *effective*
+  scenario content hash (runner fault overlay included): N concurrent
+  submissions of the same cell share one queue slot, one execution
+  and one cache write, and all N futures resolve from the same
+  :class:`~repro.run.runner.RunRecord`.  Coalescing covers both
+  queued and in-flight cells — a request arriving while its twin
+  executes still attaches;
+* **micro-batching** — the single dispatcher drains up to
+  ``max_batch`` compatible cells (same per-request trace directory)
+  per cycle and hands them to :meth:`Runner.run_batch`, whose
+  persistent process pool executes the batch in parallel; results
+  stream back to each waiter as its batch completes.  Batches size
+  themselves to the backlog: under light load a cell dispatches
+  alone and immediately, under pressure batches fill up.
+
+Everything observable is counted through a
+:class:`repro.obs.CounterSet` (wall-clock seconds since service start
+as the time axis): ``serve.queue_depth``, ``serve.coalesced``,
+``serve.batch_occupancy``, ``serve.rejected`` and friends, plus
+p50/p99 request latency in :meth:`ScenarioService.stats`.
+
+The service never executes cells on the event loop: batches run in a
+worker thread (``asyncio.to_thread``) so the loop stays responsive to
+new submissions — which is exactly what lets late duplicates coalesce
+onto in-flight work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.counters import CounterSet
+from repro.run.runner import Runner, RunRecord
+from repro.run.scenario import Scenario
+
+__all__ = ["ScenarioService", "ServeRejected", "ServeResult"]
+
+
+class ServeRejected(ReproError):
+    """Admission control refused a request: the queue is full.
+
+    ``retry_after`` is the service's estimate (seconds) of when a slot
+    will free up — queue depth times the smoothed per-cell service
+    time, divided by the runner's worker count.
+    """
+
+    def __init__(self, retry_after: float, depth: int) -> None:
+        self.retry_after = retry_after
+        self.depth = depth
+        super().__init__(
+            f"queue full ({depth} cells deep); retry in {retry_after:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One submission's outcome (the in-process mirror of an ``ok`` /
+    ``error`` protocol response)."""
+
+    scenario: Scenario
+    rows: tuple[tuple, ...] = ()
+    error: str | None = None
+    #: served from the runner's result cache (no execution at all).
+    cached: bool = False
+    #: shared an execution with an earlier identical in-flight request.
+    coalesced: bool = False
+    #: cell execution wall time (0 for cached/coalesced-onto results).
+    duration_s: float = 0.0
+    #: submit-to-resolve wall time as this caller saw it.
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Entry:
+    """One distinct cell in the queue (or in flight): the unit work is
+    coalesced onto."""
+
+    key: tuple
+    scenario: Scenario
+    trace_dir: str | None
+    priority: int
+    seq: int
+    futures: list[asyncio.Future] = field(default_factory=list)
+    #: popped into a batch; stale heap tuples for it are skipped and
+    #: new duplicates attach as in-flight coalesces.
+    dispatched: bool = False
+
+
+#: Cap on the retained latency samples (p50/p99 window).
+_LATENCY_WINDOW = 4096
+
+
+class ScenarioService:
+    """Queue, coalesce and batch scenario requests against one runner.
+
+    Single event loop, single dispatcher; the runner's process pool
+    provides the parallelism.  Use as an async context manager, or
+    pair :meth:`start` with :meth:`close` (close drains the queue —
+    every accepted request is answered before close returns).
+    """
+
+    def __init__(
+        self,
+        runner: Runner | None = None,
+        max_queue: int = 1024,
+        max_batch: int = 32,
+        batch_wait: float = 0.0,
+        counters: CounterSet | None = None,
+    ) -> None:
+        if max_queue < 1 or max_batch < 1:
+            raise ConfigurationError(
+                f"max_queue and max_batch must be >= 1, "
+                f"got {max_queue}/{max_batch}"
+            )
+        self.runner = runner if runner is not None else Runner()
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        #: seconds the dispatcher lingers after waking so a burst of
+        #: arrivals lands in one batch; 0 dispatches immediately
+        #: (batches then form naturally while earlier ones execute).
+        self.batch_wait = batch_wait
+        self.counters = counters if counters is not None else CounterSet()
+        self._heap: list[tuple[int, int, _Entry]] = []
+        self._index: dict[tuple, _Entry] = {}
+        self._queued = 0
+        self._inflight = 0
+        self._seq = itertools.count()
+        self._work = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self._t0 = time.monotonic()
+        self._latencies: list[float] = []
+        #: smoothed per-cell service time (seeds the retry-after hint).
+        self._cell_s = 0.05
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "ScenarioService":
+        """Start the dispatcher (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name="repro-serve-dispatcher"
+            )
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting work, drain the queue, stop the dispatcher."""
+        self._closed = True
+        self._work.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    async def __aenter__(self) -> "ScenarioService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- submission -----------------------------------------------------------
+
+    async def submit(
+        self,
+        scenario: Scenario,
+        priority: int = 0,
+        trace_dir: str | None = None,
+    ) -> ServeResult:
+        """Queue one cell and wait for its result.
+
+        Identical concurrent submissions coalesce: whichever arrives
+        first owns the queue slot; later twins attach to it and every
+        waiter resolves from the one execution.  ``priority`` orders
+        the queue (lower first; FIFO within a priority); a duplicate
+        carrying a better priority promotes the queued cell.  Raises
+        :class:`ServeRejected` when admission control refuses the
+        request.
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        t_in = time.monotonic()
+        now = self._now()
+        counters = self.counters
+        counters.add("serve.requests", 1, now)
+        effective = self.runner.effective_scenario(scenario)
+        key = (effective.key(), trace_dir)
+        future = asyncio.get_running_loop().create_future()
+
+        entry = self._index.get(key)
+        coalesced = entry is not None
+        if coalesced:
+            entry.futures.append(future)
+            counters.add("serve.coalesced", 1, now)
+            if priority < entry.priority and not entry.dispatched:
+                # Promote: push a better-ranked heap tuple; the stale
+                # one is skipped at pop time via the dispatched flag
+                # (the entry dispatches at most once either way).
+                entry.priority = priority
+                heapq.heappush(self._heap, (priority, entry.seq, entry))
+        else:
+            if self._queued >= self.max_queue:
+                counters.add("serve.rejected", 1, now)
+                raise ServeRejected(self.retry_after(), self._queued)
+            entry = _Entry(
+                key=key, scenario=effective, trace_dir=trace_dir,
+                priority=priority, seq=next(self._seq), futures=[future],
+            )
+            self._index[key] = entry
+            heapq.heappush(self._heap, (priority, entry.seq, entry))
+            self._queued += 1
+            counters.set("serve.queue_depth", self._queued, now)
+            self._work.set()
+
+        record: RunRecord = await future
+        latency = time.monotonic() - t_in
+        self._latencies.append(latency)
+        if len(self._latencies) > _LATENCY_WINDOW:
+            del self._latencies[: -_LATENCY_WINDOW // 2]
+        return ServeResult(
+            scenario=effective,
+            rows=record.rows,
+            error=record.error,
+            cached=record.cached,
+            coalesced=coalesced,
+            duration_s=record.duration_s,
+            latency_s=latency,
+        )
+
+    def retry_after(self) -> float:
+        """Backoff hint for a rejected request (seconds)."""
+        backlog = self._queued + self._inflight
+        return max(
+            0.05, backlog * self._cell_s / max(1, self.runner.jobs)
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Counter totals plus latency percentiles and live depths."""
+        out = dict(self.counters.totals())
+        latencies = sorted(self._latencies)
+
+        def pct(p: float) -> float:
+            if not latencies:
+                return 0.0
+            return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+        out["serve.queue_depth"] = float(self._queued)
+        out["serve.inflight"] = float(self._inflight)
+        out["serve.latency_p50_s"] = pct(0.50)
+        out["serve.latency_p99_s"] = pct(0.99)
+        return out
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _form_batch(self) -> list[_Entry]:
+        """Drain up to ``max_batch`` compatible entries, best priority
+        first.  Compatibility = same per-request trace directory (a
+        traced cell and an untraced one cannot share a
+        :meth:`Runner.run_batch` call); incompatible pops go straight
+        back on the heap for the next cycle."""
+        batch: list[_Entry] = []
+        holdover: list[tuple[int, int, _Entry]] = []
+        trace_dir: str | None = None
+        while self._heap and len(batch) < self.max_batch:
+            item = heapq.heappop(self._heap)
+            entry = item[2]
+            if entry.dispatched:
+                continue  # stale tuple left by a priority promotion
+            if batch and entry.trace_dir != trace_dir:
+                holdover.append(item)
+                continue
+            trace_dir = entry.trace_dir
+            entry.dispatched = True
+            self._queued -= 1
+            batch.append(entry)
+        for item in holdover:
+            heapq.heappush(self._heap, item)
+        if not self._heap:
+            self._work.clear()
+        self.counters.set("serve.queue_depth", self._queued, self._now())
+        return batch
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._work.wait()
+            if self.batch_wait > 0.0 and not self._closed:
+                # Linger so a burst of arrivals packs into one batch.
+                await asyncio.sleep(self.batch_wait)
+            batch = self._form_batch()
+            if not batch:
+                if self._closed:
+                    break
+                continue
+            self._inflight += len(batch)
+            now = self._now()
+            self.counters.add("serve.batches", 1, now)
+            self.counters.add("serve.batch_cells", len(batch), now)
+            self.counters.set(
+                "serve.batch_occupancy", len(batch) / self.max_batch, now
+            )
+            t_batch = time.monotonic()
+            try:
+                records = await asyncio.to_thread(
+                    self.runner.run_batch,
+                    [entry.scenario for entry in batch],
+                    batch[0].trace_dir,
+                )
+            except BaseException as exc:  # scheduler must survive runner bugs
+                self._resolve(batch, None, exc)
+            else:
+                elapsed = time.monotonic() - t_batch
+                self._cell_s = (
+                    0.8 * self._cell_s + 0.2 * elapsed / len(batch)
+                )
+                self._resolve(batch, records, None)
+
+    def _resolve(
+        self,
+        batch: list[_Entry],
+        records: list[RunRecord] | None,
+        exc: BaseException | None,
+    ) -> None:
+        """Answer every waiter of every entry in a completed batch.
+
+        Runs on the event loop with no awaits, so removal from the
+        coalescing index and future resolution are atomic: a duplicate
+        arriving after this either found the in-flight entry (and is
+        answered here) or misses the index and queues a fresh cell —
+        never both, never neither.
+        """
+        now = self._now()
+        for i, entry in enumerate(batch):
+            del self._index[entry.key]
+            self._inflight -= 1
+            record = records[i] if records is not None else None
+            if record is not None and record.ok:
+                self.counters.add("serve.completed", 1, now)
+            else:
+                self.counters.add("serve.errors", 1, now)
+            for future in entry.futures:
+                if future.cancelled():
+                    continue
+                if record is not None:
+                    future.set_result(record)
+                else:
+                    future.set_exception(
+                        exc if exc is not None
+                        else ConfigurationError("batch produced no record")
+                    )

@@ -10,9 +10,18 @@ This module is now a thin compatibility shim over
 delegates to the free functions there, shared with the full
 :class:`~repro.obs.spans.Tracer`.  New code should use ``repro.obs``
 directly — it additionally records spans, arrival times and counters.
+
+**Deprecated.**  Constructing a :class:`MessageTrace` (or calling
+:func:`trace_world`) emits a :class:`DeprecationWarning`; the shim is
+scheduled for removal in PR 8.  See the migration note in
+``docs/api.md`` — in short, trace with
+:func:`repro.obs.use_tracer` and feed ``tracer.messages`` to the
+:mod:`repro.obs.messages` free functions.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.errors import ConfigurationError
 from repro.obs import messages as _stats
@@ -25,6 +34,13 @@ __all__ = ["TraceRecord", "MessageTrace", "trace_world"]
 #: keeps working, and gains the optional ``arrival`` field.
 TraceRecord = MessageRecord
 
+_DEPRECATION = (
+    "repro.sim.trace.MessageTrace is deprecated and will be removed in "
+    "PR 8; use repro.obs (use_tracer / Tracer.messages) with the "
+    "repro.obs.messages statistics functions instead — see the "
+    "migration note in docs/api.md"
+)
+
 
 class MessageTrace:
     """A growing list of message records plus analysis helpers."""
@@ -32,6 +48,7 @@ class MessageTrace:
     __slots__ = ("records", "_total_bytes")
 
     def __init__(self, records: list | None = None) -> None:
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
         self.records: list[MessageRecord] = list(records) if records else []
         #: running byte total, maintained by :meth:`record` so the
         #: per-message hot path never re-sums the whole list.
@@ -76,7 +93,10 @@ class MessageTrace:
         """Records whose send time falls in [t0, t1)."""
         if t1 < t0:
             raise ConfigurationError(f"empty window [{t0}, {t1})")
-        return MessageTrace(_stats.window(self.records, t0, t1))
+        with warnings.catch_warnings():
+            # the caller already got the warning when it built *self*
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return MessageTrace(_stats.window(self.records, t0, t1))
 
     def summary(self) -> str:
         """One-paragraph human-readable digest."""
@@ -89,6 +109,9 @@ def trace_world(world) -> MessageTrace:
     Wraps the world's mailbox-delivery path by monkey-patching the
     per-rank ``isend`` accounting hook; returns the live trace.
     """
-    trace = MessageTrace()
+    warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        trace = MessageTrace()
     world._trace = trace  # the comm layer checks for this attribute
     return trace

@@ -1,0 +1,152 @@
+"""The public API contract: repro.api's surface is snapshot-tested.
+
+``repro.api`` is the single supported import surface; its symbol list
+and signatures are compared against ``tests/golden/api_surface.txt``.
+A mismatch means the public contract changed — if that is deliberate,
+regenerate the golden file::
+
+    PYTHONPATH=src python tests/test_api_surface.py --write
+
+and commit the diff so the change shows up in review.
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+from pathlib import Path
+
+import pytest
+
+GOLDEN = Path(__file__).parent / "golden" / "api_surface.txt"
+
+
+def build_surface() -> str:
+    """One line per public symbol: kind, name, signature."""
+    import repro.api as api
+
+    lines = []
+    for name in api.__all__:
+        obj = getattr(api, name)
+        if isinstance(obj, type) and issubclass(obj, enum.Enum):
+            members = ", ".join(m.name for m in obj)
+            lines.append(f"enum {name}: {members}")
+        elif inspect.isclass(obj):
+            try:
+                sig = str(inspect.signature(obj))
+            except (ValueError, TypeError):
+                sig = "(...)"
+            lines.append(f"class {name}{sig}")
+        elif callable(obj):
+            lines.append(f"def {name}{inspect.signature(obj)}")
+        else:
+            lines.append(f"{name}: {type(obj).__name__}")
+    return "\n".join(lines) + "\n"
+
+
+class TestApiSurface:
+    def test_all_is_sorted(self):
+        import repro.api as api
+
+        assert list(api.__all__) == sorted(api.__all__)
+
+    def test_every_symbol_resolves(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_surface_matches_golden(self):
+        assert GOLDEN.exists(), (
+            "missing golden snapshot; generate with "
+            "`PYTHONPATH=src python tests/test_api_surface.py --write`"
+        )
+        expected = GOLDEN.read_text()
+        actual = build_surface()
+        assert actual == expected, (
+            "repro.api surface changed. If deliberate, regenerate with "
+            "`PYTHONPATH=src python tests/test_api_surface.py --write` "
+            "and commit the golden diff."
+        )
+
+
+class TestLazyRoot:
+    def test_version_is_eager(self):
+        import repro
+
+        assert "__version__" in vars(repro)
+
+    def test_lazy_attribute_resolves_and_caches(self):
+        import repro
+
+        node_type = repro.NodeType
+        from repro.machine import NodeType
+
+        assert node_type is NodeType
+        assert "NodeType" in vars(repro)  # cached after first touch
+
+    def test_api_submodule_attribute(self):
+        import repro
+        import repro.api as api
+
+        assert repro.api is api
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="nonsense"):
+            repro.nonsense
+
+    def test_dir_lists_lazy_names(self):
+        import repro
+
+        listing = dir(repro)
+        assert "api" in listing and "columbia" in listing
+
+
+class TestMessageTraceDeprecation:
+    def test_constructor_warns(self):
+        from repro.sim.trace import MessageTrace
+
+        with pytest.warns(DeprecationWarning, match="PR 8"):
+            MessageTrace()
+
+    def test_trace_world_warns_once(self):
+        from repro.machine.cluster import single_node
+        from repro.machine.node import NodeType
+        from repro.mpi.comm import MPIWorld
+        from repro.netmodel.costs import NetworkModel
+        from repro.machine.placement import Placement
+        from repro.sim.engine import Simulator
+        from repro.sim.trace import trace_world
+
+        placement = Placement(single_node(NodeType.BX2B), n_ranks=2)
+        sim = Simulator()
+        world = MPIWorld(sim, NetworkModel(placement))
+        with pytest.warns(DeprecationWarning) as caught:
+            trace_world(world)
+        assert len(caught) == 1
+
+    def test_window_does_not_rewarn(self):
+        import warnings
+
+        from repro.sim.trace import MessageTrace
+
+        with pytest.warns(DeprecationWarning):
+            trace = MessageTrace()
+        trace.record(0.5, 0, 1, 0, 64.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            windowed = trace.window(0.0, 1.0)
+        assert windowed.message_count == 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(build_surface())
+        print(f"wrote {GOLDEN}")
+    else:
+        print(build_surface(), end="")

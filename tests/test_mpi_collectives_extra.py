@@ -17,6 +17,10 @@ from repro.mpi import run_mpi
 from repro.mpi.collectives import gather, reduce, scan, scatter
 from repro.sim.trace import MessageTrace
 
+# The MessageTrace shim warns until its PR 8 removal; these tests
+# exercise the shim deliberately.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def placement(p):
     return Placement(single_node(NodeType.BX2B, 256), n_ranks=p)

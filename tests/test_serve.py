@@ -1,0 +1,319 @@
+"""The scenario service: coalescing, backpressure, batching, wire."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.run import ResultCache, Runner, execute_scenario, scenario, workload
+from repro.serve import (
+    BackgroundServer,
+    ScenarioService,
+    ServeClient,
+    ServeRejected,
+    scenario_from_wire,
+    scenario_to_wire,
+    submit,
+)
+
+# Executions land here; jobs=1 runners execute in-process, so the
+# module-level lists observe exactly what ran and in which order.
+CALLS: list = []
+
+
+@workload("serve_test.cell")
+def _cell(x: int = 0, delay_ms: int = 0) -> list[tuple]:
+    CALLS.append(x)
+    if delay_ms:
+        import time
+
+        time.sleep(delay_ms / 1000.0)
+    return [(x, x * x)]
+
+
+def _runner(**kw) -> Runner:
+    kw.setdefault("jobs", 1)
+    kw.setdefault("cache", None)
+    return Runner(**kw)
+
+
+class TestCoalescing:
+    def test_identical_concurrent_submits_share_one_execution(self):
+        CALLS.clear()
+        sc = scenario("serve_test.cell", x=7)
+
+        async def drive():
+            service = ScenarioService(_runner(), batch_wait=0.05)
+            async with service:
+                results = await asyncio.gather(
+                    *(service.submit(sc) for _ in range(8))
+                )
+            return service, results
+
+        service, results = asyncio.run(drive())
+        assert CALLS == [7]  # exactly one execution
+        assert service.runner.stats.executed == 1
+        assert all(r.ok for r in results)
+        assert sum(r.coalesced for r in results) == 7
+        assert {r.rows for r in results} == {((7, 49),)}
+        totals = service.stats()
+        assert totals["serve.requests"] == 8
+        assert totals["serve.coalesced"] == 7
+        assert totals["serve.completed"] == 1
+        assert totals["serve.latency_p99_s"] >= totals["serve.latency_p50_s"]
+
+    def test_distinct_cells_do_not_coalesce(self):
+        CALLS.clear()
+        cells = [scenario("serve_test.cell", x=i) for i in range(4)]
+
+        async def drive():
+            async with ScenarioService(_runner(), batch_wait=0.05) as service:
+                return await asyncio.gather(
+                    *(service.submit(sc) for sc in cells)
+                )
+
+        results = asyncio.run(drive())
+        assert sorted(CALLS) == [0, 1, 2, 3]
+        assert not any(r.coalesced for r in results)
+        assert [r.rows for r in results] == [((i, i * i),) for i in range(4)]
+
+    def test_in_flight_coalescing_attaches_to_running_cell(self):
+        CALLS.clear()
+        sc = scenario("serve_test.cell", x=3, delay_ms=80)
+
+        async def drive():
+            async with ScenarioService(_runner()) as service:
+                first = asyncio.ensure_future(service.submit(sc))
+                await asyncio.sleep(0.03)  # first is now executing
+                second = await service.submit(sc)
+                return await first, second
+
+        first, second = asyncio.run(drive())
+        assert CALLS == [3]
+        assert not first.coalesced and second.coalesced
+        assert first.rows == second.rows
+
+
+class TestBackpressure:
+    def test_rejects_when_queue_full_then_drains(self):
+        CALLS.clear()
+        cells = [scenario("serve_test.cell", x=100 + i) for i in range(3)]
+
+        async def drive():
+            service = ScenarioService(_runner(), max_queue=2)
+            # dispatcher not started: the queue can only fill
+            queued = [
+                asyncio.ensure_future(service.submit(sc))
+                for sc in cells[:2]
+            ]
+            await asyncio.sleep(0)
+            with pytest.raises(ServeRejected) as exc_info:
+                await service.submit(cells[2])
+            assert exc_info.value.retry_after > 0
+            assert exc_info.value.depth == 2
+            await service.start()
+            results = await asyncio.gather(*queued)
+            await service.close()
+            return service, results
+
+        service, results = asyncio.run(drive())
+        assert all(r.ok for r in results)
+        assert service.stats()["serve.rejected"] == 1
+
+    def test_duplicate_of_queued_cell_is_never_rejected(self):
+        # Coalescing takes no new slot, so a full queue still accepts
+        # a duplicate of something already queued.
+        sc = scenario("serve_test.cell", x=200)
+
+        async def drive():
+            service = ScenarioService(_runner(), max_queue=1)
+            first = asyncio.ensure_future(service.submit(sc))
+            await asyncio.sleep(0)
+            second = asyncio.ensure_future(service.submit(sc))
+            await asyncio.sleep(0)
+            await service.start()
+            results = await asyncio.gather(first, second)
+            await service.close()
+            return results
+
+        results = asyncio.run(drive())
+        assert [r.coalesced for r in results] == [False, True]
+
+    def test_submit_after_close_refused(self):
+        async def drive():
+            service = ScenarioService(_runner())
+            await service.start()
+            await service.close()
+            with pytest.raises(ConfigurationError, match="closed"):
+                await service.submit(scenario("serve_test.cell", x=1))
+
+        asyncio.run(drive())
+
+
+class TestPriorityAndBatching:
+    def test_lower_priority_value_runs_first(self):
+        CALLS.clear()
+        by_prio = {5: 501, 1: 101, 3: 301}
+
+        async def drive():
+            # max_batch=1 so each cell dispatches alone, in heap order.
+            service = ScenarioService(_runner(), max_batch=1)
+            pending = [
+                asyncio.ensure_future(
+                    service.submit(
+                        scenario("serve_test.cell", x=x), priority=p
+                    )
+                )
+                for p, x in by_prio.items()
+            ]
+            await asyncio.sleep(0)
+            await service.start()
+            await asyncio.gather(*pending)
+            await service.close()
+
+        asyncio.run(drive())
+        assert CALLS == [101, 301, 501]
+
+    def test_batches_fill_under_load(self):
+        CALLS.clear()
+        cells = [scenario("serve_test.cell", x=i) for i in range(6)]
+
+        async def drive():
+            service = ScenarioService(
+                _runner(jobs=2), max_batch=8, batch_wait=0.05
+            )
+            async with service:
+                await asyncio.gather(*(service.submit(sc) for sc in cells))
+            service.runner.close()
+            return service.stats()
+
+        totals = asyncio.run(drive())
+        assert totals["serve.batches"] < len(cells)  # packing happened
+        assert totals["serve.batch_cells"] == len(cells)
+        assert 0 < totals["serve.batch_occupancy"] <= 1
+
+
+class TestByteIdentical:
+    def test_fig9_sweep_matches_direct_runner(self):
+        from repro.core.registry import resolve_experiment
+
+        cells = resolve_experiment("fig9").scenarios(fast=True)
+        serve_runner = Runner(jobs=2, cache=ResultCache(memory_only=True))
+        try:
+            served = submit(
+                list(cells) + list(cells[:3]),  # duplicates included
+                runner=serve_runner,
+                batch_wait=0.02,
+            )
+        finally:
+            serve_runner.close()
+        direct = Runner(jobs=1, cache=ResultCache(memory_only=True)).run(cells)
+        rows_by_key = {r.scenario.key(): r.rows for r in direct}
+        assert all(r.ok for r in served)
+        for r in served:
+            expected = rows_by_key[r.scenario.key()]
+            assert r.rows == expected
+            assert json.dumps(r.rows) == json.dumps(expected)
+
+
+class TestRunBatch:
+    def test_run_batch_matches_run_and_reuses_pool(self):
+        cells = [scenario("serve_test.cell", x=300 + i) for i in range(4)]
+        runner = Runner(jobs=2, cache=None)
+        try:
+            first = runner.run_batch(cells)
+            pool = runner._pool
+            assert pool is not None  # persistent pool created...
+            second = runner.run_batch(cells)
+            assert runner._pool is pool  # ...and reused across batches
+            baseline = _runner().run(cells)
+            for records in (first, second):
+                assert [r.rows for r in records] == [
+                    r.rows for r in baseline
+                ]
+        finally:
+            runner.close()
+        assert runner._pool is None
+
+
+class TestWireProtocol:
+    def test_scenario_round_trip_preserves_key(self):
+        from repro.faults import parse_faults
+
+        sc = scenario(
+            "serve_test.cell",
+            x=5,
+            faults=parse_faults("jitter:amplitude=1ms;seed=3"),
+        )
+        decoded = scenario_from_wire(
+            json.loads(json.dumps(scenario_to_wire(sc)))
+        )
+        assert decoded == sc
+        assert decoded.key() == sc.key()
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_wire([])
+        with pytest.raises(ConfigurationError):
+            scenario_from_wire({"params": []})  # no workload
+        with pytest.raises(ConfigurationError):
+            scenario_from_wire({"workload": "w", "params": [["only-name"]]})
+
+
+class TestTcpServe:
+    def test_submit_many_with_duplicates_over_tcp(self):
+        CALLS.clear()
+        cells = [scenario("serve_test.cell", x=400 + i) for i in range(5)]
+        burst = cells + cells[:3]
+        with BackgroundServer(_runner(), batch_wait=0.05) as server:
+            with ServeClient(port=server.port) as client:
+                assert client.ping() == 1
+                replies = client.submit_many(burst)
+                stats = client.stats()
+        assert all(r.ok for r in replies)
+        assert sorted(CALLS) == list(range(400, 405))  # dupes coalesced
+        assert stats["serve.coalesced"] == 3
+        for reply, sc in zip(replies, burst):
+            assert reply.rows == execute_scenario(sc)
+
+    def test_per_request_faults_prevent_false_coalescing(self):
+        CALLS.clear()
+        sc = scenario("serve_test.cell", x=500)
+        with BackgroundServer(_runner(), batch_wait=0.05) as server:
+            with ServeClient(port=server.port) as client:
+                plain = client.submit(sc)
+                faulted = client.submit(
+                    sc, faults="jitter:amplitude=1ms;seed=9"
+                )
+        assert plain.ok and faulted.ok
+        assert len(CALLS) == 2  # different effective scenarios
+        assert not faulted.coalesced
+
+    def test_unknown_op_and_junk_lines_answered_not_fatal(self):
+        import socket
+
+        from repro.serve.protocol import decode_line, encode_line
+
+        with BackgroundServer(_runner()) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(b"this is not json\n")
+                assert decode_line(reader.readline())["status"] == "error"
+                sock.sendall(encode_line({"op": "frobnicate", "id": 1}))
+                reply = decode_line(reader.readline())
+                assert reply["status"] == "error"
+                assert "frobnicate" in reply["error"]
+                sock.sendall(encode_line({"op": "ping", "id": 2}))
+                assert decode_line(reader.readline())["status"] == "pong"
+
+    def test_workload_error_returns_error_response(self):
+        with BackgroundServer(_runner()) as server:
+            with ServeClient(port=server.port) as client:
+                reply = client.submit(scenario("serve_test.no_such", x=1))
+        assert reply.status == "error"
+        assert reply.error
