@@ -80,11 +80,17 @@ def experiment(
     def register(run_fn: Callable[..., ExperimentResult]) -> Callable:
         existing = EXPERIMENTS.get(experiment_id)
         if existing is not None:
-            if existing.run.__qualname__ == run_fn.__qualname__:
+            # Qualname alone is useless here — nearly every experiment
+            # entry point is a module-level ``run``; the module must
+            # match too for this to be a re-import no-op.
+            if (existing.run.__module__, existing.run.__qualname__) == (
+                run_fn.__module__, run_fn.__qualname__
+            ):
                 return run_fn
             raise ConfigurationError(
                 f"experiment id {experiment_id!r} registered twice: "
-                f"{existing.run.__qualname__} and {run_fn.__qualname__}"
+                f"{existing.run.__module__}.{existing.run.__qualname__} "
+                f"and {run_fn.__module__}.{run_fn.__qualname__}"
             )
         EXPERIMENTS[experiment_id] = ExperimentSpec(
             experiment_id=experiment_id,

@@ -57,22 +57,35 @@ class ServeClient:
     Usable as a context manager.  Rejected submissions (backpressure)
     are retried automatically after the server's ``retry_after`` hint
     unless ``retry=False``.
+
+    ``connect_timeout`` bounds only establishing the connection.
+    ``timeout`` bounds each blocking read while waiting for a
+    response and defaults to ``None`` (wait forever): under
+    backpressure a healthy server legitimately holds a submitted cell
+    for longer than any fixed deadline — a deep queue or a slow cell
+    is not a lost connection.
     """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
-        timeout: float = 60.0,
+        timeout: float | None = None,
+        connect_timeout: float = 10.0,
     ) -> None:
         self.host = host
         self.port = port
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
         except OSError as exc:
             raise CommunicationError(
                 f"cannot reach repro serve at {host}:{port}: {exc}"
             ) from None
+        # create_connection leaves connect_timeout on the socket;
+        # response waits get their own budget.
+        self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rb")
         self._next_id = 0
         #: responses read while waiting for a different request id.

@@ -99,7 +99,11 @@ class ScenarioServer:
             while True:
                 try:
                     line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                except (
+                    ConnectionResetError,
+                    asyncio.LimitOverrunError,
+                    ValueError,  # readline wraps LimitOverrunError in it
+                ):
                     break
                 if not line:
                     break

@@ -95,6 +95,7 @@ class _Entry:
     coalesced onto."""
 
     key: tuple
+    #: as submitted (raw) — the runner merges its own fault overlay.
     scenario: Scenario
     trace_dir: str | None
     priority: int
@@ -200,6 +201,11 @@ class ScenarioService:
         now = self._now()
         counters = self.counters
         counters.add("serve.requests", 1, now)
+        # The *effective* scenario (runner fault overlay merged in) is
+        # the coalescing key only; the queue carries the raw scenario,
+        # because Runner._run applies the overlay itself — enqueuing
+        # the merged form would apply it twice and shift the cache key
+        # away from direct Runner.run.
         effective = self.runner.effective_scenario(scenario)
         key = (effective.key(), trace_dir)
         future = asyncio.get_running_loop().create_future()
@@ -220,7 +226,7 @@ class ScenarioService:
                 counters.add("serve.rejected", 1, now)
                 raise ServeRejected(self.retry_after(), self._queued)
             entry = _Entry(
-                key=key, scenario=effective, trace_dir=trace_dir,
+                key=key, scenario=scenario, trace_dir=trace_dir,
                 priority=priority, seq=next(self._seq), futures=[future],
             )
             self._index[key] = entry
@@ -235,7 +241,7 @@ class ScenarioService:
         if len(self._latencies) > _LATENCY_WINDOW:
             del self._latencies[: -_LATENCY_WINDOW // 2]
         return ServeResult(
-            scenario=effective,
+            scenario=record.scenario,
             rows=record.rows,
             error=record.error,
             cached=record.cached,
@@ -329,6 +335,11 @@ class ScenarioService:
                 )
             except BaseException as exc:  # scheduler must survive runner bugs
                 self._resolve(batch, None, exc)
+                if isinstance(exc, asyncio.CancelledError):
+                    # Answer the waiters, then honor the cancellation —
+                    # swallowing it would park a cancelled task on
+                    # _work.wait() and stall event-loop teardown.
+                    raise
             else:
                 elapsed = time.monotonic() - t_batch
                 self._cell_s = (

@@ -24,6 +24,33 @@ class TestRegistry:
         text = r.format()
         assert "BX2b" in text and "NUMAlink4" in text
 
+    def test_duplicate_id_from_different_module_raises(self):
+        # Nearly every entry point is a module-level ``run``, so the
+        # re-import no-op check must compare the module too — a second
+        # module claiming an existing id is a bug, not a re-import.
+        from repro.core.registry import EXPERIMENTS, experiment
+
+        def run_a(fast=False, runner=None):
+            raise NotImplementedError
+
+        def run_b(fast=False, runner=None):
+            raise NotImplementedError
+
+        for fn, mod in ((run_a, "mod_a"), (run_b, "mod_b")):
+            fn.__qualname__ = "run"
+            fn.__module__ = f"repro.core.experiments.{mod}"
+
+        eid = "test_dup_guard"
+        try:
+            experiment(eid, "first", "extension")(run_a)
+            with pytest.raises(ConfigurationError, match="registered twice"):
+                experiment(eid, "second", "extension")(run_b)
+            # Same function registering again (module re-import): no-op.
+            assert experiment(eid, "first", "extension")(run_a) is run_a
+            assert EXPERIMENTS[eid].run is run_a
+        finally:
+            EXPERIMENTS.pop(eid, None)
+
     def test_result_accessors(self):
         r = run_experiment("table1")
         assert r.value("interconnect", node_type="3700") == "NUMAlink3"

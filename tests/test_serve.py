@@ -219,6 +219,32 @@ class TestByteIdentical:
             assert json.dumps(r.rows) == json.dumps(expected)
 
 
+class TestRunnerFaultOverlay:
+    def test_runner_faults_applied_once_and_match_direct_run(self):
+        # Regression: the serve path used to enqueue the *effective*
+        # scenario, so Runner._run merged the runner overlay a second
+        # time — duplicating the fault list and shifting the cache key
+        # away from direct Runner.run.
+        from repro.faults import parse_faults
+
+        overlay = parse_faults("jitter:amplitude=1ms;seed=3")
+        sc = scenario("serve_test.cell", x=600)
+
+        async def drive():
+            async with ScenarioService(_runner(faults=overlay)) as service:
+                return await asyncio.gather(
+                    service.submit(sc), service.submit(sc)
+                )
+
+        first, second = asyncio.run(drive())
+        direct = _runner(faults=overlay).run([sc])[0]
+        assert first.ok and second.ok
+        assert second.coalesced
+        assert len(first.scenario.faults.faults) == 1  # merged exactly once
+        assert first.scenario.key() == direct.scenario.key()
+        assert first.rows == direct.rows
+
+
 class TestRunBatch:
     def test_run_batch_matches_run_and_reuses_pool(self):
         cells = [scenario("serve_test.cell", x=300 + i) for i in range(4)]
