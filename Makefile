@@ -1,14 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-check bench-baseline check
+.PHONY: test bench bench-check bench-quick bench-baseline check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-## The default verification path: unit tests, perf guard, and every
-## end-to-end smoke (cache, tracing, faults, serving).
-check: test bench-check smoke trace-smoke faults-smoke serve-smoke
+## The default verification path: unit tests, the quick perf gate, and
+## every end-to-end smoke (cache, tracing, faults, serving).  Run
+## `make bench-check` for the full kernel gate before refreshing
+## BENCH_kernels.json.
+check: test bench-quick smoke trace-smoke faults-smoke serve-smoke
 	@echo "check ok: tests, bench guard and all smokes passed"
 
 ## Measure the tracked kernels and refresh the "current" section of
@@ -17,9 +19,15 @@ bench:
 	$(PYTHON) -m benchmarks.bench_regression --write
 
 ## Fail (exit 1) if any tracked kernel regressed more than 20% vs the
-## committed BENCH_kernels.json.
+## committed BENCH_kernels.json (tighter per-kernel overrides and the
+## absolute seed gates apply on top).
 bench-check:
 	$(PYTHON) -m benchmarks.bench_regression --check
+
+## The fast perf gate (~15 s): DES ping-pong healthy + faulted and the
+## cost-model kernels only, 3 repeats each, absolute gates included.
+bench-quick:
+	$(PYTHON) -m benchmarks.bench_regression --check --quick
 
 ## Re-record the "baseline" (before) section. Only for starting a new
 ## optimization cycle.

@@ -31,7 +31,7 @@ from __future__ import annotations
 import importlib
 from typing import Any
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: attribute -> providing module; resolved on first access.
 _LAZY_EXPORTS = {

@@ -47,10 +47,76 @@ __all__ = ["FaultInjector", "build_injector"]
 #: differently-faulted ones).
 _injector_serials = itertools.count(1)
 
+#: Random draws fetched per RNG refill.  Each randomness-consuming
+#: fault owns an independent substream (see ``_derive_seed``'s tag),
+#: so uniforms/exponentials can be prefetched in chunks — a NumPy
+#: ``Generator`` produces bit-identical values whether drawn one at a
+#: time or as an array, so chunking changes cost, not the stream.
+_CHUNK = 256
 
-def _derive_seed(spec: FaultSpec, salt: str) -> int:
+
+def _derive_seed(spec: FaultSpec, salt: str, tag: str = "") -> int:
     blob = json.dumps(spec.payload(), sort_keys=True) + "|" + salt
+    if tag:
+        blob += "|" + tag
     return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:8], "big")
+
+
+class _DropStream:
+    """One :class:`MessageDrop`'s private uniform stream, chunked.
+
+    The per-message lottery consumes one uniform in the (overwhelmingly
+    common) no-drop case; buffering ``_CHUNK`` draws turns the per-send
+    RNG call into a list subscript.  The MPI fast path inlines
+    :meth:`next` — keep the field layout in sync with
+    ``repro.mpi.comm._FaultedMPIComm.isend``.
+    """
+
+    __slots__ = ("probability", "timeout", "max_retries", "backoff",
+                 "rng", "buf", "i")
+
+    def __init__(self, fault: MessageDrop, seed: int) -> None:
+        from repro.sim.rng import make_rng
+
+        self.probability = fault.probability
+        self.timeout = fault.timeout
+        self.max_retries = fault.max_retries
+        self.backoff = fault.backoff
+        self.rng = make_rng(seed)
+        self.buf: list[float] = []
+        self.i = 0
+
+    def next(self) -> float:
+        i = self.i
+        buf = self.buf
+        if i >= len(buf):
+            buf = self.buf = self.rng.random(_CHUNK).tolist()
+            i = 0
+        self.i = i + 1
+        return buf[i]
+
+
+class _JitterStream:
+    """One :class:`OsJitter`'s private exponential stream, chunked."""
+
+    __slots__ = ("amplitude", "rng", "buf", "i")
+
+    def __init__(self, fault: OsJitter, seed: int) -> None:
+        from repro.sim.rng import make_rng
+
+        self.amplitude = fault.amplitude
+        self.rng = make_rng(seed)
+        self.buf: list[float] = []
+        self.i = 0
+
+    def next(self) -> float:
+        i = self.i
+        buf = self.buf
+        if i >= len(buf):
+            buf = self.buf = self.rng.exponential(self.amplitude, _CHUNK).tolist()
+            i = 0
+        self.i = i + 1
+        return buf[i]
 
 
 class FaultInjector:
@@ -79,6 +145,23 @@ class FaultInjector:
         self._mpt = next(
             (f for f in spec.faults if isinstance(f, MptAnomaly)), None
         )
+        #: independent chunked substreams, one per randomness-consuming
+        #: fault — seeded from the spec/salt plus a per-fault tag, so a
+        #: drop lottery and a jitter draw never interleave on one
+        #: stream (which is what lets both be prefetched in chunks).
+        #: Zero-probability drops draw nothing and get no stream,
+        #: mirroring the ``send_plan`` skip.
+        self._drop_streams = tuple(
+            _DropStream(f, _derive_seed(spec, salt, f"drop#{i}"))
+            for i, f in enumerate(self._drops)
+            if f.probability > 0.0
+        )
+        self._jitter_streams = tuple(
+            _JitterStream(f, _derive_seed(spec, salt, f"jitter#{i}"))
+            for i, f in enumerate(self._jitters)
+        )
+        #: link_class -> precomputed flap windows, filled on first use.
+        self._flap_windows: dict = {}
         #: observability: totals a workload (or test) can read back.
         self.retries = 0
         self.dropped_messages = 0
@@ -157,6 +240,25 @@ class FaultInjector:
 
     # -- DES hooks -------------------------------------------------------------
 
+    def straggler_factor(self, world, rank: int) -> float:
+        """Combined straggler stretch for one rank (1.0 = untouched).
+
+        Rank- and node-targeted stragglers are static for a given
+        placement, so the per-rank comm handle computes this product
+        once at construction instead of per compute span.
+        """
+        factor = 1.0
+        for fault in self._stragglers:
+            if fault.rank is not None:
+                if fault.rank == rank:
+                    factor *= fault.factor
+            else:
+                placement = world.network.placement
+                node = placement.cluster.node_of(placement.cpu_of(rank))
+                if node == fault.node:
+                    factor *= fault.factor
+        return factor
+
     def compute_seconds(self, world, rank: int, seconds: float) -> float:
         """Stretch one compute span by straggler factors and jitter."""
         for fault in self._stragglers:
@@ -168,18 +270,37 @@ class FaultInjector:
                 node = placement.cluster.node_of(placement.cpu_of(rank))
                 if node == fault.node:
                     seconds *= fault.factor
-        if self._jitters and seconds > 0:
-            rng = self.rng()
-            for fault in self._jitters:
-                seconds *= 1.0 + rng.exponential(fault.amplitude)
+        if self._jitter_streams and seconds > 0:
+            for stream in self._jitter_streams:
+                seconds *= 1.0 + stream.next()
         return seconds
+
+    def flap_windows(self, link_class: str) -> tuple:
+        """Precomputed ``(period, phase, down_time, latency_factor)``
+        rows of every flap matching ``link_class``.
+
+        The link-class filter runs once per (comm, dest); the
+        per-message check is then a float modulo against the window —
+        the flap duty cycle is periodic, so the closed form replaces
+        any per-message window search.
+        """
+        windows = self._flap_windows.get(link_class)
+        if windows is None:
+            windows = self._flap_windows[link_class] = tuple(
+                (f.period, f.phase, f.down_time, f.latency_factor)
+                for f in self._flaps
+                if f.link_class in ("any", link_class)
+            )
+        return windows
 
     def flap_factor(self, link_class: str, now: float) -> float:
         """Latency multiplier from flaps currently in a down window."""
         factor = 1.0
-        for fault in self._flaps:
-            if fault.link_class in ("any", link_class) and fault.is_down(now):
-                factor *= fault.latency_factor
+        for period, phase, down_time, latency_factor in self.flap_windows(
+            link_class
+        ):
+            if (now - phase) % period < down_time:
+                factor *= latency_factor
         return factor
 
     def send_plan(self, nbytes: float) -> tuple[float, ...]:
@@ -192,20 +313,18 @@ class FaultInjector:
         the runner reports it).
         """
         delays: list[float] = []
-        for fault in self._drops:
-            if fault.probability <= 0.0:
-                continue
-            rng = self.rng()
+        for stream in self._drop_streams:
+            probability = stream.probability
             fails = 0
-            while rng.random() < fault.probability:
-                if fails >= fault.max_retries:
+            while stream.next() < probability:
+                if fails >= stream.max_retries:
                     self.dropped_messages += 1
                     raise CommunicationError(
                         f"message of {nbytes:.0f} bytes dropped after "
-                        f"{fault.max_retries} retries (MessageDrop "
-                        f"p={fault.probability})"
+                        f"{stream.max_retries} retries (MessageDrop "
+                        f"p={probability})"
                     )
-                delays.append(fault.timeout * fault.backoff ** fails)
+                delays.append(stream.timeout * stream.backoff ** fails)
                 fails += 1
         self.retries += len(delays)
         return tuple(delays)

@@ -110,6 +110,38 @@ class AltixNode:
         """NUMAlink router hops between two CPUs of this node."""
         return hop_count(self.brick_of(cpu_a), self.brick_of(cpu_b))
 
+    def _path_tables(self) -> tuple:
+        """``(brick_hops, pp_by_hops, cpus_per_brick)`` lookup tables.
+
+        ``brick_hops[a][b]`` is the router hop count between bricks,
+        ``pp_by_hops[h]`` the finished clock-scaled ``(latency,
+        bandwidth)`` for an ``h``-hop intra-node path.  Built lazily on
+        first path query and memoized on the instance (a frozen
+        dataclass, hence ``object.__setattr__`` — the same idiom as
+        ``Placement.generation``): node objects are themselves cached
+        by :func:`build_node`, so each variant tabulates once per
+        process.
+        """
+        try:
+            return self.__dict__["_ptables"]
+        except KeyError:
+            from repro.machine.router import hop_table, tree_depth
+
+            speed = self.processor.clock_hz / 1.5e9
+            memcpy_bw = MPI_MEMCPY_BANDWIDTH * speed
+            pp = []
+            for hops in range(2 * tree_depth(self.n_bricks) + 1):
+                lat, bw = self.interconnect.point_to_point(hops)
+                # Intra-node MPI moves data with CPU copies through
+                # shared memory, so achievable bandwidth is capped by
+                # a clock-scaled memcpy bound regardless of NUMAlink
+                # generation; MPI software overhead runs on the CPU,
+                # so latency scales with clock too (§4.1.1).
+                pp.append((lat / speed, min(bw, memcpy_bw)))
+            tables = (hop_table(self.n_bricks), tuple(pp), self.brick.cpus)
+            object.__setattr__(self, "_ptables", tables)
+            return tables
+
     def point_to_point(self, cpu_a: int, cpu_b: int) -> tuple[float, float]:
         """(latency_s, bandwidth_Bps) for an intra-node MPI message.
 
@@ -121,16 +153,22 @@ class AltixNode:
         is the determining factor", with a partial effect on remote
         paths ("In the Random Ring ... both processor speed and
         interconnect show effects").
+
+        All the arithmetic is precomputed per hop count (this runs
+        once per distinct rank pair of every placement, the cost-model
+        cold-build hot path): two table subscripts replace the
+        interconnect/clock-scaling math.
         """
-        hops = self.hops(cpu_a, cpu_b)
-        lat, bw = self.interconnect.point_to_point(hops)
-        speed = self.processor.clock_hz / 1.5e9
-        lat = lat / speed
-        # Intra-node MPI moves data with CPU copies through shared
-        # memory, so achievable bandwidth is capped by a clock-scaled
-        # memcpy bound regardless of NUMAlink generation.
-        bw = min(bw, MPI_MEMCPY_BANDWIDTH * speed)
-        return lat, bw
+        brick_hops, pp, cpus_per_brick = self._path_tables()
+        if cpu_a < 0 or cpu_b < 0:
+            raise ConfigurationError("cpu indices must be non-negative")
+        try:
+            hops = brick_hops[cpu_a // cpus_per_brick][cpu_b // cpus_per_brick]
+        except IndexError:
+            raise ConfigurationError(
+                f"cpu {max(cpu_a, cpu_b)} outside node of {self.n_cpus}"
+            ) from None
+        return pp[hops]
 
     @property
     def peak_flops(self) -> float:

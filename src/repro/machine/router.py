@@ -14,11 +14,19 @@ per-message shortest-path queries would dominate DES runtime.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import networkx as nx
 
 from repro.errors import ConfigurationError
 
-__all__ = ["hop_count", "build_fat_tree", "bisection_links", "tree_depth"]
+__all__ = [
+    "hop_count",
+    "hop_table",
+    "build_fat_tree",
+    "bisection_links",
+    "tree_depth",
+]
 
 
 def tree_depth(n_bricks: int) -> int:
@@ -44,6 +52,25 @@ def hop_count(brick_a: int, brick_b: int) -> int:
     return 2 * lca_level
 
 
+@lru_cache(maxsize=None)
+def hop_table(n_bricks: int) -> tuple[tuple[int, ...], ...]:
+    """Flat all-pairs hop table: ``hop_table(n)[a][b] == hop_count(a, b)``.
+
+    Built once per brick count (the same closed form as
+    :func:`hop_count`, tabulated), so per-path hop queries on the cost
+    model's hot path are two subscripts instead of xor/bit-length
+    arithmetic behind a function call.  A 64-brick node is a 64x64
+    int table — small enough to keep for every brick count ever seen
+    in a process.
+    """
+    if n_bricks < 1:
+        raise ConfigurationError(f"need at least one brick, got {n_bricks}")
+    return tuple(
+        tuple(hop_count(a, b) for b in range(n_bricks))
+        for a in range(n_bricks)
+    )
+
+
 def build_fat_tree(n_bricks: int) -> nx.Graph:
     """Explicit binary fat-tree graph over ``n_bricks`` leaf bricks.
 
@@ -53,6 +80,7 @@ def build_fat_tree(n_bricks: int) -> nx.Graph:
     capacity weighting (fat links near the root) can be layered on.
     """
     depth = tree_depth(n_bricks)
+    hop_table(n_bricks)  # tabulate the closed form alongside the graph
     g = nx.Graph()
     for i in range(n_bricks):
         g.add_node(("brick", i))

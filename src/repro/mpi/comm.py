@@ -21,6 +21,7 @@ from typing import Any, Generator, NamedTuple
 
 from repro.errors import CommunicationError
 from repro.faults.context import current_injector
+from repro.faults.injector import _CHUNK
 from repro.netmodel.costs import NetworkModel
 from repro.obs.spans import current_tracer
 from repro.sim.channel import Channel
@@ -31,6 +32,13 @@ __all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "MPIWorld", "MPIComm"]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+#: ``tuple.__new__`` bound once: building a NamedTuple through its
+#: generated ``__new__`` costs an extra Python frame per message.
+_msg_new = tuple.__new__
+#: pre-bound allocator for the per-message completion event — skips
+#: the ``Timeout.__new__`` attribute lookup on every isend.
+_timeout_new = Timeout.__new__
 
 
 class Message(NamedTuple):
@@ -93,9 +101,11 @@ class MPIWorld:
         self.inject_busy_until: dict = {
             key: 0.0 for key in self._inject_keys
         }
-        #: message counters, for tests and IB connection accounting
-        self.messages_sent = 0
-        self.bytes_sent = 0.0
+        #: per-rank handles built by :meth:`comm`; the message
+        #: counters live on them (slot ints beat instance-dict
+        #: read-modify-writes on the per-send path) and are summed on
+        #: demand by the ``messages_sent``/``bytes_sent`` properties.
+        self._comms: list[MPIComm] = []
         #: optional MessageTrace; a real attribute (not getattr) so
         #: the per-message check in isend is a plain load.
         self._trace = None
@@ -161,15 +171,35 @@ class MPIWorld:
         node = cluster.nodes[node_idx]
         return ("brick", node_idx, node.brick_of(cluster.local_cpu(cpu)))
 
+    @property
+    def messages_sent(self) -> int:
+        """Total messages sent (for tests and IB connection accounting)."""
+        return sum(c._msgs for c in self._comms)
+
+    @property
+    def bytes_sent(self) -> float:
+        """Total bytes sent across all ranks."""
+        return sum(c._nbytes for c in self._comms)
+
     def comm(self, rank: int) -> "MPIComm":
+        """Build the per-rank handle, picking the implementation once.
+
+        The injector consult happens *here*, not per event: a world
+        with DES faults hands out :class:`_FaultedMPIComm` (whose
+        ``isend``/``compute`` carry the fault machinery), a healthy
+        world hands out plain :class:`MPIComm` — so the healthy hot
+        path contains no fault branches at all.
+        """
+        if self._faults is not None:
+            return _FaultedMPIComm(self, rank)
         return MPIComm(self, rank)
 
 
 class MPIComm:
     """Per-rank MPI handle passed to simulated rank programs."""
 
-    __slots__ = ("world", "rank", "_sim", "_mailbox", "_inject_key", "_paths",
-                 "_links")
+    __slots__ = ("world", "rank", "_sim", "_mailbox", "_inject_key", "_busy",
+                 "_obs", "_msgs", "_nbytes", "_paths", "_links")
 
     def __init__(self, world: MPIWorld, rank: int) -> None:
         if not 0 <= rank < world.size:
@@ -181,6 +211,15 @@ class MPIComm:
         self._sim = world.sim
         self._mailbox = world.mailboxes[rank]
         self._inject_key = world._inject_keys[rank]
+        self._busy = world.inject_busy_until
+        #: the world's tracer is normalized once at construction and
+        #: never reassigned, so the per-send check can read a slot
+        #: (``world._trace`` *is* installed after construction — that
+        #: one stays a world read).
+        self._obs = world._obs
+        self._msgs = 0
+        self._nbytes = 0.0
+        world._comms.append(self)
         #: dest -> (latency, bandwidth, mailbox put) of this rank's
         #: outgoing paths; the bound put avoids re-creating a method
         #: object per delivered message.
@@ -212,9 +251,7 @@ class MPIComm:
         world = self.world
         if world._noise_rng is not None and seconds > 0:
             seconds *= 1.0 + world._noise_rng.exponential(world.os_noise)
-        if world._faults is not None:
-            seconds = world._faults.compute_seconds(world, self.rank, seconds)
-        obs = world._obs
+        obs = self._obs
         if obs is not None:
             now = self._sim.now
             obs.complete(self.rank, "compute", "compute", now, now + seconds)
@@ -230,10 +267,12 @@ class MPIComm:
         The message arrives in ``dest``'s mailbox after the full path
         time.  Non-blocking in the MPI sense: the caller may yield the
         returned event later (or not at all, for fire-and-forget).
+
+        This is the *healthy* implementation — no fault checks at all;
+        a world with DES faults hands out :class:`_FaultedMPIComm`
+        instead (see :meth:`MPIWorld.comm`).
         """
         world = self.world
-        if world._faults is not None:
-            return self._isend_faulted(dest, nbytes, tag, payload)
         path = self._paths.get(dest)
         if path is None:
             if not 0 <= dest < world.size:
@@ -241,7 +280,7 @@ class MPIComm:
             spec = world.network.path(self.rank, dest)
             path = (spec.latency, spec.bandwidth, world.mailboxes[dest].put)
             self._paths[dest] = path
-            obs = world._obs
+            obs = self._obs
             if obs is not None:
                 now = self._sim.now
                 obs.instant(self.rank, "cache_lookup", f"path_miss->{dest}",
@@ -256,7 +295,7 @@ class MPIComm:
         # full path bandwidth.
         sim = self._sim
         now = sim.now
-        busy = world.inject_busy_until
+        busy = self._busy
         key = self._inject_key
         start = busy[key]
         if start < now:
@@ -264,12 +303,12 @@ class MPIComm:
         finish = start + nbytes / bandwidth
         busy[key] = finish
         inject = finish - now
-        world.messages_sent += 1
-        world.bytes_sent += nbytes
+        self._msgs += 1
+        self._nbytes += nbytes
         trace = world._trace
         if trace is not None:
             trace.record(now, self.rank, dest, tag, nbytes)
-        obs = world._obs
+        obs = self._obs
         if obs is not None:
             # Link classification is only priced when tracing is on —
             # tree-depth/topology math has no place on the untraced
@@ -282,131 +321,49 @@ class MPIComm:
                             link[0], link[1])
         # Injection-completion event, built without re-entering
         # Timeout.__init__ (one per message).
-        done = Timeout.__new__(Timeout)
+        done = _timeout_new(Timeout)
         done.sim = sim
         done.triggered = False
         done.value = None
-        done._callbacks = []
+        done._callbacks = None
         # Schedule the mailbox delivery (arg-carrying, no closure) and
-        # the completion directly through the engine's slot pool: two
-        # timed inserts per simulated message make even the
+        # the completion directly into the engine's timestamp buckets:
+        # two timed inserts per simulated message make even the
         # schedule_call frames measurable.  Mirrors
         # Simulator.schedule_call exactly (delays here are >= 0, and
-        # latency > 0 keeps the delivery off the zero-delay lane).
-        heap = sim._heap
-        pool = sim._pool
+        # latency > 0 keeps the delivery off the zero-delay lane).  In
+        # the common rendezvous pattern many messages share a delivery
+        # timestamp, so the bucket usually exists and the insert is a
+        # dict hit plus a flat append — no heap push at all.
+        buckets = sim._buckets
         seq = sim._seq + 1
         when = now + inject + latency
-        if pool:
-            slot = pool.pop()
-            slot[0] = when
-            slot[1] = seq
-            slot[2] = mailbox_put
-            slot[3] = Message(self.rank, dest, tag, nbytes, payload)
-        else:
-            slot = [when, seq, mailbox_put,
-                    Message(self.rank, dest, tag, nbytes, payload)]
-        heappush(heap, slot)
-        if when < sim._next_timed:
-            sim._next_timed = when
-        if inject == 0.0:
-            seq += 1
-            sim._fifo.append((seq, done._fire, None))
-        else:
-            seq += 1
-            when = now + inject
-            if pool:
-                slot = pool.pop()
-                slot[0] = when
-                slot[1] = seq
-                slot[2] = done._fire
-                slot[3] = None
-            else:
-                slot = [when, seq, done._fire, None]
-            heappush(heap, slot)
+        bucket = buckets.get(when)
+        if bucket is None:
+            bpool = sim._bpool
+            bucket = bpool.pop() if bpool else []
+            buckets[when] = bucket
+            heappush(sim._theap, when)
             if when < sim._next_timed:
                 sim._next_timed = when
+        bucket += (seq, mailbox_put,
+                   _msg_new(Message, (self.rank, dest, tag, nbytes, payload)))
+        seq += 1
+        if inject == 0.0:
+            sim._fifo.append((seq, done._fire, None))
+        else:
+            when = now + inject
+            bucket = buckets.get(when)
+            if bucket is None:
+                bpool = sim._bpool
+                bucket = bpool.pop() if bpool else []
+                buckets[when] = bucket
+                heappush(sim._theap, when)
+                if when < sim._next_timed:
+                    sim._next_timed = when
+            bucket += (seq, done._fire, None)
         sim._seq = seq
         return done
-
-    def _isend_faulted(
-        self, dest: int, nbytes: float, tag: int = 0, payload: Any = None
-    ) -> SimEvent:
-        """isend under an active DES fault injector.
-
-        Kept out of :meth:`isend` so the healthy path stays one load +
-        branch; this variant trades the inlined scheduling for
-        readability and adds, per message:
-
-        * link flaps — the path latency is scaled while a matching
-          flap is in its down window at send time;
-        * drop-with-retry — each dropped attempt waits out its timeout
-          (exponential backoff) before the retransmission; the waits
-          delay both the sender's completion and the delivery, and are
-          surfaced as ``retry`` spans plus an ``mpi.retries`` counter
-          when tracing is on.  A message that exhausts its retries
-          raises :class:`~repro.errors.CommunicationError`.
-        """
-        world = self.world
-        faults = world._faults
-        path = self._paths.get(dest)
-        if path is None:
-            if not 0 <= dest < world.size:
-                raise CommunicationError(f"bad destination rank {dest}")
-            spec = world.network.path(self.rank, dest)
-            path = (spec.latency, spec.bandwidth, world.mailboxes[dest].put)
-            self._paths[dest] = path
-            obs = world._obs
-            if obs is not None:
-                now = self._sim.now
-                obs.instant(self.rank, "cache_lookup", f"path_miss->{dest}",
-                            now, args={"dest": dest})
-                obs.counters.add("mpi.path_cache_miss", 1, now)
-        if nbytes < 0:
-            raise CommunicationError(f"negative message size {nbytes}")
-        latency, bandwidth, mailbox_put = path
-        sim = self._sim
-        now = sim.now
-        link = self._links.get(dest)
-        if link is None:
-            link = self._links[dest] = world.link_info(self.rank, dest)
-        latency *= faults.flap_factor(link[0], now)
-        # The drop lottery runs before injection starts: every failed
-        # attempt waits out its timeout, so the payload's injection
-        # slot (and hence its delivery) is pushed back by the total.
-        retry_delays = faults.send_plan(nbytes)  # may raise
-        retry_wait = 0.0
-        obs = world._obs
-        for wait in retry_delays:
-            if obs is not None:
-                t = now + retry_wait
-                obs.complete(self.rank, "retry", f"retry->{dest}", t, t + wait)
-            retry_wait += wait
-        if retry_delays and obs is not None:
-            obs.counters.add("mpi.retries", len(retry_delays), now)
-        busy = world.inject_busy_until
-        key = self._inject_key
-        start = busy[key]
-        if start < now:
-            start = now
-        start += retry_wait
-        finish = start + nbytes / bandwidth
-        busy[key] = finish
-        inject = finish - now
-        world.messages_sent += 1
-        world.bytes_sent += nbytes
-        trace = world._trace
-        if trace is not None:
-            trace.record(now, self.rank, dest, tag, nbytes)
-        if obs is not None:
-            obs.record_send(now, self.rank, dest, tag, nbytes,
-                            start, finish, finish + latency,
-                            link[0], link[1])
-        sim.schedule_call(
-            inject + latency, mailbox_put,
-            Message(self.rank, dest, tag, nbytes, payload),
-        )
-        return Timeout(sim, inject)
 
     def send(
         self, dest: int, nbytes: float, tag: int = 0, payload: Any = None
@@ -417,7 +374,7 @@ class MPIComm:
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimEvent:
         """Post a receive; the event triggers with the :class:`Message`."""
         event = self._mailbox.get_matching(source, tag)
-        obs = self.world._obs
+        obs = self._obs
         if obs is not None:
             obs.on_recv_posted(self.rank, source, tag, self._sim.now, event)
         return event
@@ -444,3 +401,181 @@ class MPIComm:
         self.isend(dest, nbytes, tag, payload)
         msg = yield self.irecv(source, tag)
         return msg
+
+
+class _FaultedMPIComm(MPIComm):
+    """Per-rank handle on a world with active DES faults.
+
+    :meth:`MPIWorld.comm` selects this class once at setup, so the
+    per-event "is an injector active?" consult is gone from the inner
+    loop; everything rank- or path-static about the faults is hoisted
+    to construction (straggler product) or to the per-dest path cache
+    (flap windows for the link class), leaving per message only:
+
+    * the flap duty-cycle check — a float modulo against precomputed
+      ``(period, phase, down_time, factor)`` windows;
+    * the drop lottery — one buffered uniform per message from the
+      drop's private chunked substream (list subscript, no RNG call),
+      with the retry/backoff slow path taken only on an actual drop;
+      the waits delay both the sender's completion and the delivery,
+      and are surfaced as ``retry`` spans plus an ``mpi.retries``
+      counter when tracing is on.  A message that exhausts its
+      retries raises :class:`~repro.errors.CommunicationError`.
+    """
+
+    __slots__ = ("_faults", "_straggler", "_jitter_streams", "_drop_streams")
+
+    def __init__(self, world: MPIWorld, rank: int) -> None:
+        super().__init__(world, rank)
+        faults = world._faults
+        self._faults = faults
+        #: static straggler product for this rank (1.0 = untouched).
+        self._straggler = faults.straggler_factor(world, rank)
+        self._jitter_streams = faults._jitter_streams
+        self._drop_streams = faults._drop_streams
+
+    def compute(self, seconds: float) -> Timeout:
+        world = self.world
+        if world._noise_rng is not None and seconds > 0:
+            seconds *= 1.0 + world._noise_rng.exponential(world.os_noise)
+        straggler = self._straggler
+        if straggler != 1.0:
+            seconds *= straggler
+        if self._jitter_streams and seconds > 0:
+            for stream in self._jitter_streams:
+                seconds *= 1.0 + stream.next()
+        obs = self._obs
+        if obs is not None:
+            now = self._sim.now
+            obs.complete(self.rank, "compute", "compute", now, now + seconds)
+        return Timeout(self.sim, seconds)
+
+    def isend(
+        self, dest: int, nbytes: float, tag: int = 0, payload: Any = None
+    ) -> SimEvent:
+        world = self.world
+        path = self._paths.get(dest)
+        if path is None:
+            if not 0 <= dest < world.size:
+                raise CommunicationError(f"bad destination rank {dest}")
+            spec = world.network.path(self.rank, dest)
+            link = self._links.get(dest)
+            if link is None:
+                link = self._links[dest] = world.link_info(self.rank, dest)
+            # Flap windows matching this dest's link class, resolved
+            # once per (comm, dest) instead of per message.
+            path = (spec.latency, spec.bandwidth, world.mailboxes[dest].put,
+                    self._faults.flap_windows(link[0]))
+            self._paths[dest] = path
+            obs = self._obs
+            if obs is not None:
+                now = self._sim.now
+                obs.instant(self.rank, "cache_lookup", f"path_miss->{dest}",
+                            now, args={"dest": dest})
+                obs.counters.add("mpi.path_cache_miss", 1, now)
+        if nbytes < 0:
+            raise CommunicationError(f"negative message size {nbytes}")
+        latency, bandwidth, mailbox_put, flap_windows = path
+        sim = self._sim
+        now = sim.now
+        for period, phase, down_time, factor in flap_windows:
+            if (now - phase) % period < down_time:
+                latency *= factor
+        # The drop lottery runs before injection starts: every failed
+        # attempt waits out its timeout, so the payload's injection
+        # slot (and hence its delivery) is pushed back by the total.
+        # The no-drop case — one buffered uniform per stream — is
+        # inlined (_DropStream.next, keep in sync); an actual drop
+        # falls back to the stream's method calls.
+        obs = self._obs
+        retry_wait = 0.0
+        n_retries = 0
+        faults = self._faults
+        for stream in self._drop_streams:
+            probability = stream.probability
+            i = stream.i
+            buf = stream.buf
+            if i >= len(buf):
+                buf = stream.buf = stream.rng.random(_CHUNK).tolist()
+                i = 0
+            stream.i = i + 1
+            if buf[i] < probability:
+                fails = 0
+                while True:
+                    if fails >= stream.max_retries:
+                        faults.dropped_messages += 1
+                        raise CommunicationError(
+                            f"message of {nbytes:.0f} bytes dropped after "
+                            f"{stream.max_retries} retries (MessageDrop "
+                            f"p={probability})"
+                        )
+                    wait = stream.timeout * stream.backoff ** fails
+                    if obs is not None:
+                        t = now + retry_wait
+                        obs.complete(self.rank, "retry", f"retry->{dest}",
+                                     t, t + wait)
+                    retry_wait += wait
+                    n_retries += 1
+                    fails += 1
+                    if stream.next() >= probability:
+                        break
+        if n_retries:
+            faults.retries += n_retries
+            if obs is not None:
+                obs.counters.add("mpi.retries", n_retries, now)
+        busy = self._busy
+        key = self._inject_key
+        start = busy[key]
+        if start < now:
+            start = now
+        start += retry_wait
+        finish = start + nbytes / bandwidth
+        busy[key] = finish
+        inject = finish - now
+        self._msgs += 1
+        self._nbytes += nbytes
+        trace = world._trace
+        if trace is not None:
+            trace.record(now, self.rank, dest, tag, nbytes)
+        if obs is not None:
+            link = self._links.get(dest)
+            if link is None:
+                link = self._links[dest] = world.link_info(self.rank, dest)
+            obs.record_send(now, self.rank, dest, tag, nbytes,
+                            start, finish, finish + latency,
+                            link[0], link[1])
+        # Same inlined bucket scheduling as the healthy isend.
+        done = _timeout_new(Timeout)
+        done.sim = sim
+        done.triggered = False
+        done.value = None
+        done._callbacks = None
+        buckets = sim._buckets
+        seq = sim._seq + 1
+        when = now + inject + latency
+        bucket = buckets.get(when)
+        if bucket is None:
+            bpool = sim._bpool
+            bucket = bpool.pop() if bpool else []
+            buckets[when] = bucket
+            heappush(sim._theap, when)
+            if when < sim._next_timed:
+                sim._next_timed = when
+        bucket += (seq, mailbox_put,
+                   _msg_new(Message, (self.rank, dest, tag, nbytes, payload)))
+        seq += 1
+        if inject == 0.0:
+            sim._fifo.append((seq, done._fire, None))
+        else:
+            when = now + inject
+            bucket = buckets.get(when)
+            if bucket is None:
+                bpool = sim._bpool
+                bucket = bpool.pop() if bpool else []
+                buckets[when] = bucket
+                heappush(sim._theap, when)
+                if when < sim._next_timed:
+                    sim._next_timed = when
+            bucket += (seq, done._fire, None)
+        sim._seq = seq
+        return done

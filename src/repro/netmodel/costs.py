@@ -35,12 +35,17 @@ class _RouteTable:
     constructions).
     """
 
-    __slots__ = ("placement", "paths", "stats")
+    __slots__ = ("placement", "paths", "flat", "stats")
 
     def __init__(self, placement: Placement) -> None:
         self.placement = placement
-        #: (lo_rank, hi_rank) -> PathSpec
+        #: (lo_rank, hi_rank) -> PathSpec; self-paths under (r, r)
         self.paths: dict[tuple[int, int], PathSpec] = {}
+        #: (lo_rank, hi_rank) -> (latency, bandwidth) plain tuple —
+        #: the :meth:`NetworkModel.message_time` fast table, kept in
+        #: lockstep with ``paths`` so the per-lookup path is one dict
+        #: probe plus the LogGP arithmetic, no PathSpec indirection.
+        self.flat: dict[tuple[int, int], tuple[float, float]] = {}
         #: (max_samples, seed) -> PathStats
         self.stats: dict[tuple[int, int], "PathStats"] = {}
 
@@ -69,9 +74,14 @@ def _route_table(placement: Placement, injector_serial: int) -> _RouteTable:
     return table
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathSpec:
-    """Latency/bandwidth of one rank-to-rank path."""
+    """Latency/bandwidth of one rank-to-rank path.
+
+    Slotted: the cost model builds one per distinct rank pair during
+    cold sweeps, and the slot layout roughly halves both the
+    construction cost and the per-instance footprint.
+    """
 
     latency: float  # seconds
     bandwidth: float  # bytes / second
@@ -121,21 +131,25 @@ class NetworkModel:
         #: shared with every other NetworkModel for this placement
         #: (built under the same fault context)
         self._path_cache: dict[tuple[int, int], PathSpec] = table.paths
+        self._flat_cache: dict[tuple[int, int], tuple[float, float]] = table.flat
         self._stats_cache: dict[tuple[int, int], PathStats] = table.stats
 
     def path(self, rank_a: int, rank_b: int) -> PathSpec:
         """Path between the home CPUs of two ranks (thread 0)."""
+        key = (rank_a, rank_b) if rank_a < rank_b else (rank_b, rank_a)
+        spec = self._path_cache.get(key)
+        if spec is not None:
+            return spec
         if rank_a == rank_b:
             # Self-messages move through shared memory: model as the
             # best same-brick path (link faults describe the fabric,
-            # so they leave the in-memory copy alone).
+            # so they leave the in-memory copy alone).  Cached under
+            # (r, r) like any other pair.
             cpu = self.placement.cpu_of(rank_a)
             node = self.cluster.nodes[self.cluster.node_of(cpu)]
             lat, bw = node.interconnect.point_to_point(0)
-            return PathSpec(lat * 0.5, bw * 2.0)
-        key = (rank_a, rank_b) if rank_a < rank_b else (rank_b, rank_a)
-        spec = self._path_cache.get(key)
-        if spec is None:
+            lat, bw = lat * 0.5, bw * 2.0
+        else:
             cpu_a = self.placement.cpu_of(rank_a)
             cpu_b = self.placement.cpu_of(rank_b)
             lat, bw = self.cluster.point_to_point(cpu_a, cpu_b)
@@ -143,13 +157,26 @@ class NetworkModel:
                 lat, bw = self._faults.adjust_path(
                     self.cluster, cpu_a, cpu_b, lat, bw
                 )
-            spec = PathSpec(lat, bw)
-            self._path_cache[key] = spec
+        spec = PathSpec(lat, bw)
+        self._path_cache[key] = spec
+        self._flat_cache[key] = (lat, bw)
         return spec
 
     def message_time(self, rank_a: int, rank_b: int, nbytes: float) -> float:
-        """LogGP time for one message of ``nbytes``."""
-        return self.path(rank_a, rank_b).time(nbytes)
+        """LogGP time for one message of ``nbytes``.
+
+        The warm case — every pair after the first sweep touches it —
+        reads the route table's flat ``(latency, bandwidth)`` tuple
+        and does the arithmetic in place: one dict probe, no PathSpec
+        hop, no nested calls.
+        """
+        key = (rank_a, rank_b) if rank_a < rank_b else (rank_b, rank_a)
+        flat = self._flat_cache.get(key)
+        if flat is None:
+            self.path(rank_a, rank_b)
+            flat = self._flat_cache[key]
+        latency, bandwidth = flat
+        return latency + nbytes / bandwidth
 
     def message_times(
         self, sources, dests, nbytes: float | np.ndarray
@@ -202,31 +229,39 @@ class NetworkModel:
         if n == 1:
             p = self.path(0, 0)
             return PathStats(p.latency, p.latency, p.bandwidth, p.bandwidth, 0.0)
-        pairs: list[tuple[int, int]]
         total_pairs = n * (n - 1) // 2
         if total_pairs <= max_samples:
-            pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+            ii, jj = np.triu_indices(n, k=1)
         else:
             rng = make_rng(seed)
-            a = rng.integers(0, n, size=max_samples)
-            b = rng.integers(0, n - 1, size=max_samples)
-            b = np.where(b >= a, b + 1, b)
-            pairs = list(zip(a.tolist(), b.tolist()))
-        lats, bws, cross = [], [], 0
-        for i, j in pairs:
-            p = self.path(i, j)
-            lats.append(p.latency)
-            bws.append(p.bandwidth)
-            cpu_i = self.placement.cpu_of(i)
-            cpu_j = self.placement.cpu_of(j)
-            if self.cluster.crosses_nodes(cpu_i, cpu_j):
-                cross += 1
+            ii = rng.integers(0, n, size=max_samples)
+            jj = rng.integers(0, n - 1, size=max_samples)
+            jj = np.where(jj >= ii, jj + 1, jj)
+        ii = ii.tolist()
+        jj = jj.tolist()
+        # Per-rank home CPUs once (n calls), not once per sampled pair
+        # (2 * samples calls) — ``cpu_of`` validates its arguments, so
+        # hoisting it out of the pair loop is a large share of the
+        # cold-build cost.
+        cpu_of = self.placement.cpu_of
+        cpus = np.fromiter(
+            (cpu_of(r) for r in range(n)), dtype=np.intp, count=n
+        )
+        lats = np.empty(len(ii), dtype=float)
+        bws = np.empty(len(ii), dtype=float)
+        path = self.path
+        for k, (i, j) in enumerate(zip(ii, jj)):
+            p = path(i, j)
+            lats[k] = p.latency
+            bws[k] = p.bandwidth
+        nodes = cpus // self.cluster.cpus_per_node
+        cross = int(np.count_nonzero(nodes[ii] != nodes[jj]))
         return PathStats(
-            mean_latency=float(np.mean(lats)),
-            max_latency=float(np.max(lats)),
-            mean_bandwidth=float(np.mean(bws)),
-            min_bandwidth=float(np.min(bws)),
-            cross_node_fraction=cross / len(pairs),
+            mean_latency=float(lats.mean()),
+            max_latency=float(lats.max()),
+            mean_bandwidth=float(bws.mean()),
+            min_bandwidth=float(bws.min()),
+            cross_node_fraction=cross / len(ii),
         )
 
     def neighbor_path(self, rank: int) -> PathSpec:

@@ -45,6 +45,7 @@ startup cost does not dominate a stream of small batches.  Call
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -59,6 +60,7 @@ from repro.faults.spec import FaultSpec
 from repro.run.cache import ResultCache
 from repro.run.scenario import Scenario, canonical_value
 from repro.run.workloads import resolve
+from repro.shmem.arena import ResultArena
 
 __all__ = [
     "RunRecord",
@@ -161,6 +163,36 @@ def execute_scenario(scenario: Scenario) -> tuple[tuple, ...]:
         return _normalize_rows(scenario, fn(**kwargs))
 
 
+#: Worker-process arena handle, set once by :func:`_attach_arena`
+#: when the pool was built with the shared-memory transport.  Stays
+#: ``None`` in sequential runs and quarantine pools, which therefore
+#: return rows through the normal pickle path.
+_worker_arena: ResultArena | None = None
+
+
+def _attach_arena(name: str, n_strips: int, strip_bytes: int, counter) -> None:
+    """Pool initializer: map the parent's arena and claim a strip.
+
+    Strip indices are handed out by a shared counter so each worker
+    writes a distinct strip (the single-writer invariant the arena's
+    safety argument rests on).  Any hiccup — or running out of strips,
+    which cannot happen while pool workers are never respawned — just
+    leaves the worker on the pickle path; the initializer must never
+    raise, because an initializer exception breaks the whole pool.
+    """
+    global _worker_arena
+    try:
+        with counter.get_lock():
+            strip = counter.value
+            counter.value += 1
+        if strip < n_strips:
+            _worker_arena = ResultArena.attach(
+                name, n_strips, strip_bytes, strip
+            )
+    except Exception:  # pragma: no cover - defensive; fall back to pickle
+        _worker_arena = None
+
+
 def _trace_path(trace_dir: str, scenario: Scenario):
     from pathlib import Path
 
@@ -189,10 +221,35 @@ def _run_cell(scenario: Scenario, trace_dir: str | None = None):
                 rows = execute_scenario(scenario)
             if tracer.spans or tracer.messages:
                 write_chrome_trace(tracer, _trace_path(trace_dir, scenario))
+        if _worker_arena is not None:
+            # Zero-pickle transport: park the rows in shared memory and
+            # send back only the token; ``encode`` returns None for
+            # rows it cannot represent (or a full strip), in which case
+            # the rows travel over the pipe as usual.
+            token = _worker_arena.encode(rows)
+            if token is not None:
+                return token, None, time.perf_counter() - start
         return rows, None, time.perf_counter() - start
     except Exception as exc:  # per-cell capture: one bad cell reports
         err = f"{type(exc).__name__}: {exc}"
         return None, err, time.perf_counter() - start
+
+
+def _decode_outcome(arena: ResultArena | None, outcome):
+    """Materialize a worker outcome: arena tokens become rows again.
+
+    Rows proper are always a tuple, so a dict payload is unambiguously
+    a shared-memory token.  A decode failure is reported as the cell's
+    error rather than crashing the sweep (it would indicate arena
+    corruption, so no retry is attempted).
+    """
+    rows, error, dt = outcome
+    if arena is not None and type(rows) is dict:
+        try:
+            rows = arena.decode(rows)
+        except Exception as exc:  # pragma: no cover - corruption guard
+            return None, f"shared-memory decode failed: {exc}", dt
+    return rows, error, dt
 
 
 def _resolve_jobs(jobs) -> int:
@@ -326,6 +383,8 @@ class Runner:
         self.stats = RunStats()
         #: persistent pool for :meth:`run_batch`; built lazily.
         self._pool: ProcessPoolExecutor | None = None
+        #: shared-memory result arena paired with the persistent pool.
+        self._arena: ResultArena | None = None
 
     def effective_scenario(self, sc: Scenario) -> Scenario:
         """The scenario as this runner will actually execute it: the
@@ -371,15 +430,39 @@ class Runner:
         if self.checkpoint is not None:
             self.checkpoint.close()
 
+    @staticmethod
+    def _make_pool(workers: int) -> tuple[ProcessPoolExecutor, ResultArena]:
+        """A worker pool plus its paired result arena.
+
+        Workers claim strips through a shared counter in the pool
+        initializer; the caller owns the arena (decode + rewind +
+        eventual unlink).
+        """
+        arena = ResultArena.create(workers)
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_attach_arena,
+            initargs=(
+                arena.name,
+                arena.n_strips,
+                arena.strip_bytes,
+                multiprocessing.Value("i", 0),
+            ),
+        )
+        return pool, arena
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool, self._arena = self._make_pool(self.jobs)
         return self._pool
 
     def _discard_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._arena is not None:
+            self._arena.unlink()
+            self._arena = None
 
     def _run(
         self,
@@ -492,12 +575,11 @@ class Runner:
         """
         outcomes: list = [None] * len(scenarios)
         suspects: list[int] = []
-        pool = (
-            self._ensure_pool() if reuse_pool
-            else ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(scenarios))
-            )
-        )
+        if reuse_pool:
+            pool = self._ensure_pool()
+            arena = self._arena
+        else:
+            pool, arena = self._make_pool(min(self.jobs, len(scenarios)))
         broken = False
         try:
             try:
@@ -515,15 +597,20 @@ class Runner:
             # list is ordered no matter which worker finishes first.
             for i, future in enumerate(futures):
                 try:
-                    outcomes[i] = future.result()
+                    outcomes[i] = _decode_outcome(arena, future.result())
                 except BrokenProcessPool:
                     broken = True
                     suspects.append(i)
         finally:
             if not reuse_pool:
                 pool.shutdown()
+                arena.unlink()
             elif broken:
                 self._discard_pool()
+            elif arena is not None:
+                # All futures resolved and decoded, workers idle:
+                # safe to rewind the strips for the next batch.
+                arena.rewind()
         for i in suspects:
             outcomes[i] = self._run_with_retries(
                 scenarios[i], isolated=True, trace_dir=trace_dir

@@ -1,0 +1,285 @@
+"""Zero-pickle result transport for parallel sweeps.
+
+A :class:`ResultArena` is one block of POSIX shared memory divided
+into fixed-size per-worker *strips*.  Worker processes encode each
+cell's (already canonicalized) result rows into their own strip as
+flat numeric blocks and send back a tiny ``(strip, offset, schema,
+...)`` token over the result pipe; the parent rebuilds the rows by
+slicing the mapping — the row payload itself is never pickled and
+never copied through the pipe.
+
+Safety argument, relied on by :class:`repro.run.runner.Runner`:
+
+* exactly one writer per strip — each worker is handed a distinct
+  strip index by the pool initializer (a shared counter), and only
+  that worker ever advances the strip's cursor;
+* a strip region is written once (append-only within a batch) and
+  read by the parent only after the corresponding future resolves,
+  so no region is ever concurrently written and read;
+* the parent rewinds the cursors only between batches, when every
+  future has resolved and all workers are idle.
+
+Encoding is deliberately conservative: two fixed schemas cover the
+numeric results that dominate sweep traffic, everything else —
+strings, ints outside int64, nested rows, and cells that would
+overflow the strip — transparently falls back to the normal pickle
+path (the worker just returns the rows).  Decoded rows are equal to
+the pickled rows value-for-value *and* type-for-type (float / int /
+bool / None round-trip exactly), so the transport is invisible to the
+cache, the checkpoint journal, and every consumer downstream.
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ResultArena", "SHM_TOKEN", "DEFAULT_STRIP_BYTES"]
+
+#: Key marking a worker outcome as an arena token rather than rows.
+#: Rows are always a tuple, so a dict outcome is unambiguous.
+SHM_TOKEN = "__shm__"
+
+#: Per-worker strip capacity.  Generous for row-oriented results (a
+#: 1 MiB strip holds ~130k float cells per batch per worker); cells
+#: beyond it fall back to pickle rather than failing.
+DEFAULT_STRIP_BYTES = 1 << 20
+
+#: Strip layout: an 8-byte little-endian cursor, then cell records,
+#: each 8-byte aligned.
+_HEADER_BYTES = 8
+
+# -- value schemas -----------------------------------------------------------
+
+#: Schema 0: rectangular all-float rows — one contiguous f64 block.
+RECT_F64 = 0
+#: Schema 1: ragged rows of float/int64/bool/None — an int64 row-length
+#: vector, a uint8 tag vector (padded to 8 bytes), and one 8-byte
+#: payload slot per value.
+TAGGED = 1
+
+_TAG_FLOAT = 0
+_TAG_INT = 1
+_TAG_BOOL = 2
+_TAG_NONE = 3
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+class ResultArena:
+    """Shared-memory strips for pickle-free result rows.
+
+    Parent side::
+
+        arena = ResultArena.create(n_workers)     # owns the segment
+        ...pool initializer attaches workers...
+        rows = arena.decode(token)                # after future.result()
+        arena.rewind()                            # between batches
+        arena.unlink()                            # when the pool dies
+
+    Worker side (via :meth:`attach`)::
+
+        token = arena.encode(rows)                # None -> pickle path
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n_strips: int,
+        strip_bytes: int,
+        strip: int | None,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.n_strips = n_strips
+        self.strip_bytes = strip_bytes
+        #: this process's writable strip index (None in the parent).
+        self.strip = strip
+        self._owner = owner
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, n_strips: int, strip_bytes: int = DEFAULT_STRIP_BYTES
+    ) -> "ResultArena":
+        """Parent-side constructor: allocate and zero the segment."""
+        name = f"repro-arena-{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=n_strips * strip_bytes
+        )
+        shm.buf[: n_strips * strip_bytes] = bytes(n_strips * strip_bytes)
+        return cls(shm, n_strips, strip_bytes, strip=None, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, n_strips: int, strip_bytes: int, strip: int
+    ) -> "ResultArena":
+        """Worker-side constructor: map the parent's segment."""
+        # NB: pre-3.13 interpreters register attached segments with the
+        # resource tracker too; with forked workers the tracker process
+        # is shared and its name cache is a set, so the duplicate
+        # registration collapses and the parent's unlink cleans up.
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, n_strips, strip_bytes, strip=strip, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def rewind(self) -> None:
+        """Reset every strip cursor (between batches, workers idle)."""
+        buf = self._shm.buf
+        for i in range(self.n_strips):
+            base = i * self.strip_bytes
+            buf[base : base + _HEADER_BYTES] = b"\x00" * _HEADER_BYTES
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Release the segment (parent side, after closing the pool)."""
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # -- worker side ---------------------------------------------------------
+
+    def encode(self, rows: tuple) -> dict | None:
+        """Write ``rows`` into this worker's strip.
+
+        Returns the token to send over the pipe, or ``None`` when the
+        rows don't fit a numeric schema (or the strip is full) and the
+        caller should fall back to returning the rows themselves.
+        """
+        strip = self.strip
+        if strip is None or not rows:
+            return None
+        n_rows = len(rows)
+        rect = True
+        n_cols = len(rows[0])
+        n_vals = 0
+        for row in rows:
+            n_vals += len(row)
+            if len(row) != n_cols:
+                rect = False
+            for v in row:
+                if type(v) is not float:
+                    rect = False
+                    t = type(v)
+                    if t is int:
+                        if not _INT64_MIN <= v <= _INT64_MAX:
+                            return None
+                    elif t is not bool and v is not None:
+                        return None  # strings, nested rows, ...
+
+        base = strip * self.strip_bytes
+        buf = self._shm.buf
+        cursor = int.from_bytes(buf[base : base + 8], "little")
+        offset = _pad8(_HEADER_BYTES + cursor)
+
+        if rect:
+            nbytes = n_vals * 8
+            if offset + nbytes > self.strip_bytes:
+                return None
+            block = np.ndarray(
+                (n_rows, n_cols), dtype=np.float64,
+                buffer=buf, offset=base + offset,
+            )
+            block[:] = rows
+            token = (strip, offset, RECT_F64, n_rows, n_cols)
+        else:
+            lens_b = n_rows * 8
+            tags_b = _pad8(n_vals)
+            nbytes = lens_b + tags_b + n_vals * 8
+            if offset + nbytes > self.strip_bytes:
+                return None
+            lens = np.ndarray(
+                n_rows, dtype=np.int64, buffer=buf, offset=base + offset
+            )
+            tags = np.ndarray(
+                n_vals, dtype=np.uint8,
+                buffer=buf, offset=base + offset + lens_b,
+            )
+            f64 = np.ndarray(
+                n_vals, dtype=np.float64,
+                buffer=buf, offset=base + offset + lens_b + tags_b,
+            )
+            i64 = f64.view(np.int64)
+            k = 0
+            for r, row in enumerate(rows):
+                lens[r] = len(row)
+                for v in row:
+                    t = type(v)
+                    if t is float:
+                        tags[k] = _TAG_FLOAT
+                        f64[k] = v
+                    elif t is bool:
+                        tags[k] = _TAG_BOOL
+                        i64[k] = v
+                    elif t is int:
+                        tags[k] = _TAG_INT
+                        i64[k] = v
+                    else:
+                        tags[k] = _TAG_NONE
+                        i64[k] = 0
+                    k += 1
+            token = (strip, offset, TAGGED, n_rows, n_vals)
+
+        new_cursor = offset + nbytes - _HEADER_BYTES
+        buf[base : base + 8] = new_cursor.to_bytes(8, "little")
+        return {SHM_TOKEN: token}
+
+    # -- parent side ---------------------------------------------------------
+
+    def decode(self, token: dict) -> tuple[tuple, ...]:
+        """Rebuild the rows a worker encoded (parent side)."""
+        strip, offset, schema, n_rows, n = token[SHM_TOKEN]
+        base = strip * self.strip_bytes
+        buf = self._shm.buf
+        if schema == RECT_F64:
+            block = np.ndarray(
+                (n_rows, n), dtype=np.float64, buffer=buf, offset=base + offset
+            )
+            return tuple(tuple(row) for row in block.tolist())
+        lens_b = n_rows * 8
+        tags_b = _pad8(n)
+        lens = np.ndarray(
+            n_rows, dtype=np.int64, buffer=buf, offset=base + offset
+        ).tolist()
+        tags = np.ndarray(
+            n, dtype=np.uint8, buffer=buf, offset=base + offset + lens_b
+        ).tolist()
+        f64 = np.ndarray(
+            n, dtype=np.float64,
+            buffer=buf, offset=base + offset + lens_b + tags_b,
+        )
+        i64 = f64.view(np.int64).tolist()
+        f64 = f64.tolist()
+        rows = []
+        k = 0
+        for length in lens:
+            row = []
+            for _ in range(length):
+                tag = tags[k]
+                if tag == _TAG_FLOAT:
+                    row.append(f64[k])
+                elif tag == _TAG_INT:
+                    row.append(i64[k])
+                elif tag == _TAG_BOOL:
+                    row.append(bool(i64[k]))
+                else:
+                    row.append(None)
+                k += 1
+            rows.append(tuple(row))
+        return tuple(rows)

@@ -30,6 +30,10 @@ MatchFn = Callable[[Any], bool]
 #: ANY_TAG, which are also ``-1``).
 ANY = -1
 
+#: pre-bound allocator for getter events — one per posted receive,
+#: without the per-call ``SimEvent.__new__`` attribute lookup.
+_event_new = SimEvent.__new__
+
 
 def _match_any(_msg: Any) -> bool:
     return True
@@ -65,15 +69,21 @@ class Channel:
                     ev.triggered = True
                     ev.value = message
                     callbacks = ev._callbacks
-                    if callbacks:
-                        ev._callbacks = []
+                    if callbacks is not None:
+                        ev._callbacks = None
                         sim = self.sim
-                        seq = sim._seq
-                        fifo = sim._fifo
-                        for cb in callbacks:
-                            seq += 1
-                            fifo.append((seq, cb, ev))
-                        sim._seq = seq
+                        if callbacks.__class__ is list:
+                            seq = sim._seq
+                            fifo = sim._fifo
+                            for cb in callbacks:
+                                seq += 1
+                                fifo.append((seq, cb, ev))
+                            sim._seq = seq
+                        else:
+                            # single waiter: one fast-lane append, no
+                            # list walk (see SimEvent._callbacks).
+                            sim._seq = seq = sim._seq + 1
+                            sim._fifo.append((seq, callbacks, ev))
                     return
             elif spec(message):
                 getters.popleft()
@@ -106,15 +116,19 @@ class Channel:
         ev.triggered = True
         ev.value = message
         callbacks = ev._callbacks
-        if callbacks:
-            ev._callbacks = []
+        if callbacks is not None:
+            ev._callbacks = None
             sim = self.sim
-            seq = sim._seq
-            fifo = sim._fifo
-            for cb in callbacks:
-                seq += 1
-                fifo.append((seq, cb, ev))
-            sim._seq = seq
+            if callbacks.__class__ is list:
+                seq = sim._seq
+                fifo = sim._fifo
+                for cb in callbacks:
+                    seq += 1
+                    fifo.append((seq, cb, ev))
+                sim._seq = seq
+            else:
+                sim._seq = seq = sim._seq + 1
+                sim._fifo.append((seq, callbacks, ev))
 
     def get(self, match: MatchFn | None = None) -> SimEvent:
         """Request a message satisfying ``match`` (default: any).
@@ -142,11 +156,11 @@ class Channel:
         uses.
         """
         # Inline SimEvent construction (one per posted receive).
-        ev = SimEvent.__new__(SimEvent)
+        ev = _event_new(SimEvent)
         ev.sim = self.sim
         ev.triggered = False
         ev.value = None
-        ev._callbacks = []
+        ev._callbacks = None
         messages = self._messages
         if messages:
             for i, message in enumerate(messages):

@@ -3,10 +3,14 @@
 The :class:`Simulator` owns the clock and two queues of scheduled
 callbacks:
 
-* a heap-ordered queue of *timed* callbacks, whose entries are
-  reusable four-field list slots (``[when, seq, func, arg]``) drawn
-  from a free pool — the "slotted event pool" that avoids allocating
-  a fresh tuple per scheduled event;
+* timed callbacks live in *timestamp buckets*: a heap orders the
+  distinct pending timestamps, and a dict maps each timestamp to a
+  flat structure-of-arrays bucket ``[seq0, func0, arg0, seq1, ...]``
+  holding every callback due at that instant in schedule order.  The
+  heap only ever sees one entry per distinct timestamp, so a burst of
+  same-time events costs one float heap push instead of N slot
+  pushes, and the run loop drains a whole bucket with a flat index
+  walk — no per-event heap subscripts, no slot-pool churn;
 * a FIFO *fast lane* for zero-delay callbacks (the common case in MPI
   rendezvous chains: event completions, process wake-ups), which
   bypasses the heap entirely.
@@ -16,17 +20,29 @@ callbacks here.  Determinism is guaranteed by a monotonically
 increasing sequence number shared by both queues that breaks ties
 between callbacks scheduled for the same instant: two runs of the same
 program always execute callbacks in the same order, and the order is
-identical to a single heap keyed on ``(when, seq)`` — the fast lane is
-an implementation detail, not a semantic change.
+identical to a single heap keyed on ``(when, seq)`` — the fast lane
+and the buckets are implementation details, not semantic changes.
+The equivalence argument, relied on throughout:
 
-``run`` batch-drains all callbacks that share a timestamp without
-re-checking the ``until`` horizon between them, falling back to the
-general two-queue arbitration only when a drained callback schedules
-new zero-delay work.
+* within one bucket, entries appear in append order, and ``seq`` is
+  monotonic, so a linear walk visits them in ``seq`` order — exactly
+  how a ``(when, seq)`` heap would pop them;
+* the fast lane interleaves by comparing its head ``seq`` against the
+  next pending bucket entry's ``seq``, same as the reference heap's
+  tie-break at equal ``when``;
+* a callback that schedules more work *at the drained timestamp*
+  necessarily gets larger ``seq`` values; its entries land in a fresh
+  bucket for the same timestamp, which the outer loop picks up after
+  the current flat walk — again matching the reference order.
+
+``run`` batch-drains each bucket without re-checking the ``until``
+horizon between entries, arbitrating against the fast lane with one
+integer compare per event.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import math
 import sys
@@ -37,10 +53,18 @@ from repro.errors import DeadlockError, SimulationError
 
 __all__ = ["Simulator"]
 
-#: Sentinel meaning "call ``func`` with no argument" in a queue entry.
-#: Internal fast-lane callers pass a real ``arg`` instead, so hot
-#: paths avoid allocating a closure per scheduled callback.
+#: Sentinel meaning "call ``func`` with no argument".  Queue entries
+#: never carry it: no-arg callbacks are normalized to ``(_invoke,
+#: callback)`` at schedule time, so the run loop calls ``func(arg)``
+#: unconditionally — one less branch per executed event.  Internal
+#: fast-lane callers pass a real ``arg``, paying nothing.
 _NO_ARG = object()
+
+
+def _invoke(callback: Callable[[], Any]) -> None:
+    """Adapter putting no-arg public callbacks on the uniform
+    ``func(arg)`` calling convention of the queues."""
+    callback()
 
 #: Relative tolerance for clamping sub-epsilon *negative* deltas in
 #: :meth:`Simulator.schedule_at`.  ``when - now`` can come out a few
@@ -51,8 +75,8 @@ _NO_ARG = object()
 #: attempts to schedule in the past.
 _CLAMP_EPS = 4.0 * sys.float_info.epsilon
 
-#: Upper bound on the free slot pool (enough for the deepest queues the
-#: workloads build; beyond this, slots are simply dropped to the GC).
+#: Upper bound on the free bucket pool (enough for the deepest queues
+#: the workloads build; beyond this, drained buckets go to the GC).
 _MAX_POOL = 4096
 
 
@@ -73,10 +97,11 @@ class Simulator:
         "now",
         "events_executed",
         "observer",
-        "_heap",
+        "_theap",
+        "_buckets",
         "_fifo",
         "_seq",
-        "_pool",
+        "_bpool",
         "_next_timed",
         "_active_processes",
     )
@@ -89,16 +114,21 @@ class Simulator:
         #: the clock advances past ``observer.next_sample``.  ``None``
         #: (the default) costs one branch per timestamp batch.
         self.observer = None
-        #: timed events: reusable ``[when, seq, func, arg]`` slots.
-        self._heap: list[list] = []
+        #: heap of the *distinct* pending timestamps (floats).  Never
+        #: holds duplicates: a timestamp is pushed exactly when its
+        #: bucket is created and popped when the bucket drains.
+        self._theap: list[float] = []
+        #: timestamp -> flat SoA bucket ``[seq, func, arg, ...]`` of
+        #: every timed callback due then, in schedule (= seq) order.
+        self._buckets: dict[float, list] = {}
         #: zero-delay fast lane: ``(seq, func, arg)`` tuples.
         self._fifo: deque[tuple[int, Callable, Any]] = deque()
         self._seq: int = 0
-        #: free slots recycled between timed events.
-        self._pool: list[list] = []
-        #: mirror of ``heap[0][0]`` (inf when empty): the run loop
-        #: tests "is a timed event due?" once per fast-lane event, and
-        #: a float compare is cheaper than two heap subscripts.
+        #: drained buckets recycled for future timestamps.
+        self._bpool: list[list] = []
+        #: mirror of ``theap[0]`` (inf when empty): the run loop tests
+        #: "is a timed event due?" once per fast-lane event, and a
+        #: float compare is cheaper than a heap subscript.
         self._next_timed: float = math.inf
         #: number of simulated processes that have started but not
         #: finished; used for deadlock detection when the event queue
@@ -113,11 +143,11 @@ class Simulator:
         """Run ``callback`` at ``now + delay`` simulated seconds."""
         if delay == 0.0:
             self._seq += 1
-            self._fifo.append((self._seq, callback, _NO_ARG))
+            self._fifo.append((self._seq, _invoke, callback))
             return
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} s in the past")
-        self._push(self.now + delay, callback, _NO_ARG)
+        self._push(self.now + delay, _invoke, callback)
 
     def schedule_call(self, delay: float, func: Callable, arg: Any = _NO_ARG) -> None:
         """Like :meth:`schedule`, but runs ``func(arg)``.
@@ -126,6 +156,9 @@ class Simulator:
         entry lets sim primitives (event completion, message delivery,
         process start) avoid allocating a closure per event.
         """
+        if arg is _NO_ARG:
+            arg = func
+            func = _invoke
         if delay == 0.0:
             self._seq += 1
             self._fifo.append((self._seq, func, arg))
@@ -136,21 +169,22 @@ class Simulator:
         # the extra call frame measurable.
         when = self.now + delay
         self._seq += 1
-        pool = self._pool
-        if pool:
-            slot = pool.pop()
-            slot[0] = when
-            slot[1] = self._seq
-            slot[2] = func
-            slot[3] = arg
-        else:
-            slot = [when, self._seq, func, arg]
-        heapq.heappush(self._heap, slot)
-        if when < self._next_timed:
-            self._next_timed = when
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            bpool = self._bpool
+            bucket = bpool.pop() if bpool else []
+            buckets[when] = bucket
+            heapq.heappush(self._theap, when)
+            if when < self._next_timed:
+                self._next_timed = when
+        bucket += (self._seq, func, arg)
 
     def call_soon(self, func: Callable, arg: Any = _NO_ARG) -> None:
         """Schedule ``func(arg)`` at the current instant (fast lane)."""
+        if arg is _NO_ARG:
+            arg = func
+            func = _invoke
         self._seq += 1
         self._fifo.append((self._seq, func, arg))
 
@@ -166,28 +200,21 @@ class Simulator:
         self.schedule(delta, callback)
 
     def _push(self, when: float, func: Callable, arg: Any) -> None:
-        """Heap-insert a timed event, reusing a pooled slot if one is free."""
+        """Append a timed event to its timestamp bucket (creating it
+        — and heap-registering the timestamp — on first use)."""
         self._seq += 1
-        pool = self._pool
-        if pool:
-            slot = pool.pop()
-            slot[0] = when
-            slot[1] = self._seq
-            slot[2] = func
-            slot[3] = arg
-        else:
-            slot = [when, self._seq, func, arg]
-        heapq.heappush(self._heap, slot)
-        if when < self._next_timed:
-            self._next_timed = when
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            bpool = self._bpool
+            bucket = bpool.pop() if bpool else []
+            buckets[when] = bucket
+            heapq.heappush(self._theap, when)
+            if when < self._next_timed:
+                self._next_timed = when
+        bucket += (self._seq, func, arg)
 
     # -- execution ----------------------------------------------------------
-
-    def _recycle(self, slot: list) -> None:
-        """Return a popped heap slot to the free pool."""
-        slot[2] = slot[3] = None  # drop refs so pooled slots don't pin objects
-        if len(self._pool) < _MAX_POOL:
-            self._pool.append(slot)
 
     def step(self) -> bool:
         """Execute the next scheduled callback.
@@ -195,40 +222,44 @@ class Simulator:
         Returns ``False`` when the queue is empty, ``True`` otherwise.
         """
         fifo = self._fifo
-        heap = self._heap
         if fifo:
             # A timed event at the current instant with a smaller
             # sequence number was scheduled first and must run first.
-            if heap and heap[0][0] <= self.now and heap[0][1] < fifo[0][0]:
+            if (
+                self._next_timed <= self.now
+                and self._buckets[self._next_timed][0] < fifo[0][0]
+            ):
                 return self._step_timed()
             _, func, arg = fifo.popleft()
             self.events_executed += 1
-            if arg is _NO_ARG:
-                func()
-            else:
-                func(arg)
+            func(arg)
             return True
-        if not heap:
+        if not self._theap:
             return False
         return self._step_timed()
 
     def _step_timed(self) -> bool:
-        heap = self._heap
-        slot = heapq.heappop(heap)
-        self._next_timed = heap[0][0] if heap else math.inf
-        when, _, func, arg = slot
+        theap = self._theap
+        when = theap[0]
         if when < self.now:
             raise SimulationError(f"time went backwards: {when} < {self.now}")
         self.now = when
         observer = self.observer
         if observer is not None and when >= observer.next_sample:
             observer.sample(self)
-        self._recycle(slot)
+        buckets = self._buckets
+        bucket = buckets[when]
+        func = bucket[1]
+        arg = bucket[2]
+        del bucket[:3]
+        if not bucket:
+            heapq.heappop(theap)
+            del buckets[when]
+            self._next_timed = theap[0] if theap else math.inf
+            if len(self._bpool) < _MAX_POOL:
+                self._bpool.append(bucket)
         self.events_executed += 1
-        if arg is _NO_ARG:
-            func()
-        else:
-            func(arg)
+        func(arg)
         return True
 
     def run(self, until: float | None = None) -> float:
@@ -251,88 +282,136 @@ class Simulator:
             The simulated time at which execution stopped.
         """
         fifo = self._fifo
-        heap = self._heap
-        pool = self._pool
+        theap = self._theap
+        buckets = self._buckets
+        bpool = self._bpool
         heappop = heapq.heappop
-        no_arg = _NO_ARG
         inf = math.inf
         horizon = inf if until is None else until
         executed = 0
+        # ``now`` mirrors ``self.now`` locally: only this loop advances
+        # the clock, so the mirror cannot go stale, and it turns an
+        # attribute load per fast-lane event into a local read.
+        now = self.now
+        # Pause the *cyclic* collector for the duration of the loop:
+        # per-event garbage (queue tuples, messages, fired events) is
+        # acyclic and freed by refcounting the moment the last
+        # reference drops, so generation-0 scans triggered by the
+        # allocation rate buy nothing here — they just interrupt the
+        # loop every ~700 allocations.  Cycle collection resumes (and
+        # catches anything deferred) as soon as run() returns.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             while True:
                 if fifo:
-                    # Timed event due now?  ``_next_timed`` mirrors
-                    # ``heap[0][0]`` so the common miss is one float
-                    # compare.
-                    if self._next_timed <= self.now:
-                        if heap[0][1] < fifo[0][0]:
-                            # Scheduled before the FIFO head: it wins
-                            # the tie-break.
-                            slot = heappop(heap)
-                            self._next_timed = heap[0][0] if heap else inf
-                            func = slot[2]
-                            arg = slot[3]
-                            slot[2] = slot[3] = None
-                            if len(pool) < _MAX_POOL:
-                                pool.append(slot)
-                        else:
-                            _, func, arg = fifo.popleft()
-                        executed += 1
-                        if arg is no_arg:
-                            func()
-                        else:
+                    when = self._next_timed
+                    if when > now:
+                        # No timed event is due, so every timed event
+                        # a callback schedules from here (always in
+                        # the future, or at worst at ``now`` with a
+                        # *larger* seq) sorts after the entries
+                        # currently queued — the snapshot can drain
+                        # with no arbitration at all.  Entries
+                        # appended *during* the drain are
+                        # re-arbitrated on the next outer iteration.
+                        popleft = fifo.popleft
+                        for _ in range(len(fifo)):
+                            _, func, arg = popleft()
+                            executed += 1
                             func(arg)
                         continue
-                    # No timed event is due, so every timed event a
-                    # callback schedules from here (always in the
-                    # future, or at worst at ``now`` with a *larger*
-                    # seq) sorts after the entries currently queued —
-                    # the snapshot can drain with no arbitration at
-                    # all.  Entries appended *during* the drain are
-                    # re-arbitrated on the next outer iteration.
-                    popleft = fifo.popleft
-                    for _ in range(len(fifo)):
-                        _, func, arg = popleft()
+                    bucket = buckets[when]
+                    if fifo[0][0] < bucket[0]:
+                        # The FIFO head was scheduled before the next
+                        # timed entry: it wins the tie-break.
+                        _, func, arg = fifo.popleft()
                         executed += 1
-                        if arg is no_arg:
-                            func()
-                        else:
-                            func(arg)
-                    continue
-                if not heap:
-                    break
-                when = heap[0][0]
-                if when > horizon:
-                    self.now = until  # type: ignore[assignment]
-                    return self.now
-                if when < self.now:
-                    raise SimulationError(
-                        f"time went backwards: {when} < {self.now}"
-                    )
-                self.now = when
-                observer = self.observer
-                if observer is not None and when >= observer.next_sample:
-                    observer.sample(self)
-                # Batch-drain every timed event sharing this timestamp.
-                # A callback may schedule zero-delay work; bail to the
-                # outer loop then so the seq tie-break is arbitrated.
-                while heap and heap[0][0] == when:
-                    slot = heappop(heap)
-                    self._next_timed = heap[0][0] if heap else inf
-                    func = slot[2]
-                    arg = slot[3]
-                    slot[2] = slot[3] = None
-                    if len(pool) < _MAX_POOL:
-                        pool.append(slot)
-                    executed += 1
-                    if arg is no_arg:
-                        func()
-                    else:
                         func(arg)
-                    if fifo:
+                        continue
+                    # Fall through: drain the due bucket (now == when,
+                    # clock/observer already handled when it advanced).
+                else:
+                    if not theap:
                         break
+                    when = theap[0]
+                    if when > horizon:
+                        self.now = until  # type: ignore[assignment]
+                        return self.now
+                    if when < now:
+                        raise SimulationError(
+                            f"time went backwards: {when} < {now}"
+                        )
+                    self.now = now = when
+                    observer = self.observer
+                    if observer is not None and when >= observer.next_sample:
+                        observer.sample(self)
+                    bucket = buckets[when]
+                # Batch-drain the bucket: a flat index walk, yielding
+                # to fast-lane work scheduled mid-drain whenever its
+                # seq is smaller than the next bucket entry's.  Work a
+                # callback schedules *at this same timestamp* lands in
+                # a fresh bucket (with larger seqs) that the outer
+                # loop picks up right after this walk.
+                heappop(theap)
+                del buckets[when]
+                self._next_timed = theap[0] if theap else inf
+                i = 0
+                n = len(bucket)
+                try:
+                    if not fifo:
+                        # The fast lane is empty as the walk starts, so
+                        # every fast-lane entry appended by a drained
+                        # callback carries a seq larger than all bucket
+                        # seqs (which were assigned earlier) — the
+                        # per-event arbitration can't ever fire and is
+                        # dropped from the loop entirely.  This is the
+                        # clock-advance path, i.e. almost every drain.
+                        while i < n:
+                            func = bucket[i + 1]
+                            arg = bucket[i + 2]
+                            i += 3
+                            executed += 1
+                            func(arg)
+                    else:
+                        while i < n:
+                            seq = bucket[i]
+                            if fifo and fifo[0][0] < seq:
+                                _, func, arg = fifo.popleft()
+                                executed += 1
+                                func(arg)
+                                continue
+                            func = bucket[i + 1]
+                            arg = bucket[i + 2]
+                            i += 3
+                            executed += 1
+                            func(arg)
+                except BaseException:
+                    # Re-register the unconsumed tail so a raising
+                    # callback leaves the queue resumable (the old
+                    # heap kept un-popped slots implicitly).  A
+                    # callback may already have opened a *new* bucket
+                    # at this timestamp; its seqs are larger, so the
+                    # tail goes in front.
+                    if i < n:
+                        tail = bucket[i:]
+                        fresh = buckets.get(when)
+                        if fresh is not None:
+                            tail += fresh
+                        else:
+                            heapq.heappush(theap, when)
+                        buckets[when] = tail
+                        if when < self._next_timed:
+                            self._next_timed = when
+                    raise
+                bucket.clear()  # drop refs so pooled buckets don't pin objects
+                if len(bpool) < _MAX_POOL:
+                    bpool.append(bucket)
         finally:
             self.events_executed += executed
+            if gc_was_enabled:
+                gc.enable()
         if self._active_processes > 0:
             raise DeadlockError(
                 f"event queue empty with {self._active_processes} "
@@ -345,4 +424,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of callbacks currently scheduled."""
-        return len(self._heap) + len(self._fifo)
+        pending = len(self._fifo)
+        for bucket in self._buckets.values():
+            pending += len(bucket) // 3
+        return pending

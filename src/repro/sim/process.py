@@ -48,7 +48,11 @@ class SimEvent:
         self.sim = sim
         self.triggered = False
         self.value: Any = None
-        self._callbacks: list[Callable[["SimEvent"], None]] = []
+        #: waiter storage, shaped for the common cases: ``None`` (no
+        #: waiters yet), a bare callable (exactly one waiter — the MPI
+        #: rendezvous norm, saving the list allocation per event), or
+        #: a list of callables.  All consumers branch on this shape.
+        self._callbacks: Any = None
 
     def succeed(self, value: Any = None) -> "SimEvent":
         """Trigger the event, waking all waiters at the current time."""
@@ -57,17 +61,21 @@ class SimEvent:
         self.triggered = True
         self.value = value
         callbacks = self._callbacks
-        if callbacks:
-            self._callbacks = []
+        if callbacks is not None:
+            self._callbacks = None
             # Inlined call_soon: waking waiters is the single hottest
             # sim operation, so the fast-lane append happens in place.
             sim = self.sim
-            seq = sim._seq
-            fifo = sim._fifo
-            for cb in callbacks:
-                seq += 1
-                fifo.append((seq, cb, self))
-            sim._seq = seq
+            if callbacks.__class__ is list:
+                seq = sim._seq
+                fifo = sim._fifo
+                for cb in callbacks:
+                    seq += 1
+                    fifo.append((seq, cb, self))
+                sim._seq = seq
+            else:
+                sim._seq = seq = sim._seq + 1
+                sim._fifo.append((seq, callbacks, self))
         return self
 
     def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
@@ -75,8 +83,14 @@ class SimEvent:
         triggered (scheduled at the current time, preserving order)."""
         if self.triggered:
             self.sim.call_soon(callback, self)
+            return
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = callback
+        elif callbacks.__class__ is list:
+            callbacks.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [callbacks, callback]
 
 
 class Timeout(SimEvent):
@@ -90,7 +104,7 @@ class Timeout(SimEvent):
         self.sim = sim
         self.triggered = False
         self.value = None
-        self._callbacks = []
+        self._callbacks = None
         if delay < 0:
             # Mirror Simulator.schedule_at: cost-model float noise can
             # produce delays a few ulps below zero (e.g. a duration
@@ -111,15 +125,19 @@ class Timeout(SimEvent):
         self.triggered = True
         self.value = value
         callbacks = self._callbacks
-        if callbacks:
-            self._callbacks = []
+        if callbacks is not None:
+            self._callbacks = None
             sim = self.sim
-            seq = sim._seq
-            fifo = sim._fifo
-            for cb in callbacks:
-                seq += 1
-                fifo.append((seq, cb, self))
-            sim._seq = seq
+            if callbacks.__class__ is list:
+                seq = sim._seq
+                fifo = sim._fifo
+                for cb in callbacks:
+                    seq += 1
+                    fifo.append((seq, cb, self))
+                sim._seq = seq
+            else:
+                sim._seq = seq = sim._seq + 1
+                sim._fifo.append((seq, callbacks, self))
 
 
 class AnyOf(SimEvent):
@@ -204,11 +222,13 @@ class SimProcess(SimEvent):
         sim.call_soon(self._resume, None)
 
     def _resume(self, send_value: Any) -> None:
-        sim = self.sim
+        # ``self.sim`` is only needed off the happy path (process end,
+        # bad yield, already-triggered target), so the load is deferred
+        # into those branches.
         try:
             target = self._send(send_value)
         except StopIteration as stop:
-            sim._active_processes -= 1
+            self.sim._active_processes -= 1
             self.succeed(stop.value)
             return
         # Inlined target.add_callback(self._wake_cb), with the yield
@@ -218,35 +238,56 @@ class SimProcess(SimEvent):
             triggered = target.triggered
             callbacks = target._callbacks
         except AttributeError:
-            sim._active_processes -= 1
+            self.sim._active_processes -= 1
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}; "
                 "expected a SimEvent/Timeout/SimProcess"
             ) from None
         if triggered:
-            sim.call_soon(self._wake_cb, target)
-        else:
+            # Inlined call_soon (one wake per already-triggered yield
+            # target — the posted-receive-already-matched path).
+            sim = self.sim
+            sim._seq += 1
+            sim._fifo.append((sim._seq, self._wake_cb, target))
+        elif callbacks is None:
+            # Inlined target.add_callback: the untriggered target has
+            # no waiters yet (the overwhelmingly common shape), so the
+            # single-waiter slot takes the bare callable.
+            target._callbacks = self._wake_cb
+        elif callbacks.__class__ is list:
             callbacks.append(self._wake_cb)
+        else:
+            target._callbacks = [callbacks, self._wake_cb]
 
     def _wake(self, ev: SimEvent) -> None:
-        sim = self.sim
         # Inlined _resume(ev.value) — the per-message wake-up path.
         try:
             target = self._send(ev.value)
         except StopIteration as stop:
-            sim._active_processes -= 1
+            self.sim._active_processes -= 1
             self.succeed(stop.value)
             return
         try:
             triggered = target.triggered
             callbacks = target._callbacks
         except AttributeError:
-            sim._active_processes -= 1
+            self.sim._active_processes -= 1
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}; "
                 "expected a SimEvent/Timeout/SimProcess"
             ) from None
         if triggered:
-            sim.call_soon(self._wake_cb, target)
-        else:
+            # Inlined call_soon (one wake per already-triggered yield
+            # target — the posted-receive-already-matched path).
+            sim = self.sim
+            sim._seq += 1
+            sim._fifo.append((sim._seq, self._wake_cb, target))
+        elif callbacks is None:
+            # Inlined target.add_callback: the untriggered target has
+            # no waiters yet (the overwhelmingly common shape), so the
+            # single-waiter slot takes the bare callable.
+            target._callbacks = self._wake_cb
+        elif callbacks.__class__ is list:
             callbacks.append(self._wake_cb)
+        else:
+            target._callbacks = [callbacks, self._wake_cb]

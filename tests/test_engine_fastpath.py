@@ -148,30 +148,44 @@ class TestOrderingInvariant:
         assert order == ["a", "b", "c"]
 
 
-class TestEventPool:
-    def test_slots_are_recycled(self):
+class TestBucketStorage:
+    def test_buckets_are_recycled(self):
         sim = Simulator()
         for _ in range(3):
             for i in range(100):
                 sim.schedule(0.1 * (i + 1), lambda: None)
             sim.run()
-        assert 0 < len(sim._pool) <= _MAX_POOL
+        assert 0 < len(sim._bpool) <= _MAX_POOL
 
-    def test_pool_is_bounded(self):
+    def test_bucket_pool_is_bounded(self):
         sim = Simulator()
         n = _MAX_POOL + 500
         for i in range(n):
             sim.schedule(float(i + 1), lambda: None)
         sim.run()
-        assert len(sim._pool) <= _MAX_POOL
+        assert len(sim._bpool) <= _MAX_POOL
         assert sim.events_executed == n
 
-    def test_pooled_slots_drop_references(self):
-        """Recycled slots must not pin callbacks/args alive."""
+    def test_pooled_buckets_drop_references(self):
+        """Recycled buckets must not pin callbacks/args alive."""
         sim = Simulator()
         sim.schedule(1.0, lambda: None)
         sim.run()
-        assert all(slot[2] is None and slot[3] is None for slot in sim._pool)
+        assert all(len(bucket) == 0 for bucket in sim._bpool)
+
+    def test_same_timestamp_shares_one_bucket(self):
+        """A same-time burst costs one heap timestamp, not N slots."""
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(2.0, lambda: None)
+        for _ in range(5):
+            sim.schedule(3.0, lambda: None)
+        assert len(sim._theap) == 2
+        assert len(sim._buckets[sim.now + 2.0]) == 30
+        assert sim.pending_events == 15
+        sim.run()
+        assert sim.events_executed == 15
+        assert not sim._buckets and not sim._theap
 
     def test_events_executed_counts_both_lanes(self):
         sim = Simulator()
