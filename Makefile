@@ -10,7 +10,7 @@ test:
 ## every end-to-end smoke (cache, tracing, faults, serving).  Run
 ## `make bench-check` for the full kernel gate before refreshing
 ## BENCH_kernels.json.
-check: test bench-quick smoke trace-smoke faults-smoke serve-smoke
+check: test bench-quick smoke trace-smoke faults-smoke serve-smoke fidelity-smoke
 	@echo "check ok: tests, bench guard and all smokes passed"
 
 ## Measure the tracked kernels and refresh the "current" section of
@@ -76,6 +76,15 @@ faults-smoke:
 .PHONY: serve-smoke
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
+
+## The fidelity tier end to end: committed calibration table fresh,
+## analytic sweep byte-identical to full-DES for exact passthroughs
+## (no worker pool), modeled error within the table bound, warm cache
+## parity, and an analytic burst served entirely inline.  Details in
+## src/repro/surrogate/smoke.py.
+.PHONY: fidelity-smoke
+fidelity-smoke:
+	$(PYTHON) -m repro.surrogate.smoke
 
 SMOKE_CACHE := /tmp/repro-smoke-cache
 

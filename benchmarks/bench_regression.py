@@ -66,6 +66,8 @@ LOOSE_TOLERANCES = {
     "des_pingpong_faulted_events_per_sec": 0.35,
     "des_alltoall_msgs_per_sec": 0.35,
     "serve_submit_cells_per_sec": 0.35,
+    "analytic_serve_cells_per_sec": 0.35,
+    "surrogate_eval_us": 0.45,
     "md_forces_864_ms": 0.45,
     "md_step_864_ms": 0.45,
 }
@@ -77,6 +79,16 @@ LOOSE_TOLERANCES = {
 SEED_GATES = {
     "path_lookup_ns": 348.04,
     "collective_model_cold_ms": 9.06,
+}
+
+#: Absolute floors (higher-is-better kernels).  The analytic serve
+#: path's contract is ~1e5 cells/s in an ordinary machine phase; the
+#: floor sits under the slowest observed phase (the ~1.75x swing
+#: documented above) so it trips on structural rot — a worker pool
+#: spinning up, per-request asyncio scheduling, a pickle hop — all of
+#: which cost multiples, never on machine weather.
+ABS_FLOORS = {
+    "analytic_serve_cells_per_sec": 40_000.0,
 }
 
 #: Floor on faulted/healthy DES ping-pong throughput.  MessageDrop
@@ -352,6 +364,70 @@ def bench_serve() -> dict[str, float]:
     return {"serve_submit_cells_per_sec": SERVE_CELLS / wall}
 
 
+# -- surrogate fast path -----------------------------------------------------
+
+
+def bench_analytic_serve() -> dict[str, float]:
+    """All-analytic sweep throughput through the serve tier.
+
+    The fidelity tier's headline number: SERVE_CELLS analytic cells
+    through :func:`repro.serve.submit` resolve synchronously on the
+    inline fast path — no queue slot, no batch, no worker process —
+    so cells/sec here is the full Scenario -> Runner -> serve
+    per-request overhead, nothing else.  Guarded by an absolute floor
+    (:data:`ABS_FLOORS`): escalation, pool spin-up or a return of
+    per-request task scheduling all cost multiples of the budget.
+    """
+    from repro.run import Runner, scenario, workload
+    from repro.serve import submit
+    from repro.surrogate.registry import register_exact
+
+    # Idempotent, like the serve_noop registration above; the exact
+    # surrogate declaration is what routes the cells inline.
+    workload("bench.analytic_noop")(_serve_noop_cell)
+    register_exact("bench.analytic_noop")
+    cells = [
+        scenario("bench.analytic_noop", fidelity="analytic", i=i)
+        for i in range(SERVE_CELLS)
+    ]
+    runner = Runner(jobs=1, cache=None)
+    try:
+        def run_once():
+            results = submit(cells, runner=runner)
+            assert all(r.ok and not r.escalated for r in results)
+
+        wall = _best_time(run_once, repeats=9)
+    finally:
+        runner.close()
+    return {"analytic_serve_cells_per_sec": SERVE_CELLS / wall}
+
+
+def bench_surrogate_eval() -> dict[str, float]:
+    """Single-cell latency of the modeled surrogate evaluator.
+
+    ``ext_noise.cell`` is the one *modeled* family (everything else is
+    an exact passthrough), so this is the closed-form path: resolve
+    the surrogate, enter the fault context, price the analytic
+    network model.  Microseconds per cell is the design budget the
+    fidelity tier's escalation threshold assumes.
+    """
+    from repro.run import scenario
+    from repro.surrogate import evaluate_scenario
+
+    cell = scenario(
+        "ext_noise.cell", fidelity="analytic",
+        ranks=8, noise=0.25, n_seeds=2,
+    )
+    inner = 200
+
+    def run_once():
+        for _ in range(inner):
+            evaluate_scenario(cell)
+
+    us = _best_time(run_once, repeats=5) / inner * 1e6
+    return {"surrogate_eval_us": us}
+
+
 # -- harness -----------------------------------------------------------------
 
 BENCHES = [
@@ -361,14 +437,18 @@ BENCHES = [
     bench_md,
     bench_cost_model,
     bench_serve,
+    bench_analytic_serve,
+    bench_surrogate_eval,
 ]
 
-#: The ``--quick`` subset: the three kernels the perf gates hang off
-#: (healthy + faulted DES, and the cost model's cold/lookup numbers).
+#: The ``--quick`` subset: the kernels the perf gates hang off
+#: (healthy + faulted DES, the cost model's cold/lookup numbers, and
+#: the analytic serve floor — the last costs milliseconds to measure).
 QUICK_BENCHES = [
     bench_des_pingpong,
     bench_des_pingpong_faulted,
     bench_cost_model,
+    bench_analytic_serve,
 ]
 
 
@@ -422,6 +502,12 @@ def gate_violations(fresh: dict[str, float]) -> list[str]:
         if value is not None and value > cap:
             problems.append(
                 f"{name}: {value:.6g} above the absolute seed gate {cap:.6g}"
+            )
+    for name, floor in ABS_FLOORS.items():
+        value = fresh.get(name)
+        if value is not None and value < floor:
+            problems.append(
+                f"{name}: {value:,.0f} below the absolute floor {floor:,.0f}"
             )
     healthy = fresh.get("des_pingpong_events_per_sec")
     faulted = fresh.get("des_pingpong_faulted_events_per_sec")

@@ -18,7 +18,10 @@ The facade groups five seams:
 
 * **scenarios & execution** — :class:`Scenario`, :func:`scenario`,
   :func:`sweep`, :class:`Runner`, :class:`RunRecord`,
-  :class:`ResultCache`, :func:`workload`;
+  :class:`ResultCache`, :func:`workload`, :class:`Fidelity` (the
+  ``analytic``/``hybrid``/``full`` execution tiers; see also
+  :func:`calibrate_fidelity` and :func:`evaluate_scenario` in the
+  surrogate seam);
 * **experiments** — :func:`run_experiment`, :func:`list_experiments`,
   :class:`ExperimentSpec`, :func:`experiment`,
   :func:`experiment_specs`, :class:`ExperimentResult`;
@@ -27,7 +30,11 @@ The facade groups five seams:
 * **observability** — :class:`Tracer`, :func:`use_tracer`,
   :class:`CounterSet`;
 * **serving** — :class:`ServeClient`, :class:`ServeResult`,
-  :func:`submit` (in-process one-shot), :class:`ScenarioService`.
+  :func:`submit` (in-process one-shot), :class:`ScenarioService`;
+* **surrogate tier** — :func:`evaluate_scenario` (closed-form cell
+  evaluation), :func:`calibrate_fidelity` and :class:`ErrorTable`
+  (the measured analytic-vs-DES error bound the Runner's
+  escalate/refuse policy consults).
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ from repro.obs.spans import Tracer, use_tracer
 from repro.run.cache import ResultCache
 from repro.run.runner import RunRecord, Runner
 from repro.run.scenario import (
+    Fidelity,
     MachineSpec,
     PlacementSpec,
     Scenario,
@@ -65,14 +73,18 @@ from repro.serve import (
     ServeResult,
     submit,
 )
+from repro.surrogate import ErrorTable, evaluate_scenario
+from repro.surrogate import calibrate as calibrate_fidelity
 
 __all__ = sorted(
     [
         "Cluster",
         "CounterSet",
+        "ErrorTable",
         "ExperimentResult",
         "ExperimentSpec",
         "FaultSpec",
+        "Fidelity",
         "MachineSpec",
         "NodeType",
         "Placement",
@@ -87,7 +99,9 @@ __all__ = sorted(
         "ServeReply",
         "ServeResult",
         "Tracer",
+        "calibrate_fidelity",
         "columbia",
+        "evaluate_scenario",
         "experiment",
         "experiment_specs",
         "list_experiments",

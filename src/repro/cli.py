@@ -19,8 +19,14 @@ Commands
 ``serve [--host H] [--port P] [--max-queue N] [--max-batch N]``
     Long-lived scenario service (JSON lines over TCP): queues,
     coalesces and micro-batches scenario cells against the shared
-    cache.  See docs/api.md for the protocol and
+    cache; analytic-fidelity requests resolve inline through the
+    surrogate.  See docs/api.md for the protocol and
     :class:`repro.serve.ServeClient`.
+``calibrate --fidelity [--full] [--bound ERR] [--check]``
+    Measure surrogate-vs-DES relative error per workload family
+    across every registered experiment and persist the error table
+    the fidelity dispatch consults (``--check`` verifies the
+    committed table instead of rewriting it).
 
 ``run``, ``all`` and ``report`` share the run-pipeline options:
 ``--jobs N|auto`` executes cells on a process pool (output is
@@ -29,7 +35,10 @@ content-addressed cell cache somewhere specific (default
 ``.repro-cache``, or ``$REPRO_CACHE_DIR``), and ``--no-cache``
 disables reuse entirely.  A warm cache makes ``repro all`` nearly
 instant: only cells whose scenario, calibration fingerprint, or
-package version changed are re-simulated.
+package version changed are re-simulated.  ``--fidelity
+analytic|hybrid`` routes cells through the calibrated surrogate tier
+instead of the DES (transparently escalating cells it cannot vouch
+for; ``--refuse-escalation`` fails them instead).
 """
 
 from __future__ import annotations
@@ -85,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="inject machine faults into every cell, e.g. "
                  "'degrade:link_class=inter_node,latency_factor=2; "
                  "drop:probability=0.01; seed=1' (see docs/architecture.md)",
+        )
+        p.add_argument(
+            "--fidelity", default=None,
+            choices=("analytic", "hybrid", "full"),
+            help="execution tier for cells that don't declare their "
+                 "own: 'analytic' evaluates through the calibrated "
+                 "surrogate (microseconds/cell, no workers), 'hybrid' "
+                 "executes compute with an analytic network, 'full' "
+                 "(default) runs the DES path",
+        )
+        p.add_argument(
+            "--refuse-escalation", action="store_true",
+            help="fail cells the surrogate cannot serve within the "
+                 "calibrated bound instead of transparently running "
+                 "them at full fidelity",
         )
         p.add_argument(
             "--retries", type=int, default=0, metavar="N",
@@ -188,6 +212,42 @@ def build_parser() -> argparse.ArgumentParser:
              "together (default 0: dispatch immediately)",
     )
     add_runner_options(serve_p)
+
+    cal_p = sub.add_parser(
+        "calibrate",
+        help="measure surrogate-vs-full error and persist the table",
+    )
+    cal_p.add_argument(
+        "--fidelity", action="store_true",
+        help="calibrate the fidelity tiers: run every experiment cell "
+             "through both the full path and the surrogate, record "
+             "per-family relative error, verify exact-passthrough "
+             "claims, and write the error table the Runner's "
+             "escalate/refuse policy consults",
+    )
+    cal_p.add_argument(
+        "--fast", action="store_true", default=True,
+        help="trimmed sweeps (default)",
+    )
+    cal_p.add_argument(
+        "--full", dest="fast", action="store_false",
+        help="full sweeps (slow: minutes of DES)",
+    )
+    cal_p.add_argument(
+        "--bound", type=float, default=None, metavar="ERR",
+        help="acceptable worst-case relative error for modeled "
+             "surrogates (default 0.5)",
+    )
+    cal_p.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="where to write the table (default: the committed "
+             "src/repro/surrogate/calibration.json)",
+    )
+    cal_p.add_argument(
+        "--check", action="store_true",
+        help="don't write: verify the committed table is fresh and "
+             "every family stays within its bound (exit 1 otherwise)",
+    )
     return parser
 
 
@@ -218,11 +278,73 @@ def _build_runner(args):
         from repro.faults import parse_faults
 
         faults = parse_faults(args.faults)
+    policy = (
+        "refuse" if getattr(args, "refuse_escalation", False) else "escalate"
+    )
     return Runner(
         jobs=args.jobs, cache=cache, trace_dir=args.trace_dir,
-        faults=faults, retries=getattr(args, "retries", 0),
+        faults=faults, fidelity=getattr(args, "fidelity", None),
+        surrogate_policy=policy, retries=getattr(args, "retries", 0),
         checkpoint=getattr(args, "checkpoint", None),
     )
+
+
+def _run_calibrate(args) -> int:
+    """The ``repro calibrate --fidelity`` job."""
+    from repro.surrogate.calibrate import (
+        COMMITTED_TABLE,
+        DEFAULT_BOUND,
+        ErrorTable,
+        calibrate,
+    )
+
+    if not args.fidelity:
+        print(
+            "error: nothing to calibrate — pass --fidelity to "
+            "(re)measure the surrogate error table",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check:
+        table = ErrorTable.load(args.output or COMMITTED_TABLE)
+        if table is None:
+            print("calibration table missing or unreadable", file=sys.stderr)
+            return 1
+        if table.stale:
+            print(
+                "calibration table is STALE (constants or version "
+                "changed); re-run: repro calibrate --fidelity",
+                file=sys.stderr,
+            )
+            return 1
+        bad = [
+            e for e in table.entries.values() if e.rel_err > table.bound
+        ]
+        for e in bad:
+            print(
+                f"family {e.family!r} {e.mode}: rel_err "
+                f"{e.rel_err:.3g} exceeds bound {table.bound:g}",
+                file=sys.stderr,
+            )
+        print(
+            f"calibration table fresh: {len(table.entries)} entries, "
+            f"bound {table.bound:g}, {len(bad)} over bound"
+        )
+        return 1 if bad else 0
+    bound = DEFAULT_BOUND if args.bound is None else args.bound
+    table = calibrate(fast=args.fast, bound=bound)
+    path = table.save(args.output or COMMITTED_TABLE)
+    print(f"wrote {path} ({len(table.entries)} family/mode entries)")
+    width = max(len(f) for f, _ in table.entries) + 2
+    for (family, mode), e in sorted(table.entries.items()):
+        tag = "exact" if e.exact else (
+            "ok" if e.rel_err <= bound else "OVER BOUND"
+        )
+        print(
+            f"  {family:<{width}} {mode:<9} rel_err={e.rel_err:<10.4g} "
+            f"cells={e.cells:<4} {tag}"
+        )
+    return 0
 
 
 def _report_failures(runner, args) -> int:
@@ -326,6 +448,8 @@ def main(argv: list[str] | None = None) -> int:
                 max_batch=args.max_batch,
                 batch_wait=args.batch_wait,
             )
+        elif args.command == "calibrate":
+            return _run_calibrate(args)
         elif args.command == "hpcc":
             from repro.hpcc.report import hpcc_summary
             from repro.machine.node import NodeType

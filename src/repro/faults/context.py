@@ -9,8 +9,7 @@ machine, so every per-call check stays a plain load + branch.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Optional
 
 __all__ = ["use_faults", "current_injector"]
 
@@ -23,8 +22,7 @@ def current_injector():
     return _current
 
 
-@contextmanager
-def use_faults(faults, salt: str = "") -> Iterator:
+class use_faults:
     """Install a fault context for the duration of the ``with`` block.
 
     ``faults`` may be a :class:`~repro.faults.spec.FaultSpec` (an
@@ -32,22 +30,39 @@ def use_faults(faults, salt: str = "") -> Iterator:
     — typically the scenario key, so every cell draws an independent
     but reproducible stream), an already-built
     :class:`~repro.faults.injector.FaultInjector`, or ``None``/an
-    empty spec (both leave the machine healthy).  Yields the installed
-    injector (or ``None``).  Re-entrant: the previous context is
-    restored on exit.
-    """
-    global _current
-    from repro.faults.injector import FaultInjector
+    empty spec (both leave the machine healthy).  ``with`` yields the
+    installed injector (or ``None``).  Re-entrant: the previous
+    context is restored on exit.
 
-    if faults is None:
-        injector = None
-    elif isinstance(faults, FaultInjector):
-        injector = faults
-    else:
-        injector = FaultInjector(faults, salt=salt) if faults.faults else None
-    previous = _current
-    _current = injector
-    try:
-        yield injector
-    finally:
-        _current = previous
+    A plain class rather than ``@contextmanager``: the surrogate fast
+    path enters a fault context per evaluated cell, and the generator
+    machinery costs a multiple of this two-method protocol.
+    """
+
+    __slots__ = ("_faults", "_salt", "_previous")
+
+    def __init__(self, faults, salt: str = "") -> None:
+        self._faults = faults
+        self._salt = salt
+
+    def __enter__(self):
+        global _current
+        faults = self._faults
+        if faults is None:
+            injector = None
+        else:
+            from repro.faults.injector import FaultInjector
+
+            if isinstance(faults, FaultInjector):
+                injector = faults
+            elif faults.faults:
+                injector = FaultInjector(faults, salt=self._salt)
+            else:
+                injector = None
+        self._previous = _current
+        _current = injector
+        return injector
+
+    def __exit__(self, *exc) -> None:
+        global _current
+        _current = self._previous

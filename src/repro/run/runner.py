@@ -47,6 +47,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -85,6 +86,10 @@ class RunRecord:
     error: str | None = None
     cached: bool = False
     duration_s: float = 0.0
+    #: the cell asked for a non-``full`` fidelity but ran the full
+    #: path anyway (no surrogate, or the calibrated bound could not
+    #: vouch for it) — the transparent-escalation audit flag.
+    escalated: bool = False
 
     @property
     def ok(self) -> bool:
@@ -98,6 +103,11 @@ class RunStats:
     executed: int = 0
     cached: int = 0
     errors: int = 0
+    #: cells served in-process by the surrogate fast path (a subset
+    #: of ``executed``).
+    fast: int = 0
+    #: non-``full`` cells transparently escalated to the full path.
+    escalated: int = 0
     #: ``"<scenario-id>: <error>"`` per failed cell, sweep order.
     failures: list[str] = field(default_factory=list)
 
@@ -110,11 +120,16 @@ class RunStats:
         return self.cached / self.total if self.total else 0.0
 
     def summary(self) -> str:
-        return (
+        base = (
             f"cells: {self.total} total, {self.cached} cached, "
             f"{self.executed} executed, {self.errors} failed "
             f"({100.0 * self.hit_rate:.1f}% cache hits)"
         )
+        if self.fast or self.escalated:
+            base += (
+                f" [{self.fast} surrogate, {self.escalated} escalated]"
+            )
+        return base
 
     def failure_lines(self) -> list[str]:
         """``FAILED <scenario-id>: <error>`` per failed cell."""
@@ -129,10 +144,17 @@ def _normalize_rows(scenario: Scenario, rows) -> tuple[tuple, ...]:
         raise ConfigurationError(
             f"{scenario.describe()}: cell returned None (want rows)"
         )
-    what = f"{scenario.describe()}: row value "
-    return tuple(
-        tuple(canonical_value(v, what) for v in row) for row in rows
-    )
+    try:
+        return tuple(
+            tuple(canonical_value(v) for v in row) for row in rows
+        )
+    except ConfigurationError as exc:
+        # The cell label is built only on the failure path — the
+        # surrogate tier normalizes rows at ~1e5 cells/s and the
+        # happy path must not pay for an error prefix.
+        raise ConfigurationError(
+            f"{scenario.describe()}: row {exc}"
+        ) from None
 
 
 def execute_scenario(scenario: Scenario) -> tuple[tuple, ...]:
@@ -149,7 +171,10 @@ def execute_scenario(scenario: Scenario) -> tuple[tuple, ...]:
     """
     fn = resolve(scenario.workload)
     kwargs = scenario.kwargs()
-    with use_faults(scenario.faults, salt=scenario.key()):
+    # The salt (a sha256 content hash) only matters when an injector
+    # is actually built; healthy cells skip the digest entirely.
+    faults = scenario.faults
+    with use_faults(faults, salt=scenario.key() if faults else ""):
         if scenario.machine is not None:
             cluster = scenario.machine.build()
             if scenario.placement is not None:
@@ -231,6 +256,47 @@ def _run_cell(scenario: Scenario, trace_dir: str | None = None):
                 return token, None, time.perf_counter() - start
         return rows, None, time.perf_counter() - start
     except Exception as exc:  # per-cell capture: one bad cell reports
+        err = f"{type(exc).__name__}: {exc}"
+        return None, err, time.perf_counter() - start
+
+
+#: Lazily bound :func:`repro.surrogate.evaluator.evaluate_scenario`
+#: (the import would be circular at module load; a per-call import
+#: statement costs ~1 µs on a path budgeted in single microseconds).
+_evaluate_scenario = None
+
+
+def _run_fast_cell(scenario: Scenario, trace_dir: str | None = None):
+    """Fast-path cell execution: the surrogate evaluator, in-process.
+
+    Same outcome contract as :func:`_run_cell` — ``(rows, error,
+    duration)``, never raises — but runs on the calling thread with
+    no pickling and no pool.  Tracing keeps its meaning (a fresh
+    ambient tracer per cell), though surrogates rarely touch an
+    instrumented layer, so most traced fast cells write nothing.
+    """
+    start = time.perf_counter()
+    try:
+        global _evaluate_scenario
+        evaluate_scenario = _evaluate_scenario
+        if evaluate_scenario is None:
+            from repro.surrogate.evaluator import evaluate_scenario
+
+            _evaluate_scenario = evaluate_scenario
+
+        if trace_dir is None:
+            rows = evaluate_scenario(scenario)
+        else:
+            from repro.obs.export import write_chrome_trace
+            from repro.obs.spans import Tracer, use_tracer
+
+            tracer = Tracer()
+            with use_tracer(tracer):
+                rows = evaluate_scenario(scenario)
+            if tracer.spans or tracer.messages:
+                write_chrome_trace(tracer, _trace_path(trace_dir, scenario))
+        return rows, None, time.perf_counter() - start
+    except Exception as exc:  # per-cell capture, like _run_cell
         err = f"{type(exc).__name__}: {exc}"
         return None, err, time.perf_counter() - start
 
@@ -360,6 +426,9 @@ class Runner:
         cache: ResultCache | None = None,
         trace_dir: str | None = None,
         faults: FaultSpec | None = None,
+        fidelity: str | None = None,
+        surrogate_policy: str = "escalate",
+        error_table=None,
         retries: int = 0,
         retry_backoff: float = 0.05,
         checkpoint: str | Path | SweepCheckpoint | None = None,
@@ -371,6 +440,30 @@ class Runner:
         self.trace_dir = trace_dir
         #: fault overlay merged onto every scenario (CLI ``--faults``).
         self.faults = faults if faults else None
+        #: fidelity override applied to cells still at the default
+        #: ``"full"`` (CLI ``--fidelity``); cells that declare their
+        #: own non-default tier keep it, mirroring the faults merge.
+        if fidelity is not None:
+            fidelity = getattr(fidelity, "value", fidelity)
+            if fidelity not in ("analytic", "hybrid", "full"):
+                raise ConfigurationError(
+                    f"runner fidelity must be analytic/hybrid/full, "
+                    f"got {fidelity!r}"
+                )
+        self.fidelity = None if fidelity in (None, "full") else fidelity
+        if surrogate_policy not in ("escalate", "refuse"):
+            raise ConfigurationError(
+                f"surrogate_policy must be 'escalate' or 'refuse', "
+                f"got {surrogate_policy!r}"
+            )
+        #: what to do with a non-``full`` cell the calibrated error
+        #: table cannot vouch for: ``"escalate"`` (default) runs it
+        #: on the full path with ``RunRecord.escalated`` set;
+        #: ``"refuse"`` records an error instead.
+        self.surrogate_policy = surrogate_policy
+        #: calibration error table override (tests); ``None`` loads
+        #: the committed table lazily on the first non-``full`` cell.
+        self.error_table = error_table
         if retries < 0:
             raise ConfigurationError(f"retries must be >= 0: {retries}")
         self.retries = int(retries)
@@ -385,18 +478,33 @@ class Runner:
         self._pool: ProcessPoolExecutor | None = None
         #: shared-memory result arena paired with the persistent pool.
         self._arena: ResultArena | None = None
+        #: guards ``stats``: the serve tier resolves fast cells on the
+        #: event loop while a batch may be finishing in a worker
+        #: thread, and both account through :meth:`_finish_cell`.
+        self._stats_lock = threading.Lock()
+        #: (workload, fidelity) pairs already vetted by the permit
+        #: policy — a positive verdict is stable for the runner's
+        #: lifetime, and the serve fast path asks per request.
+        self._permit_ok: set[tuple[str, str]] = set()
 
     def effective_scenario(self, sc: Scenario) -> Scenario:
         """The scenario as this runner will actually execute it: the
-        runner-level fault overlay merged in.  The serve layer keys
-        its coalescing map on ``effective_scenario(sc).key()`` so two
-        requests coalesce iff they would produce the same cell."""
-        if self.faults is None:
+        runner-level fault overlay merged in, the runner-level
+        fidelity filled in for cells still at the default.  The serve
+        layer keys its coalescing map on
+        ``effective_scenario(sc).key()`` so two requests coalesce iff
+        they would produce the same cell."""
+        if self.faults is None and self.fidelity is None:
             return sc
-        merged = (
-            self.faults if sc.faults is None else sc.faults.merge(self.faults)
-        )
-        return replace(sc, faults=merged)
+        changes: dict = {}
+        if self.faults is not None:
+            changes["faults"] = (
+                self.faults if sc.faults is None
+                else sc.faults.merge(self.faults)
+            )
+        if self.fidelity is not None and sc.fidelity == "full":
+            changes["fidelity"] = self.fidelity
+        return replace(sc, **changes) if changes else sc
 
     def run(self, scenarios: Sequence[Scenario]) -> list[RunRecord]:
         """All cells, as records in input order."""
@@ -464,6 +572,123 @@ class Runner:
             self._arena.unlink()
             self._arena = None
 
+    def _lookup(self, sc: Scenario, trace_dir: str | None):
+        """Cache/checkpoint probe for one cell; ``None`` on a miss.
+
+        Tracing forces execution: a cache (or checkpoint) hit would
+        skip the instrumented layers and record nothing.
+        """
+        if trace_dir is not None:
+            return None
+        rows = None
+        if self.cache is not None:
+            rows = self.cache.get(sc)
+        if rows is None and self.checkpoint is not None:
+            rows = self.checkpoint.get(sc.key())
+            if rows is not None and self.cache is not None:
+                # Promote the journaled cell so later runs hit the
+                # cache without the journal.
+                self.cache.put(sc, list(rows))
+        return rows
+
+    def _surrogate_permit(self, sc: Scenario) -> tuple[bool, str]:
+        """May the surrogate serve this non-``full`` cell?
+
+        Positive verdicts are memoized per (workload, fidelity):
+        exactness and calibration entries are family-level facts, so
+        one yes covers every cell of the sweep — the per-request cost
+        on the serve fast path is one set probe.
+        """
+        key = (sc.workload, sc.fidelity)
+        if key in self._permit_ok:
+            return True, ""
+        from repro.surrogate.calibrate import (
+            default_error_table,
+            permit_scenario,
+        )
+
+        table = (
+            self.error_table if self.error_table is not None
+            else default_error_table()
+        )
+        permitted, reason = permit_scenario(sc, table)
+        if permitted:
+            self._permit_ok.add(key)
+        return permitted, reason
+
+    def _finish_cell(
+        self,
+        sc: Scenario,
+        rows,
+        error: str | None,
+        dt: float,
+        fast: bool = False,
+        escalated: bool = False,
+    ) -> RunRecord:
+        """Account one executed cell and build its record (the single
+        funnel for stats, cache and checkpoint — thread-safe, because
+        the serve tier finishes fast cells on the event loop while a
+        batch finishes in a worker thread)."""
+        with self._stats_lock:
+            self.stats.executed += 1
+            if fast:
+                self.stats.fast += 1
+            if escalated:
+                self.stats.escalated += 1
+            if error is not None:
+                self.stats.errors += 1
+                self.stats.failures.append(f"{sc.describe()}: {error}")
+        if error is not None:
+            return RunRecord(
+                sc, (), error=error, duration_s=dt, escalated=escalated
+            )
+        record = RunRecord(sc, rows, duration_s=dt, escalated=escalated)
+        if self.cache is not None:
+            self.cache.put(sc, list(rows))
+        if self.checkpoint is not None:
+            self.checkpoint.put(sc.key(), rows)
+        return record
+
+    def run_fast_cell(
+        self,
+        sc: Scenario,
+        trace_dir: str | None = None,
+        assume_effective: bool = False,
+    ) -> RunRecord | None:
+        """Resolve one cell entirely on the calling thread, or return
+        ``None`` when it needs the batch path.
+
+        The serve tier's inline entry point: a non-``full`` cell the
+        permit policy vouches for is cache-probed and (on a miss)
+        surrogate-evaluated right here — microseconds, no queue, no
+        pool, no pickling.  ``None`` means "not mine": the cell is
+        ``full`` fidelity, or it must escalate — the caller sends it
+        through :meth:`run`/:meth:`run_batch` unchanged.  Under the
+        ``refuse`` policy an unservable cell returns an error record
+        instead of escalating.  ``assume_effective`` skips the
+        :meth:`effective_scenario` overlay for callers that already
+        applied it (never pass a raw scenario with it set — the fault
+        overlay would be silently dropped).
+        """
+        if not assume_effective:
+            sc = self.effective_scenario(sc)
+        if sc.fidelity == "full":
+            return None
+        trace = trace_dir if trace_dir is not None else self.trace_dir
+        if self.cache is not None or self.checkpoint is not None:
+            rows = self._lookup(sc, trace)
+            if rows is not None:
+                with self._stats_lock:
+                    self.stats.cached += 1
+                return RunRecord(sc, tuple(rows), cached=True)
+        permitted, reason = self._surrogate_permit(sc)
+        if not permitted:
+            if self.surrogate_policy == "refuse":
+                return self._finish_cell(sc, None, reason, 0.0)
+            return None
+        rows, error, dt = _run_fast_cell(sc, trace)
+        return self._finish_cell(sc, rows, error, dt, fast=True)
+
     def _run(
         self,
         scenarios: Sequence[Scenario],
@@ -474,24 +699,36 @@ class Runner:
         records: list[RunRecord | None] = [None] * len(scenarios)
 
         pending: list[int] = []
+        fast: list[int] = []
+        escalated: set[int] = set()
         for i, sc in enumerate(scenarios):
-            # Tracing forces execution: a cache (or checkpoint) hit
-            # would skip the instrumented layers and record nothing.
-            rows = None
-            if trace_dir is None:
-                if self.cache is not None:
-                    rows = self.cache.get(sc)
-                if rows is None and self.checkpoint is not None:
-                    rows = self.checkpoint.get(sc.key())
-                    if rows is not None and self.cache is not None:
-                        # Promote the journaled cell so later runs hit
-                        # the cache without the journal.
-                        self.cache.put(sc, list(rows))
+            rows = self._lookup(sc, trace_dir)
             if rows is not None:
                 records[i] = RunRecord(sc, tuple(rows), cached=True)
-                self.stats.cached += 1
+                with self._stats_lock:
+                    self.stats.cached += 1
+            elif sc.fidelity != "full":
+                # The dispatch layer: analytic/hybrid cells go to the
+                # in-process surrogate; cells it cannot vouch for
+                # escalate to the full path (flagged) or are refused,
+                # per policy.  Fast cells never count toward pool
+                # sizing — an all-analytic sweep spins up no workers.
+                permitted, reason = self._surrogate_permit(sc)
+                if permitted:
+                    fast.append(i)
+                elif self.surrogate_policy == "refuse":
+                    records[i] = self._finish_cell(sc, None, reason, 0.0)
+                else:
+                    escalated.add(i)
+                    pending.append(i)
             else:
                 pending.append(i)
+
+        for i in fast:
+            rows, error, dt = _run_fast_cell(scenarios[i], trace_dir)
+            records[i] = self._finish_cell(
+                scenarios[i], rows, error, dt, fast=True
+            )
 
         if len(pending) > 1 and self.jobs > 1:
             outcomes = self._run_parallel(
@@ -504,18 +741,9 @@ class Runner:
             ]
 
         for i, (rows, error, dt) in zip(pending, outcomes):
-            sc = scenarios[i]
-            self.stats.executed += 1
-            if error is not None:
-                self.stats.errors += 1
-                self.stats.failures.append(f"{sc.describe()}: {error}")
-                records[i] = RunRecord(sc, (), error=error, duration_s=dt)
-                continue
-            records[i] = RunRecord(sc, rows, duration_s=dt)
-            if self.cache is not None:
-                self.cache.put(sc, list(rows))
-            if self.checkpoint is not None:
-                self.checkpoint.put(sc.key(), rows)
+            records[i] = self._finish_cell(
+                scenarios[i], rows, error, dt, escalated=(i in escalated)
+            )
         return records  # type: ignore[return-value]
 
     def _run_with_retries(

@@ -19,6 +19,7 @@ fails loudly at declaration time, not at cache-write time.
 
 from __future__ import annotations
 
+import enum
 import hashlib
 import itertools
 import json
@@ -29,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.faults.spec import FaultSpec
 
 __all__ = [
+    "Fidelity",
     "MachineSpec",
     "PlacementSpec",
     "Scenario",
@@ -36,6 +38,31 @@ __all__ = [
     "scenario",
     "sweep",
 ]
+
+
+class Fidelity(str, enum.Enum):
+    """Execution tier of a scenario cell.
+
+    * ``FULL`` — the default: the workload runs exactly as it always
+      has (discrete-event simulation where the workload uses it).
+    * ``HYBRID`` — the analytic network model prices communication
+      while compute terms are still *executed* (noise draws, timing
+      loops) — the predict-then-correct middle tier.
+    * ``ANALYTIC`` — pure closed-form evaluation through
+      :mod:`repro.surrogate`: microseconds per cell, calibrated
+      error bound, never touches a worker process.
+
+    Values are plain strings (``"analytic"``/``"hybrid"``/``"full"``)
+    so they serialize to JSON and the wire protocol unchanged.
+    """
+
+    ANALYTIC = "analytic"
+    HYBRID = "hybrid"
+    FULL = "full"
+
+
+#: Fidelity values a scenario may carry, in escalation order.
+_FIDELITIES = tuple(f.value for f in Fidelity)
 
 #: Scalar types a scenario parameter (and a cached row value) may hold.
 SCALARS = (str, int, float, bool, type(None))
@@ -152,6 +179,12 @@ class Scenario:
     #: healthy machine and leaves the cache key byte-identical to
     #: pre-faults builds.
     faults: FaultSpec | None = None
+    #: execution tier (:class:`Fidelity`); stored as its string value.
+    #: ``"full"`` — the default — is today's path and, like a missing
+    #: fault spec, leaves the cache key byte-identical to pre-fidelity
+    #: builds; non-default tiers join the key so an analytic answer
+    #: can never be served for a full-DES request (or vice versa).
+    fidelity: str = Fidelity.FULL.value
 
     def __post_init__(self) -> None:
         for name, value in self.params:
@@ -161,6 +194,13 @@ class Scenario:
                 f"scenario faults must be a FaultSpec, "
                 f"got {type(self.faults).__name__}"
             )
+        if isinstance(self.fidelity, Fidelity):
+            object.__setattr__(self, "fidelity", self.fidelity.value)
+        if self.fidelity not in _FIDELITIES:
+            raise ConfigurationError(
+                f"scenario fidelity must be one of {_FIDELITIES}, "
+                f"got {self.fidelity!r}"
+            )
 
     def kwargs(self) -> dict[str, Any]:
         """The params as a keyword dict for the workload callable."""
@@ -168,17 +208,29 @@ class Scenario:
 
     def describe(self) -> str:
         """Short human-readable cell label (for error reports)."""
+        cached = self.__dict__.get("_describe")
+        if cached is not None:
+            return cached
         inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
-        return f"{self.workload}({inner})"
+        tier = "" if self.fidelity == "full" else f" [{self.fidelity}]"
+        label = f"{self.workload}({inner}){tier}"
+        object.__setattr__(self, "_describe", label)
+        return label
 
     def key(self) -> str:
         """Stable content hash of this scenario (hex digest).
 
         Two scenarios share a key iff they describe the same cell:
         same workload id, same parameters, same machine/placement
-        spec.  The cache combines this with the calibration
-        fingerprint and package version (see :mod:`repro.run.cache`).
+        spec, same fidelity tier.  The cache combines this with the
+        calibration fingerprint and package version (see
+        :mod:`repro.run.cache`).  Memoized per instance — the fields
+        are frozen, so the digest can never go stale, and the serve
+        fast path hashes each cell once instead of once per lookup.
         """
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
         payload = {
             "workload": self.workload,
             "params": [[k, v] for k, v in self.params],
@@ -192,8 +244,14 @@ class Scenario:
             # the keys (and disk caches) they had before the fault
             # layer existed.
             payload["faults"] = self.faults.payload()
+        if self.fidelity != "full":
+            # Same contract as faults: full-fidelity scenarios keep
+            # the keys they had before the fidelity tier existed.
+            payload["fidelity"] = self.fidelity
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        digest = hashlib.sha256(blob.encode()).hexdigest()
+        object.__setattr__(self, "_key", digest)
+        return digest
 
 
 def scenario(
@@ -201,13 +259,14 @@ def scenario(
     machine: MachineSpec | None = None,
     placement: PlacementSpec | None = None,
     faults: FaultSpec | None = None,
+    fidelity: str | Fidelity = Fidelity.FULL,
     **params: Any,
 ) -> Scenario:
     """Build one :class:`Scenario` from keyword parameters."""
     items = tuple(sorted((k, _check_value(k, v)) for k, v in params.items()))
     return Scenario(
         workload=workload, params=items, machine=machine,
-        placement=placement, faults=faults,
+        placement=placement, faults=faults, fidelity=fidelity,
     )
 
 
@@ -219,6 +278,7 @@ def sweep(
     machine: MachineSpec | Callable[[dict[str, Any]], MachineSpec] | None = None,
     placement: PlacementSpec | Callable[[dict[str, Any]], PlacementSpec] | None = None,
     faults: FaultSpec | Callable[[dict[str, Any]], FaultSpec | None] | None = None,
+    fidelity: str | Fidelity = Fidelity.FULL,
 ) -> tuple[Scenario, ...]:
     """Expand a cartesian grid of parameters into scenarios.
 
@@ -229,7 +289,8 @@ def sweep(
     filters grid points (it sees the full point dict, base included).
     ``machine``/``placement``/``faults`` may be static specs or
     callables mapping a grid point to a spec, for sweeps whose
-    topology (or degradation) varies by cell.
+    topology (or degradation) varies by cell.  ``fidelity`` applies
+    to every cell (a sweep is one execution tier end to end).
     """
     base = dict(base or {})
     names = list(axes)
@@ -244,6 +305,6 @@ def sweep(
         fspec = faults(point) if callable(faults) else faults
         cells.append(
             scenario(workload, machine=mspec, placement=pspec,
-                     faults=fspec, **point)
+                     faults=fspec, fidelity=fidelity, **point)
         )
     return tuple(cells)

@@ -65,6 +65,12 @@ def submit(
     they would against a live server.  ``max_queue`` defaults to at
     least the submission count so a one-shot call never rejects
     itself.
+
+    Cells the inline fast path can own (non-``full`` fidelity, vouched
+    for by the surrogate tier) resolve synchronously via
+    :meth:`ScenarioService.submit_nowait` — an all-analytic burst
+    never pays per-request task scheduling; everything else queues,
+    coalesces and batches concurrently as against a live server.
     """
     cells: Sequence[Scenario] = list(scenarios)
     if max_queue is None:
@@ -78,11 +84,24 @@ def submit(
             max_batch=max_batch, batch_wait=batch_wait,
         )
         async with service:
-            return list(
-                await asyncio.gather(
-                    *(service.submit(sc, priority=priority) for sc in cells)
+            results: list[ServeResult | None] = [None] * len(cells)
+            pending: list[int] = []
+            for i, sc in enumerate(cells):
+                result = service.submit_nowait(sc)
+                if result is not None:
+                    results[i] = result
+                else:
+                    pending.append(i)
+            if pending:
+                answers = await asyncio.gather(
+                    *(
+                        service.submit(cells[i], priority=priority)
+                        for i in pending
+                    )
                 )
-            )
+                for i, answer in zip(pending, answers):
+                    results[i] = answer
+            return results  # type: ignore[return-value]
 
     try:
         return asyncio.run(_main())

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
-from repro.errors import CommunicationError
+from repro.errors import CommunicationError, ConfigurationError
 from repro.run.scenario import Scenario, canonical_value
 from repro.serve.protocol import (
     DEFAULT_PORT,
@@ -45,6 +45,9 @@ class ServeReply:
     coalesced: bool = False
     duration_s: float = 0.0
     latency_s: float = 0.0
+    #: the request asked for a non-``full`` fidelity but was served
+    #: by the full path (surrogate could not vouch for the cell).
+    escalated: bool = False
 
     @property
     def ok(self) -> bool:
@@ -146,14 +149,16 @@ class ServeClient:
             coalesced=bool(message.get("coalesced")),
             duration_s=float(message.get("duration_s") or 0.0),
             latency_s=float(message.get("latency_s") or 0.0),
+            escalated=bool(message.get("escalated")),
         )
 
     def _submit_message(
         self,
         sc: Scenario,
-        priority: int,
-        faults: str | None,
-        trace: str | None,
+        priority: int = 0,
+        faults: str | None = None,
+        trace: str | None = None,
+        fidelity: str | None = None,
     ) -> dict[str, Any]:
         message: dict[str, Any] = {
             "op": "submit",
@@ -164,6 +169,8 @@ class ServeClient:
             message["faults"] = faults
         if trace:
             message["trace"] = trace
+        if fidelity:
+            message["fidelity"] = getattr(fidelity, "value", fidelity)
         return message
 
     # -- requests -------------------------------------------------------------
@@ -174,16 +181,28 @@ class ServeClient:
         priority: int = 0,
         faults: str | None = None,
         trace: str | None = None,
+        fidelity: str | None = None,
         retry: bool = True,
     ) -> ServeReply:
-        """Run one cell; blocks until its result streams back."""
+        """Run one cell; blocks until its result streams back.
+
+        ``fidelity`` overrides the scenario's execution tier for this
+        request (``"analytic"`` resolves inline server-side through
+        the surrogate; see ``ServeReply.escalated``).
+        """
         while True:
-            rid = self._send(self._submit_message(sc, priority, faults, trace))
+            rid = self._send(
+                self._submit_message(sc, priority, faults, trace, fidelity)
+            )
             reply = self._reply(self._wait(rid))
             if reply.status == "rejected" and retry:
                 time.sleep(max(0.05, reply.retry_after))
                 continue
             return reply
+
+    #: option names ``submit_many`` overrides may carry, mirroring
+    #: the per-request wire fields.
+    _OVERRIDE_KEYS = frozenset({"priority", "faults", "trace", "fidelity"})
 
     def submit_many(
         self,
@@ -191,18 +210,62 @@ class ServeClient:
         priority: int = 0,
         faults: str | None = None,
         trace: str | None = None,
+        fidelity: str | None = None,
         retry: bool = True,
+        overrides=None,
     ) -> list[ServeReply]:
         """Pipeline a burst of cells; results in submission order.
 
         All requests hit the wire before the first response is read —
         duplicates in the burst coalesce server-side, distinct cells
-        pack into batches.
+        pack into batches, analytic cells resolve inline.  The
+        keyword options are the burst-wide defaults; ``overrides``
+        customizes individual requests without giving up pipelining:
+        either a mapping ``{index: {option: value}}`` or a sequence
+        aligned with ``scenarios`` (``None`` entries = no override),
+        where each per-request dict may set any of ``priority`` /
+        ``faults`` / ``trace`` / ``fidelity``::
+
+            client.submit_many(
+                cells,
+                fidelity="analytic",
+                overrides={3: {"fidelity": "full", "priority": -1}},
+            )
+
+        Unknown option names — or indices outside the burst — raise
+        :class:`~repro.errors.ConfigurationError` before anything is
+        sent, so a typo cannot half-submit a burst.
         """
         cells: Sequence[Scenario] = list(scenarios)
+        options: list[dict[str, Any]] = [
+            {"priority": priority, "faults": faults,
+             "trace": trace, "fidelity": fidelity}
+            for _ in cells
+        ]
+        if overrides is not None:
+            items = (
+                overrides.items() if hasattr(overrides, "items")
+                else enumerate(overrides)
+            )
+            for idx, per_request in items:
+                if per_request is None:
+                    continue
+                if not 0 <= int(idx) < len(cells):
+                    raise ConfigurationError(
+                        f"submit_many override index {idx} outside the "
+                        f"burst of {len(cells)} scenarios"
+                    )
+                unknown = set(per_request) - self._OVERRIDE_KEYS
+                if unknown:
+                    raise ConfigurationError(
+                        f"unknown submit_many override option(s) "
+                        f"{sorted(unknown)}; allowed: "
+                        f"{sorted(self._OVERRIDE_KEYS)}"
+                    )
+                options[int(idx)].update(per_request)
         rids = [
-            self._send(self._submit_message(sc, priority, faults, trace))
-            for sc in cells
+            self._send(self._submit_message(sc, **opts))
+            for sc, opts in zip(cells, options)
         ]
         replies: list[ServeReply] = []
         for i, rid in enumerate(rids):
@@ -210,7 +273,7 @@ class ServeClient:
             while reply.status == "rejected" and retry:
                 time.sleep(max(0.05, reply.retry_after))
                 again = self._send(
-                    self._submit_message(cells[i], priority, faults, trace)
+                    self._submit_message(cells[i], **options[i])
                 )
                 reply = self._reply(self._wait(again))
             replies.append(reply)

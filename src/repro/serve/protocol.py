@@ -9,11 +9,18 @@ out of order and are matched to requests by ``id``.
 Requests
 --------
 ``{"op": "submit", "id": 1, "scenario": {...}, "priority": 0,
-  "faults": "jitter:amplitude=1ms;seed=3" | null, "trace": DIR | null}``
+  "faults": "jitter:amplitude=1ms;seed=3" | null, "trace": DIR | null,
+  "fidelity": "analytic" | "hybrid" | "full" (optional)}``
     Run one scenario cell.  ``priority`` sorts the queue (lower runs
     first); ``faults`` is a ``--faults`` grammar string merged onto
     the scenario's own spec; ``trace`` asks for a per-cell Chrome
-    trace written server-side into DIR (forces execution).
+    trace written server-side into DIR (forces execution);
+    ``fidelity`` overrides the scenario's execution tier for this
+    request (absent = the scenario's own tier, default ``full`` —
+    protocol version 1 messages from older clients decode
+    unchanged).  Non-``full`` requests resolve inline through the
+    surrogate tier; if it cannot vouch for the cell, the response
+    carries ``"escalated": true`` and came from the full path.
 ``{"op": "stats", "id": 2}``
     Snapshot of the service counters (queue depth, coalesce hits,
     batch occupancy, latency percentiles).
@@ -92,13 +99,19 @@ def decode_line(line: bytes | str) -> dict[str, Any]:
 def scenario_to_wire(sc: Scenario) -> dict[str, Any]:
     """JSON-safe dict for one scenario (inverse of
     :func:`scenario_from_wire`)."""
-    return {
+    wire = {
         "workload": sc.workload,
         "params": [[k, v] for k, v in sc.params],
         "machine": None if sc.machine is None else vars(sc.machine),
         "placement": None if sc.placement is None else vars(sc.placement),
         "faults": None if not sc.faults else sc.faults.payload(),
     }
+    if sc.fidelity != "full":
+        # Same back-compat contract as the cache key: full-fidelity
+        # scenarios keep the exact wire bytes (and hence coalescing
+        # behavior) they had before the fidelity field existed.
+        wire["fidelity"] = sc.fidelity
+    return wire
 
 
 def scenario_from_wire(payload: Any) -> Scenario:
@@ -143,4 +156,5 @@ def scenario_from_wire(payload: Any) -> Scenario:
         machine=mspec,
         placement=pspec,
         faults=fspec,
+        fidelity=str(payload.get("fidelity") or "full"),
     )

@@ -165,6 +165,12 @@ class ScenarioServer:
                         else sc.faults.merge(overlay)
                     ),
                 )
+            fidelity = message.get("fidelity")
+            if fidelity is not None and str(fidelity) != sc.fidelity:
+                # Per-request override; the replaced scenario's
+                # constructor validates the tier name, so junk turns
+                # into an error response for this request only.
+                sc = dataclasses.replace(sc, fidelity=str(fidelity))
             trace_dir = message.get("trace")
             result = await self.service.submit(
                 sc,
@@ -181,13 +187,16 @@ class ScenarioServer:
             await reply({"id": rid, "status": "error", "error": str(exc)})
             return
         if result.ok:
-            await reply(
-                {"id": rid, "status": "ok",
-                 "rows": [list(r) for r in result.rows],
-                 "cached": result.cached, "coalesced": result.coalesced,
-                 "duration_s": result.duration_s,
-                 "latency_s": result.latency_s}
-            )
+            ok = {"id": rid, "status": "ok",
+                  "rows": [list(r) for r in result.rows],
+                  "cached": result.cached, "coalesced": result.coalesced,
+                  "duration_s": result.duration_s,
+                  "latency_s": result.latency_s}
+            if result.escalated:
+                # Only present when true: full-fidelity responses keep
+                # their exact pre-fidelity wire bytes.
+                ok["escalated"] = True
+            await reply(ok)
         else:
             await reply({"id": rid, "status": "error", "error": result.error})
 

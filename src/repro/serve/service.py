@@ -29,10 +29,17 @@ as the time axis): ``serve.queue_depth``, ``serve.coalesced``,
 ``serve.batch_occupancy``, ``serve.rejected`` and friends, plus
 p50/p99 request latency in :meth:`ScenarioService.stats`.
 
-The service never executes cells on the event loop: batches run in a
-worker thread (``asyncio.to_thread``) so the loop stays responsive to
-new submissions — which is exactly what lets late duplicates coalesce
-onto in-flight work.
+The service never executes *full-fidelity* cells on the event loop:
+batches run in a worker thread (``asyncio.to_thread``) so the loop
+stays responsive to new submissions — which is exactly what lets late
+duplicates coalesce onto in-flight work.  Non-``full`` requests take
+the **inline fast path** instead: the surrogate resolves them in
+microseconds directly on the event loop
+(:meth:`~repro.run.runner.Runner.run_fast_cell`), bypassing the queue
+and the micro-batcher entirely — there is nothing to batch when the
+evaluation is cheaper than the queue hop.  A fast cell the calibrated
+error table cannot vouch for transparently escalates into the normal
+queue (and its result carries ``escalated=True``).
 """
 
 from __future__ import annotations
@@ -83,6 +90,9 @@ class ServeResult:
     duration_s: float = 0.0
     #: submit-to-resolve wall time as this caller saw it.
     latency_s: float = 0.0
+    #: a non-``full`` request the surrogate could not vouch for; it
+    #: ran the full path instead (see ``RunRecord.escalated``).
+    escalated: bool = False
 
     @property
     def ok(self) -> bool:
@@ -139,7 +149,14 @@ class ScenarioService:
         #: arrivals lands in one batch; 0 dispatches immediately
         #: (batches then form naturally while earlier ones execute).
         self.batch_wait = batch_wait
-        self.counters = counters if counters is not None else CounterSet()
+        # Interval-sampled by default: the inline fast path records
+        # several counters per request at ~1e5 requests/s, so one
+        # sample per distinct timestamp (interval=0) would grow the
+        # series lists per request; folding into a window keeps them
+        # bounded and the per-add cost flat.
+        self.counters = (
+            counters if counters is not None else CounterSet(interval=0.25)
+        )
         self._heap: list[tuple[int, int, _Entry]] = []
         self._index: dict[tuple, _Entry] = {}
         self._queued = 0
@@ -149,7 +166,13 @@ class ScenarioService:
         self._task: asyncio.Task | None = None
         self._closed = False
         self._t0 = time.monotonic()
-        self._latencies: list[float] = []
+        #: latency samples per fidelity tier (p50/p99 windows).
+        self._latencies: dict[str, list[float]] = {}
+        #: fast-path counter totals, plain int bumps — the inline path
+        #: serves ~1e5 requests/s and a CounterSet.add per counter per
+        #: request is a measurable slice of that budget.  Folded into
+        #: ``counters`` by :meth:`_flush_fast_counts`.
+        self._fast_counts: dict[str, int] = {}
         #: smoothed per-cell service time (seeds the retry-after hint).
         self._cell_s = 0.05
 
@@ -207,7 +230,23 @@ class ScenarioService:
         # the merged form would apply it twice and shift the cache key
         # away from direct Runner.run.
         effective = self.runner.effective_scenario(scenario)
-        key = (effective.key(), trace_dir)
+        fid = effective.fidelity
+        counters.add(f"serve.requests.{fid}", 1, now)
+        if fid != "full" and trace_dir is None:
+            # Inline fast path: the surrogate answers right here on
+            # the event loop — no queue slot, no batch, no thread
+            # hop.  ``None`` means the cell must escalate: it falls
+            # through to the queue below and runs the full path.
+            result = self._inline_result(effective, fid, t_in)
+            if result is not None:
+                return result
+            counters.add("serve.escalated", 1, now)
+        # The scenario content hash covers fidelity (non-default tiers
+        # join the key), so an analytic submit can never coalesce with
+        # a full-DES submit for the same cell; ``fid`` rides along
+        # explicitly so that invariant is visible here, not an action
+        # at a distance.
+        key = (effective.key(), trace_dir, fid)
         future = asyncio.get_running_loop().create_future()
 
         entry = self._index.get(key)
@@ -237,9 +276,7 @@ class ScenarioService:
 
         record: RunRecord = await future
         latency = time.monotonic() - t_in
-        self._latencies.append(latency)
-        if len(self._latencies) > _LATENCY_WINDOW:
-            del self._latencies[: -_LATENCY_WINDOW // 2]
+        self._note_latency(fid, latency)
         return ServeResult(
             scenario=record.scenario,
             rows=record.rows,
@@ -248,7 +285,84 @@ class ScenarioService:
             coalesced=coalesced,
             duration_s=record.duration_s,
             latency_s=latency,
+            escalated=record.escalated,
         )
+
+    def _inline_result(
+        self, effective: Scenario, fid: str, t_in: float
+    ) -> ServeResult | None:
+        """Resolve one non-``full`` request on the calling thread.
+
+        ``run_fast_cell`` takes the already-effective scenario (the
+        overlay must merge exactly once) and is thread-safe against a
+        batch finishing concurrently.  ``None`` means the cell must
+        escalate through the queue instead.
+        """
+        record = self.runner.run_fast_cell(effective, assume_effective=True)
+        if record is None:
+            return None
+        counts = self._fast_counts
+        counts["serve.inline"] = counts.get("serve.inline", 0) + 1
+        done = "serve.completed" if record.ok else "serve.errors"
+        counts[done] = counts.get(done, 0) + 1
+        latency = time.monotonic() - t_in
+        self._note_latency(fid, latency)
+        return ServeResult(
+            scenario=record.scenario,
+            rows=record.rows,
+            error=record.error,
+            cached=record.cached,
+            duration_s=record.duration_s,
+            latency_s=latency,
+            escalated=record.escalated,
+        )
+
+    def submit_nowait(self, scenario: Scenario) -> ServeResult | None:
+        """Synchronous submission for cells the inline path can own.
+
+        Resolves the request on the calling thread — no coroutine, no
+        task, no event loop hop — when (and only when) it would have
+        taken the inline fast path anyway: a non-``full``-fidelity
+        cell the surrogate tier vouches for.  Returns ``None`` (and
+        records nothing) for everything else — full-fidelity cells,
+        and cells that must escalate — which the caller then awaits
+        through :meth:`submit` as usual.  Counter and latency
+        accounting of a served request is identical to
+        :meth:`submit`'s.
+
+        This is the all-analytic sweep throughput path: callers
+        holding a burst of analytic cells skip the per-request asyncio
+        machinery entirely (see :func:`repro.serve.submit`).
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        effective = self.runner.effective_scenario(scenario)
+        fid = effective.fidelity
+        if fid == "full":
+            return None
+        result = self._inline_result(effective, fid, time.monotonic())
+        if result is not None:
+            counts = self._fast_counts
+            counts["serve.requests"] = counts.get("serve.requests", 0) + 1
+            name = f"serve.requests.{fid}"
+            counts[name] = counts.get(name, 0) + 1
+        return result
+
+    def _flush_fast_counts(self) -> None:
+        """Fold the fast path's plain-int counter totals into the
+        :class:`CounterSet` — called before any read of the counters
+        so totals are indistinguishable from per-request ``add``s."""
+        if self._fast_counts:
+            now = self._now()
+            for name, n in self._fast_counts.items():
+                self.counters.add(name, n, now)
+            self._fast_counts.clear()
+
+    def _note_latency(self, fidelity: str, latency: float) -> None:
+        samples = self._latencies.setdefault(fidelity, [])
+        samples.append(latency)
+        if len(samples) > _LATENCY_WINDOW:
+            del samples[: -_LATENCY_WINDOW // 2]
 
     def retry_after(self) -> float:
         """Backoff hint for a rejected request (seconds)."""
@@ -260,19 +374,33 @@ class ScenarioService:
     # -- introspection --------------------------------------------------------
 
     def stats(self) -> dict[str, float]:
-        """Counter totals plus latency percentiles and live depths."""
+        """Counter totals plus latency percentiles and live depths.
+
+        Latency percentiles come combined (``serve.latency_p50_s`` /
+        ``..._p99_s``, the pre-fidelity keys) *and* per tier
+        (``serve.analytic.latency_p50_s``, ...) for every tier that
+        has served at least one request; per-tier request counts are
+        the ``serve.requests.<fidelity>`` counters.
+        """
+        self._flush_fast_counts()
         out = dict(self.counters.totals())
-        latencies = sorted(self._latencies)
 
-        def pct(p: float) -> float:
-            if not latencies:
+        def pct(samples: list[float], p: float) -> float:
+            if not samples:
                 return 0.0
-            return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+            return samples[min(len(samples) - 1, int(p * len(samples)))]
 
+        combined: list[float] = []
+        for fid, samples in sorted(self._latencies.items()):
+            ordered = sorted(samples)
+            combined.extend(ordered)
+            out[f"serve.{fid}.latency_p50_s"] = pct(ordered, 0.50)
+            out[f"serve.{fid}.latency_p99_s"] = pct(ordered, 0.99)
+        combined.sort()
         out["serve.queue_depth"] = float(self._queued)
         out["serve.inflight"] = float(self._inflight)
-        out["serve.latency_p50_s"] = pct(0.50)
-        out["serve.latency_p99_s"] = pct(0.99)
+        out["serve.latency_p50_s"] = pct(combined, 0.50)
+        out["serve.latency_p99_s"] = pct(combined, 0.99)
         return out
 
     def _now(self) -> float:
@@ -370,6 +498,10 @@ class ScenarioService:
                 self.counters.add("serve.completed", 1, now)
             else:
                 self.counters.add("serve.errors", 1, now)
+            if record is not None and record.escalated:
+                # counted once per *cell*; serve.escalated (submit
+                # side) counts per request that fell through inline.
+                self.counters.add("serve.escalated_cells", 1, now)
             for future in entry.futures:
                 if future.cancelled():
                     continue

@@ -1,0 +1,114 @@
+"""Surrogate declarations for every registered workload.
+
+This is the one auditable list answering "what happens when I ask
+for ``fidelity="analytic"``?" per workload:
+
+* Every workload below except ``ext_noise.cell`` is an **exact
+  passthrough**: its cell function is already a closed-form model
+  (MZ timing model, bandwidth/latency arithmetic, capacity planning)
+  with no discrete-event simulation anywhere in the call tree, so
+  the analytic tier runs the very same function in-process and the
+  rows are byte-identical to the full path.  The calibration job
+  *verifies* that (rel. error must be 0.0) rather than trusting this
+  comment.
+* ``ext_noise.cell`` is the only DES-backed workload; it gets a real
+  modeled surrogate (below) whose error the calibration job measures
+  and bounds.
+
+A workload id absent from this module has no fast path: the Runner
+escalates (or refuses) non-``full`` requests for it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.surrogate.models import (
+    noise_amplification,
+    noisy_max_factor,
+    reduce_broadcast_time,
+)
+from repro.surrogate.registry import register_exact, surrogate
+
+__all__ = ["CLOSED_FORM_WORKLOADS"]
+
+#: Workload ids whose cell functions are closed-form end to end.
+CLOSED_FORM_WORKLOADS = (
+    "table1.rows",
+    "sec411.cell",
+    "fig5.cell",
+    "fig6.cell",
+    "table2.cell",
+    "table3.cell",
+    "sec42.cell",
+    "fig7.cell",
+    "fig8.cell",
+    "table4.ins3d",
+    "table4.overflow",
+    "fig9.cell",
+    "fig10.cell",
+    "fig11.cell",
+    "table5.cell",
+    "table6.cell",
+    "ablation.variant_pair",
+    "ablation.grouping",
+    "ablation.ibcards",
+    "ablation.shmem",
+    "ext_class_f.capacity",
+    "ext_class_f.run",
+    "ext_ins3d.single",
+    "ext_ins3d.multi",
+)
+
+for _wid in CLOSED_FORM_WORKLOADS:
+    register_exact(_wid)
+
+
+@lru_cache(maxsize=None)
+def _noise_placement(ranks: int):
+    """One placement instance per rank count: placements are
+    immutable for modeling purposes, and reusing the instance keeps
+    its generation stable so the network model's route-table cache
+    (keyed on generation × fault-injector serial) actually hits —
+    the difference between a microsecond and a millisecond eval."""
+    from repro.machine.cluster import single_node
+    from repro.machine.node import NodeType
+    from repro.machine.placement import Placement
+
+    return Placement(single_node(NodeType.BX2B), n_ranks=ranks)
+
+
+@surrogate("ext_noise.cell", modes=("analytic", "hybrid"))
+def _ext_noise_surrogate(
+    mode: str, ranks: int, noise: float, n_seeds: int
+) -> list[tuple]:
+    """Surrogate for the OS-noise amplification cell.
+
+    The DES version runs ``compute(1e-3)`` + an 8-byte allreduce per
+    rank count, quiet vs noisy, averaged over seeds.  Here:
+
+    * network: :func:`reduce_broadcast_time` — the analytic critical
+      path of the binomial reduce+broadcast the DES executes;
+    * compute, ``analytic``: expected max-of-exponentials stretch
+      ``1 + noise * H_p`` (no sampling at all);
+    * compute, ``hybrid``: the stretch factors are *executed* — the
+      same seeded draws the DES would make — while the network term
+      stays analytic.
+
+    Row schema matches the workload: one row of
+    ``(ranks, quiet_ms, noisy_ms, slowdown)``.
+    """
+    base = 1e-3
+    net = reduce_broadcast_time(_noise_placement(ranks), 8)
+    quiet = base + net
+    if mode == "analytic":
+        noisy = base * noise_amplification(ranks, noise) + net
+    else:
+        stretches = (
+            noisy_max_factor(ranks, noise, s) for s in range(n_seeds)
+        )
+        noisy = sum(base * f + net for f in stretches) / n_seeds
+    return [(
+        ranks, round(quiet * 1e3, 4), round(noisy * 1e3, 4),
+        round(noisy / quiet, 2),
+    )]

@@ -1,0 +1,83 @@
+"""Closed-form building blocks for modeled surrogates.
+
+These are the *DES-matched* forms: where the generic
+:class:`repro.netmodel.collectives.CollectiveModel` prices the
+textbook algorithm (recursive-doubling allreduce in ceil(log2 P)
+rounds), the functions here mirror what :mod:`repro.mpi.collectives`
+actually executes (binomial reduce followed by binomial broadcast —
+twice the rounds), so the surrogate's residual error against the DES
+is contention and scheduling, not algorithm mismatch.  Counters
+(message/byte totals) delegate to the PR 1 closed forms in
+:mod:`repro.mpi.collectives`, which the DES matches *exactly* — the
+parity suite pins that claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.placement import Placement
+from repro.mpi.collectives import expected_messages, expected_volume
+from repro.netmodel.costs import NetworkModel
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "expected_messages",
+    "expected_volume",
+    "harmonic",
+    "noise_amplification",
+    "noisy_max_factor",
+    "reduce_broadcast_time",
+]
+
+
+def _rounds(p: int) -> int:
+    return math.ceil(math.log2(p)) if p > 1 else 0
+
+
+def reduce_broadcast_time(placement: Placement, nbytes: float) -> float:
+    """Analytic elapsed time of the DES allreduce algorithm.
+
+    :func:`repro.mpi.collectives.allreduce` is a binomial-tree reduce
+    into rank 0 followed by a binomial-tree broadcast — the critical
+    path crosses ``2 * ceil(log2 P)`` tree levels, each one message
+    deep.  Per-level cost is the placement's mean LogGP message time.
+    """
+    p = placement.n_ranks
+    if p <= 1:
+        return 0.0
+    stats = NetworkModel(placement).stats()
+    per_round = stats.mean_latency + nbytes / stats.mean_bandwidth
+    return 2.0 * _rounds(p) * per_round
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n = sum(1/k, k=1..n)``."""
+    return sum(1.0 / k for k in range(1, n + 1))
+
+
+def noise_amplification(p: int, noise: float) -> float:
+    """Expected slowdown of a barrier-synchronized unit compute step
+    when every rank's compute is stretched by ``1 + Exp(noise)``.
+
+    The step finishes when the *slowest* rank does; the expected
+    maximum of ``p`` iid Exp(noise) draws is ``noise * H_p``, so the
+    amplification is ``1 + noise * H_p`` — the closed form behind the
+    paper-scale observation that fixed per-rank interference costs
+    more the wider the job.
+    """
+    if noise <= 0.0 or p < 1:
+        return 1.0
+    return 1.0 + noise * harmonic(p)
+
+
+def noisy_max_factor(p: int, noise: float, seed: int) -> float:
+    """One *executed* draw of the step-stretch factor: the max of
+    ``p`` sampled ``1 + Exp(noise)`` stretches from the same seeded
+    generator family the DES uses (:func:`repro.sim.rng.make_rng`).
+    The hybrid tier runs this (compute executed) while the network
+    term stays analytic."""
+    if noise <= 0.0 or p < 1:
+        return 1.0
+    rng = make_rng(seed)
+    return float((1.0 + rng.exponential(noise, size=p)).max())

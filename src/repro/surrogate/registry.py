@@ -1,0 +1,120 @@
+"""The surrogate registry: which workloads have a fast path, and how.
+
+A :class:`SurrogateSpec` describes how one workload id is evaluated
+at non-``full`` fidelity:
+
+* **exact passthrough** (``fn is None``) — the workload's own cell
+  function is already a closed-form model (no discrete-event
+  simulation anywhere in it), so the surrogate *is* the workload,
+  run in-process.  Its rows are identical to the full path by
+  construction; the calibration job asserts that instead of assuming
+  it.
+* **modeled** (``fn`` set) — the workload executes the DES on the
+  full path, and the surrogate is a genuinely different closed form
+  (``analytic``) or a mixed executed-compute/analytic-network
+  evaluation (``hybrid``).  Its error against the DES is measured by
+  ``repro calibrate --fidelity`` and persisted per workload *family*
+  (the id prefix before the first dot).
+
+Declarations live in :mod:`repro.surrogate.families`, imported
+lazily on the first resolution miss so ``import repro.surrogate``
+stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SurrogateSpec",
+    "SurrogateUnavailable",
+    "family_of",
+    "register_exact",
+    "resolve_surrogate",
+    "surrogate",
+    "surrogate_specs",
+]
+
+
+class SurrogateUnavailable(ReproError):
+    """No surrogate can serve this scenario at the requested fidelity."""
+
+
+def family_of(workload_id: str) -> str:
+    """The calibration family of a workload id: the prefix before the
+    first dot (``"fig9.cell"`` → ``"fig9"``) — the granularity the
+    error table is keyed on."""
+    return workload_id.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class SurrogateSpec:
+    """How one workload id evaluates at non-``full`` fidelity."""
+
+    workload: str
+    family: str
+    #: ``None`` marks an exact passthrough; otherwise
+    #: ``fn(mode, **cell_kwargs)`` returns rows in the workload's
+    #: own row schema (``mode`` is ``"analytic"`` or ``"hybrid"``).
+    fn: Callable | None
+    #: fidelities this surrogate can serve.
+    modes: tuple[str, ...] = ("analytic", "hybrid")
+    #: rows provably identical to the full path (passthroughs).
+    exact: bool = False
+
+
+_SURROGATES: dict[str, SurrogateSpec] = {}
+_families_loaded = False
+
+
+def register_exact(workload_id: str) -> SurrogateSpec:
+    """Declare a workload as closed-form: its cell function contains
+    no DES, so running it in-process *is* the analytic evaluation."""
+    spec = SurrogateSpec(
+        workload=workload_id, family=family_of(workload_id),
+        fn=None, exact=True,
+    )
+    _SURROGATES[workload_id] = spec
+    return spec
+
+
+def surrogate(
+    workload_id: str, modes: tuple[str, ...] = ("analytic", "hybrid")
+) -> Callable:
+    """Register the decorated function as a modeled surrogate for a
+    DES-backed workload.  Signature: ``fn(mode, **cell_kwargs)``."""
+
+    def register(fn: Callable) -> Callable:
+        _SURROGATES[workload_id] = SurrogateSpec(
+            workload=workload_id, family=family_of(workload_id),
+            fn=fn, modes=tuple(modes), exact=False,
+        )
+        return fn
+
+    return register
+
+
+def _load_families() -> None:
+    global _families_loaded
+    if not _families_loaded:
+        _families_loaded = True
+        import repro.surrogate.families  # noqa: F401 - registers on import
+
+
+def resolve_surrogate(workload_id: str) -> SurrogateSpec | None:
+    """The surrogate spec for a workload id, or ``None`` if the
+    workload has no declared fast path (it must run full-DES)."""
+    spec = _SURROGATES.get(workload_id)
+    if spec is None:
+        _load_families()
+        spec = _SURROGATES.get(workload_id)
+    return spec
+
+
+def surrogate_specs() -> list[SurrogateSpec]:
+    """Every declared surrogate, declaration order."""
+    _load_families()
+    return list(_SURROGATES.values())

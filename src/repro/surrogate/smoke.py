@@ -1,0 +1,134 @@
+"""End-to-end smoke test for the fidelity tier (``make fidelity-smoke``).
+
+Four checks, each pinning one leg of the surrogate contract:
+
+1. **Calibration freshness** — the committed error table loads, is not
+   stale against this build (version + calibration fingerprint), and
+   covers the one modeled family at both non-full tiers.  A stale
+   table silently degrades every modeled cell to escalation, so this
+   is the first thing to trip after a calibration-relevant change.
+2. **Parity** — an all-analytic sweep returns rows byte-identical to
+   the full-DES path for exact-passthrough workloads, and within the
+   committed error bound for the modeled ``ext_noise`` family; the
+   sweep must finish without ever building a worker pool.
+3. **Cache round-trip** — a second, fresh Runner on the same cache
+   serves the whole analytic sweep from cache with identical rows
+   (fidelity-qualified keys survive the disk round-trip).
+4. **Serve inline path** — a burst of analytic cells through
+   :func:`repro.serve.submit` resolves entirely inline: every request
+   ok, none escalated, zero batches formed.
+
+Exit status 0 with ``fidelity-smoke ok`` on success; 1 with a
+``fidelity-smoke FAILED`` diagnosis on the first broken check.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+
+def _fail(why: str) -> int:
+    print(f"fidelity-smoke FAILED: {why}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    from repro.run import ResultCache, Runner, scenario, sweep
+    from repro.serve import submit
+    from repro.surrogate import (
+        default_error_table,
+        evaluate_scenario,
+        family_of,
+    )
+    from repro.surrogate.calibrate import relative_error
+
+    # 1. The committed calibration table vouches for this build.
+    table = default_error_table()
+    if table is None:
+        return _fail("no committed calibration table "
+                     "(src/repro/surrogate/calibration.json)")
+    if table.stale:
+        return _fail(
+            "committed calibration table is stale for this build; "
+            "regenerate with `repro calibrate --fidelity`"
+        )
+    family = family_of("ext_noise.cell")
+    for mode in ("analytic", "hybrid"):
+        if not table.permits(family, mode):
+            return _fail(f"table does not permit {family!r} at {mode!r}")
+
+    # 2. Mixed parity sweep, no pool.
+    cells = sweep("fig9.cell", {"processes": [1, 4, 16], "threads": [1, 2]})
+    fast = Runner(jobs=4, cache=None, fidelity="analytic")
+    full = Runner(jobs=1, cache=None)
+    fast_records = fast.run(cells)
+    full_records = full.run(cells)
+    if fast._pool is not None:
+        return _fail("analytic sweep built a worker pool")
+    if any(not r.ok or r.escalated for r in fast_records):
+        return _fail("analytic sweep had errors or escalations")
+    if [r.rows for r in fast_records] != [r.rows for r in full_records]:
+        return _fail("exact-passthrough rows differ from the full path")
+
+    noise = scenario("ext_noise.cell", ranks=8, noise=0.25, n_seeds=2)
+    err = relative_error(
+        full.run([noise])[0].rows,
+        evaluate_scenario(scenario(
+            "ext_noise.cell", ranks=8, noise=0.25, n_seeds=2,
+            fidelity="analytic",
+        )),
+    )
+    if err > table.bound:
+        return _fail(
+            f"modeled ext_noise error {err:.4f} exceeds the table "
+            f"bound {table.bound:.4f}"
+        )
+
+    # 3. Cold/warm cache parity across Runner instances.
+    with tempfile.TemporaryDirectory(prefix="repro-fid-smoke-") as tmp:
+        cold = Runner(
+            jobs=1, cache=ResultCache(cache_dir=tmp), fidelity="analytic"
+        )
+        cold_records = cold.run(cells)
+        warm = Runner(
+            jobs=1, cache=ResultCache(cache_dir=tmp), fidelity="analytic"
+        )
+        warm_records = warm.run(cells)
+        if warm.stats.cached != len(cells) or warm.stats.executed != 0:
+            return _fail(
+                f"warm analytic pass re-executed cells "
+                f"({warm.stats.summary()})"
+            )
+        if [r.rows for r in warm_records] != [r.rows for r in cold_records]:
+            return _fail("cached analytic rows differ from the cold pass")
+
+    # 4. The serve inline path owns an analytic burst outright.
+    analytic = sweep(
+        "fig9.cell", {"processes": [1, 2, 4, 8, 16], "threads": [1, 2]},
+        fidelity="analytic",
+    )
+    runner = Runner(jobs=1, cache=None)
+    try:
+        results = submit(analytic, runner=runner)
+    finally:
+        runner.close()
+    if any(not r.ok or r.escalated for r in results):
+        return _fail("served analytic burst had errors or escalations")
+    if runner.stats.fast != len(analytic):
+        return _fail(
+            f"expected {len(analytic)} inline cells, "
+            f"runner saw {runner.stats.fast}"
+        )
+
+    print(
+        f"fidelity-smoke ok: calibration fresh, "
+        f"{len(cells)} exact cells identical to full, modeled error "
+        f"{err:.4f} <= {table.bound:.4f}, warm cache pass 100% hits, "
+        f"{len(analytic)} served cells all inline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
