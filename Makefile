@@ -10,7 +10,7 @@ test:
 ## every end-to-end smoke (cache, tracing, faults, serving).  Run
 ## `make bench-check` for the full kernel gate before refreshing
 ## BENCH_kernels.json.
-check: test bench-quick smoke trace-smoke faults-smoke serve-smoke fidelity-smoke
+check: test bench-quick smoke trace-smoke faults-smoke serve-smoke fidelity-smoke explore-smoke
 	@echo "check ok: tests, bench guard and all smokes passed"
 
 ## Measure the tracked kernels and refresh the "current" section of
@@ -76,6 +76,14 @@ faults-smoke:
 .PHONY: serve-smoke
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
+
+## The exploration tier end to end: both worked studies through the
+## full SearchSpace -> optimizer -> serve.submit stack, journal resume
+## with zero re-submitted cells, and byte-identical trajectories from
+## one seed.  Details in src/repro/explore/smoke.py.
+.PHONY: explore-smoke
+explore-smoke:
+	$(PYTHON) -m repro.explore.smoke
 
 ## The fidelity tier end to end: committed calibration table fresh,
 ## analytic sweep byte-identical to full-DES for exact passthroughs

@@ -67,6 +67,7 @@ LOOSE_TOLERANCES = {
     "des_alltoall_msgs_per_sec": 0.35,
     "serve_submit_cells_per_sec": 0.35,
     "analytic_serve_cells_per_sec": 0.35,
+    "explore_candidates_per_sec": 0.35,
     "surrogate_eval_us": 0.45,
     "md_forces_864_ms": 0.45,
     "md_step_864_ms": 0.45,
@@ -89,6 +90,11 @@ SEED_GATES = {
 #: which cost multiples, never on machine weather.
 ABS_FLOORS = {
     "analytic_serve_cells_per_sec": 40_000.0,
+    #: the explore loop's interactivity contract: a full optimizer
+    #: round-trip per candidate (ask, materialize, serve inline,
+    #: score, tell) must stay north of 10k cells/s, or
+    #: thousand-candidate studies stop being interactive.
+    "explore_candidates_per_sec": 10_000.0,
 }
 
 #: Floor on faulted/healthy DES ping-pong throughput.  MessageDrop
@@ -109,6 +115,7 @@ MD_STEPS = 30
 PATH_LOOKUP_CALLS = 50_000
 COLLECTIVE_RANKS = 256
 SERVE_CELLS = 256
+EXPLORE_CELLS = 256
 
 
 #: Set by ``--quick``: caps every ``_best_time`` at 3 repeats.
@@ -340,6 +347,11 @@ def _serve_noop_cell(i: int = 0) -> list:
     return [(i,)]
 
 
+def _explore_noop_cell(i: int = 0, j: int = 0) -> list:
+    """Two-dimension noop cell: the explore grid's unit of work."""
+    return [(float(i + j),)]
+
+
 def bench_serve() -> dict[str, float]:
     """End-to-end submission throughput of the serve scheduler.
 
@@ -402,6 +414,46 @@ def bench_analytic_serve() -> dict[str, float]:
     return {"analytic_serve_cells_per_sec": SERVE_CELLS / wall}
 
 
+def bench_explore() -> dict[str, float]:
+    """Candidate throughput of the exploration driver.
+
+    A full grid exploration over EXPLORE_CELLS analytic noop
+    candidates: optimizer ask/tell, scenario materialization,
+    replicate fan-out and the serve-tier inline resolution, per
+    candidate cell.  Cells/sec here is the explore loop's own
+    overhead ceiling — the number that makes thousand-candidate
+    studies interactive — so it carries an absolute floor
+    (:data:`ABS_FLOORS`): a worker pool spin-up or per-candidate
+    journal/asyncio overhead costs multiples, never percents.
+    """
+    from repro.explore import Objective, explore, search_space
+    from repro.run import Runner, workload
+    from repro.surrogate.registry import register_exact
+
+    # Idempotent, like the serve_noop registration above.
+    workload("bench.explore_noop")(_explore_noop_cell)
+    register_exact("bench.explore_noop")
+    side = int(EXPLORE_CELLS ** 0.5)
+    space = search_space(
+        "bench.explore_noop",
+        {"i": tuple(range(side)), "j": tuple(range(side))},
+    )
+    runner = Runner(jobs=1, cache=None)
+    try:
+        def run_once():
+            result = explore(
+                space, Objective(metric=0), optimizer="grid",
+                runner=runner,
+            )
+            assert result.stats.candidates == side * side
+            assert result.stats.errors == 0
+
+        wall = _best_time(run_once, repeats=5)
+    finally:
+        runner.close()
+    return {"explore_candidates_per_sec": side * side / wall}
+
+
 def bench_surrogate_eval() -> dict[str, float]:
     """Single-cell latency of the modeled surrogate evaluator.
 
@@ -438,6 +490,7 @@ BENCHES = [
     bench_cost_model,
     bench_serve,
     bench_analytic_serve,
+    bench_explore,
     bench_surrogate_eval,
 ]
 

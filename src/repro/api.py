@@ -34,12 +34,25 @@ The facade groups five seams:
 * **surrogate tier** — :func:`evaluate_scenario` (closed-form cell
   evaluation), :func:`calibrate_fidelity` and :class:`ErrorTable`
   (the measured analytic-vs-DES error bound the Runner's
-  escalate/refuse policy consults).
+  escalate/refuse policy consults);
+* **exploration** — :class:`SearchSpace`/:func:`search_space`,
+  :class:`Objective`, :class:`ExploreDriver`/:func:`explore`,
+  :class:`ExploreResult` and :func:`run_study` (design-space search
+  over the simulated machine; ``repro explore`` on the CLI).
 """
 
 from __future__ import annotations
 
 from repro.core.experiment import ExperimentResult
+from repro.explore import (
+    ExploreDriver,
+    ExploreResult,
+    Objective,
+    SearchSpace,
+    explore,
+    run_study,
+    search_space,
+)
 from repro.core.registry import (
     ExperimentSpec,
     experiment,
@@ -83,10 +96,13 @@ __all__ = sorted(
         "ErrorTable",
         "ExperimentResult",
         "ExperimentSpec",
+        "ExploreDriver",
+        "ExploreResult",
         "FaultSpec",
         "Fidelity",
         "MachineSpec",
         "NodeType",
+        "Objective",
         "Placement",
         "PinningMode",
         "PlacementSpec",
@@ -95,6 +111,7 @@ __all__ = sorted(
         "Runner",
         "Scenario",
         "ScenarioService",
+        "SearchSpace",
         "ServeClient",
         "ServeReply",
         "ServeResult",
@@ -103,13 +120,16 @@ __all__ = sorted(
         "columbia",
         "evaluate_scenario",
         "experiment",
+        "explore",
         "experiment_specs",
         "list_experiments",
         "multinode",
         "parse_faults",
         "resolve_experiment",
         "run_experiment",
+        "run_study",
         "scenario",
+        "search_space",
         "single_node",
         "submit",
         "sweep",

@@ -27,6 +27,14 @@ Commands
     across every registered experiment and persist the error table
     the fidelity dispatch consults (``--check`` verifies the
     committed table instead of rewriting it).
+``explore [--study NAME | --workload ID --space SPEC --objective SPEC]``
+    Design-space search over the simulated machine: a declarative
+    space (machine/placement/parameter/fault dimensions), a quantile
+    objective, and a seeded optimizer (``grid``/``random``/
+    ``evolve``) submitting candidate batches through the serve tier
+    — analytic-fidelity candidates resolve inline at ~1e5 cells/s.
+    ``--journal FILE`` writes a resumable JSONL trajectory; budgets
+    via ``--max-cells``/``--max-seconds``.  See docs/explore.md.
 
 ``run``, ``all`` and ``report`` share the run-pipeline options:
 ``--jobs N|auto`` executes cells on a process pool (output is
@@ -213,6 +221,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runner_options(serve_p)
 
+    explore_p = sub.add_parser(
+        "explore",
+        help="design-space search over the simulated machine",
+    )
+    explore_p.add_argument(
+        "--study", default=None, metavar="NAME",
+        help="run a named worked study ('cheapest-bx2' or "
+             "'worst-faults') instead of declaring a space by hand",
+    )
+    explore_p.add_argument(
+        "--workload", default=None, metavar="ID",
+        help="workload id the candidates run (e.g. fig9.cell)",
+    )
+    explore_p.add_argument(
+        "--space", default=None, metavar="SPEC",
+        help="search dimensions, e.g. 'machine.clock_ghz=1.3:1.9:4; "
+             "machine.l3_mb=6,9,12; faults=none|boot_cpuset' "
+             "(see docs/explore.md for the grammar)",
+    )
+    explore_p.add_argument(
+        "--objective", default=None, metavar="SPEC",
+        help="what to optimize, e.g. 'metric=3,mode=max,"
+             "quantile=0.95,repeats=5' (metric is a result-row "
+             "column index)",
+    )
+    explore_p.add_argument(
+        "--base", default=None, metavar="SPEC",
+        help="fixed values every candidate shares, e.g. "
+             "'cpus=256,threads=2'",
+    )
+    explore_p.add_argument(
+        "--space-fidelity", default="analytic",
+        choices=("analytic", "hybrid", "full"),
+        help="execution tier candidate cells run at (default "
+             "analytic: the surrogate fast path)",
+    )
+    explore_p.add_argument(
+        "--optimizer", default=None,
+        choices=("grid", "random", "evolve"),
+        help="search strategy (default: random, or the study's own)",
+    )
+    explore_p.add_argument(
+        "--seed", type=int, default=0,
+        help="optimizer seed (the whole exploration is deterministic "
+             "from it; default 0)",
+    )
+    explore_p.add_argument(
+        "--batch", type=int, default=64, metavar="N",
+        help="candidates asked per optimizer round (default 64)",
+    )
+    explore_p.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="budget: most replicate cells submitted",
+    )
+    explore_p.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="budget: wall-clock limit for the search loop",
+    )
+    explore_p.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append the trajectory to FILE (JSONL); a re-run with "
+             "the same space/objective/optimizer resumes from it",
+    )
+    add_runner_options(explore_p)
+
     cal_p = sub.add_parser(
         "calibrate",
         help="measure surrogate-vs-full error and persist the table",
@@ -287,6 +360,67 @@ def _build_runner(args):
         surrogate_policy=policy, retries=getattr(args, "retries", 0),
         checkpoint=getattr(args, "checkpoint", None),
     )
+
+
+def _run_explore(args) -> int:
+    """The ``repro explore`` verb: studies or hand-declared spaces."""
+    from repro.explore import (
+        ExploreDriver,
+        parse_objective,
+        parse_space,
+        study_driver,
+    )
+    from repro.explore.space import _parse_scalar
+
+    runner = _build_runner(args)
+    try:
+        if args.study is not None:
+            driver = study_driver(
+                args.study, seed=args.seed, runner=runner,
+                journal=args.journal, max_cells=args.max_cells,
+                max_seconds=args.max_seconds, optimizer=args.optimizer,
+            )
+        else:
+            if not (args.workload and args.space and args.objective):
+                print(
+                    "error: pass --study NAME, or all three of "
+                    "--workload/--space/--objective",
+                    file=sys.stderr,
+                )
+                return 2
+            base = {}
+            if args.base:
+                for pair in filter(
+                    None, (p.strip() for p in args.base.split(","))
+                ):
+                    key, eq, value = pair.partition("=")
+                    if not eq:
+                        print(
+                            f"error: --base expects key=value pairs, "
+                            f"got {pair!r}",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    base[key.strip()] = _parse_scalar(value.strip())
+            space = parse_space(
+                args.space, args.workload, base=base,
+                fidelity=args.space_fidelity,
+            )
+            driver = ExploreDriver(
+                space, parse_objective(args.objective),
+                optimizer=args.optimizer or "random", seed=args.seed,
+                runner=runner, journal=args.journal,
+                max_cells=args.max_cells, max_seconds=args.max_seconds,
+                batch_size=args.batch,
+            )
+        result = driver.run()
+        print(result.report())
+        # Machine-readable accounting (same contract as `repro run`).
+        print(result.stats.summary(), file=sys.stderr)
+        print(runner.stats.summary(), file=sys.stderr)
+    finally:
+        runner.close()
+    return _report_failures(runner, args)
 
 
 def _run_calibrate(args) -> int:
@@ -448,6 +582,8 @@ def main(argv: list[str] | None = None) -> int:
                 max_batch=args.max_batch,
                 batch_wait=args.batch_wait,
             )
+        elif args.command == "explore":
+            return _run_explore(args)
         elif args.command == "calibrate":
             return _run_calibrate(args)
         elif args.command == "hpcc":

@@ -1,0 +1,288 @@
+"""Pluggable search strategies over a :class:`SearchSpace`.
+
+Every optimizer speaks the ask/tell protocol:
+
+* ``ask(n)`` — up to ``n`` candidates (index tuples) to evaluate
+  next; an empty list means the strategy is exhausted;
+* ``tell(candidate, loss)`` — the evaluated loss (the driver's
+  minimized form: infeasible/failed candidates arrive as ``+inf``).
+
+All three strategies are deterministic functions of their
+construction arguments: same space + same seed → the same ask
+sequence given the same tell sequence, which is what makes two runs
+of the same exploration produce byte-identical trajectory journals.
+None of them ever proposes a candidate twice, and each terminates on
+its own (grid and random exhaust the space; the evolutionary loop is
+generation-bounded) — the driver's budget just stops them earlier.
+
+``random.Random`` (Mersenne Twister) is seeded per optimizer
+instance; nothing reads global RNG state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+from repro.explore.space import SearchSpace
+
+__all__ = [
+    "EvolutionarySearch",
+    "GridSearch",
+    "Optimizer",
+    "RandomSearch",
+    "make_optimizer",
+]
+
+
+class Optimizer:
+    """Base ask/tell strategy (see module docstring for the protocol)."""
+
+    #: grammar name (``--optimizer``) and journal-header tag.
+    name = "optimizer"
+
+    def __init__(self, space: SearchSpace) -> None:
+        self.space = space
+
+    def ask(self, n: int) -> list[tuple[int, ...]]:
+        raise NotImplementedError
+
+    def tell(self, candidate: tuple[int, ...], loss: float) -> None:
+        """Default: strategies that don't adapt ignore feedback."""
+
+    def payload(self) -> dict[str, Any]:
+        """JSON-safe identity for the trajectory journal header."""
+        return {"name": self.name}
+
+
+class GridSearch(Optimizer):
+    """Exhaustive sweep in grid order — the baseline every adaptive
+    strategy is judged against, and the right tool when the budget
+    covers the whole space anyway."""
+
+    name = "grid"
+
+    def __init__(self, space: SearchSpace) -> None:
+        super().__init__(space)
+        self._iter: Iterator[tuple[int, ...]] = space.candidates()
+
+    def ask(self, n: int) -> list[tuple[int, ...]]:
+        out = []
+        for cand in self._iter:
+            out.append(cand)
+            if len(out) >= n:
+                break
+        return out
+
+
+class RandomSearch(Optimizer):
+    """Seeded uniform sampling without replacement.
+
+    Draws index tuples from the full grid until ``max_samples`` (or
+    the space) is exhausted.  Sampling is rejection-based over the
+    candidate tuple itself, so the sequence depends only on
+    ``(space.shape, seed)`` — not on evaluation results or timing.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        max_samples: int | None = None,
+    ) -> None:
+        super().__init__(space)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._seen: set[tuple[int, ...]] = set()
+        self._budget = space.size if max_samples is None else min(
+            max_samples, space.size
+        )
+
+    def _draw(self) -> tuple[int, ...] | None:
+        if len(self._seen) >= self.space.size:
+            return None
+        while True:
+            cand = tuple(
+                self._rng.randrange(n) for n in self.space.shape
+            )
+            if cand not in self._seen:
+                return cand
+
+    def ask(self, n: int) -> list[tuple[int, ...]]:
+        out = []
+        while len(out) < n and self._budget > 0:
+            cand = self._draw()
+            if cand is None:
+                break
+            self._seen.add(cand)
+            self._budget -= 1
+            out.append(cand)
+        return out
+
+    def payload(self) -> dict[str, Any]:
+        return {"name": self.name, "seed": self.seed}
+
+
+class EvolutionarySearch(Optimizer):
+    """A (μ + λ)-style generational loop: seeded random population,
+    elite selection by loss, uniform crossover plus per-dimension
+    mutation — the classic shape for categorical spaces like this one
+    (every dimension is a finite value set, so "mutate" means "pick a
+    different index").
+
+    Determinism: breeding draws only from the instance RNG and from
+    losses the driver already told; ties rank by tell order.  A
+    generation breeds only after every asked member is told, so the
+    ask sequence is a pure function of (space, seed, losses).
+    Candidates never repeat across the whole run — duplicates from
+    crossover are re-mutated, and a fully-explored neighborhood falls
+    back to fresh random draws, so the loop keeps covering new ground
+    until ``generations`` are spent or the space is exhausted.
+    """
+
+    name = "evolve"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        population: int = 16,
+        generations: int = 16,
+        elite_frac: float = 0.25,
+        mutation: float = 0.25,
+    ) -> None:
+        super().__init__(space)
+        if population < 2:
+            raise ConfigurationError(
+                f"evolve: population must be >= 2, got {population}"
+            )
+        if generations < 1:
+            raise ConfigurationError(
+                f"evolve: generations must be >= 1, got {generations}"
+            )
+        if not 0.0 < elite_frac <= 1.0 or not 0.0 <= mutation <= 1.0:
+            raise ConfigurationError(
+                f"evolve: elite_frac in (0,1] and mutation in [0,1] "
+                f"required, got {elite_frac}/{mutation}"
+            )
+        self.seed = seed
+        self.population = population
+        self.generations = generations
+        self.elite_frac = elite_frac
+        self.mutation = mutation
+        self._rng = random.Random(seed)
+        self._seen: set[tuple[int, ...]] = set()
+        #: (loss, tell_order, candidate) for every told candidate.
+        self._told: list[tuple[float, int, tuple[int, ...]]] = []
+        self._outstanding: set[tuple[int, ...]] = set()
+        self._queue: list[tuple[int, ...]] = []
+        self._generation = 0
+
+    # -- breeding -------------------------------------------------------------
+
+    def _random_candidate(self) -> tuple[int, ...] | None:
+        if len(self._seen) >= self.space.size:
+            return None
+        while True:
+            cand = tuple(self._rng.randrange(n) for n in self.space.shape)
+            if cand not in self._seen:
+                return cand
+
+    def _elites(self) -> list[tuple[int, ...]]:
+        k = max(1, int(self.population * self.elite_frac))
+        ranked = sorted(self._told)  # loss, then tell order
+        return [cand for _, _, cand in ranked[:k]]
+
+    def _offspring(self, elites: list[tuple[int, ...]]) -> tuple[int, ...] | None:
+        """One child: crossover of two elites, mutated until novel.
+
+        A few mutation rounds usually suffice; a crowded neighborhood
+        falls back to a fresh random draw so the generation always
+        fills (or the space is exhausted and we stop).
+        """
+        a = self._rng.choice(elites)
+        b = self._rng.choice(elites)
+        child = list(
+            a[i] if self._rng.random() < 0.5 else b[i]
+            for i in range(len(a))
+        )
+        for _ in range(8):
+            mutated = [
+                self._rng.randrange(n)
+                if self._rng.random() < self.mutation else gene
+                for gene, n in zip(child, self.space.shape)
+            ]
+            cand = tuple(mutated)
+            if cand not in self._seen:
+                return cand
+            child = mutated
+        return self._random_candidate()
+
+    def _refill(self) -> None:
+        """Breed the next generation into the ask queue."""
+        if self._generation >= self.generations:
+            return
+        if self._outstanding:
+            # Wait for every asked member to be told before breeding —
+            # the determinism contract.
+            return
+        self._generation += 1
+        elites = self._elites()
+        for _ in range(self.population):
+            cand = (
+                self._random_candidate() if not elites
+                else self._offspring(elites)
+            )
+            if cand is None:
+                break
+            self._seen.add(cand)
+            self._queue.append(cand)
+
+    # -- protocol -------------------------------------------------------------
+
+    def ask(self, n: int) -> list[tuple[int, ...]]:
+        if not self._queue:
+            self._refill()
+        out = self._queue[:n]
+        del self._queue[:n]
+        self._outstanding.update(out)
+        return out
+
+    def tell(self, candidate: tuple[int, ...], loss: float) -> None:
+        self._outstanding.discard(candidate)
+        self._told.append((loss, len(self._told), candidate))
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "population": self.population,
+            "generations": self.generations,
+            "elite_frac": self.elite_frac,
+            "mutation": self.mutation,
+        }
+
+
+_OPTIMIZERS = {
+    "grid": GridSearch,
+    "random": RandomSearch,
+    "evolve": EvolutionarySearch,
+}
+
+
+def make_optimizer(
+    name: str, space: SearchSpace, seed: int = 0, **kwargs: Any
+) -> Optimizer:
+    """Build an optimizer by grammar name (``--optimizer``)."""
+    cls = _OPTIMIZERS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown optimizer {name!r}; expected one of "
+            f"{sorted(_OPTIMIZERS)}"
+        )
+    if cls is GridSearch:
+        return GridSearch(space)
+    return cls(space, seed=seed, **kwargs)

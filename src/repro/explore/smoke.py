@@ -1,0 +1,92 @@
+"""End-to-end smoke of the exploration tier (``make explore-smoke``).
+
+Runs both worked studies through the full stack — SearchSpace →
+Objective → optimizer → ExploreDriver → serve.submit → surrogate fast
+path — and asserts the three properties the tier exists for:
+
+* the **cheapest-bx2** grid study finds the paper's ablation
+  signature (a clock downgrade is tolerable, an L3 downgrade is not)
+  and journals its trajectory;
+* a second run against the same journal **resumes**: every candidate
+  replays, zero cells are submitted, and the best is unchanged;
+* the **worst-faults** evolutionary study is **deterministic**: two
+  runs from one seed write byte-identical trajectory journals.
+
+Exit 0 and a one-line ``explore-smoke ok`` on success; exit 1 with a
+diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.explore.studies import run_study
+from repro.run.runner import Runner
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-explore-smoke") as tmp:
+        tmp_path = Path(tmp)
+        runner = Runner(cache=None)
+        try:
+            # -- cheapest-bx2: grid search, journaled -------------------
+            trail = tmp_path / "cheapest.jsonl"
+            cold = run_study("cheapest-bx2", runner=runner, journal=trail)
+            if cold.best is None:
+                print("explore-smoke FAILED: cheapest-bx2 found no "
+                      "feasible candidate", file=sys.stderr)
+                return 1
+            best = dict(cold.best.assignment)
+            if not (best["clock_ghz"] < 1.6 and best["l3_mb"] == 9):
+                print(f"explore-smoke FAILED: cheapest-bx2 best {best} "
+                      "does not match the ablation signature "
+                      "(clock downgradable, L3 not)", file=sys.stderr)
+                return 1
+
+            # -- resume: the journal replays, no cells re-submitted -----
+            warm = run_study("cheapest-bx2", runner=runner, journal=trail)
+            if warm.stats.cells_submitted != 0:
+                print("explore-smoke FAILED: resume re-submitted "
+                      f"{warm.stats.cells_submitted} cells instead of "
+                      "replaying the journal", file=sys.stderr)
+                return 1
+            if (
+                warm.best is None
+                or warm.best.candidate != cold.best.candidate
+                or warm.best.score != cold.best.score
+            ):
+                print("explore-smoke FAILED: resumed best differs from "
+                      "the original run", file=sys.stderr)
+                return 1
+
+            # -- worst-faults: evolutionary, byte-identical from 1 seed -
+            journals = []
+            for name in ("wf-a.jsonl", "wf-b.jsonl"):
+                path = tmp_path / name
+                run_study(
+                    "worst-faults", seed=3, max_cells=60,
+                    runner=runner, journal=path,
+                )
+                journals.append(path.read_bytes())
+            if journals[0] != journals[1]:
+                print("explore-smoke FAILED: two worst-faults runs from "
+                      "one seed wrote different trajectories",
+                      file=sys.stderr)
+                return 1
+        finally:
+            runner.close()
+
+    print(
+        "explore-smoke ok: cheapest-bx2 best "
+        f"clock={best['clock_ghz']} l3={best['l3_mb']} "
+        f"(score {cold.best.score:g}), resume replayed "
+        f"{warm.stats.replayed} candidates with 0 cells, "
+        "worst-faults trajectories byte-identical across runs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

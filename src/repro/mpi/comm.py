@@ -106,9 +106,6 @@ class MPIWorld:
         #: read-modify-writes on the per-send path) and are summed on
         #: demand by the ``messages_sent``/``bytes_sent`` properties.
         self._comms: list[MPIComm] = []
-        #: optional MessageTrace; a real attribute (not getattr) so
-        #: the per-message check in isend is a plain load.
-        self._trace = None
         #: optional :class:`repro.obs.spans.Tracer` recording spans,
         #: message edges and counters.  Defaults to the ambient tracer
         #: (:func:`repro.obs.spans.use_tracer`), so per-cell trace
@@ -213,9 +210,7 @@ class MPIComm:
         self._inject_key = world._inject_keys[rank]
         self._busy = world.inject_busy_until
         #: the world's tracer is normalized once at construction and
-        #: never reassigned, so the per-send check can read a slot
-        #: (``world._trace`` *is* installed after construction — that
-        #: one stays a world read).
+        #: never reassigned, so the per-send check can read a slot.
         self._obs = world._obs
         self._msgs = 0
         self._nbytes = 0.0
@@ -305,9 +300,6 @@ class MPIComm:
         inject = finish - now
         self._msgs += 1
         self._nbytes += nbytes
-        trace = world._trace
-        if trace is not None:
-            trace.record(now, self.rank, dest, tag, nbytes)
         obs = self._obs
         if obs is not None:
             # Link classification is only priced when tracing is on —
@@ -534,9 +526,6 @@ class _FaultedMPIComm(MPIComm):
         inject = finish - now
         self._msgs += 1
         self._nbytes += nbytes
-        trace = world._trace
-        if trace is not None:
-            trace.record(now, self.rank, dest, tag, nbytes)
         if obs is not None:
             link = self._links.get(dest)
             if link is None:

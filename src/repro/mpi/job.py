@@ -46,7 +46,6 @@ def run_mpi(
     placement: Placement,
     rank_program: RankProgram,
     network: NetworkModel | None = None,
-    trace: "object | None" = None,
     brick_contention: bool = False,
     os_noise: float = 0.0,
     noise_seed: int = 0,
@@ -57,10 +56,9 @@ def run_mpi(
     The program is a generator function ``def prog(comm): ...`` using
     ``yield from comm.send/recv/compute`` and the collectives in
     :mod:`repro.mpi.collectives`.  Its return value is collected per
-    rank.  Pass a :class:`~repro.sim.trace.MessageTrace` as ``trace``
-    to record every injected message; ``brick_contention=True`` makes
-    all CPUs of a C-Brick share one injection link; ``os_noise > 0``
-    stretches compute segments by random system interference.
+    rank.  ``brick_contention=True`` makes all CPUs of a C-Brick
+    share one injection link; ``os_noise > 0`` stretches compute
+    segments by random system interference.
 
     ``tracer`` — an :class:`repro.obs.spans.Tracer` recording full
     spans/counters; defaults to the ambient tracer installed by
@@ -72,8 +70,6 @@ def run_mpi(
         sim, net, brick_contention=brick_contention,
         os_noise=os_noise, noise_seed=noise_seed,
     )
-    if trace is not None:
-        world._trace = trace
     if tracer is not None:
         world._obs = tracer if tracer.enabled else None
     obs = world._obs  # explicit arg or the ambient tracer from __init__

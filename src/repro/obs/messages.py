@@ -1,12 +1,10 @@
 """Message records and the statistics a trace analyst asks of them.
 
-The record type and every summary computation the old
-:class:`repro.sim.trace.MessageTrace` offered live here, as free
+The record type and every summary computation live here, as free
 functions over any iterable of message-like records (anything with
-``time``/``source``/``dest``/``tag``/``nbytes`` attributes).  Both the
-new :class:`repro.obs.spans.Tracer` and the legacy ``MessageTrace``
-shim delegate to these, so the two trace front-ends can never drift
-apart on what "traffic matrix" means.
+``time``/``source``/``dest``/``tag``/``nbytes`` attributes).
+:class:`repro.obs.spans.Tracer` delegates to these, so any trace
+front-end shares one definition of what "traffic matrix" means.
 """
 
 from __future__ import annotations

@@ -110,6 +110,11 @@ class RunStats:
     escalated: int = 0
     #: ``"<scenario-id>: <error>"`` per failed cell, sweep order.
     failures: list[str] = field(default_factory=list)
+    #: the live counters of the runner's :class:`ResultCache`
+    #: (hits/misses/writes), aliased at construction so the summary
+    #: can report cache-level traffic next to the cell-level
+    #: accounting; ``None`` when the runner has no cache.
+    cache: "object | None" = None
 
     @property
     def total(self) -> int:
@@ -128,6 +133,12 @@ class RunStats:
         if self.fast or self.escalated:
             base += (
                 f" [{self.fast} surrogate, {self.escalated} escalated]"
+            )
+        cache = self.cache
+        if cache is not None:
+            base += (
+                f"; cache: {cache.hits} hits, {cache.misses} misses, "
+                f"{cache.writes} writes"
             )
         return base
 
@@ -473,7 +484,9 @@ class Runner:
             if checkpoint is None or isinstance(checkpoint, SweepCheckpoint)
             else SweepCheckpoint(checkpoint)
         )
-        self.stats = RunStats()
+        self.stats = RunStats(
+            cache=cache.stats if cache is not None else None
+        )
         #: persistent pool for :meth:`run_batch`; built lazily.
         self._pool: ProcessPoolExecutor | None = None
         #: shared-memory result arena paired with the persistent pool.

@@ -104,41 +104,18 @@ class TestLazyRoot:
         assert "api" in listing and "columbia" in listing
 
 
-class TestMessageTraceDeprecation:
-    def test_constructor_warns(self):
-        from repro.sim.trace import MessageTrace
+class TestMessageTraceRemoval:
+    def test_shim_module_is_gone(self):
+        """The deprecated ``repro.sim.trace`` shim was removed in PR 8."""
+        with pytest.raises(ModuleNotFoundError):
+            import repro.sim.trace  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="PR 8"):
-            MessageTrace()
+    def test_run_mpi_has_no_trace_parameter(self):
+        import inspect
 
-    def test_trace_world_warns_once(self):
-        from repro.machine.cluster import single_node
-        from repro.machine.node import NodeType
-        from repro.mpi.comm import MPIWorld
-        from repro.netmodel.costs import NetworkModel
-        from repro.machine.placement import Placement
-        from repro.sim.engine import Simulator
-        from repro.sim.trace import trace_world
+        from repro.mpi import run_mpi
 
-        placement = Placement(single_node(NodeType.BX2B), n_ranks=2)
-        sim = Simulator()
-        world = MPIWorld(sim, NetworkModel(placement))
-        with pytest.warns(DeprecationWarning) as caught:
-            trace_world(world)
-        assert len(caught) == 1
-
-    def test_window_does_not_rewarn(self):
-        import warnings
-
-        from repro.sim.trace import MessageTrace
-
-        with pytest.warns(DeprecationWarning):
-            trace = MessageTrace()
-        trace.record(0.5, 0, 1, 0, 64.0)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            windowed = trace.window(0.0, 1.0)
-        assert windowed.message_count == 1
+        assert "trace" not in inspect.signature(run_mpi).parameters
 
 
 if __name__ == "__main__":

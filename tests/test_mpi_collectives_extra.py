@@ -15,11 +15,9 @@ from repro.machine.node import NodeType
 from repro.machine.placement import Placement
 from repro.mpi import run_mpi
 from repro.mpi.collectives import gather, reduce, scan, scatter
-from repro.sim.trace import MessageTrace
-
-# The MessageTrace shim warns until its PR 8 removal; these tests
-# exercise the shim deliberately.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+from repro.obs import messages as mstats
+from repro.obs.messages import MessageRecord
+from repro.obs.spans import Tracer
 
 
 def placement(p):
@@ -112,8 +110,8 @@ class TestScan:
 
 
 class TestTrace:
-    def test_trace_records_messages(self):
-        trace = MessageTrace()
+    def test_tracer_records_messages(self):
+        tracer = Tracer()
 
         def prog(comm):
             if comm.rank == 0:
@@ -122,13 +120,13 @@ class TestTrace:
                 yield from comm.recv(0)
             return None
 
-        run_mpi(placement(2), prog, trace=trace)
-        assert trace.message_count == 1
-        rec = trace.records[0]
+        run_mpi(placement(2), prog, tracer=tracer)
+        assert len(tracer.messages) == 1
+        rec = tracer.messages[0]
         assert (rec.source, rec.dest, rec.tag, rec.nbytes) == (0, 1, 5, 100)
 
     def test_traffic_matrix_and_per_rank(self):
-        trace = MessageTrace()
+        tracer = Tracer()
 
         def prog(comm):
             dest = (comm.rank + 1) % comm.size
@@ -136,32 +134,36 @@ class TestTrace:
             yield from comm.recv()
             return None
 
-        run_mpi(placement(4), prog, trace=trace)
-        m = trace.traffic_matrix(4)
+        run_mpi(placement(4), prog, tracer=tracer)
+        m = mstats.traffic_matrix(tracer.messages, 4)
         assert m.sum() == 4 * 64
-        assert all(v == 64 for v in trace.bytes_by_rank().values())
+        assert all(
+            v == 64 for v in mstats.bytes_by_rank(tracer.messages).values()
+        )
 
     def test_size_histogram_buckets(self):
-        trace = MessageTrace()
-        trace.record(0.0, 0, 1, 0, 10)
-        trace.record(0.0, 0, 1, 0, 500)
-        trace.record(0.0, 0, 1, 0, 2_000_000)
-        hist = trace.size_histogram()
+        records = [
+            MessageRecord(0.0, 0, 1, 0, 10),
+            MessageRecord(0.0, 0, 1, 0, 500),
+            MessageRecord(0.0, 0, 1, 0, 2_000_000),
+        ]
+        hist = mstats.size_histogram(records)
         assert sum(hist.values()) == 3
 
     def test_window_filters_by_time(self):
-        trace = MessageTrace()
-        trace.record(0.5, 0, 1, 0, 10)
-        trace.record(1.5, 0, 1, 0, 10)
-        assert trace.window(0.0, 1.0).message_count == 1
+        records = [
+            MessageRecord(0.5, 0, 1, 0, 10),
+            MessageRecord(1.5, 0, 1, 0, 10),
+        ]
+        assert len(mstats.window(records, 0.0, 1.0)) == 1
         with pytest.raises(ConfigurationError):
-            trace.window(2.0, 1.0)
+            mstats.window(records, 2.0, 1.0)
 
     def test_summary_mentions_counts(self):
-        trace = MessageTrace()
-        assert "no messages" in trace.summary()
-        trace.record(0.1, 2, 3, 0, 128)
-        assert "1 messages" in trace.summary()
+        assert "no messages" in mstats.summary([])
+        assert "1 messages" in mstats.summary(
+            [MessageRecord(0.1, 2, 3, 0, 128)]
+        )
 
 
 class TestExport:
