@@ -10,7 +10,7 @@ test:
 ## every end-to-end smoke (cache, tracing, faults, serving).  Run
 ## `make bench-check` for the full kernel gate before refreshing
 ## BENCH_kernels.json.
-check: test bench-quick smoke trace-smoke faults-smoke serve-smoke fidelity-smoke explore-smoke
+check: test bench-quick smoke trace-smoke faults-smoke serve-smoke shard-smoke fidelity-smoke explore-smoke
 	@echo "check ok: tests, bench guard and all smokes passed"
 
 ## Measure the tracked kernels and refresh the "current" section of
@@ -76,6 +76,16 @@ faults-smoke:
 .PHONY: serve-smoke
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
+
+## The sharded serve tier end to end: 3 worker processes behind the
+## consistent-hash router over a shared cache, a duplicate-heavy burst
+## (global coalescing, each distinct cell executed once fleet-wide),
+## then one worker SIGKILLed mid-sweep — the sweep must complete with
+## byte-identical output via the shared cache.  Details in
+## src/repro/serve/shard_smoke.py.
+.PHONY: shard-smoke
+shard-smoke:
+	$(PYTHON) -m repro.serve.shard_smoke
 
 ## The exploration tier end to end: both worked studies through the
 ## full SearchSpace -> optimizer -> serve.submit stack, journal resume

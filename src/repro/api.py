@@ -30,7 +30,11 @@ The facade groups five seams:
 * **observability** — :class:`Tracer`, :func:`use_tracer`,
   :class:`CounterSet`;
 * **serving** — :class:`ServeClient`, :class:`ServeResult`,
-  :func:`submit` (in-process one-shot), :class:`ScenarioService`;
+  :func:`submit` (in-process one-shot), :class:`ScenarioService`,
+  :class:`QuotaPolicy` (per-client token-bucket admission), and the
+  sharded tier: :class:`ShardedServer` (N worker processes behind a
+  consistent-hashing router over a shared on-disk cache) and
+  :func:`serve_sharded` (its blocking CLI loop);
 * **surrogate tier** — :func:`evaluate_scenario` (closed-form cell
   evaluation), :func:`calibrate_fidelity` and :class:`ErrorTable`
   (the measured analytic-vs-DES error bound the Runner's
@@ -80,10 +84,13 @@ from repro.run.scenario import (
 )
 from repro.run.workloads import workload
 from repro.serve import (
+    QuotaPolicy,
     ScenarioService,
     ServeClient,
     ServeReply,
     ServeResult,
+    ShardedServer,
+    serve_sharded,
     submit,
 )
 from repro.surrogate import ErrorTable, evaluate_scenario
@@ -106,6 +113,7 @@ __all__ = sorted(
         "Placement",
         "PinningMode",
         "PlacementSpec",
+        "QuotaPolicy",
         "ResultCache",
         "RunRecord",
         "Runner",
@@ -115,6 +123,7 @@ __all__ = sorted(
         "ServeClient",
         "ServeReply",
         "ServeResult",
+        "ShardedServer",
         "Tracer",
         "calibrate_fidelity",
         "columbia",
@@ -130,6 +139,7 @@ __all__ = sorted(
         "run_study",
         "scenario",
         "search_space",
+        "serve_sharded",
         "single_node",
         "submit",
         "sweep",

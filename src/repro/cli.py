@@ -16,11 +16,16 @@ Commands
     Run the experiment's representative DES cell under the tracer and
     write a Perfetto-loadable Chrome trace + spans CSV, printing the
     compute/comm/wait decomposition and the critical path.
-``serve [--host H] [--port P] [--max-queue N] [--max-batch N]``
+``serve [--host H] [--port P] [--max-queue N] [--max-batch N]
+[--workers N] [--quota-rate R [--quota-burst B]]``
     Long-lived scenario service (JSON lines over TCP): queues,
     coalesces and micro-batches scenario cells against the shared
     cache; analytic-fidelity requests resolve inline through the
-    surrogate.  See docs/api.md for the protocol and
+    surrogate.  ``--workers N`` (N > 1) runs the sharded tier — N
+    worker processes behind a consistent-hashing router over a shared
+    on-disk cache, same protocol, worker-death failover;
+    ``--quota-rate``/``--quota-burst`` add per-client token-bucket
+    admission.  See docs/api.md for the protocol and
     :class:`repro.serve.ServeClient`.
 ``calibrate --fidelity [--full] [--bound ERR] [--check]``
     Measure surrogate-vs-DES relative error per workload family
@@ -218,6 +223,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-wait", type=float, default=0.0, metavar="SECONDS",
         help="linger before forming a batch so request bursts pack "
              "together (default 0: dispatch immediately)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; >1 runs the sharded tier (consistent-"
+             "hash router + shared on-disk result cache; requires a "
+             "cache, so not with --no-cache) (default 1)",
+    )
+    serve_p.add_argument(
+        "--quota-rate", type=float, default=None, metavar="R",
+        help="per-client admission quota: sustained requests/second "
+             "per client_id (token bucket; off unless set)",
+    )
+    serve_p.add_argument(
+        "--quota-burst", type=float, default=None, metavar="B",
+        help="per-client burst allowance in requests (default 10x "
+             "--quota-rate)",
     )
     add_runner_options(serve_p)
 
@@ -572,15 +593,62 @@ def main(argv: list[str] | None = None) -> int:
             for a in advice:
                 print(f"[{a.severity:<7}] {a.rule} ({a.paper_ref}): {a.message}")
         elif args.command == "serve":
-            from repro.serve import DEFAULT_PORT, serve_forever
+            from repro.serve import (
+                DEFAULT_PORT,
+                QuotaPolicy,
+                serve_forever,
+                serve_sharded,
+            )
 
+            quota = None
+            if args.quota_rate is not None:
+                burst = (
+                    args.quota_burst if args.quota_burst is not None
+                    else 10.0 * args.quota_rate
+                )
+                quota = QuotaPolicy(rate=args.quota_rate, burst=burst)
+            port = DEFAULT_PORT if args.port is None else args.port
+            if args.workers > 1:
+                if args.no_cache:
+                    print(
+                        "error: --workers needs the shared result cache; "
+                        "drop --no-cache",
+                        file=sys.stderr,
+                    )
+                    return 2
+                from repro.faults import parse_faults
+                from repro.run.cache import default_cache_dir
+                from repro.run.runner import _resolve_jobs
+
+                return serve_sharded(
+                    workers=args.workers,
+                    cache_dir=args.cache_dir or default_cache_dir(),
+                    host=args.host,
+                    port=port,
+                    jobs=_resolve_jobs(args.jobs),
+                    faults=(
+                        parse_faults(args.faults)
+                        if getattr(args, "faults", None) else None
+                    ),
+                    fidelity=getattr(args, "fidelity", None),
+                    surrogate_policy=(
+                        "refuse"
+                        if getattr(args, "refuse_escalation", False)
+                        else "escalate"
+                    ),
+                    max_queue=args.max_queue,
+                    max_batch=args.max_batch,
+                    batch_wait=args.batch_wait,
+                    quota=quota,
+                )
             return serve_forever(
                 _build_runner(args),
                 host=args.host,
-                port=DEFAULT_PORT if args.port is None else args.port,
+                port=port,
                 max_queue=args.max_queue,
                 max_batch=args.max_batch,
                 batch_wait=args.batch_wait,
+                quota=quota,
             )
         elif args.command == "explore":
             return _run_explore(args)

@@ -20,7 +20,12 @@ batching, parallelism, memoization — lives here, so later distributed
 backends slot in without touching the experiments again.
 """
 
-from repro.run.cache import ResultCache, calibration_fingerprint, default_cache_dir
+from repro.run.cache import (
+    ResultCache,
+    calibration_fingerprint,
+    default_cache_dir,
+    resolve_cache_dir,
+)
 from repro.run.harness import build_result
 from repro.run.runner import RunRecord, Runner, RunStats, default_runner, execute_scenario
 from repro.run.scenario import MachineSpec, PlacementSpec, Scenario, scenario, sweep
@@ -39,6 +44,7 @@ __all__ = [
     "default_cache_dir",
     "default_runner",
     "execute_scenario",
+    "resolve_cache_dir",
     "list_workloads",
     "resolve",
     "scenario",

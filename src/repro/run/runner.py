@@ -136,10 +136,14 @@ class RunStats:
             )
         cache = self.cache
         if cache is not None:
+            # The "cache: H hits, M misses, W writes" prefix is parsed
+            # by the Makefile smokes; extend only past it.
             base += (
                 f"; cache: {cache.hits} hits, {cache.misses} misses, "
                 f"{cache.writes} writes"
             )
+            if getattr(cache, "evictions", 0):
+                base += f", {cache.evictions} evictions"
         return base
 
     def failure_lines(self) -> list[str]:

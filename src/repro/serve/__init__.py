@@ -10,7 +10,11 @@ The package splits along the classic service seam:
 * :mod:`repro.serve.protocol` — the JSON-lines wire format;
 * :mod:`repro.serve.server` — the TCP front end and the ``repro
   serve`` loop;
-* :mod:`repro.serve.client` — the blocking :class:`ServeClient`.
+* :mod:`repro.serve.client` — the blocking :class:`ServeClient`;
+* :mod:`repro.serve.shard` — the multi-worker tier
+  (:class:`ShardedServer`): N worker processes behind one front-door
+  router, consistent hashing on the effective-scenario key, a shared
+  on-disk result cache, and worker-death failover.
 
 For one-shot in-process use (no sockets), :func:`submit` runs a list
 of scenarios through a short-lived service and returns the results in
@@ -32,21 +36,32 @@ from repro.serve.protocol import (
     scenario_to_wire,
 )
 from repro.serve.server import BackgroundServer, ScenarioServer, serve_forever
-from repro.serve.service import ScenarioService, ServeRejected, ServeResult
+from repro.serve.service import (
+    ClientQuota,
+    QuotaPolicy,
+    ScenarioService,
+    ServeRejected,
+    ServeResult,
+)
+from repro.serve.shard import ShardedServer, serve_sharded
 
 __all__ = [
     "DEFAULT_PORT",
     "PROTOCOL_VERSION",
     "BackgroundServer",
+    "ClientQuota",
+    "QuotaPolicy",
     "ScenarioServer",
     "ScenarioService",
     "ServeClient",
     "ServeRejected",
     "ServeReply",
     "ServeResult",
+    "ShardedServer",
     "scenario_from_wire",
     "scenario_to_wire",
     "serve_forever",
+    "serve_sharded",
     "submit",
 ]
 

@@ -41,6 +41,8 @@ class ServeReply:
     rows: tuple[tuple, ...] = ()
     error: str | None = None
     retry_after: float = 0.0
+    #: which limiter rejected (``"queue"``/``"quota"``); rejected only.
+    reason: str | None = None
     cached: bool = False
     coalesced: bool = False
     duration_s: float = 0.0
@@ -67,6 +69,10 @@ class ServeClient:
     backpressure a healthy server legitimately holds a submitted cell
     for longer than any fixed deadline — a deep queue or a slow cell
     is not a lost connection.
+
+    ``client_id`` names this client to the server's per-client quota
+    (every submit message carries it); ``None`` shares the server's
+    anonymous bucket.
     """
 
     def __init__(
@@ -75,9 +81,11 @@ class ServeClient:
         port: int = DEFAULT_PORT,
         timeout: float | None = None,
         connect_timeout: float = 10.0,
+        client_id: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
+        self.client_id = client_id
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
@@ -145,6 +153,7 @@ class ServeClient:
             ),
             error=message.get("error"),
             retry_after=float(message.get("retry_after") or 0.0),
+            reason=message.get("reason"),
             cached=bool(message.get("cached")),
             coalesced=bool(message.get("coalesced")),
             duration_s=float(message.get("duration_s") or 0.0),
@@ -171,6 +180,8 @@ class ServeClient:
             message["trace"] = trace
         if fidelity:
             message["fidelity"] = getattr(fidelity, "value", fidelity)
+        if self.client_id is not None:
+            message["client_id"] = self.client_id
         return message
 
     # -- requests -------------------------------------------------------------

@@ -10,7 +10,8 @@ Requests
 --------
 ``{"op": "submit", "id": 1, "scenario": {...}, "priority": 0,
   "faults": "jitter:amplitude=1ms;seed=3" | null, "trace": DIR | null,
-  "fidelity": "analytic" | "hybrid" | "full" (optional)}``
+  "fidelity": "analytic" | "hybrid" | "full" (optional),
+  "client_id": "sweep-7" (optional)}``
     Run one scenario cell.  ``priority`` sorts the queue (lower runs
     first); ``faults`` is a ``--faults`` grammar string merged onto
     the scenario's own spec; ``trace`` asks for a per-cell Chrome
@@ -21,6 +22,10 @@ Requests
     unchanged).  Non-``full`` requests resolve inline through the
     surrogate tier; if it cannot vouch for the cell, the response
     carries ``"escalated": true`` and came from the full path.
+    ``client_id`` names the submitting principal for per-client
+    token-bucket quotas (absent = the shared ``anonymous`` bucket;
+    servers without a quota policy ignore it — another additive
+    version-1 field, like ``fidelity``).
 ``{"op": "stats", "id": 2}``
     Snapshot of the service counters (queue depth, coalesce hits,
     batch occupancy, latency percentiles).
@@ -32,9 +37,11 @@ Responses
 ``{"id": 1, "status": "ok", "rows": [[...], ...], "cached": false,
   "coalesced": false, "duration_s": 0.01, "latency_s": 0.02}``
 ``{"id": 1, "status": "error", "error": "..."}``
-``{"id": 1, "status": "rejected", "retry_after": 0.25}``
-    Admission control: the queue is full; retry after the hinted
-    delay (:class:`~repro.serve.client.ServeClient` does this
+``{"id": 1, "status": "rejected", "retry_after": 0.25,
+  "reason": "queue" | "quota"}``
+    Admission control refused the request — the queue is full, or the
+    client's token bucket is empty; retry after the hinted delay
+    (:class:`~repro.serve.client.ServeClient` does this
     automatically).
 ``{"id": 2, "status": "stats", "stats": {...}}``
 ``{"id": 3, "status": "pong", "protocol": 1}``

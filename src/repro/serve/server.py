@@ -24,6 +24,7 @@ import threading
 from repro.errors import ReproError
 from repro.faults.spec import parse_faults
 from repro.run.runner import Runner
+from repro.run.scenario import Scenario
 from repro.serve.protocol import (
     DEFAULT_PORT,
     PROTOCOL_VERSION,
@@ -31,12 +32,45 @@ from repro.serve.protocol import (
     encode_line,
     scenario_from_wire,
 )
-from repro.serve.service import ScenarioService, ServeRejected
+from repro.serve.service import QuotaPolicy, ScenarioService, ServeRejected
 
-__all__ = ["BackgroundServer", "ScenarioServer", "serve_forever"]
+__all__ = [
+    "BackgroundServer",
+    "ScenarioServer",
+    "request_scenario",
+    "serve_forever",
+]
 
 #: Generous per-line cap; a scenario wire form is a few hundred bytes.
 _LINE_LIMIT = 1 << 20
+
+
+def request_scenario(message: dict) -> Scenario:
+    """The scenario one ``submit`` message asks for, overrides applied.
+
+    Decodes the wire scenario, merges a request-level ``faults``
+    grammar string onto the scenario's own spec, and applies a
+    request-level ``fidelity`` override.  This is *the* submit-message
+    interpretation — the single server uses it to build what it runs,
+    and the shard router uses the identical reading to compute the
+    routing key, so a cell can never hash to one worker and execute as
+    another.
+    """
+    sc = scenario_from_wire(message.get("scenario"))
+    faults_text = message.get("faults")
+    if faults_text:
+        overlay = parse_faults(str(faults_text))
+        sc = dataclasses.replace(
+            sc,
+            faults=overlay if sc.faults is None else sc.faults.merge(overlay),
+        )
+    fidelity = message.get("fidelity")
+    if fidelity is not None and str(fidelity) != sc.fidelity:
+        # Per-request override; the replaced scenario's constructor
+        # validates the tier name, so junk turns into an error
+        # response for this request only.
+        sc = dataclasses.replace(sc, fidelity=str(fidelity))
+    return sc
 
 
 class ScenarioServer:
@@ -154,33 +188,20 @@ class ScenarioServer:
 
     async def _do_submit(self, rid, message: dict, reply) -> None:
         try:
-            sc = scenario_from_wire(message.get("scenario"))
-            faults_text = message.get("faults")
-            if faults_text:
-                overlay = parse_faults(str(faults_text))
-                sc = dataclasses.replace(
-                    sc,
-                    faults=(
-                        overlay if sc.faults is None
-                        else sc.faults.merge(overlay)
-                    ),
-                )
-            fidelity = message.get("fidelity")
-            if fidelity is not None and str(fidelity) != sc.fidelity:
-                # Per-request override; the replaced scenario's
-                # constructor validates the tier name, so junk turns
-                # into an error response for this request only.
-                sc = dataclasses.replace(sc, fidelity=str(fidelity))
+            sc = request_scenario(message)
             trace_dir = message.get("trace")
+            client_id = message.get("client_id")
             result = await self.service.submit(
                 sc,
                 priority=int(message.get("priority") or 0),
                 trace_dir=None if trace_dir is None else str(trace_dir),
+                client_id=None if client_id is None else str(client_id),
             )
         except ServeRejected as exc:
             await reply(
                 {"id": rid, "status": "rejected",
-                 "retry_after": exc.retry_after, "depth": exc.depth}
+                 "retry_after": exc.retry_after, "depth": exc.depth,
+                 "reason": exc.reason}
             )
             return
         except (ReproError, KeyError, TypeError, ValueError) as exc:
@@ -208,13 +229,14 @@ def serve_forever(
     max_queue: int = 1024,
     max_batch: int = 32,
     batch_wait: float = 0.0,
+    quota: QuotaPolicy | None = None,
 ) -> int:
     """Run the scenario service until interrupted (``repro serve``)."""
 
     async def _main() -> int:
         service = ScenarioService(
             runner, max_queue=max_queue,
-            max_batch=max_batch, batch_wait=batch_wait,
+            max_batch=max_batch, batch_wait=batch_wait, quota=quota,
         )
         server = ScenarioServer(service, host=host, port=port)
         await server.start()
@@ -255,12 +277,14 @@ class BackgroundServer:
         max_queue: int = 1024,
         max_batch: int = 32,
         batch_wait: float = 0.0,
+        quota: QuotaPolicy | None = None,
     ) -> None:
         self._runner = runner
         self._host = host
         self._port = port
         self._service_args = dict(
-            max_queue=max_queue, max_batch=max_batch, batch_wait=batch_wait
+            max_queue=max_queue, max_batch=max_batch,
+            batch_wait=batch_wait, quota=quota,
         )
         self.host = host
         self.port = port

@@ -7,7 +7,11 @@ with the three mechanisms a long-lived scenario service needs:
   distinct cells are waiting, new work is rejected with a
   ``retry_after`` hint derived from the observed service rate
   (:class:`ServeRejected`), so a traffic burst degrades into client
-  backoff instead of unbounded memory growth;
+  backoff instead of unbounded memory growth.  An optional
+  :class:`QuotaPolicy` layers per-client token buckets on top: each
+  ``client_id`` gets ``burst`` tokens refilled at ``rate``/s, so one
+  greedy client is throttled (``reason="quota"``) before it can crowd
+  the shared queue and starve everyone else;
 * **request coalescing** — requests are keyed by the *effective*
   scenario content hash (runner fault overlay included): N concurrent
   submissions of the same cell share one queue slot, one execution
@@ -48,6 +52,7 @@ import asyncio
 import heapq
 import itertools
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ReproError
@@ -55,23 +60,105 @@ from repro.obs.counters import CounterSet
 from repro.run.runner import Runner, RunRecord
 from repro.run.scenario import Scenario
 
-__all__ = ["ScenarioService", "ServeRejected", "ServeResult"]
+__all__ = [
+    "ClientQuota",
+    "QuotaPolicy",
+    "ScenarioService",
+    "ServeRejected",
+    "ServeResult",
+]
 
 
 class ServeRejected(ReproError):
-    """Admission control refused a request: the queue is full.
+    """Admission control refused a request.
 
-    ``retry_after`` is the service's estimate (seconds) of when a slot
-    will free up — queue depth times the smoothed per-cell service
-    time, divided by the runner's worker count.
+    ``reason`` says which limiter fired: ``"queue"`` (the bounded
+    priority queue is full) or ``"quota"`` (the caller's token bucket
+    is empty).  ``retry_after`` is the service's estimate (seconds) of
+    when the request would be admitted — queue depth times the
+    smoothed per-cell service time divided by the runner's worker
+    count for a queue rejection, the bucket's refill deficit for a
+    quota rejection.
     """
 
-    def __init__(self, retry_after: float, depth: int) -> None:
+    def __init__(
+        self, retry_after: float, depth: int, reason: str = "queue"
+    ) -> None:
         self.retry_after = retry_after
         self.depth = depth
-        super().__init__(
-            f"queue full ({depth} cells deep); retry in {retry_after:.2f}s"
+        self.reason = reason
+        what = (
+            f"queue full ({depth} cells deep)"
+            if reason == "queue"
+            else "client quota exhausted"
         )
+        super().__init__(f"{what}; retry in {retry_after:.2f}s")
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-client token-bucket admission policy.
+
+    Each distinct ``client_id`` gets a bucket holding up to ``burst``
+    tokens, refilled at ``rate`` tokens/second; every submission
+    spends one.  A caller that stays under ``rate`` requests/s is
+    never throttled; a burst up to ``burst`` is absorbed; past that
+    the request is rejected with the bucket's refill deficit as the
+    ``retry_after`` hint — so one greedy client backs off while
+    everyone else's buckets (and the shared queue) stay healthy.
+
+    Requests without a ``client_id`` share the ``"anonymous"`` bucket.
+    ``max_clients`` bounds the bucket table (LRU eviction — an evicted
+    client that returns simply starts with a fresh full bucket).
+    """
+
+    rate: float
+    burst: float
+    max_clients: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst < 1 or self.max_clients < 1:
+            raise ConfigurationError(
+                f"quota needs rate > 0, burst >= 1, max_clients >= 1; "
+                f"got {self.rate}/{self.burst}/{self.max_clients}"
+            )
+
+    def limiter(self) -> "ClientQuota":
+        return ClientQuota(self)
+
+
+class ClientQuota:
+    """The mutable bucket table enforcing one :class:`QuotaPolicy`."""
+
+    #: bucket key used when a request carries no client id.
+    ANONYMOUS = "anonymous"
+
+    def __init__(self, policy: QuotaPolicy) -> None:
+        self.policy = policy
+        #: client id -> (tokens, last refill timestamp), LRU order.
+        self._buckets: OrderedDict[str, tuple[float, float]] = OrderedDict()
+
+    def admit(self, client_id: str | None, now: float) -> float:
+        """Spend one token; 0.0 if admitted, else seconds until one
+        token will have refilled (the ``retry_after`` hint)."""
+        policy = self.policy
+        key = client_id or self.ANONYMOUS
+        buckets = self._buckets
+        state = buckets.get(key)
+        if state is None:
+            tokens = policy.burst
+        else:
+            tokens, then = state
+            tokens = min(policy.burst, tokens + (now - then) * policy.rate)
+        if tokens >= 1.0:
+            buckets[key] = (tokens - 1.0, now)
+            buckets.move_to_end(key)
+            if len(buckets) > policy.max_clients:
+                buckets.popitem(last=False)
+            return 0.0
+        buckets[key] = (tokens, now)
+        buckets.move_to_end(key)
+        return max(0.05, (1.0 - tokens) / policy.rate)
 
 
 @dataclass(frozen=True)
@@ -136,6 +223,7 @@ class ScenarioService:
         max_batch: int = 32,
         batch_wait: float = 0.0,
         counters: CounterSet | None = None,
+        quota: QuotaPolicy | None = None,
     ) -> None:
         if max_queue < 1 or max_batch < 1:
             raise ConfigurationError(
@@ -145,6 +233,9 @@ class ScenarioService:
         self.runner = runner if runner is not None else Runner()
         self.max_queue = max_queue
         self.max_batch = max_batch
+        #: per-client token-bucket admission; ``None`` = no quotas.
+        self.quota = quota
+        self._quota = quota.limiter() if quota is not None else None
         #: seconds the dispatcher lingers after waking so a burst of
         #: arrivals lands in one batch; 0 dispatches immediately
         #: (batches then form naturally while earlier ones execute).
@@ -207,6 +298,7 @@ class ScenarioService:
         scenario: Scenario,
         priority: int = 0,
         trace_dir: str | None = None,
+        client_id: str | None = None,
     ) -> ServeResult:
         """Queue one cell and wait for its result.
 
@@ -216,7 +308,8 @@ class ScenarioService:
         the queue (lower first; FIFO within a priority); a duplicate
         carrying a better priority promotes the queued cell.  Raises
         :class:`ServeRejected` when admission control refuses the
-        request.
+        request — queue full, or ``client_id``'s token bucket empty
+        under a :class:`QuotaPolicy`.
         """
         if self._closed:
             raise ConfigurationError("service is closed")
@@ -224,6 +317,7 @@ class ScenarioService:
         now = self._now()
         counters = self.counters
         counters.add("serve.requests", 1, now)
+        self._check_quota(client_id, now)
         # The *effective* scenario (runner fault overlay merged in) is
         # the coalescing key only; the queue carries the raw scenario,
         # because Runner._run applies the overlay itself — enqueuing
@@ -317,7 +411,24 @@ class ScenarioService:
             escalated=record.escalated,
         )
 
-    def submit_nowait(self, scenario: Scenario) -> ServeResult | None:
+    def _check_quota(self, client_id: str | None, now: float) -> None:
+        """Raise :class:`ServeRejected` if ``client_id``'s bucket is
+        dry.  Quota gates *every* submission path — inline fast cells
+        included — because it protects the service's CPU, not just the
+        queue."""
+        limiter = self._quota
+        if limiter is None:
+            return
+        wait = limiter.admit(client_id, time.monotonic())
+        if wait > 0.0:
+            counters = self.counters
+            counters.add("serve.rejected", 1, now)
+            counters.add("serve.quota_rejected", 1, now)
+            raise ServeRejected(wait, self._queued, reason="quota")
+
+    def submit_nowait(
+        self, scenario: Scenario, client_id: str | None = None
+    ) -> ServeResult | None:
         """Synchronous submission for cells the inline path can own.
 
         Resolves the request on the calling thread — no coroutine, no
@@ -340,6 +451,7 @@ class ScenarioService:
         fid = effective.fidelity
         if fid == "full":
             return None
+        self._check_quota(client_id, self._now())
         result = self._inline_result(effective, fid, time.monotonic())
         if result is not None:
             counts = self._fast_counts
@@ -401,6 +513,21 @@ class ScenarioService:
         out["serve.inflight"] = float(self._inflight)
         out["serve.latency_p50_s"] = pct(combined, 0.50)
         out["serve.latency_p99_s"] = pct(combined, 0.99)
+        # Runner- and cache-level gauges ride along so a remote stats
+        # call (and the shard router's merge) can prove the global
+        # execution story: executed-exactly-once shows up as
+        # sum(runner.executed) == distinct cells across the fleet.
+        rstats = self.runner.stats
+        out["runner.executed"] = float(rstats.executed)
+        out["runner.cached"] = float(rstats.cached)
+        out["runner.errors"] = float(rstats.errors)
+        cstats = rstats.cache
+        if cstats is not None:
+            out["cache.hits"] = float(cstats.hits)
+            out["cache.misses"] = float(cstats.misses)
+            out["cache.writes"] = float(cstats.writes)
+            out["cache.evictions"] = float(cstats.evictions)
+            out["cache.evicted_bytes"] = float(cstats.evicted_bytes)
         return out
 
     def _now(self) -> float:

@@ -1,0 +1,842 @@
+"""The sharded serve tier: N worker services behind one front door.
+
+The paper's machine is a *cluster of clusters* — many hosts behind one
+front door, with placement deciding throughput — and this module gives
+the serve tier the same shape.  :class:`ShardedServer` runs N worker
+processes, each a full single-worker stack
+(:class:`~repro.serve.service.ScenarioService` +
+:class:`~repro.serve.server.ScenarioServer` on a private port), behind
+one router speaking the *same* JSON-lines protocol, so every existing
+client — :class:`~repro.serve.client.ServeClient`, ``netcat``, the
+smoke harnesses — talks to a fleet without changing a byte.
+
+Three design decisions carry the tier:
+
+**Routing is consistent hashing on the effective-scenario content
+key.**  The router interprets each submit message exactly as a worker
+would (:func:`repro.serve.server.request_scenario` + the same
+fault-overlay/fidelity merge, via a template
+:class:`~repro.run.runner.Runner`) and hashes the *effective*
+scenario's content key onto a ring of virtual nodes.  Identical cells
+therefore always land on the same worker, which keeps request
+coalescing **global**: N duplicate submits anywhere in the fleet
+collapse to one queue slot and one execution on one worker, same as
+against a single server.  A hash ring (vs. round-robin or modulo)
+means a worker's death remaps only *its* keys; every other cell keeps
+its home, its in-flight coalesces and its warm memory mirror.
+
+**The result cache is shared through the filesystem, not a daemon.**
+Every worker opens the same :class:`~repro.run.run.cache.ResultCache`
+directory (resolved absolute before spawn — workers must agree on the
+store no matter where they start).  Content-addressed keys plus
+atomic publish (tmp + rename) make concurrent cross-process put/get
+safe without locks, and the bounded per-worker memory mirror keeps
+long-lived workers from leaking.  This shared store is also the
+failover story: when a worker dies mid-sweep, its *completed* cells
+are already on disk, so the survivors that inherit its keys serve
+them as cache hits — byte-identical, zero duplicate executions — and
+only genuinely unfinished cells re-execute.
+
+**Failure is detected on the wire and healed by re-dispatch.**  The
+router holds one connection per worker; a reader hitting EOF (or a
+forward failing to write) marks the worker dead, removes it from the
+ring, and re-dispatches every request that was pending on it to the
+survivors the ring now names.  Clients see nothing but latency: the
+reply arrives from a different worker, rows identical.
+
+Per-client token buckets (:class:`~repro.serve.service.QuotaPolicy`)
+sit on the router's front door — admission control belongs at the
+fleet boundary, where one greedy client would otherwise crowd every
+worker at once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import bisect
+import hashlib
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError, ConfigurationError, ReproError
+from repro.faults.spec import FaultSpec
+from repro.run.cache import ResultCache, resolve_cache_dir
+from repro.run.runner import Runner
+from repro.run.scenario import Scenario
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+)
+from repro.serve.server import ScenarioServer, request_scenario
+from repro.serve.service import ClientQuota, QuotaPolicy, ScenarioService
+
+__all__ = [
+    "HashRing",
+    "ShardedServer",
+    "WorkerConfig",
+    "serve_sharded",
+]
+
+#: Virtual nodes per worker.  64 points per worker keeps the maximum
+#: key-share imbalance under ~20% for small fleets while the ring
+#: stays tiny (N*64 sha256 points, built once per membership change).
+RING_REPLICAS = 64
+
+#: Generous per-line cap, matching the single server.
+_LINE_LIMIT = 1 << 20
+
+#: Seconds to wait for a spawned worker to report its bound port.
+_SPAWN_TIMEOUT_S = 30.0
+
+
+class HashRing:
+    """Consistent hashing: stable key -> member mapping under churn.
+
+    Each member contributes :data:`RING_REPLICAS` virtual points
+    (sha256 of ``"member:replica"``); a key maps to the first point
+    clockwise from its own hash.  Removing a member deletes only its
+    points, so only keys that mapped to *it* move — the property the
+    sharded tier's failover leans on.
+    """
+
+    def __init__(self, members=(), replicas: int = RING_REPLICAS) -> None:
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1: {replicas}")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, int] = {}
+        self._members: set[int] = set()
+        for member in members:
+            self.add(member)
+
+    @staticmethod
+    def _hash(text: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(text.encode()).digest()[:8], "big"
+        )
+
+    def add(self, member: int) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for replica in range(self.replicas):
+            point = self._hash(f"{member}:{replica}")
+            # sha256 collisions across members are not a practical
+            # concern; first owner keeps the point deterministically.
+            if point not in self._owners:
+                self._owners[point] = member
+                bisect.insort(self._points, point)
+
+    def remove(self, member: int) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        dead = [p for p, m in self._owners.items() if m == member]
+        for point in dead:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def lookup(self, key: str) -> int:
+        """The member owning ``key``; raises if the ring is empty."""
+        if not self._points:
+            raise CommunicationError("no live workers in the shard ring")
+        point = self._hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: int) -> bool:
+        return member in self._members
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything one worker process needs, in picklable form.
+
+    ``cache_dir`` is the **resolved absolute** shared cache directory
+    (the spawn path threads it through :func:`resolve_cache_dir` so a
+    worker can never re-anchor it against its own cwd); ``faults`` is
+    the fleet-wide overlay as its canonical JSON payload.
+    """
+
+    index: int
+    cache_dir: str | None
+    jobs: int = 1
+    faults: str | None = None
+    fidelity: str | None = None
+    surrogate_policy: str = "escalate"
+    max_queue: int = 1024
+    max_batch: int = 32
+    batch_wait: float = 0.0
+    max_memory_entries: int | None = None
+
+    def build_runner(self) -> Runner:
+        cache = (
+            ResultCache(memory_only=True)
+            if self.cache_dir is None
+            else ResultCache(
+                self.cache_dir, max_memory_entries=self.max_memory_entries
+            )
+        )
+        return Runner(
+            jobs=self.jobs,
+            cache=cache,
+            faults=(
+                None if self.faults is None
+                else FaultSpec.from_payload(self.faults)
+            ),
+            fidelity=self.fidelity,
+            surrogate_policy=self.surrogate_policy,
+        )
+
+
+def _worker_main(config: WorkerConfig, conn) -> None:
+    """One worker process: a full serve stack on an ephemeral port.
+
+    Reports ``{"port": N}`` (or ``{"error": ...}``) through ``conn``
+    once bound, then serves until SIGTERM.  Runs under the ``fork``
+    start method, so registered workloads and test fixtures are
+    inherited — a worker sees exactly the parent's registry.
+    """
+    def _sigterm(*_args):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _sigterm)
+
+    async def _main() -> None:
+        runner = config.build_runner()
+        try:
+            service = ScenarioService(
+                runner,
+                max_queue=config.max_queue,
+                max_batch=config.max_batch,
+                batch_wait=config.batch_wait,
+            )
+            server = ScenarioServer(service, host="127.0.0.1", port=0)
+            await server.start()
+        except BaseException as exc:
+            conn.send({"error": f"{type(exc).__name__}: {exc}"})
+            raise
+        conn.send({"port": server.port})
+        conn.close()
+        try:
+            await asyncio.Event().wait()  # until SIGTERM
+        finally:
+            await server.close()
+            runner.close()
+
+    try:
+        asyncio.run(_main())
+    except (SystemExit, KeyboardInterrupt):
+        pass
+
+
+class _Forward:
+    """One client request currently pending on a worker."""
+
+    __slots__ = ("client_id_field", "message", "reply", "routing_key")
+
+    def __init__(self, client_id_field, message, reply, routing_key):
+        #: the id the *client* used (restored on the way back).
+        self.client_id_field = client_id_field
+        #: the full client message (re-dispatch needs it verbatim).
+        self.message = message
+        #: coroutine function writing one reply to the client.
+        self.reply = reply
+        #: ring key (worker re-election on death needs it).
+        self.routing_key = routing_key
+
+
+class _WorkerLink:
+    """The router's live connection to one worker."""
+
+    def __init__(self, index: int, port: int, pid: int) -> None:
+        self.index = index
+        self.port = port
+        self.pid = pid
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.alive = False
+        #: worker-side request id -> in-flight work.
+        self.pending: dict[int, _Forward] = {}
+        #: router-originated requests (stats fan-out) awaiting replies.
+        self.internal: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port, limit=_LINE_LIMIT
+        )
+        self.alive = True
+
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    async def send(self, message: dict) -> None:
+        async with self._write_lock:
+            self.writer.write(encode_line(message))
+            await self.writer.drain()
+
+    def close(self) -> None:
+        self.alive = False
+        if self.writer is not None:
+            self.writer.close()
+
+
+class ShardRouter:
+    """The front door: one protocol endpoint fanning out to N workers.
+
+    Async core of :class:`ShardedServer`; everything here runs on one
+    event loop.  ``submit`` forwards by ring lookup, ``stats`` merges
+    the whole fleet, ``ping`` answers locally (the router *is* the
+    service from the client's point of view).
+    """
+
+    def __init__(
+        self,
+        links: list[_WorkerLink],
+        template_runner: Runner,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quota: QuotaPolicy | None = None,
+    ) -> None:
+        self.links = links
+        #: interprets submit messages exactly as a worker will — the
+        #: routing key must be the worker's coalescing key.
+        self.template = template_runner
+        self.host = host
+        self.port = port
+        self.ring = HashRing(link.index for link in links)
+        self.quota: ClientQuota | None = (
+            quota.limiter() if quota is not None else None
+        )
+        self._by_index = {link.index: link for link in links}
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._t0 = time.monotonic()
+        #: shard.* counter totals for the merged stats view.
+        self.counts: dict[str, int] = {
+            "shard.routed": 0,
+            "shard.redispatched": 0,
+            "shard.worker_deaths": 0,
+            "shard.rejected": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "ShardRouter":
+        for link in self.links:
+            await link.connect()
+            task = asyncio.get_running_loop().create_task(
+                self._read_worker(link), name=f"shard-worker-{link.index}"
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=_LINE_LIMIT
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for link in self.links:
+            link.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- routing --------------------------------------------------------------
+
+    def routing_key(self, message: dict) -> str:
+        """The coalescing identity of one submit message.
+
+        Built from the *effective* scenario — request overrides plus
+        the fleet-wide fault/fidelity overlay, merged exactly as the
+        owning worker's runner will merge them — so the ring sends
+        every duplicate to the same worker and coalescing stays
+        global.
+        """
+        sc = request_scenario(message)
+        effective = self.template.effective_scenario(sc)
+        trace = message.get("trace")
+        return f"{effective.key()}|{effective.fidelity}|{trace or ''}"
+
+    def scenario_routing_key(self, sc: Scenario) -> str:
+        effective = self.template.effective_scenario(sc)
+        return f"{effective.key()}|{effective.fidelity}|"
+
+    def worker_for_key(self, key: str) -> _WorkerLink:
+        return self._by_index[self.ring.lookup(key)]
+
+    # -- the client side ------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._tasks.add(asyncio.current_task())
+        write_lock = asyncio.Lock()
+
+        async def reply(message: dict) -> None:
+            async with write_lock:
+                writer.write(encode_line(message))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError,
+                        ValueError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line)
+                except ReproError as exc:
+                    await reply(
+                        {"id": None, "status": "error", "error": str(exc)}
+                    )
+                    continue
+                rid = message.get("id")
+                op = message.get("op")
+                if op == "submit":
+                    await self._route_submit(rid, message, reply)
+                elif op == "stats":
+                    await reply(
+                        {"id": rid, "status": "stats",
+                         "stats": await self.merged_stats()}
+                    )
+                elif op == "ping":
+                    await reply(
+                        {"id": rid, "status": "pong",
+                         "protocol": PROTOCOL_VERSION,
+                         "workers": len(self.ring)}
+                    )
+                else:
+                    await reply(
+                        {"id": rid, "status": "error",
+                         "error": f"unknown op {op!r}"}
+                    )
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._tasks.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route_submit(self, rid, message: dict, reply) -> None:
+        if self.quota is not None:
+            client_id = message.get("client_id")
+            wait = self.quota.admit(
+                None if client_id is None else str(client_id),
+                time.monotonic(),
+            )
+            if wait > 0.0:
+                self.counts["shard.rejected"] += 1
+                await reply(
+                    {"id": rid, "status": "rejected", "retry_after": wait,
+                     "depth": 0, "reason": "quota"}
+                )
+                return
+        try:
+            key = self.routing_key(message)
+            link = self.worker_for_key(key)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            await reply({"id": rid, "status": "error", "error": str(exc)})
+            return
+        await self._forward(link, _Forward(rid, message, reply, key))
+
+    async def _forward(self, link: _WorkerLink, forward: _Forward) -> None:
+        wid = link.next_id()
+        link.pending[wid] = forward
+        wire = dict(forward.message)
+        wire["id"] = wid
+        self.counts["shard.routed"] += 1
+        try:
+            await link.send(wire)
+        except (OSError, RuntimeError):
+            # Write failed: the reader task will (or already did)
+            # notice the death and re-dispatch everything pending on
+            # this link — including the forward just parked there.
+            link.pending.pop(wid, None)
+            await self._on_worker_death(link)
+            await self._redispatch(forward)
+
+    # -- the worker side ------------------------------------------------------
+
+    async def _read_worker(self, link: _WorkerLink) -> None:
+        """Pump one worker's responses back to their clients; on EOF,
+        declare the worker dead and heal."""
+        try:
+            while True:
+                try:
+                    line = await link.reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError,
+                        ValueError, OSError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line)
+                except ReproError:
+                    continue  # junk from a dying worker
+                wid = message.get("id")
+                future = link.internal.pop(wid, None)
+                if future is not None:
+                    if not future.done():
+                        future.set_result(message)
+                    continue
+                forward = link.pending.pop(wid, None)
+                if forward is None:
+                    continue  # stale reply for a re-dispatched request
+                message["id"] = forward.client_id_field
+                try:
+                    await forward.reply(message)
+                except (OSError, RuntimeError):
+                    pass  # client went away; nothing to heal
+        except asyncio.CancelledError:
+            raise
+        finally:
+            await self._on_worker_death(link)
+
+    async def _on_worker_death(self, link: _WorkerLink) -> None:
+        """Remove a dead worker from the ring and re-home its work."""
+        if not link.alive and not link.pending and not link.internal:
+            return
+        was_alive = link.alive
+        link.close()
+        if link.index in self.ring:
+            self.ring.remove(link.index)
+            if was_alive:
+                self.counts["shard.worker_deaths"] += 1
+        for future in link.internal.values():
+            if not future.done():
+                future.set_result(None)
+        link.internal.clear()
+        orphans = list(link.pending.values())
+        link.pending.clear()
+        for forward in orphans:
+            await self._redispatch(forward)
+
+    async def _redispatch(self, forward: _Forward) -> None:
+        """Send one orphaned request to the worker the ring now names.
+
+        The survivor shares the dead worker's disk cache, so a cell
+        the victim had *completed* comes back as a byte-identical
+        cache hit; only truly unfinished cells re-execute.
+        """
+        try:
+            link = self.worker_for_key(forward.routing_key)
+        except CommunicationError as exc:  # no survivors at all
+            try:
+                await forward.reply(
+                    {"id": forward.client_id_field, "status": "error",
+                     "error": str(exc)}
+                )
+            except (OSError, RuntimeError):
+                pass
+            return
+        self.counts["shard.redispatched"] += 1
+        await self._forward(link, forward)
+
+    # -- stats ----------------------------------------------------------------
+
+    async def merged_stats(self) -> dict[str, float]:
+        """One fleet-wide stats dict.
+
+        Counters and gauges sum across workers (``runner.executed``
+        summed is the global execution count — the number the
+        exactly-once assertions read); latency percentiles merge by
+        max (a conservative fleet-wide bound); ``shard.*`` adds the
+        router's own view: live workers, routed/re-dispatched
+        requests, deaths, quota rejections.
+        """
+        futures = []
+        for link in self.links:
+            if not link.alive:
+                continue
+            wid = link.next_id()
+            future = asyncio.get_running_loop().create_future()
+            link.internal[wid] = future
+            try:
+                await link.send({"op": "stats", "id": wid})
+            except (OSError, RuntimeError):
+                link.internal.pop(wid, None)
+                await self._on_worker_death(link)
+                continue
+            futures.append(future)
+        merged: dict[str, float] = {}
+        for future in futures:
+            try:
+                message = await asyncio.wait_for(future, timeout=10.0)
+            except asyncio.TimeoutError:
+                continue
+            if not message or message.get("status") != "stats":
+                continue
+            for name, value in (message.get("stats") or {}).items():
+                value = float(value)
+                if name.endswith(("_p50_s", "_p99_s")):
+                    merged[name] = max(merged.get(name, 0.0), value)
+                else:
+                    merged[name] = merged.get(name, 0.0) + value
+        for name, value in self.counts.items():
+            merged[name] = float(value)
+        merged["shard.workers"] = float(len(self.ring))
+        return merged
+
+
+class ShardedServer:
+    """N serve workers + router, as one context manager.
+
+    ``with ShardedServer(workers=3, cache_dir=d) as fleet:`` spawns
+    the worker processes (``fork`` start method — they inherit the
+    parent's registered workloads), waits for every port handshake,
+    and binds the router; ``fleet.port`` is then a live protocol
+    endpoint any :class:`~repro.serve.client.ServeClient` can use.
+    Exit tears the router down and SIGTERMs the workers.
+
+    The chaos-testing handles are first-class: :meth:`worker_for`
+    names the worker a scenario routes to and :meth:`kill_worker`
+    SIGKILLs one — together they script "kill the owner of this cell
+    mid-sweep" in two lines.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: str | os.PathLike | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        faults: FaultSpec | None = None,
+        fidelity: str | None = None,
+        surrogate_policy: str = "escalate",
+        max_queue: int = 1024,
+        max_batch: int = 32,
+        batch_wait: float = 0.0,
+        quota: QuotaPolicy | None = None,
+        max_memory_entries: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {workers}")
+        if cache_dir is None:
+            raise ConfigurationError(
+                "a sharded server needs a shared cache_dir — without one "
+                "the workers cannot exchange results and worker death "
+                "loses completed cells"
+            )
+        self.workers = workers
+        #: resolved before spawn: every worker must open the same
+        #: store regardless of its own working directory.
+        self.cache_dir = str(resolve_cache_dir(cache_dir))
+        self.host = host
+        self.port = port
+        self.quota = quota
+        self._config = dict(
+            jobs=jobs,
+            faults=None if faults is None else faults.payload(),
+            fidelity=fidelity,
+            surrogate_policy=surrogate_policy,
+            max_queue=max_queue,
+            max_batch=max_batch,
+            batch_wait=batch_wait,
+            max_memory_entries=max_memory_entries,
+        )
+        #: routing must merge overlays exactly as worker runners do.
+        self._template = Runner(
+            jobs=1, cache=None, faults=faults, fidelity=fidelity,
+            surrogate_policy=surrogate_policy,
+        )
+        self._processes: list[multiprocessing.Process] = []
+        self.router: ShardRouter | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+        self._atexit = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "ShardedServer":
+        links = self._spawn_workers()
+        self.router = ShardRouter(
+            links, self._template,
+            host=self.host, port=self.port, quota=self.quota,
+        )
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-shard-router", daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._terminate_workers()
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join()
+        self._terminate_workers()
+        if self._atexit is not None:
+            atexit.unregister(self._atexit)
+            self._atexit = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.router.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.host, self.port = self.router.host, self.router.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.router.close()
+
+    def _spawn_workers(self) -> list[_WorkerLink]:
+        # fork, not spawn: workers must inherit registered workloads
+        # (tests and smokes register theirs at import/module scope).
+        ctx = multiprocessing.get_context("fork")
+        handshakes = []
+        for index in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            config = WorkerConfig(
+                index=index, cache_dir=self.cache_dir, **self._config
+            )
+            # Non-daemon on purpose: a daemonic worker could not own
+            # a process pool at jobs > 1.  Orphan protection comes
+            # from the atexit terminate below instead — registered
+            # *after* multiprocessing's own atexit hook, so (LIFO) it
+            # runs first and the interpreter never joins on a worker
+            # that was never asked to exit.
+            process = ctx.Process(
+                target=_worker_main, args=(config, child_conn),
+                name=f"repro-shard-worker-{index}", daemon=False,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            handshakes.append(parent_conn)
+        self._atexit = self._terminate_workers
+        atexit.register(self._atexit)
+        links = []
+        for index, conn in enumerate(handshakes):
+            if not conn.poll(_SPAWN_TIMEOUT_S):
+                self._terminate_workers()
+                raise CommunicationError(
+                    f"shard worker {index} did not report a port within "
+                    f"{_SPAWN_TIMEOUT_S:.0f}s"
+                )
+            hello = conn.recv()
+            conn.close()
+            if "error" in hello:
+                self._terminate_workers()
+                raise CommunicationError(
+                    f"shard worker {index} failed to start: {hello['error']}"
+                )
+            links.append(
+                _WorkerLink(
+                    index, int(hello["port"]), self._processes[index].pid
+                )
+            )
+        return links
+
+    def _terminate_workers(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            if process.pid is not None:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=5.0)
+
+    # -- chaos handles --------------------------------------------------------
+
+    def worker_for(self, sc: Scenario) -> int:
+        """Index of the worker ``sc`` currently routes to."""
+        return self.router.ring.lookup(
+            self.router.scenario_routing_key(sc)
+        )
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker — no cleanup, no goodbye; the router
+        heals through the death path exactly as for a real crash."""
+        process = self._processes[index]
+        if process.pid is not None and process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+
+    def alive_workers(self) -> int:
+        return sum(1 for p in self._processes if p.is_alive())
+
+
+def serve_sharded(
+    workers: int,
+    cache_dir: str | os.PathLike,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    jobs: int = 1,
+    faults: FaultSpec | None = None,
+    fidelity: str | None = None,
+    surrogate_policy: str = "escalate",
+    max_queue: int = 1024,
+    max_batch: int = 32,
+    batch_wait: float = 0.0,
+    quota: QuotaPolicy | None = None,
+) -> int:
+    """Run the sharded tier until interrupted (``repro serve
+    --workers N``)."""
+    fleet = ShardedServer(
+        workers=workers, cache_dir=cache_dir, host=host, port=port,
+        jobs=jobs, faults=faults, fidelity=fidelity,
+        surrogate_policy=surrogate_policy, max_queue=max_queue,
+        max_batch=max_batch, batch_wait=batch_wait, quota=quota,
+    )
+    try:
+        with fleet:
+            print(
+                f"repro serve: {workers} workers behind "
+                f"{fleet.host}:{fleet.port} (jobs={jobs}/worker, "
+                f"shared cache {fleet.cache_dir})",
+                flush=True,
+            )
+            threading.Event().wait()  # until KeyboardInterrupt
+    except KeyboardInterrupt:
+        pass
+    return 0

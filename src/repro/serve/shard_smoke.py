@@ -1,0 +1,196 @@
+"""End-to-end smoke of the sharded serve tier (``make shard-smoke``).
+
+Boots a 3-worker :class:`ShardedServer` over a fresh shared cache
+directory and drives the acceptance scenario for the tier:
+
+* a duplicate-heavy burst (the fig9 fast grid, each cell several
+  times) through one front-door :class:`ServeClient` — the global
+  coalesce counter must be positive and the *fleet-wide* execution
+  count must equal the number of distinct cells (each executed exactly
+  once, despite landing on 3 separate worker processes);
+* one worker SIGKILLed mid-sweep while it executes a deliberately
+  slow cell — the sweep must still complete, the orphaned request
+  re-homed to a survivor, and a full re-run of the burst must come
+  back byte-identical to direct :meth:`Runner.run` ground truth with
+  the survivors serving the dead worker's finished cells from the
+  shared disk cache (no duplicate executions of completed cells).
+
+Exit 0 and a one-line ``shard-smoke ok`` on success; exit 1 with a
+diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from repro.core.registry import resolve_experiment
+from repro.run.cache import ResultCache
+from repro.run.runner import Runner
+from repro.run.scenario import scenario
+from repro.run.workloads import workload
+from repro.serve.client import ServeClient
+from repro.serve.shard import ShardedServer
+
+N_WORKERS = 3
+#: burst multiplier: each distinct cell submitted this many times.
+DUPLICATION = 3
+
+#: wall time of the sacrificial cell the victim dies while running.
+SLOW_MS = 800
+
+
+@workload("shard_smoke.slow")
+def _slow_cell(delay_ms: int = SLOW_MS) -> list[tuple]:
+    time.sleep(delay_ms / 1000.0)
+    return [(delay_ms,)]
+
+
+def main() -> int:
+    cells = list(resolve_experiment("fig9").scenarios(fast=True))
+    burst = [cells[i % len(cells)] for i in range(len(cells) * DUPLICATION)]
+    slow = scenario("shard_smoke.slow")
+
+    direct_runner = Runner(jobs=1, cache=ResultCache(memory_only=True))
+    try:
+        direct = direct_runner.run(cells)
+    finally:
+        direct_runner.close()
+    rows_by_key = {sc.key(): record.rows for sc, record in zip(cells, direct)}
+
+    def check_byte_identical(replies, label: str) -> bool:
+        for reply, sc in zip(replies, burst):
+            want = rows_by_key[sc.key()]
+            if json.dumps(reply.rows) != json.dumps(want):
+                print(
+                    f"shard-smoke FAILED: {label}: served rows differ "
+                    f"from direct Runner for {sc.describe()}:\n"
+                    f"  served {reply.rows}\n  direct {want}",
+                    file=sys.stderr,
+                )
+                return False
+        return True
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-shard-smoke-")
+    try:
+        with ShardedServer(workers=N_WORKERS, cache_dir=cache_dir) as fleet:
+            victim = fleet.worker_for(slow)
+            with ServeClient(fleet.host, fleet.port) as client:
+                if client.ping() != 1:
+                    print("shard-smoke FAILED: bad ping", file=sys.stderr)
+                    return 1
+
+                # -- phase 1: healthy fleet, duplicate-heavy burst ---------
+                replies = client.submit_many(burst)
+                errors = [r.error for r in replies if not r.ok]
+                if errors:
+                    print(
+                        f"shard-smoke FAILED: {len(errors)} errors, "
+                        f"first: {errors[0]}", file=sys.stderr,
+                    )
+                    return 1
+                stats = client.stats()
+                coalesced = stats.get("serve.coalesced", 0)
+                executed = stats.get("runner.executed", -1)
+                if coalesced <= 0:
+                    print(
+                        "shard-smoke FAILED: global coalesce counter is "
+                        "zero for a duplicate-heavy burst",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if executed != len(cells):
+                    print(
+                        f"shard-smoke FAILED: fleet executed {executed} "
+                        f"cells for {len(cells)} distinct ones — "
+                        "duplicates crossed workers instead of "
+                        "coalescing", file=sys.stderr,
+                    )
+                    return 1
+                if not check_byte_identical(replies, "healthy fleet"):
+                    return 1
+
+                # -- phase 2: SIGKILL one worker mid-sweep -----------------
+                got: dict = {}
+
+                def _slow_submit() -> None:
+                    with ServeClient(fleet.host, fleet.port) as other:
+                        got["reply"] = other.submit(slow)
+
+                thread = threading.Thread(target=_slow_submit)
+                thread.start()
+                time.sleep(SLOW_MS / 1000.0 / 3)  # victim mid-execution
+                fleet.kill_worker(victim)
+                thread.join(timeout=60)
+                if thread.is_alive() or not got.get("reply") or (
+                    not got["reply"].ok
+                ):
+                    why = (
+                        "no answer" if thread.is_alive() or not got.get(
+                            "reply"
+                        ) else got["reply"].error
+                    )
+                    print(
+                        f"shard-smoke FAILED: in-flight request on the "
+                        f"killed worker was not re-homed ({why})",
+                        file=sys.stderr,
+                    )
+                    return 1
+
+                replies2 = client.submit_many(burst)
+                stats2 = client.stats()
+                if not all(r.ok for r in replies2):
+                    bad = next(r.error for r in replies2 if not r.ok)
+                    print(
+                        f"shard-smoke FAILED: sweep after worker kill "
+                        f"had errors, first: {bad}", file=sys.stderr,
+                    )
+                    return 1
+                if not check_byte_identical(replies2, "after worker kill"):
+                    return 1
+                if stats2.get("shard.workers") != N_WORKERS - 1:
+                    print(
+                        f"shard-smoke FAILED: router reports "
+                        f"{stats2.get('shard.workers')} live workers, "
+                        f"expected {N_WORKERS - 1}", file=sys.stderr,
+                    )
+                    return 1
+                # Survivors may have re-executed only the one cell the
+                # victim died holding; everything the fleet completed
+                # pre-kill must come back as shared-cache hits.
+                survivors_executed = stats2.get("runner.executed", -1)
+                if survivors_executed > len(cells) + 1:
+                    print(
+                        f"shard-smoke FAILED: survivors executed "
+                        f"{survivors_executed} cells — completed cells "
+                        "were re-executed instead of served from the "
+                        "shared cache", file=sys.stderr,
+                    )
+                    return 1
+                if stats2.get("cache.hits", 0) <= 0:
+                    print(
+                        "shard-smoke FAILED: no shared-cache hits after "
+                        "the kill", file=sys.stderr,
+                    )
+                    return 1
+
+        print(
+            f"shard-smoke ok: {len(burst)} requests over {N_WORKERS} "
+            f"workers, {len(cells)} distinct cells executed once "
+            f"fleet-wide ({int(coalesced)} coalesced), worker "
+            f"{victim} SIGKILLed mid-sweep and the re-run stayed "
+            "byte-identical via the shared cache "
+            f"({int(stats2.get('shard.redispatched', 0))} re-dispatched, "
+            f"{int(stats2.get('cache.hits', 0))} cache hits)"
+        )
+        return 0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""The sharded serve tier: ring, routing, quotas, failover.
+
+Worker processes are spawned with the ``fork`` start method, so the
+workloads this module registers are visible inside them.  Workers run
+``jobs=1`` (in-process execution), which is what makes SIGKILL tests
+clean: killing a worker can never orphan a process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.run import Runner, scenario, workload
+from repro.serve import QuotaPolicy, ServeClient
+from repro.serve.shard import HashRing, ShardedServer
+
+
+@workload("shard_test.cell")
+def _cell(x: int = 0, delay_ms: int = 0) -> list[tuple]:
+    if delay_ms:
+        time.sleep(delay_ms / 1000.0)
+    return [(x, x * x, f"cell-{x}")]
+
+
+def _cells(n: int):
+    return [scenario("shard_test.cell", x=i) for i in range(n)]
+
+
+def _direct_rows(cells):
+    """Ground truth: each distinct cell through a direct Runner."""
+    runner = Runner(jobs=1, cache=None)
+    records = runner.run_batch(list(cells))
+    return {sc.key(): r.rows for sc, r in zip(cells, records)}
+
+
+class TestHashRing:
+    def test_balance_and_determinism(self):
+        ring = HashRing([0, 1, 2])
+        keys = [f"key-{i}" for i in range(900)]
+        owners = [ring.lookup(k) for k in keys]
+        assert owners == [ring.lookup(k) for k in keys]
+        per = [owners.count(w) for w in (0, 1, 2)]
+        assert min(per) > 0.5 * (900 / 3)  # no starved member
+
+    def test_removal_moves_only_the_dead_members_keys(self):
+        ring = HashRing([0, 1, 2])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(1)
+        for k, owner in before.items():
+            if owner == 1:
+                assert ring.lookup(k) in (0, 2)
+            else:
+                assert ring.lookup(k) == owner
+
+    def test_empty_ring_raises(self):
+        ring = HashRing([0])
+        ring.remove(0)
+        with pytest.raises(CommunicationError):
+            ring.lookup("anything")
+
+    def test_add_is_idempotent(self):
+        ring = HashRing([0])
+        ring.add(0)
+        assert len(ring) == 1
+
+
+class TestShardedServer:
+    def test_requires_cache_dir(self):
+        with pytest.raises(ConfigurationError):
+            ShardedServer(workers=2, cache_dir=None)
+
+    def test_duplicate_burst_coalesces_globally(self, tmp_path):
+        """24 submits over 6 distinct cells against 3 workers: every
+        duplicate must land on its cell's home worker, so the fleet
+        executes each distinct cell exactly once."""
+        cells = _cells(6)
+        burst = [cells[i % len(cells)] for i in range(24)]
+        want = _direct_rows(cells)
+        with ShardedServer(workers=3, cache_dir=tmp_path) as fleet:
+            with ServeClient(fleet.host, fleet.port) as client:
+                assert client.ping() == 1
+                replies = client.submit_many(burst)
+                stats = client.stats()
+        assert all(r.ok for r in replies)
+        for sc, reply in zip(burst, replies):
+            assert reply.rows == want[sc.key()]
+        assert stats["runner.executed"] == len(cells)
+        assert stats["serve.coalesced"] > 0
+        assert stats["shard.workers"] == 3
+        assert stats["shard.routed"] == len(burst)
+        assert stats["shard.worker_deaths"] == 0
+
+    def test_kill_worker_mid_sweep_byte_identical(self, tmp_path):
+        """The acceptance scenario: SIGKILL one worker mid-sweep; the
+        survivors re-admit its cells through the shared cache and the
+        total output is byte-identical to the healthy ground truth,
+        with zero duplicate executions of completed cells."""
+        cells = _cells(10)
+        want = _direct_rows(cells)
+        slow = scenario("shard_test.cell", x=99, delay_ms=800)
+        with ShardedServer(workers=3, cache_dir=tmp_path) as fleet:
+            victim = fleet.worker_for(slow)
+            with ServeClient(fleet.host, fleet.port) as client:
+                # Phase 1 (all workers healthy): run the sweep once.
+                replies = client.submit_many(cells)
+                assert all(r.ok for r in replies)
+                stats1 = client.stats()
+                assert stats1["runner.executed"] == len(cells)
+
+                # Phase 2: park a slow cell on the victim, kill it
+                # mid-execution, and re-run the whole sweep plus the
+                # orphaned cell.
+                import threading
+
+                got: dict = {}
+
+                def _slow_submit():
+                    with ServeClient(fleet.host, fleet.port) as other:
+                        got["reply"] = other.submit(slow)
+
+                thread = threading.Thread(target=_slow_submit)
+                thread.start()
+                time.sleep(0.3)  # slow cell now mid-execution
+                fleet.kill_worker(victim)
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+                # The orphaned in-flight cell re-executed on a
+                # survivor and still answered correctly.
+                assert got["reply"].ok, got["reply"].error
+                assert got["reply"].rows == (
+                    (99, 99 * 99, "cell-99"),
+                )
+
+                replies2 = client.submit_many(cells)
+                stats2 = client.stats()
+            assert fleet.alive_workers() == 2
+        assert all(r.ok for r in replies2)
+        # Byte-identical to the healthy run, not just equal:
+        healthy = json.dumps(
+            [[list(row) for row in want[sc.key()]] for sc in cells]
+        )
+        after_kill = json.dumps(
+            [[list(row) for row in r.rows] for r in replies2]
+        )
+        assert after_kill == healthy
+        assert stats2["shard.workers"] == 2
+        assert stats2["shard.worker_deaths"] == 1
+        # Zero duplicate executions: the survivors' executed count can
+        # only have grown by the one mid-flight cell the victim never
+        # finished — every completed cell came back as a shared-disk
+        # cache hit.
+        survivors_executed = stats2["runner.executed"]
+        assert survivors_executed <= len(cells) + 1
+        assert stats2["cache.hits"] >= len(cells) - survivors_executed
+
+    def test_pending_requests_redispatch_on_death(self, tmp_path):
+        slow = scenario("shard_test.cell", x=5, delay_ms=1000)
+        with ShardedServer(workers=2, cache_dir=tmp_path) as fleet:
+            victim = fleet.worker_for(slow)
+            import threading
+
+            got: dict = {}
+
+            def _drive():
+                with ServeClient(fleet.host, fleet.port) as client:
+                    got["reply"] = client.submit(slow)
+
+            thread = threading.Thread(target=_drive)
+            thread.start()
+            time.sleep(0.3)
+            fleet.kill_worker(victim)
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert got["reply"].ok
+            with ServeClient(fleet.host, fleet.port) as client:
+                stats = client.stats()
+            assert stats["shard.redispatched"] >= 1
+            assert stats["shard.worker_deaths"] == 1
+
+    def test_quota_rejects_greedy_client_at_the_router(self, tmp_path):
+        sc = _cells(1)[0]
+        quota = QuotaPolicy(rate=0.5, burst=2)
+        with ShardedServer(workers=2, cache_dir=tmp_path,
+                           quota=quota) as fleet:
+            with ServeClient(fleet.host, fleet.port,
+                             client_id="greedy") as client:
+                first = client.submit(sc)
+                second = client.submit(sc)
+                assert first.ok and second.ok
+                third = client.submit(sc, retry=False)
+                assert third.status == "rejected"
+                assert third.reason == "quota"
+                assert third.retry_after > 0
+            # A different client has its own untouched bucket.
+            with ServeClient(fleet.host, fleet.port,
+                             client_id="patient") as client:
+                assert client.submit(sc, retry=False).ok
+
+    def test_shared_cache_dir_resolved_absolute(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        fleet = ShardedServer(workers=1, cache_dir="relative-cache")
+        assert fleet.cache_dir == str(tmp_path / "relative-cache")
+
+
+class TestQuotaSingleService:
+    """The same QuotaPolicy on the single-worker service."""
+
+    def test_inprocess_quota_rejection_and_recovery(self):
+        import asyncio
+
+        from repro.serve import ScenarioService, ServeRejected
+
+        sc = scenario("shard_test.cell", x=1)
+
+        async def drive():
+            service = ScenarioService(
+                Runner(jobs=1, cache=None),
+                quota=QuotaPolicy(rate=50.0, burst=1),
+            )
+            async with service:
+                first = await service.submit(sc, client_id="c")
+                assert first.ok
+                with pytest.raises(ServeRejected) as err:
+                    await service.submit(sc, client_id="c")
+                assert err.value.reason == "quota"
+                assert err.value.retry_after > 0
+                # The bucket refills: admitted again after the hint.
+                await asyncio.sleep(err.value.retry_after)
+                again = await service.submit(sc, client_id="c")
+                assert again.ok
+                totals = service.stats()
+                assert totals["serve.quota_rejected"] == 1
+
+        asyncio.run(drive())
+
+    def test_anonymous_clients_share_one_bucket(self):
+        import asyncio
+
+        from repro.serve import ScenarioService, ServeRejected
+
+        sc = scenario("shard_test.cell", x=2)
+
+        async def drive():
+            service = ScenarioService(
+                Runner(jobs=1, cache=None),
+                quota=QuotaPolicy(rate=0.1, burst=1),
+            )
+            async with service:
+                assert (await service.submit(sc)).ok
+                with pytest.raises(ServeRejected):
+                    await service.submit(sc)  # same anonymous bucket
+                # A named client is unaffected.
+                assert (await service.submit(sc, client_id="named")).ok
+
+        asyncio.run(drive())
+
+    def test_quota_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuotaPolicy(rate=0.0, burst=1)
+        with pytest.raises(ConfigurationError):
+            QuotaPolicy(rate=1.0, burst=0)
