@@ -10,7 +10,7 @@ test:
 ## every end-to-end smoke (cache, tracing, faults, serving).  Run
 ## `make bench-check` for the full kernel gate before refreshing
 ## BENCH_kernels.json.
-check: test bench-quick smoke trace-smoke faults-smoke serve-smoke shard-smoke fidelity-smoke explore-smoke
+check: test bench-quick smoke trace-smoke faults-smoke serve-smoke shard-smoke fidelity-smoke explore-smoke compare-smoke
 	@echo "check ok: tests, bench guard and all smokes passed"
 
 ## Measure the tracked kernels and refresh the "current" section of
@@ -103,6 +103,30 @@ explore-smoke:
 .PHONY: fidelity-smoke
 fidelity-smoke:
 	$(PYTHON) -m repro.surrogate.smoke
+
+COMPARE_SMOKE_DIR := /tmp/repro-compare-smoke
+
+## The machine zoo end to end: `repro compare` over two contrasting
+## presets x two experiments, run twice without a cache — the
+## who-wins/crossover table must be byte-identical across runs and
+## every cell served by the analytic tier (0 escalated).
+.PHONY: compare-smoke
+compare-smoke:
+	rm -rf $(COMPARE_SMOKE_DIR) && mkdir -p $(COMPARE_SMOKE_DIR)
+	$(PYTHON) -m repro compare --machines fat_numa,gpu_node \
+	  --experiments overflow,dgemm --no-cache \
+	  >$(COMPARE_SMOKE_DIR)/a.txt 2>$(COMPARE_SMOKE_DIR)/a_stats.txt
+	$(PYTHON) -m repro compare --machines fat_numa,gpu_node \
+	  --experiments overflow,dgemm --no-cache \
+	  >$(COMPARE_SMOKE_DIR)/b.txt 2>$(COMPARE_SMOKE_DIR)/b_stats.txt
+	@cat $(COMPARE_SMOKE_DIR)/b_stats.txt
+	@diff $(COMPARE_SMOKE_DIR)/a.txt $(COMPARE_SMOKE_DIR)/b.txt \
+	  || { echo 'compare-smoke FAILED: two runs rendered different tables'; exit 1; }
+	@grep -q "crossovers" $(COMPARE_SMOKE_DIR)/a.txt \
+	  || { echo 'compare-smoke FAILED: no crossover section in the table'; exit 1; }
+	@$(PYTHON) -c "import re,sys; t=open('$(COMPARE_SMOKE_DIR)/b_stats.txt').read(); m=re.search(r'(\d+) surrogate, (\d+) escalated', t); ok=bool(m) and int(m.group(1)) > 0 and int(m.group(2)) == 0; sys.exit(0 if ok else 1)" \
+	  || { echo 'compare-smoke FAILED: cells escaped the analytic tier'; exit 1; }
+	@echo "compare-smoke ok: cross-machine table stable and fully surrogate-served"
 
 SMOKE_CACHE := /tmp/repro-smoke-cache
 

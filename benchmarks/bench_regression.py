@@ -72,6 +72,7 @@ LOOSE_TOLERANCES = {
     "sharded_serve_cells_per_sec": 0.35,
     "analytic_serve_cells_per_sec": 0.35,
     "explore_candidates_per_sec": 0.35,
+    "compare_cells_per_sec": 0.35,
     "surrogate_eval_us": 0.45,
     "md_forces_864_ms": 0.45,
     "md_step_864_ms": 0.45,
@@ -106,6 +107,13 @@ ABS_FLOORS = {
     #: score, tell) must stay north of 10k cells/s, or
     #: thousand-candidate studies stop being interactive.
     "explore_candidates_per_sec": 10_000.0,
+    #: a compare cell runs real application models (MZ timing,
+    #: OVERFLOW grouping, STREAM/DGEMM), so its steady state is ~80
+    #: cells/s, not thousands.  The floor sits ~3x under that: it
+    #: trips on structural rot — the registry losing its build cache,
+    #: the rotor-system grouping recomputing per cell — never on
+    #: machine weather.
+    "compare_cells_per_sec": 25.0,
 }
 
 #: Floor on faulted/healthy DES ping-pong throughput.  MessageDrop
@@ -507,6 +515,34 @@ def bench_explore() -> dict[str, float]:
     return {"explore_candidates_per_sec": side * side / wall}
 
 
+def bench_compare() -> dict[str, float]:
+    """Cell throughput of a cross-machine comparison.
+
+    A full two-machine ``repro compare`` grid (every app x size) with
+    a shared uncached runner: registry build of both clusters, the
+    closed-form application models, and the who-wins fold, per cell.
+    The zoo's interactivity contract — a four-machine comparison must
+    feel instant — hangs off this number, so it carries an absolute
+    floor (:data:`ABS_FLOORS`): losing the registry's build cache or
+    the models' memoization costs multiples, never percents.
+    """
+    from repro.compare import compare_scenarios, run_compare
+    from repro.run import Runner
+
+    machines = ("fat_numa", "gpu_node")
+    n_cells = len(compare_scenarios(machines))
+    runner = Runner(jobs=1, cache=None)
+    try:
+        def run_once():
+            result = run_compare(machines, runner=runner)
+            assert len(result.rows) == n_cells
+
+        wall = _best_time(run_once, repeats=5)
+    finally:
+        runner.close()
+    return {"compare_cells_per_sec": n_cells / wall}
+
+
 def bench_surrogate_eval() -> dict[str, float]:
     """Single-cell latency of the modeled surrogate evaluator.
 
@@ -545,6 +581,7 @@ BENCHES = [
     bench_sharded_serve,
     bench_analytic_serve,
     bench_explore,
+    bench_compare,
     bench_surrogate_eval,
 ]
 

@@ -42,11 +42,19 @@ The facade groups five seams:
 * **exploration** — :class:`SearchSpace`/:func:`search_space`,
   :class:`Objective`, :class:`ExploreDriver`/:func:`explore`,
   :class:`ExploreResult` and :func:`run_study` (design-space search
-  over the simulated machine; ``repro explore`` on the CLI).
+  over the simulated machine; ``repro explore`` on the CLI);
+* **machine zoo** — :class:`MachineConfig` (declarative machine
+  description), :func:`machine_config`/:func:`list_machines`/
+  :func:`register_machine` (the registry), :func:`build_machine`,
+  :func:`load_machine` (TOML/JSON files), :func:`cluster_cost` and
+  :class:`AcceleratorSpec`; plus the cross-machine comparison
+  (``repro compare`` on the CLI): :func:`run_compare`,
+  :class:`CompareResult` and :func:`compare_scenarios`.
 """
 
 from __future__ import annotations
 
+from repro.compare import CompareResult, compare_scenarios, run_compare
 from repro.core.experiment import ExperimentResult
 from repro.explore import (
     ExploreDriver,
@@ -68,7 +76,16 @@ from repro.core.registry import (
 from repro.faults.context import use_faults
 from repro.faults.spec import FaultSpec, parse_faults
 from repro.machine.cluster import Cluster, columbia, multinode, single_node
-from repro.machine.node import NodeType
+from repro.machine.node import AcceleratorSpec, NodeType
+from repro.machine.zoo import (
+    MachineConfig,
+    build_machine,
+    cluster_cost,
+    list_machines,
+    load_machine,
+    machine_config,
+    register_machine,
+)
 from repro.machine.placement import Placement, PinningMode
 from repro.obs.counters import CounterSet
 from repro.obs.spans import Tracer, use_tracer
@@ -98,7 +115,9 @@ from repro.surrogate import calibrate as calibrate_fidelity
 
 __all__ = sorted(
     [
+        "AcceleratorSpec",
         "Cluster",
+        "CompareResult",
         "CounterSet",
         "ErrorTable",
         "ExperimentResult",
@@ -107,6 +126,7 @@ __all__ = sorted(
         "ExploreResult",
         "FaultSpec",
         "Fidelity",
+        "MachineConfig",
         "MachineSpec",
         "NodeType",
         "Objective",
@@ -125,16 +145,24 @@ __all__ = sorted(
         "ServeResult",
         "ShardedServer",
         "Tracer",
+        "build_machine",
         "calibrate_fidelity",
+        "cluster_cost",
         "columbia",
+        "compare_scenarios",
         "evaluate_scenario",
         "experiment",
         "explore",
         "experiment_specs",
         "list_experiments",
+        "list_machines",
+        "load_machine",
+        "machine_config",
         "multinode",
         "parse_faults",
+        "register_machine",
         "resolve_experiment",
+        "run_compare",
         "run_experiment",
         "run_study",
         "scenario",

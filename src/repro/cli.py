@@ -307,6 +307,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runner_options(explore_p)
 
+    compare_p = sub.add_parser(
+        "compare",
+        help="run the application suite across machine-zoo configs "
+             "and report who-wins/crossover tables",
+    )
+    compare_p.add_argument(
+        "--machines", required=True, metavar="A,B,...",
+        help="comma-separated registered machine names "
+             "(see repro machine for the zoo)",
+    )
+    compare_p.add_argument(
+        "--experiments", default=None, metavar="APP,...",
+        help="comma-separated apps (default: all of "
+             "bt-mz,sp-mz,overflow,stream,dgemm)",
+    )
+    compare_p.add_argument(
+        "--sizes", default=None, metavar="N,...",
+        help="comma-separated CPU counts (default: 16,64,256)",
+    )
+    add_runner_options(compare_p)
+
     cal_p = sub.add_parser(
         "calibrate",
         help="measure surrogate-vs-full error and persist the table",
@@ -444,6 +465,36 @@ def _run_explore(args) -> int:
     return _report_failures(runner, args)
 
 
+def _run_compare(args) -> int:
+    """The ``repro compare`` verb: cross-machine who-wins tables."""
+    from repro.compare import run_compare
+
+    machines = tuple(
+        filter(None, (m.strip() for m in args.machines.split(",")))
+    )
+    apps = None
+    if args.experiments:
+        apps = tuple(
+            filter(None, (a.strip() for a in args.experiments.split(",")))
+        )
+    sizes = None
+    if args.sizes:
+        sizes = tuple(
+            int(s) for s in filter(None, (x.strip() for x in args.sizes.split(",")))
+        )
+    runner = _build_runner(args)
+    try:
+        result = run_compare(
+            machines, apps=apps, sizes=sizes, runner=runner,
+            fidelity=getattr(args, "fidelity", None) or "analytic",
+        )
+        print(result.format())
+        print(runner.stats.summary(), file=sys.stderr)
+    finally:
+        runner.close()
+    return _report_failures(runner, args)
+
+
 def _run_calibrate(args) -> int:
     """The ``repro calibrate --fidelity`` job."""
     from repro.surrogate.calibrate import (
@@ -548,6 +599,17 @@ def main(argv: list[str] | None = None) -> int:
             print(format_table1())
             print()
             print(topology_report())
+            from repro.machine.zoo import list_machines, machine_config
+
+            print()
+            print("machine zoo (repro compare --machines A,B,...):")
+            for name in list_machines():
+                cfg = machine_config(name)
+                print(
+                    f"  {name:<10} {cfg.n_nodes:>3} nodes  "
+                    f"{cfg.total_cpus:>6} CPUs  fabric={cfg.fabric:<10} "
+                    f"{cfg.description}"
+                )
         elif args.command == "calibration":
             print(calibration_report())
         elif args.command == "claims":
@@ -652,6 +714,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         elif args.command == "explore":
             return _run_explore(args)
+        elif args.command == "compare":
+            return _run_compare(args)
         elif args.command == "calibrate":
             return _run_calibrate(args)
         elif args.command == "hpcc":

@@ -56,8 +56,8 @@ def _cell(placement, config: str, n_nodes: int, fabric: str | None,
 
 def _machine(point: dict) -> MachineSpec:
     if point["n_nodes"] == 1:
-        return MachineSpec(node_type="BX2b")
-    return MachineSpec(
+        return MachineSpec.legacy(node_type="BX2b")
+    return MachineSpec.legacy(
         node_type="BX2b", n_nodes=point["n_nodes"], fabric=point["fabric"]
     )
 

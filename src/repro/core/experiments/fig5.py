@@ -47,7 +47,7 @@ def scenarios(fast: bool = False):
             "cpus": FAST_CPU_COUNTS if fast else CPU_COUNTS,
         },
         base={"max_pairs": 8 if fast else 16, "trials": 1 if fast else 3},
-        machine=lambda p: MachineSpec(node_type=p["node_type"]),
+        machine=lambda p: MachineSpec.legacy(node_type=p["node_type"]),
         placement=lambda p: PlacementSpec(n_ranks=p["cpus"]),
     )
 

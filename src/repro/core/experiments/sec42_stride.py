@@ -52,7 +52,7 @@ def scenarios(fast: bool = False):
             "max_pairs": 8 if fast else 24,
             "trials": 1 if fast else 3,
         },
-        machine=MachineSpec(node_type="BX2b"),
+        machine=MachineSpec.legacy(node_type="BX2b"),
         placement=lambda p: PlacementSpec(
             n_ranks=p["n_ranks"], stride=p["stride"]
         ),

@@ -10,7 +10,11 @@ path — and asserts the three properties the tier exists for:
 * a second run against the same journal **resumes**: every candidate
   replays, zero cells are submitted, and the best is unchanged;
 * the **worst-faults** evolutionary study is **deterministic**: two
-  runs from one seed write byte-identical trajectory journals.
+  runs from one seed write byte-identical trajectory journals;
+* the **cheapest-machine** zoo study searches ``machine.config`` as a
+  categorical axis — whole registered machines as candidates — and
+  deterministically picks the cheapest preset whose BT-MZ stays
+  within the Columbia bound.
 
 Exit 0 and a one-line ``explore-smoke ok`` on success; exit 1 with a
 diagnostic on any violation.
@@ -75,6 +79,29 @@ def main() -> int:
                       "one seed wrote different trajectories",
                       file=sys.stderr)
                 return 1
+
+            # -- cheapest-machine: the zoo as a categorical axis --------
+            zoo_journals = []
+            for name in ("zoo-a.jsonl", "zoo-b.jsonl"):
+                path = tmp_path / name
+                zoo = run_study(
+                    "cheapest-machine", runner=runner, journal=path,
+                )
+                zoo_journals.append(path.read_bytes())
+            if zoo_journals[0] != zoo_journals[1]:
+                print("explore-smoke FAILED: two cheapest-machine runs "
+                      "wrote different trajectories", file=sys.stderr)
+                return 1
+            if zoo.best is None:
+                print("explore-smoke FAILED: cheapest-machine found no "
+                      "feasible candidate", file=sys.stderr)
+                return 1
+            zoo_best = dict(zoo.best.assignment)["machine.config"]
+            if zoo_best != "gpu_node":
+                print("explore-smoke FAILED: cheapest-machine best "
+                      f"{zoo_best!r}; expected the accelerator preset "
+                      "to undercut the big-iron ones", file=sys.stderr)
+                return 1
         finally:
             runner.close()
 
@@ -83,7 +110,9 @@ def main() -> int:
         f"clock={best['clock_ghz']} l3={best['l3_mb']} "
         f"(score {cold.best.score:g}), resume replayed "
         f"{warm.stats.replayed} candidates with 0 cells, "
-        "worst-faults trajectories byte-identical across runs"
+        "worst-faults trajectories byte-identical across runs, "
+        f"cheapest-machine best {zoo_best} "
+        f"(cost {zoo.best.score:g})"
     )
     return 0
 

@@ -242,10 +242,19 @@ class SearchSpace:
                 placement[name[len("placement."):]] = value
             else:
                 params[name] = value
-        mspec = MachineSpec(**machine) if machine else None
+        if machine:
+            # A "machine.config" dim routes to the zoo form; pure
+            # legacy dims (clock/l3/...) keep their historic cache
+            # keys via the sanctioned legacy constructor.
+            if "config" in machine:
+                mspec = MachineSpec(**machine)
+            else:
+                mspec = MachineSpec.legacy(**machine)
+        else:
+            mspec = None
         pspec = PlacementSpec(**placement) if placement else None
         if pspec is not None and mspec is None:
-            mspec = MachineSpec()
+            mspec = MachineSpec.legacy()
         return scenario(
             self.workload, machine=mspec, placement=pspec,
             faults=faults, fidelity=self.fidelity, **params,

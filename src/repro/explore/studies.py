@@ -22,6 +22,15 @@ i.e. finds the spec that hurts most — under a candidate budget.
 Path faults and the boot-cpuset/MPT anomalies reach the closed-form
 timing models through the injector, so the whole study runs at
 analytic-tier throughput.
+
+**cheapest-machine** — "cheapest zoo machine that keeps BT-MZ within
+5% of Columbia."  The machine-zoo redesign makes the *machine itself*
+a searchable axis: the space's only dimension is ``machine.config``
+over every registered preset, so each candidate cell builds a whole
+different cluster through the registry.  The cell prices BT-MZ
+throughput against the Columbia preset and a name-free
+:func:`~repro.machine.zoo.cluster_cost` proxy; the objective
+minimizes cost subject to ``rel_columbia >= 0.95``.
 """
 
 from __future__ import annotations
@@ -162,10 +171,84 @@ def worst_faults_objective(repeats: int = 5, seed: int = 0) -> Objective:
     )
 
 
+#: Within-5%-of-Columbia feasibility bound for cheapest-machine
+#: (rel_columbia is a higher-is-better throughput ratio).
+REL_COLUMBIA_BOUND = 0.95
+
+
+@lru_cache(maxsize=None)
+def _btmz_gflops(config: str, cpus: int) -> float:
+    """BT-MZ class C delivered Gflop/s on one zoo preset (memoized —
+    the Columbia reference reprices per candidate otherwise)."""
+    from repro.compare import _mz_layout
+    from repro.machine.placement import Placement
+    from repro.machine.zoo import build_machine
+    from repro.npb.hybrid import MZTimingModel
+    from repro.npb.multizone import mz_problem
+
+    cluster = build_machine(config)
+    n_zones = mz_problem("bt-mz", "C").spec.n_zones
+    ranks, threads = _mz_layout(cpus, n_zones)
+    placement = Placement(cluster, n_ranks=ranks, threads_per_rank=threads)
+    return MZTimingModel("bt-mz", "C", placement).total_gflops()
+
+
+@workload("explore.machine_candidate")
+def _machine_candidate_cell(cluster, cpus: int = 256) -> list[tuple]:
+    """One zoo-machine candidate: BT-MZ rate, ratio to Columbia, cost.
+
+    Columns: ``(cpus, gflops, rel_columbia, cost)``.  The machine
+    arrives as the built cluster (the ``machine.config`` dimension
+    routed through the registry), so the cell itself is name-free —
+    the cost proxy reads the hardware, not the label.
+    """
+    from repro.compare import _mz_layout
+    from repro.machine.placement import Placement
+    from repro.machine.zoo import cluster_cost
+    from repro.npb.hybrid import MZTimingModel
+    from repro.npb.multizone import mz_problem
+
+    n_zones = mz_problem("bt-mz", "C").spec.n_zones
+    ranks, threads = _mz_layout(cpus, n_zones)
+    placement = Placement(cluster, n_ranks=ranks, threads_per_rank=threads)
+    gflops = MZTimingModel("bt-mz", "C", placement).total_gflops()
+    reference = _btmz_gflops("columbia", cpus)
+    return [(
+        cpus, round(gflops, 4), round(gflops / reference, 4),
+        round(cluster_cost(cluster), 4),
+    )]
+
+
+register_exact("explore.machine_candidate")
+
+
+def cheapest_machine_space(cpus: int = 256) -> SearchSpace:
+    """Every registered zoo preset as one categorical dimension."""
+    from repro.machine.zoo import list_machines
+
+    return search_space(
+        "explore.machine_candidate",
+        {"machine.config": tuple(list_machines())},
+        base={"cpus": cpus},
+    )
+
+
+def cheapest_machine_objective() -> Objective:
+    """Minimize machine cost subject to rel_columbia >= 0.95 (columns
+    of :func:`_machine_candidate_cell`: 2 = rel_columbia, 3 = cost)."""
+    return Objective(
+        metric=3, mode="min",
+        constraint=2, constraint_min=REL_COLUMBIA_BOUND,
+    )
+
+
 #: study name -> (space factory, objective factory, default optimizer).
 STUDIES = {
     "cheapest-bx2": (cheapest_bx2_space, cheapest_bx2_objective, "grid"),
     "worst-faults": (worst_faults_space, worst_faults_objective, "evolve"),
+    "cheapest-machine": (
+        cheapest_machine_space, cheapest_machine_objective, "grid",
+    ),
 }
 
 

@@ -110,7 +110,8 @@ def predict_stream(
     """
     active = placement.active_per_fsb() if placement is not None else 1
     n_cpus = placement.total_cpus if placement is not None else 1
-    base = node.fsb.per_cpu_bandwidth(active) * NODE_QUIRK[node.node_type]
+    # Zoo node types (plain string labels) carry no Columbia quirk.
+    base = node.fsb.per_cpu_bandwidth(active) * NODE_QUIRK.get(node.node_type, 1.0)
     values = {
         op: to_gb_per_s(base) * _OP_EFFICIENCY[op] for op in STREAM_OPS
     }

@@ -30,8 +30,14 @@ FABRICS = ("numalink4", "infiniband")
 class Cluster:
     """A set of Altix nodes joined by one inter-node fabric.
 
-    Global CPU ids are dense: CPU ``i`` lives on node ``i // cpus_per_node``
-    (all nodes in one cluster object have the same CPU count).
+    Global CPU ids are dense: node 0 owns CPUs ``0 .. n0-1``, node 1
+    the next ``n1``, and so on.  Columbia's clusters are *uniform*
+    (every node holds 512 CPUs) and keep the fast ``i // cpus_per_node``
+    geometry; machine-zoo clusters may mix node sizes, in which case
+    the geometry runs on a per-node offset table and
+    :attr:`cpus_per_node` (a uniform-only concept some layers, e.g.
+    :class:`~repro.machine.placement.Placement`, are built on) raises
+    loudly instead of silently misplacing CPUs.
     """
 
     nodes: tuple[AltixNode, ...]
@@ -46,31 +52,68 @@ class Cluster:
             raise ConfigurationError(
                 f"unknown fabric {self.fabric!r}; expected one of {FABRICS}"
             )
-        sizes = {node.n_cpus for node in self.nodes}
-        if len(sizes) != 1:
-            raise ConfigurationError("all nodes must have the same CPU count")
 
     # -- geometry -----------------------------------------------------------
 
+    def _geometry(self) -> tuple[int | None, tuple[int, ...]]:
+        """``(uniform_size_or_None, cpu_offsets)``, memoized.
+
+        ``cpu_offsets[i]`` is the first global CPU id of node ``i``
+        (plus a final total-CPUs sentinel).  Built once per cluster
+        instance — the frozen-dataclass ``object.__setattr__`` idiom
+        :meth:`AltixNode._path_tables` uses.
+        """
+        try:
+            return self.__dict__["_geom"]
+        except KeyError:
+            sizes = [node.n_cpus for node in self.nodes]
+            uniform = sizes[0] if len(set(sizes)) == 1 else None
+            offsets = [0]
+            for size in sizes:
+                offsets.append(offsets[-1] + size)
+            geom = (uniform, tuple(offsets))
+            object.__setattr__(self, "_geom", geom)
+            return geom
+
+    @property
+    def uniform(self) -> bool:
+        """True when every node holds the same CPU count."""
+        return self._geometry()[0] is not None
+
     @property
     def cpus_per_node(self) -> int:
-        return self.nodes[0].n_cpus
+        size, _ = self._geometry()
+        if size is None:
+            raise ConfigurationError(
+                "cpus_per_node is undefined on a heterogeneous cluster "
+                f"(node sizes {sorted({n.n_cpus for n in self.nodes})}); "
+                "query node_of()/local_cpu() instead"
+            )
+        return size
 
     @property
     def total_cpus(self) -> int:
-        return len(self.nodes) * self.cpus_per_node
+        return self._geometry()[1][-1]
 
     def node_of(self, cpu: int) -> int:
         """Which node a global CPU id belongs to."""
-        if not 0 <= cpu < self.total_cpus:
+        size, offsets = self._geometry()
+        if not 0 <= cpu < offsets[-1]:
             raise ConfigurationError(
-                f"cpu {cpu} outside cluster of {self.total_cpus}"
+                f"cpu {cpu} outside cluster of {offsets[-1]}"
             )
-        return cpu // self.cpus_per_node
+        if size is not None:
+            return cpu // size
+        from bisect import bisect_right
+
+        return bisect_right(offsets, cpu) - 1
 
     def local_cpu(self, cpu: int) -> int:
         """CPU id within its node."""
-        return cpu % self.cpus_per_node
+        size, offsets = self._geometry()
+        if size is not None:
+            return cpu % size
+        return cpu - offsets[self.node_of(cpu)]
 
     def node(self, index: int) -> AltixNode:
         return self.nodes[index]
@@ -102,11 +145,10 @@ class Cluster:
         return self.node_of(cpu_a) != self.node_of(cpu_b)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        kinds = ", ".join(
-            f"{sum(1 for n in self.nodes if n.node_type is t)}x{t.value}"
-            for t in NodeType
-            if any(n.node_type is t for n in self.nodes)
-        )
+        counts: dict[str, int] = {}
+        for n in self.nodes:
+            counts[n.type_label] = counts.get(n.type_label, 0) + 1
+        kinds = ", ".join(f"{c}x{label}" for label, c in counts.items())
         return f"Cluster[{kinds}; fabric={self.fabric}]"
 
 

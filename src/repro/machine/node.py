@@ -26,7 +26,13 @@ from repro.machine.processor import (
 from repro.machine.router import hop_count
 from repro.units import GIB, TERA
 
-__all__ = ["NodeType", "AltixNode", "build_node", "MPI_MEMCPY_BANDWIDTH"]
+__all__ = [
+    "AcceleratorSpec",
+    "AltixNode",
+    "MPI_MEMCPY_BANDWIDTH",
+    "NodeType",
+    "build_node",
+]
 
 NODE_CPUS = 512
 
@@ -66,14 +72,70 @@ _CPUS_PER_BRICK: dict[NodeType, int] = {
 
 
 @dataclass(frozen=True)
-class AltixNode:
-    """One 512-CPU Altix node (a "box" in the paper's terms)."""
+class AcceleratorSpec:
+    """Per-node accelerators (GPUs) for machine-zoo configurations.
 
-    node_type: NodeType
+    Columbia has none; the zoo's Marconi100-style preset attaches four
+    V100-class devices per node.  The compute models price them as an
+    offload term: the ``offload_fraction`` of solver flops that can
+    run on the devices does so at ``count * peak_flops_each *
+    efficiency``, the rest stays on the host CPUs (an Amdahl split —
+    the shape of the ExaDigiT/RAPS ``node_peak_flops`` accounting).
+    """
+
+    name: str
+    #: devices per node.
+    count: int
+    #: theoretical peak per device, flop/s.
+    peak_flops_each: float
+    #: fraction of solver flops the offloaded kernels cover.
+    offload_fraction: float
+    #: sustained fraction of device peak on real solver kernels.
+    efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or self.peak_flops_each <= 0:
+            raise ConfigurationError(
+                f"{self.name}: accelerator count/peak must be positive"
+            )
+        if not 0.0 <= self.offload_fraction <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: offload_fraction must be in [0, 1], "
+                f"got {self.offload_fraction}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: efficiency must be in (0, 1], "
+                f"got {self.efficiency}"
+            )
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate device peak per node, flop/s."""
+        return self.count * self.peak_flops_each
+
+    @property
+    def sustained_flops(self) -> float:
+        """Deliverable device rate per node, flop/s."""
+        return self.peak_flops * self.efficiency
+
+
+@dataclass(frozen=True)
+class AltixNode:
+    """One 512-CPU Altix node (a "box" in the paper's terms).
+
+    ``node_type`` is one of the three Columbia :class:`NodeType`
+    variants — or, for machine-zoo nodes, a plain string label.
+    ``accelerator`` is ``None`` on every Columbia node; zoo configs
+    may attach per-node devices (see :class:`AcceleratorSpec`).
+    """
+
+    node_type: NodeType | str
     n_cpus: int
     brick: CBrick
     interconnect: InterconnectSpec
     memory_bytes: float
+    accelerator: AcceleratorSpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_cpus < 1 or self.n_cpus % self.brick.cpus != 0:
@@ -172,8 +234,26 @@ class AltixNode:
 
     @property
     def peak_flops(self) -> float:
-        """Theoretical node peak (Table 1: 3.07 / 3.28 Tflop/s)."""
+        """Theoretical host-CPU node peak (Table 1: 3.07 / 3.28
+        Tflop/s).  Excludes accelerators — see
+        :attr:`total_peak_flops`."""
         return self.n_cpus * self.processor.peak_flops
+
+    @property
+    def accelerator_flops(self) -> float:
+        """Aggregate accelerator peak, flop/s (0.0 without devices)."""
+        return 0.0 if self.accelerator is None else self.accelerator.peak_flops
+
+    @property
+    def total_peak_flops(self) -> float:
+        """CPU + accelerator peak (the RAPS ``node_peak_flops``)."""
+        return self.peak_flops + self.accelerator_flops
+
+    @property
+    def type_label(self) -> str:
+        """The node-type name, enum or zoo string alike."""
+        nt = self.node_type
+        return nt.value if isinstance(nt, NodeType) else str(nt)
 
     def _check_cpu(self, cpu: int) -> None:
         if not 0 <= cpu < self.n_cpus:
@@ -182,7 +262,7 @@ class AltixNode:
             )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Altix {self.node_type.value} ({self.n_cpus} CPUs)"
+        return f"Altix {self.type_label} ({self.n_cpus} CPUs)"
 
 
 @lru_cache(maxsize=None)

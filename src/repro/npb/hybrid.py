@@ -114,7 +114,22 @@ class MZTimingModel:
         eff = _BASE_EFF[self.benchmark] * cf
         rate = node.processor.peak_flops * eff
         flops_max_bin = per_point * self.assignment.max_load
-        t = flops_max_bin / (rate * threads * thread_efficiency(threads))
+        host_rate = rate * threads * thread_efficiency(threads)
+        if node.accelerator is None:
+            t = flops_max_bin / host_rate
+        else:
+            # Machine-zoo accelerator offload (Amdahl split): the
+            # offloadable fraction of the solver runs at each rank's
+            # share of the node's sustained device rate, the remainder
+            # stays on the host threads.  Columbia nodes carry no
+            # accelerator and keep the exact expression above.
+            accel = node.accelerator
+            ranks_per_node = math.ceil(
+                self.placement.n_ranks / self.placement.n_nodes_used()
+            )
+            accel_rate = accel.sustained_flops / ranks_per_node
+            f = accel.offload_fraction
+            t = flops_max_bin * ((1.0 - f) / host_rate + f / accel_rate)
         penalty = (
             self.placement.locality_penalty()
             * self.placement.boot_cpuset_penalty()

@@ -23,6 +23,8 @@ import enum
 import hashlib
 import itertools
 import json
+import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
@@ -92,15 +94,37 @@ def _check_value(name: str, value: Any) -> Any:
     return canonical_value(value, f"scenario parameter {name}=")
 
 
+#: Set while :meth:`MachineSpec.legacy` constructs, so internal
+#: callers (sweeps, the wire decoder, explore) can use the old field
+#: form without tripping the deprecation warning meant for user code.
+_LEGACY_SANCTIONED = threading.local()
+
+_DEPRECATION_NOTE = (
+    "constructing MachineSpec from the legacy "
+    "single_node/multinode/custom_bx2 fields is deprecated and "
+    "scheduled for removal in PR 12; name a machine-zoo config "
+    "instead, e.g. MachineSpec(config='columbia') — see docs/api.md"
+)
+
+
 @dataclass(frozen=True)
 class MachineSpec:
     """A declarative cluster description the runner can build.
 
-    Mirrors the :mod:`repro.machine.cluster` builders: one or more
-    identical nodes of ``node_type`` joined by ``fabric``.  The
-    optional ``clock_ghz``/``l3_mb`` overrides build the hypothetical
-    BX2 variants the ablation experiments study — routed through the
-    same :func:`repro.machine.cluster.custom_bx2` helper.
+    Two forms:
+
+    * **config form** (current): ``config`` names a registered
+      :class:`~repro.machine.zoo.MachineConfig`, optionally perturbed
+      by ``overrides`` — sorted ``(dotted_path, value)`` pairs passed
+      to :meth:`~repro.machine.zoo.MachineConfig.with_overrides`.
+      Any machine in the zoo joins the cache-key / wire-protocol /
+      explore surfaces with no new code.
+    * **legacy form** (deprecated, removal scheduled PR 12): the seven
+      Columbia builder fields mirroring ``single_node`` /
+      ``multinode`` / ``custom_bx2``.  Constructing this form warns;
+      internal callers use :meth:`legacy`.  Cache keys for the legacy
+      form are byte-identical to every build since the scenario layer
+      existed (:meth:`payload`).
     """
 
     node_type: str = "BX2b"
@@ -110,9 +134,106 @@ class MachineSpec:
     mpt: str = "mpt1.11b"
     clock_ghz: float | None = None
     l3_mb: int | None = None
+    config: str | None = None
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    #: The legacy fields and their defaults — a config-form spec must
+    #: leave all of them untouched.
+    _LEGACY_FIELDS = (
+        ("node_type", "BX2b"), ("n_nodes", 1), ("n_cpus", 512),
+        ("fabric", "numalink4"), ("mpt", "mpt1.11b"),
+        ("clock_ghz", None), ("l3_mb", None),
+    )
+
+    def __post_init__(self) -> None:
+        if self.overrides:
+            raw = self.overrides
+            items = raw.items() if isinstance(raw, Mapping) else raw
+            pairs = tuple(sorted(
+                (str(k), canonical_value(v, f"machine override {k}="))
+                for k, v in items
+            ))
+            object.__setattr__(self, "overrides", pairs)
+        elif not isinstance(self.overrides, tuple):
+            object.__setattr__(self, "overrides", ())
+        if self.config is not None:
+            dirty = [
+                name for name, default in self._LEGACY_FIELDS
+                if getattr(self, name) != default
+            ]
+            if dirty:
+                raise ConfigurationError(
+                    f"MachineSpec(config={self.config!r}) cannot also set "
+                    f"legacy builder fields {dirty}; use overrides=(...) "
+                    f"to perturb the config"
+                )
+        else:
+            if self.overrides:
+                raise ConfigurationError(
+                    "MachineSpec overrides require a config name"
+                )
+            if not getattr(_LEGACY_SANCTIONED, "on", False):
+                warnings.warn(_DEPRECATION_NOTE, DeprecationWarning,
+                              stacklevel=3)
+
+    @classmethod
+    def legacy(cls, **fields: Any) -> "MachineSpec":
+        """Construct the legacy (Columbia-builder) form without the
+        deprecation warning — for internal callers that must keep
+        producing byte-identical cache keys until the PR 12 removal."""
+        prev = getattr(_LEGACY_SANCTIONED, "on", False)
+        _LEGACY_SANCTIONED.on = True
+        try:
+            return cls(**fields)
+        finally:
+            _LEGACY_SANCTIONED.on = prev
+
+    def payload(self) -> dict[str, Any]:
+        """The cache-key / wire form of this spec.
+
+        Legacy specs serialize as exactly the seven builder fields —
+        the same dict ``vars(spec)`` produced before the config form
+        existed, so every Columbia cache key and wire message is
+        byte-identical across the redesign.  Config specs serialize as
+        ``{"config": name}`` plus ``overrides`` only when present.
+        """
+        if self.config is None:
+            return {name: getattr(self, name)
+                    for name, _ in self._LEGACY_FIELDS}
+        out: dict[str, Any] = {"config": self.config}
+        if self.overrides:
+            out["overrides"] = [[k, v] for k, v in self.overrides]
+        # The registry entry's *content* digest: editing a preset must
+        # change cache keys, or stale rows would be served under the
+        # unchanged name.  (Ignored by the wire decoder — each side
+        # keys against its own registry's truth.)
+        from repro.machine.zoo import machine_config
+
+        blob = json.dumps(
+            machine_config(self.config).to_dict(),
+            sort_keys=True, separators=(",", ":"),
+        )
+        out["zoo"] = hashlib.sha256(blob.encode()).hexdigest()[:12]
+        return out
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "MachineSpec":
+        """Inverse of :meth:`payload` (wire decode, no warnings)."""
+        if "config" in data:
+            overrides = tuple(
+                (k, v) for k, v in data.get("overrides", ())
+            )
+            # "zoo" (the sender's registry digest) is advisory: the
+            # receiver keys against its own registry.
+            return cls(config=data["config"], overrides=overrides)
+        return cls.legacy(**data)
 
     def build(self):
         """Materialize the :class:`~repro.machine.cluster.Cluster`."""
+        if self.config is not None:
+            from repro.machine.zoo import build_machine
+
+            return build_machine(self.config, self.overrides)
         from repro.machine.cluster import custom_bx2, multinode, single_node
         from repro.machine.infiniband import MPTVersion
         from repro.machine.node import NodeType
@@ -234,7 +355,7 @@ class Scenario:
         payload = {
             "workload": self.workload,
             "params": [[k, v] for k, v in self.params],
-            "machine": None if self.machine is None else vars(self.machine),
+            "machine": None if self.machine is None else self.machine.payload(),
             "placement": (
                 None if self.placement is None else vars(self.placement)
             ),

@@ -58,6 +58,14 @@ def resolve(workload_id: str) -> Callable:
         import repro.core.registry  # noqa: F401  (import side effect)
 
         fn = _WORKLOADS.get(workload_id)
+    if fn is None and workload_id.startswith("explore."):
+        import repro.explore.studies  # noqa: F401  (import side effect)
+
+        fn = _WORKLOADS.get(workload_id)
+    if fn is None and workload_id.startswith("compare."):
+        import repro.compare  # noqa: F401  (import side effect)
+
+        fn = _WORKLOADS.get(workload_id)
     if fn is None:
         raise ConfigurationError(
             f"unknown workload {workload_id!r}; "

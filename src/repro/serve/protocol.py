@@ -109,7 +109,7 @@ def scenario_to_wire(sc: Scenario) -> dict[str, Any]:
     wire = {
         "workload": sc.workload,
         "params": [[k, v] for k, v in sc.params],
-        "machine": None if sc.machine is None else vars(sc.machine),
+        "machine": None if sc.machine is None else sc.machine.payload(),
         "placement": None if sc.placement is None else vars(sc.placement),
         "faults": None if not sc.faults else sc.faults.payload(),
     }
@@ -152,7 +152,7 @@ def scenario_from_wire(payload: Any) -> Scenario:
     placement = payload.get("placement")
     faults = payload.get("faults")
     try:
-        mspec = None if machine is None else MachineSpec(**machine)
+        mspec = None if machine is None else MachineSpec.from_payload(machine)
         pspec = None if placement is None else PlacementSpec(**placement)
     except TypeError as exc:
         raise ConfigurationError(f"bad machine/placement spec: {exc}") from None

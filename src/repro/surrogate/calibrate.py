@@ -232,13 +232,26 @@ def calibrate(
                         f"is declared an exact passthrough but its "
                         f"{mode} rows diverge (rel. error {err:.3g})"
                     )
-                table.record(FamilyError(
-                    family=surr.family, mode=mode, rel_err=err,
-                    cells=1, exact=surr.exact,
-                ))
+                for fam in _family_keys(surr.family, cell):
+                    table.record(FamilyError(
+                        family=fam, mode=mode, rel_err=err,
+                        cells=1, exact=surr.exact,
+                    ))
                 if progress is not None:
                     progress(cell, mode, err)
     return table
+
+
+def _family_keys(family: str, sc: Scenario) -> tuple[str, ...]:
+    """Error-table keys for one cell: the workload family, plus a
+    machine-qualified key (``family@config``) when the cell names a
+    zoo machine.  A modeled surrogate calibrated against Columbia
+    sweeps says nothing about its error on ``fat_numa``; per-machine
+    entries keep the permit honest across the zoo."""
+    config = None if sc.machine is None else sc.machine.config
+    if config is None:
+        return (family,)
+    return (family, f"{family}@{config}")
 
 
 def permit_scenario(
@@ -272,16 +285,32 @@ def permit_scenario(
             f"constants or version changed since it was written); "
             f"re-run 'repro calibrate --fidelity'"
         )
-    entry = table.lookup(surr.family, sc.fidelity)
-    if entry is None:
-        return False, (
-            f"{sc.describe()}: family {surr.family!r} has no "
-            f"calibrated {sc.fidelity} error entry"
-        )
+    config = None if sc.machine is None else sc.machine.config
+    if config is not None:
+        # Zoo machines need their own permit: a bound measured on
+        # Columbia sweeps does not transfer to different hardware.
+        key = f"{surr.family}@{config}"
+        entry = table.lookup(key, sc.fidelity)
+        if entry is None:
+            return False, (
+                f"{sc.describe()}: family {surr.family!r} has no "
+                f"calibrated {sc.fidelity} entry for machine "
+                f"{config!r} — modeled surrogates need per-machine "
+                f"calibration (re-run 'repro calibrate --fidelity' "
+                f"with a sweep on that machine)"
+            )
+    else:
+        key = surr.family
+        entry = table.lookup(key, sc.fidelity)
+        if entry is None:
+            return False, (
+                f"{sc.describe()}: family {surr.family!r} has no "
+                f"calibrated {sc.fidelity} error entry"
+            )
     if entry.rel_err > table.bound:
         return False, (
             f"{sc.describe()}: calibrated {sc.fidelity} error "
-            f"{entry.rel_err:.3g} for family {surr.family!r} exceeds "
+            f"{entry.rel_err:.3g} for {key!r} exceeds "
             f"the bound {table.bound:g}"
         )
     return True, ""

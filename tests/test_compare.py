@@ -1,0 +1,142 @@
+"""The ``repro compare`` cross-machine characterization tier.
+
+Pins the verb's contract: a deterministic who-wins/crossover table
+over registered zoo machines, served entirely by the analytic tier
+(every compare app is closed-form), with loud validation at the edges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compare import (
+    COMPARE_APPS,
+    DEFAULT_SIZES,
+    compare_scenarios,
+    run_compare,
+)
+from repro.errors import ConfigurationError
+from repro.run.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One uncached four-machine comparison shared by the module."""
+    runner = Runner(jobs=1, cache=None, fidelity="analytic")
+    try:
+        return run_compare(
+            ("columbia", "fat_numa", "thin_ib", "gpu_node"), runner=runner
+        )
+    finally:
+        runner.close()
+
+
+class TestGrid:
+    def test_full_grid_populated(self, result):
+        # Every preset holds every default size, so no cell is skipped.
+        expected = 4 * len(COMPARE_APPS) * len(DEFAULT_SIZES)
+        assert len(result.rows) == expected
+
+    def test_scenarios_skip_oversized_cells(self):
+        # gpu_node holds 256 CPUs; a 512-CPU cell must be dropped, not
+        # errored.
+        cells = compare_scenarios(
+            ("columbia", "gpu_node"), apps=("stream",), sizes=(256, 512)
+        )
+        by_machine = {}
+        for sc in cells:
+            by_machine.setdefault(sc.machine.config, []).append(sc)
+        assert len(by_machine["columbia"]) == 2
+        assert len(by_machine["gpu_node"]) == 1
+
+    def test_validation_is_loud(self):
+        with pytest.raises(ConfigurationError, match="at least two"):
+            run_compare(("columbia",))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_compare(("columbia", "columbia"))
+        with pytest.raises(ConfigurationError, match="unknown compare app"):
+            run_compare(("columbia", "fat_numa"), apps=("linpack",))
+
+
+class TestAnalysis:
+    def test_winner_per_populated_cell(self, result):
+        winners = result.winners()
+        assert len(winners) == len(COMPARE_APPS) * len(DEFAULT_SIZES)
+        for app, cpus, machine in winners:
+            best = result.value(machine, app, cpus)
+            others = [
+                result.value(m, app, cpus)
+                for m in result.machines if m != machine
+            ]
+            assert all(best >= v for v in others if v is not None)
+
+    def test_crossovers_are_winner_changes(self, result):
+        for app, c0, c1, w0, w1 in result.crossovers():
+            assert w0 != w1
+            winners = dict(
+                ((a, c), w) for a, c, w in result.winners()
+            )
+            assert winners[(app, c0)] == w0
+            assert winners[(app, c1)] == w1
+
+    def test_perf_per_cost_covers_every_machine(self, result):
+        ranked = result.perf_per_cost()
+        assert sorted(m for m, _ in ranked) == sorted(result.machines)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestDeterminism:
+    def test_two_uncached_runs_identical(self):
+        tables = []
+        for _ in range(2):
+            runner = Runner(jobs=1, cache=None, fidelity="analytic")
+            try:
+                res = run_compare(("fat_numa", "gpu_node"), runner=runner)
+            finally:
+                runner.close()
+            tables.append(res.format())
+        assert tables[0] == tables[1]
+
+    def test_format_ends_with_cost_ranking(self, result):
+        text = result.format()
+        assert "perf per unit cost" in text
+        for machine in result.machines:
+            assert machine in text
+
+
+class TestAnalyticTier:
+    def test_all_cells_served_by_surrogate(self):
+        runner = Runner(jobs=1, cache=None, fidelity="analytic")
+        try:
+            run_compare(("thin_ib", "gpu_node"), runner=runner)
+            stats = runner.stats
+            assert stats.executed > 0
+            assert stats.fast == stats.executed  # all surrogate-served
+            assert stats.escalated == 0
+        finally:
+            runner.close()
+
+
+class TestCli:
+    def test_compare_verb_end_to_end(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "compare", "--machines", "fat_numa,gpu_node",
+            "--experiments", "overflow,dgemm", "--no-cache",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overflow (steps/s" in out
+        assert "crossovers" in out
+
+    def test_unknown_machine_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "compare", "--machines", "columbia,altix_9000", "--no-cache",
+        ])
+        assert rc != 0
+        err = capsys.readouterr().err
+        assert "unknown machine" in err

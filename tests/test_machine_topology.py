@@ -179,9 +179,23 @@ class TestCluster:
         with pytest.raises(ConfigurationError):
             c.node_of(999)
 
-    def test_mixed_sizes_rejected(self):
-        with pytest.raises(ConfigurationError):
-            Cluster(nodes=(build_node(NodeType.A3700, 64), build_node(NodeType.A3700, 128)))
+    def test_mixed_sizes_allowed_with_offset_geometry(self):
+        # PR 10: heterogeneous (machine-zoo) clusters are legal; the
+        # geometry runs on a per-node offset table.
+        mixed = Cluster(
+            nodes=(build_node(NodeType.A3700, 64), build_node(NodeType.A3700, 128))
+        )
+        assert not mixed.uniform
+        assert mixed.total_cpus == 192
+        assert [mixed.node_of(c) for c in (0, 63, 64, 191)] == [0, 0, 1, 1]
+        assert mixed.local_cpu(64) == 0 and mixed.local_cpu(191) == 127
+        # Uniform-only layers must fail loudly, never misplace CPUs.
+        with pytest.raises(ConfigurationError, match="heterogeneous"):
+            mixed.cpus_per_node
+        uniform = Cluster(
+            nodes=(build_node(NodeType.A3700, 64), build_node(NodeType.A3700, 64))
+        )
+        assert uniform.uniform and uniform.cpus_per_node == 64
 
     def test_bad_fabric_rejected(self):
         with pytest.raises(ConfigurationError):

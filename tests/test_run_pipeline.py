@@ -49,8 +49,8 @@ class TestScenario:
         assert base.key() != scenario("test.other", x=1, y=2).key()
 
     def test_key_distinguishes_machine_spec(self):
-        a = scenario("test.geometry", machine=MachineSpec(node_type="BX2b"))
-        b = scenario("test.geometry", machine=MachineSpec(node_type="3700"))
+        a = scenario("test.geometry", machine=MachineSpec.legacy(node_type="BX2b"))
+        b = scenario("test.geometry", machine=MachineSpec.legacy(node_type="3700"))
         assert a.key() != b.key()
 
     def test_rejects_non_scalar_params(self):
@@ -76,19 +76,19 @@ class TestScenario:
     def test_machine_and_placement_materialized(self):
         sc = scenario(
             "test.geometry",
-            machine=MachineSpec(node_type="BX2b", n_cpus=64),
+            machine=MachineSpec.legacy(node_type="BX2b", n_cpus=64),
             placement=PlacementSpec(n_ranks=8),
         )
         assert execute_scenario(sc) == ((8, 64),)
 
     def test_machine_only_passes_cluster(self):
         sc = scenario(
-            "test.geometry", machine=MachineSpec(node_type="3700", n_cpus=32)
+            "test.geometry", machine=MachineSpec.legacy(node_type="3700", n_cpus=32)
         )
         assert execute_scenario(sc) == ((0, 32),)
 
     def test_custom_bx2_override_routes_through_builder(self):
-        spec = MachineSpec(clock_ghz=1.5, l3_mb=9)
+        spec = MachineSpec.legacy(clock_ghz=1.5, l3_mb=9)
         cluster = spec.build()
         proc = cluster.nodes[0].brick.processor
         assert proc.clock_hz == pytest.approx(1.5e9)
